@@ -1,0 +1,126 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every benchmark reports, for its figure:
+//   * the PAPER column   — the value published in the paper (where the
+//     paper gives one),
+//   * the MODEL column   — the cost model evaluated at the paper's full
+//     workload (1M trials x 1000 events, 15 ELTs, 2M-event catalogue)
+//     on the paper's hardware profiles,
+//   * a measured footer  — real wall-clock of the same engine running
+//     the scaled-down workload on this host (functional execution).
+//
+// The MODEL numbers are what reproduce the figures; the measured runs
+// prove the engines actually execute the workload (see DESIGN.md §2).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "perf/report.hpp"
+#include "simgpu/gpu_cost_model.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara::bench {
+
+/// Operation counts of the paper's headline workload.
+inline OpCounts paper_ops() {
+  OpCounts ops;
+  ops.event_fetches = 1'000'000'000ULL;
+  ops.elt_lookups = 15'000'000'000ULL;
+  ops.financial_ops = 15'000'000'000ULL;
+  ops.occurrence_ops = 1'000'000'000ULL;
+  ops.aggregate_ops = 1'000'000'000ULL;
+  return ops;
+}
+
+inline OpCounts scale_ops(OpCounts ops, double factor) {
+  ops.event_fetches = static_cast<std::uint64_t>(ops.event_fetches * factor);
+  ops.elt_lookups = static_cast<std::uint64_t>(ops.elt_lookups * factor);
+  ops.financial_ops = static_cast<std::uint64_t>(ops.financial_ops * factor);
+  ops.occurrence_ops =
+      static_cast<std::uint64_t>(ops.occurrence_ops * factor);
+  ops.aggregate_ops = static_cast<std::uint64_t>(ops.aggregate_ops * factor);
+  return ops;
+}
+
+/// Launch shape of the basic kernel over 1M trials.
+inline simgpu::LaunchConfig basic_launch(unsigned block,
+                                         std::size_t trials = 1'000'000) {
+  simgpu::LaunchConfig c;
+  c.block_threads = block;
+  c.grid_blocks = static_cast<unsigned>((trials + block - 1) / block);
+  c.regs_per_thread = 20;
+  return c;
+}
+
+inline simgpu::KernelTraits basic_traits() {
+  simgpu::KernelTraits t;
+  t.loss_bytes = 8;
+  t.mlp_per_thread = 1;
+  t.chunked = false;
+  t.scratch_in_global = true;
+  return t;
+}
+
+/// Launch shape of the optimised kernel (88-event chunks).
+inline simgpu::LaunchConfig optimized_launch(unsigned block,
+                                             std::size_t trials = 1'000'000,
+                                             unsigned chunk = 88) {
+  simgpu::LaunchConfig c;
+  c.block_threads = block;
+  c.grid_blocks = static_cast<unsigned>((trials + block - 1) / block);
+  c.shared_bytes_per_block =
+      static_cast<std::size_t>(block) * chunk * 8 + 256;
+  c.regs_per_thread = 63;
+  return c;
+}
+
+inline simgpu::KernelTraits optimized_traits() {
+  simgpu::KernelTraits t;
+  t.loss_bytes = 4;
+  t.mlp_per_thread = 16;
+  t.chunked = true;
+  t.scratch_in_global = false;
+  t.scratch_in_registers = true;
+  t.unrolled = true;
+  return t;
+}
+
+/// Basic-kernel scratch traffic (Algorithm 1's lx/lox in global mem).
+inline OpCounts with_global_scratch(OpCounts ops) {
+  ops.global_updates = ops.occurrence_ops * kScratchTouchesPerEvent;
+  return ops;
+}
+
+/// Scale factor for the measured footer runs; override with
+/// ARA_BENCH_SCALE (divides the paper's 1M trials).
+inline std::size_t measured_scale() {
+  if (const char* env = std::getenv("ARA_BENCH_SCALE")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 2000;  // 500 trials x 1000 events: ~10^7 lookups per run
+}
+
+/// Runs `engine` on a paper-shaped scaled workload and prints the
+/// measured wall clock (the functional-execution proof line).
+inline void print_measured_footer(const Engine& engine) {
+  const std::size_t scale = measured_scale();
+  const synth::Scenario s = synth::paper_scaled(scale);
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  std::cout << "measured: " << r.engine_name << " on paper workload / "
+            << scale << " (" << s.yet.trial_count() << " trials): "
+            << perf::format_seconds(r.wall_seconds)
+            << " wall on this host (functional execution of "
+            << r.ops.elt_lookups << " lookups)\n";
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace ara::bench

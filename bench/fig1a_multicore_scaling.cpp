@@ -1,0 +1,40 @@
+// Figure 1a: execution time of the parallel aggregate-analysis engine
+// on the multi-core CPU as the core count grows from 1 to 8.
+// Paper result: speed-ups of 1.5x @ 2 cores, 2.2x @ 4, 2.6x @ 8 —
+// memory bandwidth, not core count, is the limit.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cpu_engines.hpp"
+#include "perf/cpu_cost_model.hpp"
+#include "perf/machine_profile.hpp"
+
+int main() {
+  using namespace ara;
+  bench::print_header("Figure 1a — multi-core CPU scaling",
+                      "Fig. 1a (cores vs execution time); Sec. IV-A");
+
+  const perf::CpuCostModel model(perf::intel_i7_2600());
+  const OpCounts ops = bench::paper_ops();
+  const double t1 = model.total_seconds(ops, 1);
+
+  // Paper anchor points (digitised from the reported speed-ups).
+  const double paper_speedup[9] = {0, 1.0, 1.5, 0, 2.2, 0, 0, 0, 2.6};
+
+  perf::Table table({"cores", "model time", "model speedup", "paper speedup"});
+  for (unsigned cores = 1; cores <= 8; ++cores) {
+    const double t = model.total_seconds(ops, cores);
+    table.add_row({std::to_string(cores), perf::format_seconds(t),
+                   perf::format_ratio(t1 / t),
+                   paper_speedup[cores] > 0
+                       ? perf::format_ratio(paper_speedup[cores])
+                       : "-"});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+
+  EngineConfig cfg;
+  cfg.cores = 4;
+  bench::print_measured_footer(MultiCoreEngine(cfg));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 1b: all 8 cores in use, varying the number of software
+// threads per core. Paper result: runtime falls from ~135 s to ~125 s
+// by 256 threads/core, with diminishing returns.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cpu_engines.hpp"
+#include "perf/cpu_cost_model.hpp"
+#include "perf/machine_profile.hpp"
+
+int main() {
+  using namespace ara;
+  bench::print_header("Figure 1b — thread oversubscription on 8 cores",
+                      "Fig. 1b (total threads vs execution time)");
+
+  const perf::CpuCostModel model(perf::intel_i7_2600());
+  const OpCounts ops = bench::paper_ops();
+
+  perf::Table table(
+      {"threads/core", "total threads", "model time", "paper"});
+  for (unsigned tpc : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const double t = model.total_seconds(ops, 8, tpc);
+    std::string paper = "-";
+    if (tpc == 1) paper = "~135 s";
+    if (tpc == 256) paper = "~125 s (Fig.5: 123.5 s)";
+    table.add_row({std::to_string(tpc), std::to_string(8 * tpc),
+                   perf::format_seconds(t), paper});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+
+  EngineConfig cfg;
+  cfg.cores = 2;
+  cfg.threads_per_core = 8;
+  bench::print_measured_footer(MultiCoreEngine(cfg));
+  return 0;
+}

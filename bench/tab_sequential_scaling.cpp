@@ -1,0 +1,118 @@
+// Section IV-A's in-text scaling claim: the sequential running time is
+// linear in (a) events per trial, (b) number of trials, (c) average
+// ELTs per layer and (d) number of layers. Reproduced twice: in the
+// model (exactly linear by construction at fixed per-op costs) and by
+// measuring the real reference engine on this host across each sweep.
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/reference_engine.hpp"
+#include "perf/cpu_cost_model.hpp"
+#include "perf/machine_profile.hpp"
+#include "perf/stopwatch.hpp"
+#include "synth/scenarios.hpp"
+
+namespace {
+
+using namespace ara;
+
+// Builds a workload with the given shape knobs and measures the
+// reference engine.
+double measure(std::size_t trials, double events, std::size_t elts,
+               std::size_t layers) {
+  synth::Catalogue cat = synth::Catalogue::make(20000, 6, 500.0);
+  synth::YetGeneratorConfig yc;
+  yc.trials = trials;
+  yc.target_events_per_trial = events;
+  yc.seed = 9;
+  const Yet yet = synth::generate_yet(cat, yc);
+
+  synth::PortfolioGeneratorConfig pc;
+  pc.elt_count = std::max<std::size_t>(elts, 2);
+  pc.layer_count = layers;
+  pc.min_elts_per_layer = pc.max_elts_per_layer = elts;
+  pc.elt.record_count = 200;
+  pc.seed = 10;
+  const Portfolio p = synth::generate_portfolio(cat, pc);
+
+  ReferenceEngine engine;
+  // Warm-up + timed run for a stable measurement.
+  engine.run(p, yet);
+  perf::Stopwatch sw;
+  engine.run(p, yet);
+  return sw.seconds();
+}
+
+void sweep(const std::string& dim, const std::vector<std::size_t>& values,
+           const std::function<double(std::size_t)>& measure_at,
+           const std::function<double(std::size_t)>& model_at) {
+  perf::Table table({dim, "measured (this host)", "measured ratio",
+                     "model (i7-2600)", "model ratio"});
+  const double m0 = measure_at(values.front());
+  const double s0 = model_at(values.front());
+  for (const std::size_t v : values) {
+    const double m = measure_at(v);
+    const double s = model_at(v);
+    table.add_row({std::to_string(v), perf::format_seconds(m),
+                   perf::format_ratio(m / m0), perf::format_seconds(s),
+                   perf::format_ratio(s / s0)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace ara;
+  bench::print_header(
+      "Sequential scaling — linear in every workload dimension",
+      "Sec. IV-A in-text claim (linear increase in running time)");
+
+  const perf::CpuCostModel model(perf::intel_i7_2600());
+  auto model_for = [&](std::size_t trials, double events, std::size_t elts,
+                       std::size_t layers) {
+    OpCounts ops;
+    const auto occ = static_cast<std::uint64_t>(trials * events) * layers;
+    ops.event_fetches = occ;
+    ops.elt_lookups = occ * elts;
+    ops.financial_ops = occ * elts;
+    ops.occurrence_ops = occ;
+    ops.aggregate_ops = occ;
+    return model.total_seconds(ops, 1);
+  };
+
+  std::cout << "-- number of trials --\n";
+  sweep(
+      "trials", {250, 500, 1000, 2000},
+      [&](std::size_t v) { return measure(v, 200.0, 4, 1); },
+      [&](std::size_t v) { return model_for(v, 200.0, 4, 1); });
+
+  std::cout << "-- events per trial --\n";
+  sweep(
+      "events/trial", {100, 200, 400, 800},
+      [&](std::size_t v) {
+        return measure(500, static_cast<double>(v), 4, 1);
+      },
+      [&](std::size_t v) {
+        return model_for(500, static_cast<double>(v), 4, 1);
+      });
+
+  std::cout << "-- ELTs per layer --\n";
+  sweep(
+      "elts/layer", {2, 4, 8, 16},
+      [&](std::size_t v) { return measure(500, 200.0, v, 1); },
+      [&](std::size_t v) { return model_for(500, 200.0, v, 1); });
+
+  std::cout << "-- layers --\n";
+  sweep(
+      "layers", {1, 2, 4, 8},
+      [&](std::size_t v) { return measure(500, 200.0, 4, v); },
+      [&](std::size_t v) { return model_for(500, 200.0, 4, v); });
+
+  std::cout << "paper anchor: full workload (1M trials x 1000 events x 15 "
+               "ELTs) = 337.47 s sequential\n";
+  return 0;
+}

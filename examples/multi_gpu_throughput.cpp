@@ -1,0 +1,67 @@
+// Multi-GPU throughput exploration: how trial throughput scales with
+// device count and how the block-size choice interacts with it — the
+// operational questions behind the paper's Figures 3 and 4, asked the
+// way a capacity planner would ("how many GPUs buy real-time
+// pricing?").
+//
+// Build & run:  ./build/examples/multi_gpu_throughput
+#include <iostream>
+
+#include "core/engine_factory.hpp"
+#include "core/gpu_engines.hpp"
+#include "perf/report.hpp"
+#include "synth/scenarios.hpp"
+
+int main() {
+  using namespace ara;
+
+  const synth::Scenario s = synth::paper_scaled(/*scale_down=*/250);
+  const double total_events =
+      static_cast<double>(s.yet.occurrence_count());
+
+  std::cout << "workload: " << s.yet.trial_count() << " trials, "
+            << total_events << " events, 15 ELTs\n\n";
+
+  // Device-count sweep at the paper's optimal 32-thread blocks.
+  perf::Table scaling({"GPUs", "simulated time", "trials/s (simulated)",
+                       "efficiency"});
+  double t1 = 0.0;
+  for (std::size_t gpus = 1; gpus <= 4; ++gpus) {
+    EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+    MultiGpuEngine engine(simgpu::tesla_m2090(), gpus, cfg);
+    const SimulationResult r = engine.run(s.portfolio, s.yet);
+    if (gpus == 1) t1 = r.simulated_seconds;
+    scaling.add_row(
+        {std::to_string(gpus), perf::format_seconds(r.simulated_seconds),
+         perf::format_fixed(
+             static_cast<double>(s.yet.trial_count()) / r.simulated_seconds,
+             0),
+         perf::format_percent(t1 / (static_cast<double>(gpus) *
+                                    r.simulated_seconds))});
+  }
+  scaling.print(std::cout);
+
+  // Block-size sweep on the 4-GPU platform (Figure 4's question).
+  std::cout << "\nblock-size sensitivity on 4 GPUs:\n";
+  perf::Table blocks({"threads/block", "simulated time", "note"});
+  for (unsigned block : {16u, 32u, 64u, 128u}) {
+    EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+    cfg.block_threads = block;
+    MultiGpuEngine engine(simgpu::tesla_m2090(), 4, cfg);
+    try {
+      const SimulationResult r = engine.run(s.portfolio, s.yet);
+      blocks.add_row({std::to_string(block),
+                      perf::format_seconds(r.simulated_seconds),
+                      block == 32 ? "best (= warp size)" : ""});
+    } catch (const std::exception& e) {
+      blocks.add_row({std::to_string(block), "infeasible",
+                      "shared memory overflow"});
+    }
+  }
+  blocks.print(std::cout);
+
+  std::cout << "\nextrapolation: at the paper's full 1M-trial workload "
+               "the 4-GPU platform sustains real-time pricing "
+               "(~4.35 s per full portfolio re-price).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Real-time pricing — the use case the paper motivates: an underwriter
+// quotes an 'eXcess of Loss' reinsurance contract while the client
+// waits. The layer's attachment point (occurrence retention) is swept
+// and each variant is re-priced against the full pre-simulated YET:
+// expected loss (pure premium), volatility loading and PML.
+//
+// Build & run:  ./build/examples/portfolio_pricing
+#include <iostream>
+
+#include "core/engine_factory.hpp"
+#include "core/metrics/risk_measures.hpp"
+#include "core/metrics/stats.hpp"
+#include "perf/report.hpp"
+#include "perf/stopwatch.hpp"
+#include "synth/scenarios.hpp"
+
+int main() {
+  using namespace ara;
+
+  // The cedent's exposure: 15 ELTs over a shared catalogue.
+  const synth::Scenario base = synth::paper_scaled(/*scale_down=*/500);
+  const double unit = 2.0e6;  // mean event loss of the book
+
+  // Quote the same cover at five attachment points.
+  const double attachments[] = {0.25 * unit, 0.5 * unit, 1.0 * unit,
+                                2.0 * unit, 4.0 * unit};
+
+  // One multi-layer portfolio: a layer per quote candidate, all
+  // covering the same ELTs — priced in a single engine pass, which is
+  // how a real-time pricing service would batch quotes.
+  std::vector<Layer> quotes;
+  for (const double att : attachments) {
+    Layer layer = base.portfolio.layers()[0];
+    layer.name = "attachment_" + std::to_string(static_cast<long>(att));
+    layer.terms.occ_retention = att;
+    layer.terms.occ_limit = 10.0 * unit;
+    quotes.push_back(std::move(layer));
+  }
+  const Portfolio book(base.portfolio.elts(), quotes);
+
+  const auto engine = make_engine(EngineKind::kMultiGpu,
+                                  paper_config(EngineKind::kMultiGpu));
+  perf::Stopwatch sw;
+  const SimulationResult result = engine->run(book, base.yet);
+  const double pricing_wall = sw.seconds();
+
+  perf::Table table({"attachment", "expected loss", "std dev",
+                     "PML 250yr", "indicated premium"});
+  for (std::size_t q = 0; q < quotes.size(); ++q) {
+    const auto losses = result.ylt.layer_annual_vector(q);
+    const double el = metrics::average_annual_loss(losses);
+    const double sd = metrics::stddev(losses);
+    const double pml = metrics::probable_maximum_loss(losses, 250.0);
+    // Standard-deviation premium principle: EL + 0.35 sigma.
+    const double premium = el + 0.35 * sd;
+    table.add_row({perf::format_fixed(attachments[q], 0),
+                   perf::format_fixed(el, 0), perf::format_fixed(sd, 0),
+                   perf::format_fixed(pml, 0),
+                   perf::format_fixed(premium, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npriced " << quotes.size() << " quote variants x "
+            << base.yet.trial_count() << " trials in "
+            << perf::format_seconds(pricing_wall)
+            << " wall (simulated on paper hardware: "
+            << perf::format_seconds(result.simulated_seconds) << ")\n"
+            << "expected: premium falls and PML-net-of-attachment "
+               "narrows as the attachment point rises\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Statistical validation of a pre-simulated Year Event Table — the
+// workflow the paper highlights as an advantage of pre-simulation
+// ("a pre-simulated YET lends itself to statistical validation and to
+// tuning for seasonality and cluster effects", Sec. I). The example
+// validates a freshly generated YET against its catalogue, then shows
+// the checks firing on a deliberately mis-specified catalogue.
+//
+// Build & run:  ./build/examples/yet_validation
+#include <iostream>
+
+#include "perf/report.hpp"
+#include "synth/validation.hpp"
+#include "synth/yet_generator.hpp"
+
+namespace {
+
+void print_validation(const ara::synth::YetValidation& v) {
+  using namespace ara;
+  perf::Table table({"region", "rate (exp/obs)", "z", "in-season (exp/obs)",
+                     "dispersion", "chi2 (dof)"});
+  for (const synth::RegionValidation& r : v.regions) {
+    table.add_row(
+        {r.region,
+         perf::format_fixed(r.expected_rate, 1) + " / " +
+             perf::format_fixed(r.observed_rate, 1),
+         perf::format_fixed(r.rate_z_score, 2),
+         perf::format_percent(r.expected_in_season) + " / " +
+             perf::format_percent(r.observed_in_season),
+         perf::format_fixed(r.dispersion, 2),
+         perf::format_fixed(r.id_chi2_stat, 1) + " (" +
+             std::to_string(r.id_buckets - 1) + ")"});
+  }
+  table.print(std::cout);
+  std::cout << "verdict: " << (v.healthy() ? "HEALTHY" : "REJECTED")
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ara;
+
+  synth::Catalogue cat = synth::Catalogue::make(60000, 3, 500.0);
+  synth::YetGeneratorConfig cfg;
+  cfg.trials = 5000;
+  cfg.seed = 99;
+  const Yet yet = synth::generate_yet(cat, cfg);
+
+  std::cout << "validating " << yet.trial_count() << " trials ("
+            << yet.occurrence_count() << " occurrences) against the "
+            << "generating catalogue:\n";
+  print_validation(synth::validate_yet(cat, yet));
+
+  std::cout << "same YET validated against a catalogue claiming half "
+               "the event rates:\n";
+  print_validation(synth::validate_yet(cat, yet, 0.5));
+
+  // Clustered years: dispersion reveals what the rate check cannot.
+  synth::YetGeneratorConfig clustered = cfg;
+  clustered.clustering_k = 2.0;
+  const Yet clustered_yet = synth::generate_yet(cat, clustered);
+  std::cout << "a clustered YET (negative-binomial years, k=2) against "
+               "the same catalogue —\nrates pass, dispersion flags the "
+               "cluster effect:\n";
+  print_validation(synth::validate_yet(cat, clustered_yet));
+  return 0;
+}

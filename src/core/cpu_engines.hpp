@@ -1,0 +1,45 @@
+// CPU engines: the fused sequential variant and the multi-core engine
+// (the paper's OpenMP implementation, realised with the library's
+// thread pool — one software thread per trial batch, exactly the
+// paper's "single thread per trial" granularity).
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace ara {
+
+/// Streaming single-pass sequential engine; mathematically identical
+/// to ReferenceEngine (property-tested) but with O(1) per-trial state.
+class FusedSequentialEngine final : public Engine {
+ public:
+  explicit FusedSequentialEngine(EngineConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "sequential_fused"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+ private:
+  EngineConfig config_;
+};
+
+/// Multi-core CPU engine (Fig. 1). `config.cores` worker threads
+/// process trials in static partitions; `config.threads_per_core`
+/// models the oversubscription sweep of Fig. 1b (the workers are
+/// multiplied accordingly, mirroring the paper's "many threads per
+/// core" runs).
+class MultiCoreEngine final : public Engine {
+ public:
+  explicit MultiCoreEngine(EngineConfig config) : config_(config) {}
+
+  std::string name() const override { return "multicore_cpu"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace ara

@@ -1,0 +1,25 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace ara {
+
+OpCounts count_algorithm_ops(const Portfolio& portfolio, const Yet& yet) {
+  if (portfolio.catalogue_size() != yet.catalogue_size()) {
+    throw std::invalid_argument(
+        "count_algorithm_ops: portfolio and YET index different catalogues");
+  }
+  const auto occurrences = static_cast<std::uint64_t>(yet.occurrence_count());
+  OpCounts ops;
+  for (const Layer& layer : portfolio.layers()) {
+    const auto elts = static_cast<std::uint64_t>(layer.elt_indices.size());
+    ops.event_fetches += occurrences;
+    ops.elt_lookups += elts * occurrences;
+    ops.financial_ops += elts * occurrences;
+    ops.occurrence_ops += occurrences;
+    ops.aggregate_ops += occurrences;
+  }
+  return ops;
+}
+
+}  // namespace ara

@@ -1,0 +1,81 @@
+// Engine interface: the five implementations of the paper (sequential,
+// multi-core CPU, basic GPU, optimised GPU, multiple GPU) plus the
+// fused sequential variant all implement `Engine`.
+//
+// Every engine produces a real YLT (the numerical results of the
+// analysis), the analytic operation counts of the run, the measured
+// wall-clock time of the host execution, and the *simulated* time on
+// the paper's hardware from the cost models (see DESIGN.md §2 for why
+// both exist).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/layer.hpp"
+#include "core/types.hpp"
+#include "core/yet.hpp"
+#include "core/ylt.hpp"
+#include "perf/phase.hpp"
+
+namespace ara {
+
+/// Tunables shared by the engine family. Each engine reads the knobs
+/// relevant to it and ignores the rest.
+struct EngineConfig {
+  // Multi-core CPU engine (Fig. 1).
+  unsigned cores = 1;             ///< worker threads (paper: 1..8)
+  unsigned threads_per_core = 1;  ///< oversubscription (paper: 1..256)
+
+  // GPU engines (Figs. 2-4).
+  unsigned block_threads = 256;   ///< CUDA threads per block
+  unsigned chunk_size = 96;       ///< events staged per thread per chunk
+  bool use_float = true;          ///< optimised kernel: float tables
+  bool unroll = true;             ///< optimised kernel: loop unrolling
+  bool use_registers = true;      ///< optimised kernel: register scratch
+  bool chunking = true;           ///< optimised kernel: shared-mem chunking
+
+  // Profiling.
+  bool profile_phases = false;    ///< measure per-phase wall time (slower)
+};
+
+/// Result of one aggregate risk analysis run.
+struct SimulationResult {
+  std::string engine_name;
+  Ylt ylt;
+  OpCounts ops;
+
+  double wall_seconds = 0.0;             ///< measured host wall clock
+  perf::PhaseBreakdown measured_phases;  ///< filled when profile_phases
+  perf::PhaseBreakdown simulated_phases; ///< cost model, paper hardware
+  double simulated_seconds = 0.0;        ///< simulated_phases.total()
+
+  /// Devices used (1 for single-GPU engines, 0 for CPU engines).
+  unsigned devices = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs the full aggregate risk analysis of `portfolio` against
+  /// `yet`. Both inputs must index the same event catalogue.
+  virtual SimulationResult run(const Portfolio& portfolio,
+                               const Yet& yet) const = 0;
+};
+
+/// Algorithmic operation counts of one full analysis (identical for
+/// every engine — the algorithm does the same work everywhere; only
+/// the memory placement differs). `global_updates` / `shared_accesses`
+/// are zero here; engines fill them according to where their
+/// per-event scratch lives.
+OpCounts count_algorithm_ops(const Portfolio& portfolio, const Yet& yet);
+
+/// Scratch traffic of Algorithm 1 per (layer, event) pair: write lx,
+/// read-modify-write lox in the financial step, then the occurrence
+/// clamp, prefix sum and aggregate clamp each touch lox once.
+constexpr std::uint64_t kScratchTouchesPerEvent = 5;
+
+}  // namespace ara

@@ -1,0 +1,85 @@
+#include "core/engine_factory.hpp"
+
+#include <stdexcept>
+
+#include "core/cpu_engines.hpp"
+#include "core/gpu_engines.hpp"
+#include "core/reference_engine.hpp"
+
+namespace ara {
+
+std::vector<EngineKind> all_engine_kinds() {
+  return {EngineKind::kSequentialReference, EngineKind::kSequentialFused,
+          EngineKind::kMultiCore,           EngineKind::kGpuBasic,
+          EngineKind::kGpuOptimized,        EngineKind::kMultiGpu};
+}
+
+std::string engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSequentialReference:
+      return "sequential_reference";
+    case EngineKind::kSequentialFused:
+      return "sequential_fused";
+    case EngineKind::kMultiCore:
+      return "multicore_cpu";
+    case EngineKind::kGpuBasic:
+      return "gpu_basic";
+    case EngineKind::kGpuOptimized:
+      return "gpu_optimized";
+    case EngineKind::kMultiGpu:
+      return "multi_gpu_optimized";
+  }
+  throw std::invalid_argument("engine_kind_name: unknown kind");
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    const EngineConfig& config,
+                                    const simgpu::DeviceSpec& device,
+                                    std::size_t gpu_count,
+                                    const simgpu::DeviceSpec& multi_gpu_device) {
+  switch (kind) {
+    case EngineKind::kSequentialReference:
+      return std::make_unique<ReferenceEngine>(config);
+    case EngineKind::kSequentialFused:
+      return std::make_unique<FusedSequentialEngine>(config);
+    case EngineKind::kMultiCore:
+      return std::make_unique<MultiCoreEngine>(config);
+    case EngineKind::kGpuBasic:
+      return std::make_unique<GpuBasicEngine>(device, config);
+    case EngineKind::kGpuOptimized:
+      return std::make_unique<GpuOptimizedEngine>(device, config);
+    case EngineKind::kMultiGpu:
+      return std::make_unique<MultiGpuEngine>(multi_gpu_device, gpu_count,
+                                              config);
+  }
+  throw std::invalid_argument("make_engine: unknown kind");
+}
+
+EngineConfig paper_config(EngineKind kind) {
+  EngineConfig cfg;
+  switch (kind) {
+    case EngineKind::kSequentialReference:
+    case EngineKind::kSequentialFused:
+      cfg.cores = 1;
+      break;
+    case EngineKind::kMultiCore:
+      cfg.cores = 8;
+      cfg.threads_per_core = 256;
+      break;
+    case EngineKind::kGpuBasic:
+      cfg.block_threads = 256;  // Fig. 2's best point
+      break;
+    case EngineKind::kGpuOptimized:
+    case EngineKind::kMultiGpu:
+      cfg.block_threads = 32;  // Fig. 4's best point (the warp size)
+      cfg.chunk_size = 88;
+      cfg.use_float = true;
+      cfg.unroll = true;
+      cfg.use_registers = true;
+      cfg.chunking = true;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace ara

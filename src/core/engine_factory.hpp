@@ -1,0 +1,43 @@
+// Factory for the paper's five implementations, keyed by an enum so
+// benchmarks and examples can sweep them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace ara {
+
+enum class EngineKind {
+  kSequentialReference,  ///< (i)   sequential C++ on the CPU
+  kSequentialFused,      ///< (i')  streaming variant of (i)
+  kMultiCore,            ///< (ii)  multi-core CPU
+  kGpuBasic,             ///< (iii) basic single-GPU
+  kGpuOptimized,         ///< (iv)  optimised single-GPU
+  kMultiGpu,             ///< (v)   optimised multi-GPU
+};
+
+/// All kinds, in the paper's presentation order.
+std::vector<EngineKind> all_engine_kinds();
+
+std::string engine_kind_name(EngineKind kind);
+
+/// Builds an engine. GPU kinds run on `device` (default: the paper's
+/// Tesla C2075 for single-GPU kinds); kMultiGpu uses `gpu_count`
+/// devices of type `multi_gpu_device` (default: Tesla M2090, the
+/// paper's 4-GPU machine).
+std::unique_ptr<Engine> make_engine(
+    EngineKind kind, const EngineConfig& config,
+    const simgpu::DeviceSpec& device = simgpu::tesla_c2075(),
+    std::size_t gpu_count = 4,
+    const simgpu::DeviceSpec& multi_gpu_device = simgpu::tesla_m2090());
+
+/// The paper's configuration for each implementation (8 cores with 256
+/// threads/core for the multi-core engine, 256 threads/block basic,
+/// 32 threads/block optimised, 4 GPUs).
+EngineConfig paper_config(EngineKind kind);
+
+}  // namespace ara

@@ -1,0 +1,611 @@
+#include "core/gpu_engines.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/trial_math.hpp"
+#include "parallel/partition.hpp"
+#include "perf/stopwatch.hpp"
+#include "simgpu/sim_device.hpp"
+#include "simgpu/sim_platform.hpp"
+
+namespace ara {
+
+namespace {
+
+// Device-resident footprint of the inputs. The kernel consumes event
+// ids in trial order (timestamps only define the order, which the YET
+// already encodes), so the YET ships as 4-byte ids — this is what lets
+// the 1e9-event paper workload fit in 5.375 GB (see DESIGN.md).
+std::uint64_t yet_device_bytes(const Yet& yet, std::size_t trial_begin,
+                               std::size_t trial_end) {
+  const std::uint64_t events =
+      yet.offsets()[trial_end] - yet.offsets()[trial_begin];
+  const std::uint64_t offsets = (trial_end - trial_begin + 1) * 8;
+  return events * 4 + offsets;
+}
+
+std::uint64_t tables_device_bytes(const Portfolio& p, unsigned loss_bytes) {
+  std::uint64_t total = 0;
+  for (const Layer& layer : p.layers()) {
+    total += static_cast<std::uint64_t>(layer.elt_indices.size()) *
+             (static_cast<std::uint64_t>(p.catalogue_size()) + 1) * loss_bytes;
+  }
+  return total;
+}
+
+// Operation counts for a contiguous trial range (one device's share).
+OpCounts range_ops(const Portfolio& p, const Yet& yet,
+                   std::size_t trial_begin, std::size_t trial_end) {
+  const std::uint64_t occurrences =
+      yet.offsets()[trial_end] - yet.offsets()[trial_begin];
+  OpCounts ops;
+  for (const Layer& layer : p.layers()) {
+    const auto elts = static_cast<std::uint64_t>(layer.elt_indices.size());
+    ops.event_fetches += occurrences;
+    ops.elt_lookups += elts * occurrences;
+    ops.financial_ops += elts * occurrences;
+    ops.occurrence_ops += occurrences;
+    ops.aggregate_ops += occurrences;
+  }
+  return ops;
+}
+
+// Runs the optimised kernel for trials [begin, end) of every layer on
+// `dev`, writing into the global YLT. Functionally the kernel stages
+// chunk_size events at a time (the paper's chunking), then performs
+// the fused term math; results are identical to simulate_trial_fused.
+template <typename Real>
+void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
+                             const Yet& yet, const TableStore<Real>& tables,
+                             const EngineConfig& cfg, std::size_t begin,
+                             std::size_t end, Ylt& out) {
+  const std::size_t trials = end - begin;
+  if (trials == 0) return;
+
+  const unsigned loss_bytes = sizeof(Real);
+  dev.alloc(tables_device_bytes(p, loss_bytes));
+  dev.alloc(yet_device_bytes(yet, begin, end));
+  dev.alloc(static_cast<std::uint64_t>(p.layer_count()) * trials * loss_bytes);
+
+  // Host -> device: the direct access tables and this device's YET
+  // slice (the preprocessing stage of the paper).
+  dev.copy(tables_device_bytes(p, loss_bytes));
+  dev.copy(yet_device_bytes(yet, begin, end));
+
+  simgpu::KernelTraits traits;
+  traits.loss_bytes = loss_bytes;
+  traits.chunked = cfg.chunking;
+  traits.mlp_per_thread =
+      cfg.chunking ? std::min(cfg.chunk_size, 16u) : 1;
+  traits.scratch_in_global = !cfg.chunking && !cfg.use_registers;
+  traits.scratch_in_registers = cfg.use_registers;
+  traits.unrolled = cfg.unroll;
+
+  simgpu::LaunchConfig launch;
+  launch.block_threads = cfg.block_threads;
+  launch.grid_blocks = static_cast<unsigned>(
+      (trials + cfg.block_threads - 1) / cfg.block_threads);
+  launch.shared_bytes_per_block =
+      cfg.chunking ? optimized_shared_bytes(cfg.block_threads, cfg.chunk_size)
+                   : 0;
+  launch.regs_per_thread = cfg.use_registers ? 63 : 32;
+
+  OpCounts ops = range_ops(p, yet, begin, end);
+  const std::uint64_t scratch =
+      ops.occurrence_ops * kScratchTouchesPerEvent;
+  if (traits.scratch_in_global) {
+    ops.global_updates = scratch;
+  } else if (!traits.scratch_in_registers) {
+    ops.shared_accesses = scratch;
+  }
+
+  // The functional staging buffer is 512 entries; clamp the chunk so a
+  // stage is always written before it is consumed.
+  const unsigned chunk = std::clamp(cfg.chunk_size, 1u, 512u);
+  for (std::size_t a = 0; a < p.layer_count(); ++a) {
+    const BoundLayer<Real> layer = bind_layer(p, tables, a);
+    dev.launch(
+        "ara_optimized_layer" + std::to_string(a), launch, traits, ops,
+        [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+          if (ctx.global_id() >= trials) return;  // guard threads past range
+          const TrialId t = static_cast<TrialId>(begin + ctx.global_id());
+          const auto trial = yet.trial(t);
+
+          // Chunked processing: stage `chunk` occurrences, then apply
+          // the fused financial/occurrence/aggregate math. State that
+          // survives across chunks is exactly what the real kernel
+          // keeps in registers.
+          Real cumulative = Real(0), prev_capped = Real(0);
+          Real annual = Real(0), max_occ = Real(0);
+          std::array<EventId, 512> stage;  // shared-memory stand-in
+          const std::size_t k = trial.size();
+          for (std::size_t base = 0; base < k; base += chunk) {
+            const std::size_t n = std::min<std::size_t>(chunk, k - base);
+            for (std::size_t i = 0; i < n; ++i) {
+              stage[i % stage.size()] = trial[base + i].event;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+              const EventId ev = stage[i % stage.size()];
+              Real combined = Real(0);
+              for (std::size_t j = 0; j < layer.elt_count(); ++j) {
+                combined += apply_financial_terms(layer.tables[j]->at(ev),
+                                                  layer.terms[j]);
+              }
+              const Real occ_loss =
+                  apply_occurrence_terms(combined, layer.layer_terms);
+              if (occ_loss > max_occ) max_occ = occ_loss;
+              cumulative += occ_loss;
+              const Real capped =
+                  apply_aggregate_terms(cumulative, layer.layer_terms);
+              annual += capped - prev_capped;
+              prev_capped = capped;
+            }
+          }
+          out.annual_loss(a, t) = static_cast<double>(annual);
+          out.max_occurrence_loss(a, t) = static_cast<double>(max_occ);
+        });
+  }
+
+  // Device -> host: the YLT slice.
+  dev.copy(static_cast<std::uint64_t>(p.layer_count()) * trials * loss_bytes);
+}
+
+}  // namespace
+
+std::size_t optimized_shared_bytes(unsigned block_threads,
+                                   unsigned chunk_size) {
+  // Per thread: chunk_size staged (event id, loss) pairs of 8 bytes;
+  // per block: one 256-byte slab of layer + financial terms. With the
+  // default chunk of 88 events this is 22.8 KB for a 32-thread block —
+  // two resident blocks per Fermi SM — and overflows the 48 KB limit
+  // beyond 64 threads/block, the edge the paper reports in Figure 4.
+  return static_cast<std::size_t>(block_threads) * chunk_size * 8 + 256;
+}
+
+SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
+                                     const Yet& yet) const {
+  SimulationResult result;
+  result.engine_name = name();
+  result.devices = 1;
+  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops.global_updates =
+      result.ops.occurrence_ops * kScratchTouchesPerEvent;
+
+  perf::Stopwatch wall;
+  simgpu::SimDevice dev(device_);
+  const TableStore<double> tables = build_tables<double>(portfolio);
+  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+
+  dev.alloc(tables_device_bytes(portfolio, 8));
+  dev.alloc(yet_device_bytes(yet, 0, yet.trial_count()));
+  // Per-event scratch (lx, lox) lives in global memory, one slot per
+  // resident thread's current event — the basic implementation keeps
+  // whole trial arrays per thread.
+  dev.alloc(static_cast<std::uint64_t>(portfolio.layer_count()) *
+            yet.trial_count() * 8);
+  dev.copy(tables_device_bytes(portfolio, 8));
+  dev.copy(yet_device_bytes(yet, 0, yet.trial_count()));
+
+  simgpu::KernelTraits traits;  // double, mlp 1, global scratch
+  traits.loss_bytes = 8;
+  traits.scratch_in_global = true;
+
+  simgpu::LaunchConfig launch;
+  launch.block_threads = config_.block_threads;
+  launch.grid_blocks = static_cast<unsigned>(
+      (yet.trial_count() + config_.block_threads - 1) /
+      config_.block_threads);
+  launch.regs_per_thread = 20;
+
+  OpCounts launch_ops = range_ops(portfolio, yet, 0, yet.trial_count());
+  launch_ops.global_updates =
+      launch_ops.occurrence_ops * kScratchTouchesPerEvent;
+
+  for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
+    const BoundLayer<double> layer = bind_layer(portfolio, tables, a);
+    dev.launch("ara_basic_layer" + std::to_string(a), launch, traits,
+               launch_ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+                 if (ctx.global_id() >= yet.trial_count()) return;
+                 const auto t = static_cast<TrialId>(ctx.global_id());
+                 const TrialOutcome<double> out =
+                     simulate_trial_fused<double>(yet.trial(t), layer);
+                 result.ylt.annual_loss(a, t) = out.annual;
+                 result.ylt.max_occurrence_loss(a, t) = out.max_occurrence;
+               });
+  }
+  dev.copy(static_cast<std::uint64_t>(portfolio.layer_count()) *
+           yet.trial_count() * 8);
+
+  result.wall_seconds = wall.seconds();
+  result.simulated_phases = dev.phase_seconds();
+  result.simulated_seconds = result.simulated_phases.total() -
+                             result.simulated_phases[perf::Phase::kTransfer];
+  return result;
+}
+
+SimulationResult GpuOptimizedEngine::run(const Portfolio& portfolio,
+                                         const Yet& yet) const {
+  SimulationResult result;
+  result.engine_name = name();
+  result.devices = 1;
+  result.ops = count_algorithm_ops(portfolio, yet);
+
+  perf::Stopwatch wall;
+  simgpu::SimDevice dev(device_);
+  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  if (config_.use_float) {
+    const TableStore<float> tables = build_tables<float>(portfolio);
+    run_optimized_on_device<float>(dev, portfolio, yet, tables, config_, 0,
+                                   yet.trial_count(), result.ylt);
+  } else {
+    const TableStore<double> tables = build_tables<double>(portfolio);
+    run_optimized_on_device<double>(dev, portfolio, yet, tables, config_, 0,
+                                    yet.trial_count(), result.ylt);
+  }
+  result.wall_seconds = wall.seconds();
+  result.simulated_phases = dev.phase_seconds();
+  result.simulated_seconds = result.simulated_phases.total() -
+                             result.simulated_phases[perf::Phase::kTransfer];
+  return result;
+}
+
+SimulationResult GpuCombinedTableEngine::run(const Portfolio& portfolio,
+                                             const Yet& yet) const {
+  SimulationResult result;
+  result.engine_name = name();
+  result.devices = 1;
+  result.ops = count_algorithm_ops(portfolio, yet);
+  // Coordination cost of the cooperative row loads: per (event, ELT)
+  // each thread writes its requested event id to shared memory and
+  // reads the delivered row back — two extra shared accesses per
+  // lookup on top of the scratch traffic.
+  result.ops.shared_accesses =
+      result.ops.elt_lookups * 2 +
+      result.ops.occurrence_ops * kScratchTouchesPerEvent;
+
+  perf::Stopwatch wall;
+  simgpu::SimDevice dev(device_);
+  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+
+  dev.alloc(tables_device_bytes(portfolio, 8));
+  dev.alloc(yet_device_bytes(yet, 0, yet.trial_count()));
+  dev.copy(tables_device_bytes(portfolio, 8));
+  dev.copy(yet_device_bytes(yet, 0, yet.trial_count()));
+
+  simgpu::KernelTraits traits;
+  traits.loss_bytes = 8;
+  traits.chunked = true;  // rows are staged through shared memory
+  // The row loads serialise on the shared-memory coordination step, so
+  // the per-thread memory-level parallelism collapses back to ~1, and
+  // every staged row adds a request/deliver handshake plus a barrier —
+  // this is why the paper found the combined layout slower despite the
+  // cooperative loads. The 0.75 penalty is calibrated to make the
+  // variant "comparatively poorer" as reported (Sec. III).
+  traits.mlp_per_thread = 1;
+  traits.cooperative_load_penalty = 0.75;
+  traits.scratch_in_global = false;
+  traits.scratch_in_registers = false;  // scratch lives in shared memory
+
+  simgpu::LaunchConfig launch;
+  launch.block_threads = config_.block_threads;
+  launch.grid_blocks = static_cast<unsigned>(
+      (yet.trial_count() + config_.block_threads - 1) /
+      config_.block_threads);
+  // One staged combined row per thread plus the request slots.
+  launch.shared_bytes_per_block =
+      static_cast<std::size_t>(config_.block_threads) *
+          (portfolio.mean_elts_per_layer() > 0
+               ? static_cast<std::size_t>(portfolio.mean_elts_per_layer()) * 8
+               : 8) +
+      static_cast<std::size_t>(config_.block_threads) * 4 + 256;
+  launch.regs_per_thread = 24;
+
+  OpCounts launch_ops = range_ops(portfolio, yet, 0, yet.trial_count());
+  launch_ops.shared_accesses = result.ops.shared_accesses;
+
+  // Functionally: one combined table per layer; results are identical
+  // to the per-ELT tables (property-tested).
+  for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
+    const Layer& layer = portfolio.layers()[a];
+    const std::vector<const Elt*> elts = portfolio.layer_elts(layer);
+    const CombinedDirectTable<double> combined(elts);
+    std::vector<FinancialTerms> terms;
+    terms.reserve(elts.size());
+    for (const Elt* e : elts) terms.push_back(e->terms());
+    const LayerTerms lt = layer.terms;
+
+    dev.launch(
+        "ara_combined_layer" + std::to_string(a), launch, traits,
+        launch_ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+          if (ctx.global_id() >= yet.trial_count()) return;
+          const auto t = static_cast<TrialId>(ctx.global_id());
+          double cumulative = 0.0, prev_capped = 0.0;
+          double annual = 0.0, max_occ = 0.0;
+          for (const EventOccurrence& occ : yet.trial(t)) {
+            // The "row" of the combined table: all ELT losses for this
+            // event are adjacent.
+            double combined_loss = 0.0;
+            for (std::size_t j = 0; j < elts.size(); ++j) {
+              combined_loss += apply_financial_terms(
+                  combined.at(occ.event, j), terms[j]);
+            }
+            const double occ_loss = apply_occurrence_terms(combined_loss, lt);
+            max_occ = std::max(max_occ, occ_loss);
+            cumulative += occ_loss;
+            const double capped = apply_aggregate_terms(cumulative, lt);
+            annual += capped - prev_capped;
+            prev_capped = capped;
+          }
+          result.ylt.annual_loss(a, t) = annual;
+          result.ylt.max_occurrence_loss(a, t) = max_occ;
+        });
+  }
+  dev.copy(static_cast<std::uint64_t>(portfolio.layer_count()) *
+           yet.trial_count() * 8);
+
+  result.wall_seconds = wall.seconds();
+  result.simulated_phases = dev.phase_seconds();
+  result.simulated_seconds = result.simulated_phases.total() -
+                             result.simulated_phases[perf::Phase::kTransfer];
+  return result;
+}
+
+SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
+                                        const Yet& yet) const {
+  SimulationResult result;
+  result.engine_name = name();
+  result.devices = 1;
+  result.ops = count_algorithm_ops(portfolio, yet);
+
+  perf::Stopwatch wall;
+  simgpu::SimDevice dev(device_);
+  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+
+  const unsigned loss_bytes = config_.use_float ? 4 : 8;
+  const std::uint64_t tables = tables_device_bytes(portfolio, loss_bytes);
+  if (tables >= device_.global_mem_bytes) {
+    throw std::runtime_error(
+        "StreamedGpuEngine: loss tables alone exceed device memory");
+  }
+  dev.alloc(tables);
+  dev.copy(tables);
+
+  // Batch size: fill the memory left after the tables with YET slice
+  // (4 B/event + offsets) + YLT slice, using the mean trial length.
+  const double events_per_trial =
+      std::max(1.0, yet.mean_events_per_trial());
+  const double bytes_per_trial =
+      events_per_trial * 4.0 + 8.0 +
+      static_cast<double>(portfolio.layer_count()) * loss_bytes;
+  const std::uint64_t budget = device_.global_mem_bytes - tables;
+  std::size_t batch_trials = static_cast<std::size_t>(
+      static_cast<double>(budget) * 0.75 / bytes_per_trial);
+  batch_trials = std::max<std::size_t>(1, batch_trials);
+
+  const TableStore<float> tables_f =
+      config_.use_float ? build_tables<float>(portfolio) : TableStore<float>{};
+  const TableStore<double> tables_d =
+      config_.use_float ? TableStore<double>{} : build_tables<double>(portfolio);
+
+  for (std::size_t begin = 0; begin < yet.trial_count();
+       begin += batch_trials) {
+    const std::size_t end =
+        std::min(begin + batch_trials, yet.trial_count());
+    const std::uint64_t yet_bytes = yet_device_bytes(yet, begin, end);
+    const std::uint64_t ylt_bytes =
+        static_cast<std::uint64_t>(portfolio.layer_count()) *
+        (end - begin) * loss_bytes;
+    dev.alloc(yet_bytes);
+    dev.alloc(ylt_bytes);
+    dev.copy(yet_bytes);
+
+    // Run the optimised kernel on this batch (tables are resident).
+    simgpu::KernelTraits traits;
+    traits.loss_bytes = loss_bytes;
+    traits.chunked = config_.chunking;
+    traits.mlp_per_thread =
+        config_.chunking ? std::min(config_.chunk_size, 16u) : 1;
+    traits.scratch_in_registers = config_.use_registers;
+    traits.scratch_in_global = !config_.chunking && !config_.use_registers;
+    traits.unrolled = config_.unroll;
+
+    simgpu::LaunchConfig launch;
+    launch.block_threads = config_.block_threads;
+    launch.grid_blocks = static_cast<unsigned>(
+        (end - begin + config_.block_threads - 1) / config_.block_threads);
+    launch.shared_bytes_per_block =
+        config_.chunking
+            ? optimized_shared_bytes(config_.block_threads, config_.chunk_size)
+            : 0;
+    launch.regs_per_thread = config_.use_registers ? 63 : 32;
+    const OpCounts ops = range_ops(portfolio, yet, begin, end);
+
+    if (config_.use_float) {
+      for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
+        const BoundLayer<float> layer = bind_layer(portfolio, tables_f, a);
+        dev.launch("ara_streamed_layer" + std::to_string(a), launch, traits,
+                   ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+                     if (ctx.global_id() >= end - begin) return;
+                     const auto t =
+                         static_cast<TrialId>(begin + ctx.global_id());
+                     const TrialOutcome<float> out =
+                         simulate_trial_fused<float>(yet.trial(t), layer);
+                     result.ylt.annual_loss(a, t) =
+                         static_cast<double>(out.annual);
+                     result.ylt.max_occurrence_loss(a, t) =
+                         static_cast<double>(out.max_occurrence);
+                   });
+      }
+    } else {
+      for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
+        const BoundLayer<double> layer = bind_layer(portfolio, tables_d, a);
+        dev.launch("ara_streamed_layer" + std::to_string(a), launch, traits,
+                   ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+                     if (ctx.global_id() >= end - begin) return;
+                     const auto t =
+                         static_cast<TrialId>(begin + ctx.global_id());
+                     const TrialOutcome<double> out =
+                         simulate_trial_fused<double>(yet.trial(t), layer);
+                     result.ylt.annual_loss(a, t) = out.annual;
+                     result.ylt.max_occurrence_loss(a, t) =
+                         out.max_occurrence;
+                   });
+      }
+    }
+
+    dev.copy(ylt_bytes);   // results back
+    dev.free(yet_bytes);   // release the batch
+    dev.free(ylt_bytes);
+  }
+
+  result.wall_seconds = wall.seconds();
+  result.simulated_phases = dev.phase_seconds();
+  result.simulated_seconds = result.simulated_phases.total() -
+                             result.simulated_phases[perf::Phase::kTransfer];
+  return result;
+}
+
+std::size_t StreamedGpuEngine::batch_count(const Portfolio& portfolio,
+                                           const Yet& yet) const {
+  const unsigned loss_bytes = config_.use_float ? 4 : 8;
+  const std::uint64_t tables = tables_device_bytes(portfolio, loss_bytes);
+  if (tables >= device_.global_mem_bytes) return 0;
+  const double events_per_trial =
+      std::max(1.0, yet.mean_events_per_trial());
+  const double bytes_per_trial =
+      events_per_trial * 4.0 + 8.0 +
+      static_cast<double>(portfolio.layer_count()) * loss_bytes;
+  const std::uint64_t budget = device_.global_mem_bytes - tables;
+  const std::size_t batch_trials = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(budget) * 0.75 /
+                                  bytes_per_trial));
+  return (yet.trial_count() + batch_trials - 1) / batch_trials;
+}
+
+HeterogeneousMultiGpuEngine::HeterogeneousMultiGpuEngine(
+    std::vector<simgpu::DeviceSpec> devices, EngineConfig config)
+    : devices_(std::move(devices)), config_(config) {
+  if (devices_.empty()) {
+    throw std::invalid_argument(
+        "HeterogeneousMultiGpuEngine: at least one device required");
+  }
+  // Weight = modelled random-lookup throughput: bandwidth x the
+  // precision-matched random-access efficiency (the quantity that
+  // dominates 97% of the runtime).
+  double total = 0.0;
+  weights_.reserve(devices_.size());
+  for (const auto& d : devices_) {
+    const double eff = config_.use_float ? d.random_access_efficiency_f32
+                                         : d.random_access_efficiency_f64;
+    const double w = d.mem_bandwidth_gbps * eff;
+    weights_.push_back(w);
+    total += w;
+  }
+  for (double& w : weights_) w /= total;
+}
+
+SimulationResult HeterogeneousMultiGpuEngine::run(const Portfolio& portfolio,
+                                                  const Yet& yet) const {
+  SimulationResult result;
+  result.engine_name = name();
+  result.devices = static_cast<unsigned>(devices_.size());
+  result.ops = count_algorithm_ops(portfolio, yet);
+
+  perf::Stopwatch wall;
+  simgpu::SimPlatform platform(devices_);
+  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+
+  // Weighted contiguous split of the trial range.
+  std::vector<parallel::Range> ranges(devices_.size());
+  std::size_t at = 0;
+  double carry = 0.0;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    carry += weights_[d] * static_cast<double>(yet.trial_count());
+    std::size_t end = d + 1 == devices_.size()
+                          ? yet.trial_count()
+                          : std::min(yet.trial_count(),
+                                     static_cast<std::size_t>(carry + 0.5));
+    end = std::max(end, at);
+    ranges[d] = {at, end};
+    at = end;
+  }
+
+  if (config_.use_float) {
+    const TableStore<float> tables = build_tables<float>(portfolio);
+    platform.for_each_device([&](std::size_t d) {
+      run_optimized_on_device<float>(platform.device(d), portfolio, yet,
+                                     tables, config_, ranges[d].begin,
+                                     ranges[d].end, result.ylt);
+    });
+  } else {
+    const TableStore<double> tables = build_tables<double>(portfolio);
+    platform.for_each_device([&](std::size_t d) {
+      run_optimized_on_device<double>(platform.device(d), portfolio, yet,
+                                      tables, config_, ranges[d].begin,
+                                      ranges[d].end, result.ylt);
+    });
+  }
+
+  result.wall_seconds = wall.seconds();
+  result.simulated_phases = platform.mean_phase_seconds();
+  result.simulated_seconds = 0.0;
+  for (std::size_t d = 0; d < platform.device_count(); ++d) {
+    const auto& ph = platform.device(d).phase_seconds();
+    result.simulated_seconds =
+        std::max(result.simulated_seconds,
+                 ph.total() - ph[perf::Phase::kTransfer]);
+  }
+  return result;
+}
+
+SimulationResult MultiGpuEngine::run(const Portfolio& portfolio,
+                                     const Yet& yet) const {
+  SimulationResult result;
+  result.engine_name = name();
+  result.devices = static_cast<unsigned>(device_count_);
+  result.ops = count_algorithm_ops(portfolio, yet);
+
+  perf::Stopwatch wall;
+  simgpu::SimPlatform platform(device_, device_count_);
+  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+
+  const auto ranges =
+      parallel::split_even(yet.trial_count(), device_count_);
+
+  // Tables are built once on the host and shipped to every device; the
+  // YET is sliced. One host thread drives one GPU (the paper's
+  // dispatch scheme), realised by SimPlatform::for_each_device.
+  if (config_.use_float) {
+    const TableStore<float> tables = build_tables<float>(portfolio);
+    platform.for_each_device([&](std::size_t d) {
+      run_optimized_on_device<float>(platform.device(d), portfolio, yet,
+                                     tables, config_, ranges[d].begin,
+                                     ranges[d].end, result.ylt);
+    });
+  } else {
+    const TableStore<double> tables = build_tables<double>(portfolio);
+    platform.for_each_device([&](std::size_t d) {
+      run_optimized_on_device<double>(platform.device(d), portfolio, yet,
+                                      tables, config_, ranges[d].begin,
+                                      ranges[d].end, result.ylt);
+    });
+  }
+
+  result.wall_seconds = wall.seconds();
+  // Devices run concurrently: the platform time is the slowest device;
+  // phase attribution is the per-device mean.
+  result.simulated_phases = platform.mean_phase_seconds();
+  result.simulated_seconds = 0.0;
+  for (std::size_t d = 0; d < platform.device_count(); ++d) {
+    const auto& ph = platform.device(d).phase_seconds();
+    result.simulated_seconds = std::max(
+        result.simulated_seconds,
+        ph.total() - ph[perf::Phase::kTransfer]);
+  }
+  return result;
+}
+
+}  // namespace ara

@@ -1,0 +1,157 @@
+// GPU engines on the simulated devices (see DESIGN.md §2 for the
+// hardware substitution):
+//
+//  * GpuBasicEngine — the paper's basic CUDA implementation: one
+//    thread per trial, double precision, all data structures
+//    (including the per-event scratch arrays lx / lox of Algorithm 1)
+//    in global memory.
+//  * GpuOptimizedEngine — the paper's optimised kernel: events
+//    processed in fixed-size chunks staged through shared memory,
+//    float tables, unrolled inner loops, accumulators in registers,
+//    terms in constant memory. Every optimisation is independently
+//    toggleable through EngineConfig for the ablation benchmark.
+//  * MultiGpuEngine — the optimised kernel with the trial range
+//    decomposed evenly across N devices, one host thread per device.
+#pragma once
+
+#include <cstddef>
+
+#include "core/engine.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace ara {
+
+class GpuBasicEngine final : public Engine {
+ public:
+  GpuBasicEngine(simgpu::DeviceSpec device, EngineConfig config)
+      : device_(std::move(device)), config_(config) {}
+
+  std::string name() const override { return "gpu_basic"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+ private:
+  simgpu::DeviceSpec device_;
+  EngineConfig config_;
+};
+
+class GpuOptimizedEngine final : public Engine {
+ public:
+  GpuOptimizedEngine(simgpu::DeviceSpec device, EngineConfig config)
+      : device_(std::move(device)), config_(config) {}
+
+  std::string name() const override { return "gpu_optimized"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+ private:
+  simgpu::DeviceSpec device_;
+  EngineConfig config_;
+};
+
+class MultiGpuEngine final : public Engine {
+ public:
+  MultiGpuEngine(simgpu::DeviceSpec device, std::size_t device_count,
+                 EngineConfig config)
+      : device_(std::move(device)),
+        device_count_(device_count),
+        config_(config) {}
+
+  std::string name() const override { return "multi_gpu_optimized"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+  std::size_t device_count() const noexcept { return device_count_; }
+
+ private:
+  simgpu::DeviceSpec device_;
+  std::size_t device_count_;
+  EngineConfig config_;
+};
+
+/// The paper's "second implementation" (Sec. III): the layer's ELTs
+/// merged into a single row-major combined table, with threads
+/// cooperatively loading whole rows through shared memory. The paper
+/// measured it slower than independent tables — "for the threads to
+/// collectively load from the combined ELT each thread must first
+/// write which event it needs", adding shared-memory traffic and a
+/// block synchronisation per row. This engine reproduces that variant
+/// (functionally identical results; the cost model charges the extra
+/// coordination traffic).
+class GpuCombinedTableEngine final : public Engine {
+ public:
+  GpuCombinedTableEngine(simgpu::DeviceSpec device, EngineConfig config)
+      : device_(std::move(device)), config_(config) {}
+
+  std::string name() const override { return "gpu_combined_table"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+ private:
+  simgpu::DeviceSpec device_;
+  EngineConfig config_;
+};
+
+/// Out-of-core variant of the optimised engine: when the YET does not
+/// fit in device memory next to the loss tables (the constraint that
+/// shapes the paper's data layout — a full-precision 1e9-event YET
+/// would not fit the 5.375 GB cards), the trial range is streamed
+/// through the device in batches sized to the remaining memory. Each
+/// batch is shipped, processed and freed before the next; results are
+/// identical to the in-core engine.
+class StreamedGpuEngine final : public Engine {
+ public:
+  StreamedGpuEngine(simgpu::DeviceSpec device, EngineConfig config)
+      : device_(std::move(device)), config_(config) {}
+
+  std::string name() const override { return "gpu_streamed"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+  /// Number of batches the given workload needs on this device
+  /// (diagnostics/tests).
+  std::size_t batch_count(const Portfolio& portfolio, const Yet& yet) const;
+
+ private:
+  simgpu::DeviceSpec device_;
+  EngineConfig config_;
+};
+
+/// Multi-GPU engine over *heterogeneous* devices (e.g. a C2075 next to
+/// M2090s): trials are split proportionally to each device's modelled
+/// random-lookup throughput, so all devices finish together instead of
+/// the platform waiting on the slowest card — the load-balancing
+/// question the paper's homogeneous 4-GPU machine never had to answer.
+class HeterogeneousMultiGpuEngine final : public Engine {
+ public:
+  HeterogeneousMultiGpuEngine(std::vector<simgpu::DeviceSpec> devices,
+                              EngineConfig config);
+
+  std::string name() const override { return "hetero_multi_gpu"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+  /// Relative throughput weights used for the trial split (normalised
+  /// to sum to 1; exposed for tests).
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<simgpu::DeviceSpec> devices_;
+  std::vector<double> weights_;
+  EngineConfig config_;
+};
+
+/// Shared-memory footprint of the optimised kernel for a given block
+/// shape: each thread stages `chunk_size` (event id, loss) pairs, plus
+/// a fixed per-block slab for the layer/financial terms. Exposed so
+/// tests and benches can reason about the Figure 4 feasibility edge.
+std::size_t optimized_shared_bytes(unsigned block_threads,
+                                   unsigned chunk_size);
+
+}  // namespace ara

@@ -1,0 +1,50 @@
+#include "core/layer.hpp"
+
+#include <stdexcept>
+
+namespace ara {
+
+Portfolio::Portfolio(std::vector<Elt> elts, std::vector<Layer> layers)
+    : elts_(std::move(elts)), layers_(std::move(layers)) {
+  if (elts_.empty()) {
+    throw std::invalid_argument("Portfolio: at least one ELT required");
+  }
+  const EventId cat = elts_.front().catalogue_size();
+  for (const Elt& e : elts_) {
+    if (e.catalogue_size() != cat) {
+      throw std::invalid_argument(
+          "Portfolio: all ELTs must share one event catalogue");
+    }
+  }
+  for (const Layer& l : layers_) {
+    if (l.elt_indices.empty()) {
+      throw std::invalid_argument("Portfolio: layer covers no ELTs");
+    }
+    for (const std::size_t idx : l.elt_indices) {
+      if (idx >= elts_.size()) {
+        throw std::invalid_argument("Portfolio: layer ELT index out of range");
+      }
+    }
+    if (!l.terms.valid()) {
+      throw std::invalid_argument("Portfolio: invalid layer terms");
+    }
+  }
+}
+
+std::vector<const Elt*> Portfolio::layer_elts(const Layer& layer) const {
+  std::vector<const Elt*> out;
+  out.reserve(layer.elt_indices.size());
+  for (const std::size_t idx : layer.elt_indices) {
+    out.push_back(&elts_[idx]);
+  }
+  return out;
+}
+
+double Portfolio::mean_elts_per_layer() const {
+  if (layers_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const Layer& l : layers_) total += l.elt_indices.size();
+  return static_cast<double>(total) / static_cast<double>(layers_.size());
+}
+
+}  // namespace ara

@@ -1,0 +1,56 @@
+// Layers and portfolios. A Layer is one reinsurance contract: the set
+// of ELTs it covers plus its occurrence/aggregate terms. A Portfolio
+// owns the ELT pool and the layers referencing into it (layers may
+// share ELTs, as in the paper where one ELT can appear under several
+// contracts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/elt.hpp"
+#include "core/layer_terms.hpp"
+
+namespace ara {
+
+/// One reinsurance contract.
+struct Layer {
+  std::string name;
+  std::vector<std::size_t> elt_indices;  ///< indices into Portfolio::elts()
+  LayerTerms terms;
+};
+
+/// A book of contracts over a shared pool of Event Loss Tables.
+class Portfolio {
+ public:
+  Portfolio() = default;
+
+  /// All ELTs must index the same catalogue; every layer must reference
+  /// at least one valid ELT index. Violations throw
+  /// std::invalid_argument.
+  Portfolio(std::vector<Elt> elts, std::vector<Layer> layers);
+
+  const std::vector<Elt>& elts() const noexcept { return elts_; }
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  std::size_t elt_count() const noexcept { return elts_.size(); }
+
+  EventId catalogue_size() const noexcept {
+    return elts_.empty() ? 0 : elts_.front().catalogue_size();
+  }
+
+  /// Pointers to the ELTs covered by `layer`, in layer order.
+  std::vector<const Elt*> layer_elts(const Layer& layer) const;
+
+  /// Mean number of ELTs per layer (the paper quotes 3-30, with 15 for
+  /// the headline experiment).
+  double mean_elts_per_layer() const;
+
+ private:
+  std::vector<Elt> elts_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace ara

@@ -1,0 +1,54 @@
+// Layer ("eXcess of Loss") terms: the tuple
+// T = (T_OccR, T_OccL, T_AggR, T_AggL) of the paper, Section II.
+#pragma once
+
+#include <limits>
+
+namespace ara {
+
+/// Contractual terms of one reinsurance layer.
+struct LayerTerms {
+  double occ_retention = 0.0;  ///< per-occurrence deductible (T_OccR)
+  double occ_limit =
+      std::numeric_limits<double>::infinity();  ///< per-occurrence cover (T_OccL)
+  double agg_retention = 0.0;  ///< annual aggregate deductible (T_AggR)
+  double agg_limit =
+      std::numeric_limits<double>::infinity();  ///< annual aggregate cover (T_AggL)
+
+  /// Terms that pass every loss through unchanged.
+  static LayerTerms identity() { return {}; }
+
+  bool valid() const {
+    return occ_retention >= 0.0 && occ_limit >= 0.0 &&
+           agg_retention >= 0.0 && agg_limit >= 0.0;
+  }
+
+  friend bool operator==(const LayerTerms&, const LayerTerms&) = default;
+};
+
+/// min(max(x - retention, 0), limit) — the XL clamp used for both the
+/// occurrence terms (Algorithm 1 line 16) and the aggregate terms
+/// (line 22).
+template <typename Real>
+inline Real xl_clamp(Real x, Real retention, Real limit) {
+  Real y = x - retention;
+  if (y < Real(0)) y = Real(0);
+  if (y > limit) y = limit;
+  return y;
+}
+
+/// Occurrence-term application for one combined event loss.
+template <typename Real>
+inline Real apply_occurrence_terms(Real loss, const LayerTerms& t) {
+  return xl_clamp(loss, static_cast<Real>(t.occ_retention),
+                  static_cast<Real>(t.occ_limit));
+}
+
+/// Aggregate-term application for a cumulative (prefix-sum) loss.
+template <typename Real>
+inline Real apply_aggregate_terms(Real cumulative, const LayerTerms& t) {
+  return xl_clamp(cumulative, static_cast<Real>(t.agg_retention),
+                  static_cast<Real>(t.agg_limit));
+}
+
+}  // namespace ara

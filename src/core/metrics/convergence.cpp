@@ -1,0 +1,142 @@
+#include "core/metrics/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/metrics/stats.hpp"
+#include "synth/rng.hpp"
+
+namespace ara::metrics {
+
+namespace {
+void validate_sizes(std::span<const double> losses,
+                    const std::vector<std::size_t>& sizes) {
+  if (sizes.empty()) {
+    throw std::invalid_argument("convergence: no sizes given");
+  }
+  std::size_t prev = 0;
+  for (const std::size_t n : sizes) {
+    if (n == 0 || n > losses.size() || n < prev) {
+      throw std::invalid_argument(
+          "convergence: sizes must be non-decreasing, positive, and "
+          "within the sample");
+    }
+    prev = n;
+  }
+}
+
+// Inverse normal CDF for the central confidence levels we use
+// (Beasley-Springer-Moro rational approximation; adequate far from the
+// extreme tails).
+double z_for_confidence(double confidence) {
+  if (!(confidence > 0.5 && confidence < 1.0)) {
+    throw std::invalid_argument(
+        "convergence: confidence must be in (0.5, 1)");
+  }
+  const double p = 0.5 + confidence / 2.0;  // two-sided
+  // Moro's algorithm, central region |p-0.5| <= 0.42 covers conf<=0.84;
+  // use the tail branch otherwise.
+  const double a[4] = {2.50662823884, -18.61500062529, 41.39119773534,
+                       -25.44106049637};
+  const double b[4] = {-8.47351093090, 23.08336743743, -21.06224101826,
+                       3.13082909833};
+  const double c[9] = {0.3374754822726147, 0.9761690190917186,
+                       0.1607979714918209, 0.0276438810333863,
+                       0.0038405729373609, 0.0003951896511919,
+                       0.0000321767881768, 0.0000002888167364,
+                       0.0000003960315187};
+  const double x = p - 0.5;
+  if (std::abs(x) <= 0.42) {
+    const double r = x * x;
+    return x * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
+           ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
+  }
+  double r = p;
+  if (x > 0.0) r = 1.0 - p;
+  r = std::log(-std::log(r));
+  double out = c[0];
+  double rk = 1.0;
+  for (int k = 1; k < 9; ++k) {
+    rk *= r;
+    out += c[k] * rk;
+  }
+  return x > 0.0 ? out : -out;
+}
+}  // namespace
+
+std::vector<ConvergencePoint> aal_convergence(
+    std::span<const double> losses, const std::vector<std::size_t>& sizes) {
+  validate_sizes(losses, sizes);
+  std::vector<ConvergencePoint> out;
+  out.reserve(sizes.size());
+  for (const std::size_t n : sizes) {
+    const std::span<const double> prefix = losses.subspan(0, n);
+    ConvergencePoint pt;
+    pt.trials = n;
+    pt.estimate = mean(prefix);
+    pt.std_error =
+        n > 1 ? stddev(prefix) / std::sqrt(static_cast<double>(n)) : 0.0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<ConvergencePoint> quantile_convergence(
+    std::span<const double> losses, double p,
+    const std::vector<std::size_t>& sizes, unsigned bootstrap_reps,
+    std::uint64_t seed) {
+  validate_sizes(losses, sizes);
+  if (bootstrap_reps < 2) {
+    throw std::invalid_argument(
+        "quantile_convergence: at least 2 bootstrap reps required");
+  }
+  std::vector<ConvergencePoint> out;
+  out.reserve(sizes.size());
+  std::vector<double> resample;
+  for (const std::size_t n : sizes) {
+    const std::span<const double> prefix = losses.subspan(0, n);
+    ConvergencePoint pt;
+    pt.trials = n;
+    pt.estimate = quantile(prefix, p);
+
+    synth::Xoshiro256StarStar rng(synth::substream(seed, n));
+    double sum = 0.0, sum2 = 0.0;
+    resample.resize(n);
+    for (unsigned rep = 0; rep < bootstrap_reps; ++rep) {
+      for (std::size_t i = 0; i < n; ++i) {
+        resample[i] = prefix[static_cast<std::size_t>(rng.next_below(n))];
+      }
+      const double q = quantile(resample, p);
+      sum += q;
+      sum2 += q * q;
+    }
+    const double m = sum / bootstrap_reps;
+    const double var =
+        std::max(0.0, sum2 / bootstrap_reps - m * m) *
+        (static_cast<double>(bootstrap_reps) / (bootstrap_reps - 1.0));
+    pt.std_error = std::sqrt(var);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::size_t required_trials_for_aal(std::span<const double> losses,
+                                    double relative_error,
+                                    double confidence) {
+  if (!(relative_error > 0.0)) {
+    throw std::invalid_argument(
+        "required_trials_for_aal: relative_error must be > 0");
+  }
+  const double m = mean(losses);
+  if (!(m > 0.0)) {
+    throw std::invalid_argument(
+        "required_trials_for_aal: sample mean must be positive");
+  }
+  const double z = z_for_confidence(confidence);
+  const double cv = stddev(losses) / m;
+  const double n = (z * cv / relative_error) * (z * cv / relative_error);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+}  // namespace ara::metrics

@@ -1,0 +1,46 @@
+// Monte-Carlo convergence diagnostics for YLT-derived estimates.
+//
+// The paper's premise is that 1M pre-simulated trials are needed for
+// real-time pricing; this module quantifies that: standard errors of
+// the AAL and of tail quantiles (PML) as a function of trial count,
+// and the trial count required to reach a target relative error — the
+// analysis an actuary runs to decide how large the YET must be.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ara::metrics {
+
+/// One point of a convergence curve.
+struct ConvergencePoint {
+  std::size_t trials = 0;
+  double estimate = 0.0;   ///< metric estimated from the first `trials`
+  double std_error = 0.0;  ///< standard error of that estimate
+};
+
+/// AAL convergence: estimate = mean of the first n losses, standard
+/// error = sd/sqrt(n) (CLT). `sizes` must be non-decreasing and within
+/// the sample size.
+std::vector<ConvergencePoint> aal_convergence(
+    std::span<const double> losses, const std::vector<std::size_t>& sizes);
+
+/// Quantile (VaR/PML) convergence via bootstrap: for each n, the
+/// p-quantile of the first n losses, with a standard error from
+/// `bootstrap_reps` resamples. Deterministic for a given seed.
+std::vector<ConvergencePoint> quantile_convergence(
+    std::span<const double> losses, double p,
+    const std::vector<std::size_t>& sizes, unsigned bootstrap_reps = 200,
+    std::uint64_t seed = 12345);
+
+/// Trials needed so the AAL's relative standard error is below
+/// `relative_error` at the given normal-approximation confidence
+/// (e.g. 0.95 -> z = 1.96): n = (z * cv / rel)^2 with cv = sd/mean,
+/// estimated from the provided sample. Throws if the sample mean is
+/// not positive.
+std::size_t required_trials_for_aal(std::span<const double> losses,
+                                    double relative_error,
+                                    double confidence = 0.95);
+
+}  // namespace ara::metrics

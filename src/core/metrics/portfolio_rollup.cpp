@@ -1,0 +1,51 @@
+#include "core/metrics/portfolio_rollup.hpp"
+
+#include <stdexcept>
+
+#include "core/metrics/risk_measures.hpp"
+#include "core/metrics/stats.hpp"
+
+namespace ara::metrics {
+
+std::vector<double> portfolio_trial_losses(const Ylt& ylt) {
+  std::vector<double> out(ylt.trial_count(), 0.0);
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    const double* layer = ylt.layer_annual(l);
+    for (std::size_t t = 0; t < ylt.trial_count(); ++t) {
+      out[t] += layer[t];
+    }
+  }
+  return out;
+}
+
+PortfolioRollup rollup_portfolio(const Ylt& ylt) {
+  if (ylt.layer_count() == 0 || ylt.trial_count() == 0) {
+    throw std::invalid_argument("rollup_portfolio: empty YLT");
+  }
+  PortfolioRollup out;
+  out.portfolio_losses = portfolio_trial_losses(ylt);
+  out.aal = mean(out.portfolio_losses);
+  out.var_99 = value_at_risk(out.portfolio_losses, 0.99);
+  out.tvar_99 = tail_value_at_risk(out.portfolio_losses, 0.99);
+
+  double standalone_sum = 0.0;
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    standalone_sum += tail_value_at_risk(ylt.layer_annual_vector(l), 0.99);
+  }
+  out.diversification_benefit_tvar99 = standalone_sum - out.tvar_99;
+
+  // Marginal contributions: leave one layer out.
+  out.marginal_tvar99.reserve(ylt.layer_count());
+  std::vector<double> without(ylt.trial_count());
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    const double* layer = ylt.layer_annual(l);
+    for (std::size_t t = 0; t < ylt.trial_count(); ++t) {
+      without[t] = out.portfolio_losses[t] - layer[t];
+    }
+    out.marginal_tvar99.push_back(out.tvar_99 -
+                                  tail_value_at_risk(without, 0.99));
+  }
+  return out;
+}
+
+}  // namespace ara::metrics

@@ -1,0 +1,39 @@
+// Portfolio-level rollup of a multi-layer YLT — the "portfolio risk
+// management" half of the paper's motivation. Per-trial losses sum
+// across layers (they share the same simulated years, so dependence is
+// captured exactly), giving the book-level AAL/VaR/TVaR, the
+// diversification benefit (sub-additivity of the tail measures), and
+// each layer's marginal contribution to portfolio tail risk.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ylt.hpp"
+
+namespace ara::metrics {
+
+/// Portfolio-level figures derived from a multi-layer YLT.
+struct PortfolioRollup {
+  std::vector<double> portfolio_losses;  ///< per-trial sum over layers
+  double aal = 0.0;
+  double var_99 = 0.0;
+  double tvar_99 = 0.0;
+  /// Sum of standalone layer TVaR99s minus the portfolio TVaR99: the
+  /// capital saved by holding the book instead of the parts (>= 0 for
+  /// a coherent tail measure on comonotone-or-less layers).
+  double diversification_benefit_tvar99 = 0.0;
+  /// Per-layer marginal TVaR99: portfolio TVaR99 minus the TVaR99 of
+  /// the portfolio without that layer. Sums to <= layer count x
+  /// portfolio TVaR; used for capital allocation.
+  std::vector<double> marginal_tvar99;
+};
+
+/// Computes the rollup across all layers of `ylt`. Throws
+/// std::invalid_argument on an empty table.
+PortfolioRollup rollup_portfolio(const Ylt& ylt);
+
+/// Per-trial sum across layers (exposed for tests and custom metrics).
+std::vector<double> portfolio_trial_losses(const Ylt& ylt);
+
+}  // namespace ara::metrics

@@ -1,0 +1,84 @@
+#include "core/metrics/risk_measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "core/metrics/stats.hpp"
+
+namespace ara::metrics {
+
+EpCurve::EpCurve(std::span<const double> losses)
+    : losses_desc_(losses.begin(), losses.end()) {
+  if (losses_desc_.empty()) {
+    throw std::invalid_argument("EpCurve: empty loss sample");
+  }
+  std::sort(losses_desc_.begin(), losses_desc_.end(), std::greater<>());
+}
+
+double EpCurve::exceedance_probability(double x) const {
+  // losses_desc_ is descending: count entries >= x.
+  const auto it = std::lower_bound(losses_desc_.begin(), losses_desc_.end(),
+                                   x, std::greater_equal<>());
+  return static_cast<double>(it - losses_desc_.begin()) /
+         static_cast<double>(losses_desc_.size());
+}
+
+double EpCurve::loss_at_return_period(double years) const {
+  if (!(years >= 1.0)) {
+    throw std::invalid_argument("EpCurve: return period must be >= 1 year");
+  }
+  const double n = static_cast<double>(losses_desc_.size());
+  // k-th largest (1-based) has EP k/n; we want the largest k with
+  // k/n <= 1/years, i.e. k = floor(n / years), clamped to [1, n].
+  const auto k = static_cast<std::size_t>(
+      std::min(n, std::max(1.0, std::floor(n / years))));
+  return losses_desc_[k - 1];
+}
+
+double value_at_risk(std::span<const double> losses, double p) {
+  return quantile(losses, p);
+}
+
+double tail_value_at_risk(std::span<const double> losses, double p) {
+  const std::vector<double> v = sorted_copy(losses);
+  const double var = quantile_sorted(v, p);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (auto it = v.rbegin(); it != v.rend() && *it >= var; ++it) {
+    sum += *it;
+    ++count;
+  }
+  return count == 0 ? var : sum / static_cast<double>(count);
+}
+
+double probable_maximum_loss(std::span<const double> losses, double years) {
+  if (!(years > 1.0)) {
+    throw std::invalid_argument(
+        "probable_maximum_loss: return period must be > 1 year");
+  }
+  return quantile(losses, 1.0 - 1.0 / years);
+}
+
+double average_annual_loss(std::span<const double> losses) {
+  return mean(losses);
+}
+
+LayerRiskSummary summarize_layer(const ara::Ylt& ylt, std::size_t layer) {
+  const std::vector<double> annual = ylt.layer_annual_vector(layer);
+  const std::vector<double> occ = ylt.layer_max_occurrence_vector(layer);
+  LayerRiskSummary s;
+  s.aal = average_annual_loss(annual);
+  s.std_dev = stddev(annual);
+  s.var_99 = value_at_risk(annual, 0.99);
+  s.tvar_99 = tail_value_at_risk(annual, 0.99);
+  s.pml_100yr = probable_maximum_loss(annual, 100.0);
+  s.pml_250yr = probable_maximum_loss(annual, 250.0);
+  s.max_annual = max_value(annual);
+  const EpCurve oep(occ);
+  s.oep_100yr = oep.loss_at_return_period(100.0);
+  return s;
+}
+
+}  // namespace ara::metrics

@@ -1,0 +1,72 @@
+// Portfolio risk measures derived from a Year Loss Table — the
+// quantities the paper motivates the whole computation with
+// (Section I): Probable Maximum Loss (PML), Value-at-Risk,
+// Tail-Value-at-Risk (TVaR), Average Annual Loss (AAL), and
+// exceedance-probability (EP) curves, in both aggregate (AEP, from
+// annual losses) and occurrence (OEP, from per-trial maximum event
+// losses) forms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ylt.hpp"
+
+namespace ara::metrics {
+
+/// Empirical exceedance-probability curve over a loss sample. With n
+/// trials, the k-th largest loss has exceedance probability k/n and
+/// return period n/k years.
+class EpCurve {
+ public:
+  /// Builds from a loss sample (one value per trial year).
+  explicit EpCurve(std::span<const double> losses);
+
+  std::size_t trial_count() const noexcept { return losses_desc_.size(); }
+
+  /// P(L >= x): fraction of trials with loss >= x.
+  double exceedance_probability(double x) const;
+
+  /// Loss at a return period of `years` (>= 1): the smallest loss whose
+  /// exceedance probability is <= 1/years. Throws for years < 1.
+  double loss_at_return_period(double years) const;
+
+  /// Losses sorted descending (the curve's y-values).
+  const std::vector<double>& losses_descending() const noexcept {
+    return losses_desc_;
+  }
+
+ private:
+  std::vector<double> losses_desc_;
+};
+
+/// Value-at-Risk at confidence `p` (e.g. 0.99): the p-quantile of the
+/// loss distribution.
+double value_at_risk(std::span<const double> losses, double p);
+
+/// Tail Value-at-Risk at confidence `p`: mean loss conditional on
+/// exceeding VaR_p. Always >= VaR_p.
+double tail_value_at_risk(std::span<const double> losses, double p);
+
+/// Probable Maximum Loss at a return period of `years`: the industry
+/// convention PML(T) = VaR at p = 1 - 1/T.
+double probable_maximum_loss(std::span<const double> losses, double years);
+
+/// Average annual loss: the mean of the YLT (the pure premium).
+double average_annual_loss(std::span<const double> losses);
+
+/// Bundle of standard portfolio metrics for one layer of a YLT.
+struct LayerRiskSummary {
+  double aal = 0.0;
+  double std_dev = 0.0;
+  double var_99 = 0.0;
+  double tvar_99 = 0.0;
+  double pml_100yr = 0.0;   ///< aggregate PML, 100-year return period
+  double pml_250yr = 0.0;
+  double oep_100yr = 0.0;   ///< occurrence EP loss at 100 years
+  double max_annual = 0.0;
+};
+
+LayerRiskSummary summarize_layer(const ara::Ylt& ylt, std::size_t layer);
+
+}  // namespace ara::metrics

@@ -1,0 +1,59 @@
+#include "core/metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ara::metrics {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantile: empty sample");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("quantile: p must be in [0, 1]");
+  }
+  const double h = p * (static_cast<double>(sorted.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double p) {
+  const std::vector<double> v = sorted_copy(xs);
+  return quantile_sorted(v, p);
+}
+
+}  // namespace ara::metrics

@@ -1,0 +1,31 @@
+// Basic sample statistics used by the risk measures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ara::metrics {
+
+/// Arithmetic mean (0 for an empty sample).
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation (0 for n < 2).
+double stddev(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// p-quantile (0 <= p <= 1) with linear interpolation between order
+/// statistics (type-7, the R/NumPy default). Throws
+/// std::invalid_argument on empty input or p outside [0, 1].
+double quantile(std::span<const double> xs, double p);
+
+/// Quantile on data the caller has already sorted ascending (avoids
+/// the copy/sort when many quantiles are taken from one sample).
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Ascending sorted copy.
+std::vector<double> sorted_copy(std::span<const double> xs);
+
+}  // namespace ara::metrics

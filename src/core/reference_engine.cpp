@@ -1,0 +1,117 @@
+#include "core/reference_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/trial_math.hpp"
+#include "perf/cpu_cost_model.hpp"
+#include "perf/machine_profile.hpp"
+#include "perf/stopwatch.hpp"
+
+namespace ara {
+
+SimulationResult ReferenceEngine::run(const Portfolio& portfolio,
+                                      const Yet& yet) const {
+  SimulationResult result;
+  result.engine_name = name();
+  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops.global_updates = result.ops.occurrence_ops *  // per (layer,event)
+                              kScratchTouchesPerEvent;
+
+  perf::Stopwatch wall;
+  const TableStore<double> tables = build_tables<double>(portfolio);
+  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+
+  // Per-trial scratch arrays, sized to the largest trial: x (ground-up
+  // losses of one ELT), lx (after financial terms) and lox (combined
+  // event losses) — the d-indexed arrays of Algorithm 1.
+  std::size_t max_events = 0;
+  for (TrialId t = 0; t < yet.trial_count(); ++t) {
+    max_events = std::max(max_events, yet.trial_size(t));
+  }
+  std::vector<double> x(max_events), lx(max_events), lox(max_events);
+
+  const bool profiled = config_.profile_phases;
+  perf::Stopwatch phase;
+  auto charge = [&](perf::Phase p) {
+    if (profiled) {
+      result.measured_phases[p] += phase.seconds();
+      phase.reset();
+    }
+  };
+
+  // Line 2: for all a in L
+  for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
+    const BoundLayer<double> layer = bind_layer(portfolio, tables, a);
+    const auto& lt = layer.layer_terms;
+    // Line 3: for all b in YET
+    for (TrialId b = 0; b < yet.trial_count(); ++b) {
+      const auto trial = yet.trial(b);
+      const std::size_t k = trial.size();
+      if (profiled) phase.reset();
+      std::fill_n(lox.begin(), k, 0.0);
+      charge(perf::Phase::kOther);
+
+      // Line 4: for all c in (EL in a) — each ELT covered by the layer.
+      for (std::size_t c = 0; c < layer.elt_count(); ++c) {
+        // Lines 5-7: look up each event of the trial in ELT c.
+        for (std::size_t d = 0; d < k; ++d) {
+          x[d] = layer.tables[c]->at(trial[d].event);
+        }
+        charge(perf::Phase::kLossLookup);
+        // Lines 8-10: apply the ELT's financial terms.
+        for (std::size_t d = 0; d < k; ++d) {
+          lx[d] = apply_financial_terms(x[d], layer.terms[c]);
+        }
+        charge(perf::Phase::kFinancialTerms);
+        // Lines 11-13: accumulate across ELTs into one loss per event.
+        for (std::size_t d = 0; d < k; ++d) {
+          lox[d] += lx[d];
+        }
+        charge(perf::Phase::kFinancialTerms);
+      }
+
+      // Lines 15-17: occurrence terms.
+      for (std::size_t d = 0; d < k; ++d) {
+        lox[d] = apply_occurrence_terms(lox[d], lt);
+      }
+      charge(perf::Phase::kOccurrenceTerms);
+      double max_occ = 0.0;
+      for (std::size_t d = 0; d < k; ++d) {
+        max_occ = std::max(max_occ, lox[d]);
+      }
+      charge(perf::Phase::kOther);
+
+      // Lines 18-20: prefix sum.
+      for (std::size_t d = 1; d < k; ++d) {
+        lox[d] += lox[d - 1];
+      }
+      // Lines 21-23: aggregate terms on the cumulative losses.
+      for (std::size_t d = 0; d < k; ++d) {
+        lox[d] = apply_aggregate_terms(lox[d], lt);
+      }
+      // Lines 24-26: difference back to per-event marginal losses.
+      for (std::size_t d = k; d-- > 1;) {
+        lox[d] -= lox[d - 1];
+      }
+      // Lines 27-29: the trial (year) loss l_r.
+      double lr = 0.0;
+      for (std::size_t d = 0; d < k; ++d) {
+        lr += lox[d];
+      }
+      charge(perf::Phase::kAggregateTerms);
+
+      result.ylt.annual_loss(a, b) = lr;
+      result.ylt.max_occurrence_loss(a, b) = max_occ;
+    }
+  }
+  result.wall_seconds = wall.seconds();
+
+  // Simulated time on the paper's i7-2600, sequential configuration.
+  const perf::CpuCostModel model(perf::intel_i7_2600());
+  result.simulated_phases = model.estimate(result.ops, /*cores=*/1);
+  result.simulated_seconds = result.simulated_phases.total();
+  return result;
+}
+
+}  // namespace ara

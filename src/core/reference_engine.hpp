@@ -1,0 +1,24 @@
+// ReferenceEngine: literal transcription of the paper's Algorithm 1
+// (lines 1-32) in double precision — the sequential CPU implementation
+// whose 337.47 s headline anchors every speed-up in the paper, and the
+// correctness oracle for every other engine in this library.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace ara {
+
+class ReferenceEngine final : public Engine {
+ public:
+  explicit ReferenceEngine(EngineConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "sequential_reference"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace ara

@@ -1,0 +1,111 @@
+// Shared per-trial simulation math.
+//
+// `simulate_trial_fused` is the single-pass formulation of Algorithm 1
+// lines 4-29: mathematically identical to the literal four-pass
+// version (the reference engine implements that one, and a property
+// suite asserts equality), but streaming — it keeps only O(1) state
+// per trial, which is what the optimised GPU kernel holds in
+// registers.
+//
+// Templated on the loss precision: the optimised GPU engine
+// instantiates float (the paper's "reducing the precision of
+// variables" optimisation); everything else uses double.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/financial_terms.hpp"
+#include "core/layer.hpp"
+#include "core/layer_terms.hpp"
+#include "core/lookup_table.hpp"
+#include "core/types.hpp"
+
+namespace ara {
+
+/// Per-trial outputs: the year loss (Algorithm 1's l_r) and the
+/// maximum single-occurrence loss net of occurrence terms (for OEP
+/// curves).
+template <typename Real>
+struct TrialOutcome {
+  Real annual = Real(0);
+  Real max_occurrence = Real(0);
+};
+
+/// One layer's tables, bound to precision `Real`: a direct access
+/// table plus financial terms per covered ELT.
+template <typename Real>
+struct BoundLayer {
+  std::vector<const DirectAccessTable<Real>*> tables;
+  std::vector<FinancialTerms> terms;
+  LayerTerms layer_terms;
+
+  std::size_t elt_count() const noexcept { return tables.size(); }
+};
+
+/// Builds per-layer direct access tables in precision `Real`. The
+/// returned storage owns the tables; `bind_layer` views into it.
+template <typename Real>
+struct TableStore {
+  std::vector<std::vector<DirectAccessTable<Real>>> per_layer;
+};
+
+template <typename Real>
+TableStore<Real> build_tables(const Portfolio& portfolio) {
+  TableStore<Real> store;
+  store.per_layer.reserve(portfolio.layer_count());
+  for (const Layer& layer : portfolio.layers()) {
+    std::vector<DirectAccessTable<Real>> tabs;
+    tabs.reserve(layer.elt_indices.size());
+    for (const std::size_t idx : layer.elt_indices) {
+      tabs.emplace_back(portfolio.elts()[idx]);
+    }
+    store.per_layer.push_back(std::move(tabs));
+  }
+  return store;
+}
+
+template <typename Real>
+BoundLayer<Real> bind_layer(const Portfolio& portfolio,
+                            const TableStore<Real>& store,
+                            std::size_t layer_index) {
+  const Layer& layer = portfolio.layers()[layer_index];
+  BoundLayer<Real> bound;
+  bound.layer_terms = layer.terms;
+  bound.tables.reserve(layer.elt_indices.size());
+  bound.terms.reserve(layer.elt_indices.size());
+  for (std::size_t j = 0; j < layer.elt_indices.size(); ++j) {
+    bound.tables.push_back(&store.per_layer[layer_index][j]);
+    bound.terms.push_back(portfolio.elts()[layer.elt_indices[j]].terms());
+  }
+  return bound;
+}
+
+/// Single-pass evaluation of one trial against one layer.
+template <typename Real>
+TrialOutcome<Real> simulate_trial_fused(
+    std::span<const EventOccurrence> trial, const BoundLayer<Real>& layer) {
+  TrialOutcome<Real> out;
+  Real cumulative = Real(0);
+  Real prev_capped = Real(0);
+  const std::size_t elts = layer.elt_count();
+  for (const EventOccurrence& occ : trial) {
+    // Steps 1-2: lookup + financial terms, accumulated across ELTs.
+    Real combined = Real(0);
+    for (std::size_t j = 0; j < elts; ++j) {
+      const Real ground = layer.tables[j]->at(occ.event);
+      combined += apply_financial_terms(ground, layer.terms[j]);
+    }
+    // Step 3: occurrence terms.
+    const Real occ_loss = apply_occurrence_terms(combined, layer.layer_terms);
+    if (occ_loss > out.max_occurrence) out.max_occurrence = occ_loss;
+    // Step 4: running aggregate terms (prefix sum + clamp + diff).
+    cumulative += occ_loss;
+    const Real capped = apply_aggregate_terms(cumulative, layer.layer_terms);
+    out.annual += capped - prev_capped;
+    prev_capped = capped;
+  }
+  return out;
+}
+
+}  // namespace ara

@@ -1,0 +1,57 @@
+#include "core/yet.hpp"
+
+#include <stdexcept>
+
+namespace ara {
+
+Yet::Yet(const std::vector<std::vector<EventOccurrence>>& trials,
+         EventId catalogue_size)
+    : catalogue_size_(catalogue_size) {
+  offsets_.reserve(trials.size() + 1);
+  offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& t : trials) total += t.size();
+  occurrences_.reserve(total);
+  for (const auto& t : trials) {
+    occurrences_.insert(occurrences_.end(), t.begin(), t.end());
+    offsets_.push_back(occurrences_.size());
+  }
+  validate();
+}
+
+Yet::Yet(std::vector<EventOccurrence> occurrences,
+         std::vector<std::size_t> offsets, EventId catalogue_size)
+    : occurrences_(std::move(occurrences)),
+      offsets_(std::move(offsets)),
+      catalogue_size_(catalogue_size) {
+  if (offsets_.empty() || offsets_.front() != 0 ||
+      offsets_.back() != occurrences_.size()) {
+    throw std::invalid_argument("Yet: malformed CSR offsets");
+  }
+  validate();
+}
+
+void Yet::validate() const {
+  if (catalogue_size_ == 0) {
+    throw std::invalid_argument("Yet: catalogue_size must be > 0");
+  }
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    if (offsets_[i] > offsets_[i + 1]) {
+      throw std::invalid_argument("Yet: offsets must be non-decreasing");
+    }
+    Timestamp prev = 0;
+    for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+      const EventOccurrence& o = occurrences_[k];
+      if (o.event == kInvalidEvent || o.event > catalogue_size_) {
+        throw std::invalid_argument("Yet: event id out of catalogue range");
+      }
+      if (o.time < prev) {
+        throw std::invalid_argument(
+            "Yet: occurrences must be time-ordered within a trial");
+      }
+      prev = o.time;
+    }
+  }
+}
+
+}  // namespace ara

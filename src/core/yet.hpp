@@ -1,0 +1,83 @@
+// Year Event Table (YET): the pre-simulated trial database.
+//
+// Storage is CSR-style: one flat, cache-friendly array of
+// (event, timestamp) occurrences plus per-trial offsets, so trials may
+// have variable length (the paper quotes 800-1500 events per trial) and
+// a contiguous trial range can be handed to a device without copying.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ara {
+
+/// Immutable Year Event Table.
+class Yet {
+ public:
+  Yet() = default;
+
+  /// Builds a YET from per-trial occurrence vectors. Each trial's
+  /// occurrences must be sorted by ascending timestamp (the aggregate
+  /// terms are sequence-dependent) and every event id must be in
+  /// [1, catalogue_size]; violations throw std::invalid_argument.
+  Yet(const std::vector<std::vector<EventOccurrence>>& trials,
+      EventId catalogue_size);
+
+  /// Builds directly from CSR arrays (used by deserialisation).
+  /// `offsets` has trial_count()+1 entries with offsets.front()==0 and
+  /// offsets.back()==occurrences.size().
+  Yet(std::vector<EventOccurrence> occurrences,
+      std::vector<std::size_t> offsets, EventId catalogue_size);
+
+  std::size_t trial_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Total number of occurrences across all trials.
+  std::size_t occurrence_count() const noexcept { return occurrences_.size(); }
+
+  /// Mean events per trial (0 when empty).
+  double mean_events_per_trial() const noexcept {
+    return trial_count() == 0
+               ? 0.0
+               : static_cast<double>(occurrence_count()) /
+                     static_cast<double>(trial_count());
+  }
+
+  EventId catalogue_size() const noexcept { return catalogue_size_; }
+
+  /// Occurrences of one trial, time-ordered.
+  std::span<const EventOccurrence> trial(TrialId t) const {
+    return {occurrences_.data() + offsets_[t],
+            offsets_[t + 1] - offsets_[t]};
+  }
+
+  std::size_t trial_size(TrialId t) const {
+    return offsets_[t + 1] - offsets_[t];
+  }
+
+  const std::vector<EventOccurrence>& occurrences() const noexcept {
+    return occurrences_;
+  }
+  const std::vector<std::size_t>& offsets() const noexcept {
+    return offsets_;
+  }
+
+  /// Resident bytes (model input for device-memory budgeting).
+  std::size_t memory_bytes() const noexcept {
+    return occurrences_.size() * sizeof(EventOccurrence) +
+           offsets_.size() * sizeof(std::size_t);
+  }
+
+ private:
+  void validate() const;
+
+  std::vector<EventOccurrence> occurrences_;
+  std::vector<std::size_t> offsets_;  // trial_count()+1 entries
+  EventId catalogue_size_ = 0;
+};
+
+}  // namespace ara

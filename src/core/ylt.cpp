@@ -1,0 +1,25 @@
+#include "core/ylt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ara {
+
+void Ylt::merge_trial_block(const Ylt& other, std::size_t trial_begin) {
+  if (other.layer_count_ != layer_count_) {
+    throw std::invalid_argument("Ylt::merge_trial_block: layer count mismatch");
+  }
+  if (trial_begin + other.trial_count_ > trial_count_) {
+    throw std::invalid_argument("Ylt::merge_trial_block: range out of bounds");
+  }
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    std::copy_n(other.annual_.begin() + l * other.trial_count_,
+                other.trial_count_,
+                annual_.begin() + l * trial_count_ + trial_begin);
+    std::copy_n(other.max_occurrence_.begin() + l * other.trial_count_,
+                other.trial_count_,
+                max_occurrence_.begin() + l * trial_count_ + trial_begin);
+  }
+}
+
+}  // namespace ara

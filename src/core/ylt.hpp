@@ -1,0 +1,76 @@
+// Year Loss Table (YLT): the simulation output — one aggregate annual
+// loss per (layer, trial) — plus the per-trial maximum occurrence loss,
+// which lets the metrics module compute both AEP (aggregate) and OEP
+// (occurrence) exceedance curves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ara {
+
+/// Output table of an aggregate risk analysis run. Row-major:
+/// layer-major blocks of trial losses, so one layer's losses are a
+/// contiguous span (what the metrics operate on).
+class Ylt {
+ public:
+  Ylt() = default;
+  Ylt(std::size_t layer_count, std::size_t trial_count)
+      : layer_count_(layer_count),
+        trial_count_(trial_count),
+        annual_(layer_count * trial_count, 0.0),
+        max_occurrence_(layer_count * trial_count, 0.0) {}
+
+  std::size_t layer_count() const noexcept { return layer_count_; }
+  std::size_t trial_count() const noexcept { return trial_count_; }
+
+  double& annual_loss(std::size_t layer, TrialId trial) {
+    return annual_[layer * trial_count_ + trial];
+  }
+  double annual_loss(std::size_t layer, TrialId trial) const {
+    return annual_[layer * trial_count_ + trial];
+  }
+
+  double& max_occurrence_loss(std::size_t layer, TrialId trial) {
+    return max_occurrence_[layer * trial_count_ + trial];
+  }
+  double max_occurrence_loss(std::size_t layer, TrialId trial) const {
+    return max_occurrence_[layer * trial_count_ + trial];
+  }
+
+  /// Contiguous annual losses of one layer (all trials).
+  const double* layer_annual(std::size_t layer) const {
+    return annual_.data() + layer * trial_count_;
+  }
+  const double* layer_max_occurrence(std::size_t layer) const {
+    return max_occurrence_.data() + layer * trial_count_;
+  }
+
+  std::vector<double> layer_annual_vector(std::size_t layer) const {
+    return {layer_annual(layer), layer_annual(layer) + trial_count_};
+  }
+  std::vector<double> layer_max_occurrence_vector(std::size_t layer) const {
+    return {layer_max_occurrence(layer),
+            layer_max_occurrence(layer) + trial_count_};
+  }
+
+  const std::vector<double>& annual_raw() const noexcept { return annual_; }
+  const std::vector<double>& max_occurrence_raw() const noexcept {
+    return max_occurrence_;
+  }
+
+  /// Copies `other`'s trial range [trial_begin, trial_begin+n) for all
+  /// layers into this table (multi-device result merge). `other` must
+  /// have the same layer count and `n == other.trial_count()`.
+  void merge_trial_block(const Ylt& other, std::size_t trial_begin);
+
+ private:
+  std::size_t layer_count_ = 0;
+  std::size_t trial_count_ = 0;
+  std::vector<double> annual_;
+  std::vector<double> max_occurrence_;
+};
+
+}  // namespace ara

@@ -1,0 +1,107 @@
+#include "extensions/reinstatements.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/trial_math.hpp"
+
+namespace ara::ext {
+
+double ReinstatementResult::expected_recovery(std::size_t layer) const {
+  if (trials_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < trials_; ++t) {
+    sum += outcomes_[layer * trials_ + t].recovered;
+  }
+  return sum / static_cast<double>(trials_);
+}
+
+double ReinstatementResult::expected_reinstatement_premium(
+    std::size_t layer) const {
+  if (trials_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < trials_; ++t) {
+    sum += outcomes_[layer * trials_ + t].reinstatement_premium;
+  }
+  return sum / static_cast<double>(trials_);
+}
+
+ReinstatementOutcome evaluate_reinstatement_trial(
+    const std::vector<double>& occurrence_losses,
+    const ReinstatementTerms& terms) {
+  if (!terms.valid()) {
+    throw std::invalid_argument(
+        "evaluate_reinstatement_trial: invalid terms");
+  }
+  ReinstatementOutcome out;
+  double capacity = terms.annual_capacity();
+  // Limit consumption that can still be restored (the first N x OccL).
+  const double reinstatable_total =
+      static_cast<double>(terms.reinstatements) * terms.occ_limit;
+  double consumed = 0.0;
+  for (const double loss : occurrence_losses) {
+    if (capacity <= 0.0) break;  // layer exhausted for the year
+    double recovery = loss - terms.occ_retention;
+    if (recovery <= 0.0) continue;
+    recovery = std::min({recovery, terms.occ_limit, capacity});
+    capacity -= recovery;
+    out.recovered += recovery;
+    // Pro-rata reinstatement premium on the restorable part of the
+    // consumption (consumption beyond N x OccL burns the final limit
+    // and is not restored).
+    const double restorable =
+        std::max(0.0, std::min(consumed + recovery, reinstatable_total) -
+                          std::min(consumed, reinstatable_total));
+    out.reinstated += restorable;
+    out.reinstatement_premium += restorable / terms.occ_limit *
+                                 terms.premium_rate * terms.upfront_premium;
+    consumed += recovery;
+  }
+  return out;
+}
+
+ReinstatementEngine::ReinstatementEngine(
+    const Portfolio& portfolio, std::vector<ReinstatementTerms> terms)
+    : portfolio_(portfolio), terms_(std::move(terms)) {
+  if (terms_.size() != portfolio_.layer_count()) {
+    throw std::invalid_argument(
+        "ReinstatementEngine: one ReinstatementTerms per layer required");
+  }
+  for (const ReinstatementTerms& t : terms_) {
+    if (!t.valid()) {
+      throw std::invalid_argument(
+          "ReinstatementEngine: invalid reinstatement terms");
+    }
+  }
+}
+
+ReinstatementResult ReinstatementEngine::run(const Yet& yet) const {
+  if (portfolio_.catalogue_size() != yet.catalogue_size()) {
+    throw std::invalid_argument(
+        "ReinstatementEngine: portfolio and YET index different catalogues");
+  }
+  ReinstatementResult result(portfolio_.layer_count(), yet.trial_count());
+  const TableStore<double> tables = build_tables<double>(portfolio_);
+
+  std::vector<double> occ_losses;
+  for (std::size_t a = 0; a < portfolio_.layer_count(); ++a) {
+    const BoundLayer<double> layer = bind_layer(portfolio_, tables, a);
+    for (TrialId b = 0; b < yet.trial_count(); ++b) {
+      const auto trial = yet.trial(b);
+      occ_losses.clear();
+      occ_losses.reserve(trial.size());
+      for (const EventOccurrence& occ : trial) {
+        double combined = 0.0;
+        for (std::size_t j = 0; j < layer.elt_count(); ++j) {
+          combined += apply_financial_terms(layer.tables[j]->at(occ.event),
+                                            layer.terms[j]);
+        }
+        occ_losses.push_back(combined);
+      }
+      result.at(a, b) = evaluate_reinstatement_trial(occ_losses, terms_[a]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ara::ext

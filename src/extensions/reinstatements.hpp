@@ -1,0 +1,108 @@
+// Reinstatement provisions — the contract feature of the catastrophe
+// XL treaties the paper's pricing literature (Anderson & Dong 1998,
+// cited as [6]) is about. This extension prices layers whose aggregate
+// capacity is a number of *reinstatements* of the occurrence limit
+// rather than a flat aggregate limit:
+//
+//  * the layer pays clamp(loss - OccR, 0, OccL) per occurrence, but
+//    never more than its remaining annual capacity (N+1) x OccL
+//    (the original limit plus N reinstatements);
+//  * every unit of limit consumed below the Nth reinstatement is
+//    restored against a pro-rata reinstatement premium:
+//    premium += consumed / OccL * rate * upfront_premium,
+//    where only the first N x OccL of consumption is reinstatable.
+//
+// The engine produces both sides of the contract per (layer, trial):
+// the recovered loss (a YLT) and the reinstatement premium income.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace ara::ext {
+
+/// Terms of one layer with reinstatements.
+struct ReinstatementTerms {
+  double occ_retention = 0.0;
+  double occ_limit = 0.0;        ///< must be > 0
+  unsigned reinstatements = 1;   ///< N (0 = no reinstatement)
+  double premium_rate = 1.0;     ///< rate on line of each reinstatement
+                                 ///< (1.0 = "at 100%")
+  double upfront_premium = 0.0;  ///< premium the reinstatement rate
+                                 ///< applies to
+
+  /// Total annual capacity: the original limit plus N reinstatements.
+  double annual_capacity() const {
+    return (reinstatements + 1.0) * occ_limit;
+  }
+
+  bool valid() const {
+    return occ_retention >= 0.0 && occ_limit > 0.0 && premium_rate >= 0.0 &&
+           upfront_premium >= 0.0;
+  }
+};
+
+/// Per-trial outputs of a reinstatement analysis for one layer.
+struct ReinstatementOutcome {
+  double recovered = 0.0;            ///< annual recovered loss
+  double reinstated = 0.0;           ///< limit amount restored
+  double reinstatement_premium = 0.0;///< premium income from restorations
+};
+
+/// Result of a reinstatement analysis: layer-major blocks of per-trial
+/// outcomes plus summary accessors.
+class ReinstatementResult {
+ public:
+  ReinstatementResult(std::size_t layers, std::size_t trials)
+      : layers_(layers), trials_(trials), outcomes_(layers * trials) {}
+
+  std::size_t layer_count() const noexcept { return layers_; }
+  std::size_t trial_count() const noexcept { return trials_; }
+
+  ReinstatementOutcome& at(std::size_t layer, TrialId trial) {
+    return outcomes_[layer * trials_ + trial];
+  }
+  const ReinstatementOutcome& at(std::size_t layer, TrialId trial) const {
+    return outcomes_[layer * trials_ + trial];
+  }
+
+  /// Mean recovered loss for a layer (the pure premium of the cover).
+  double expected_recovery(std::size_t layer) const;
+
+  /// Mean reinstatement premium income for a layer.
+  double expected_reinstatement_premium(std::size_t layer) const;
+
+ private:
+  std::size_t layers_ = 0;
+  std::size_t trials_ = 0;
+  std::vector<ReinstatementOutcome> outcomes_;
+};
+
+/// Evaluates one trial of occurrence losses (already net of the
+/// layer's financial terms and combined across ELTs, in time order)
+/// against reinstatement terms. Exposed for unit testing.
+ReinstatementOutcome evaluate_reinstatement_trial(
+    const std::vector<double>& occurrence_losses,
+    const ReinstatementTerms& terms);
+
+/// Sequential engine: runs every portfolio layer against the YET with
+/// the per-layer reinstatement terms (one entry per portfolio layer;
+/// the portfolio's own occurrence/aggregate terms are ignored in
+/// favour of the reinstatement terms, matching how such treaties are
+/// quoted).
+class ReinstatementEngine {
+ public:
+  ReinstatementEngine(const Portfolio& portfolio,
+                      std::vector<ReinstatementTerms> terms);
+
+  ReinstatementResult run(const Yet& yet) const;
+
+ private:
+  const Portfolio& portfolio_;
+  std::vector<ReinstatementTerms> terms_;
+};
+
+}  // namespace ara::ext

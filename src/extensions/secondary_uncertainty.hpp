@@ -1,0 +1,48 @@
+// Secondary uncertainty — the paper's stated future work ("to
+// incorporate fine grain analysis, such as secondary uncertainty in
+// the computations", Section VI) — implemented as an engine extension.
+//
+// Primary uncertainty is *which* events occur (the YET). Secondary
+// uncertainty is how much a given event loses given that it occurs:
+// instead of taking the ELT's mean loss l as deterministic, each
+// occurrence draws a damage multiplier m from a Beta-derived
+// distribution normalised to E[m] = 1 and contributes m * l. The draw
+// is a deterministic function of (seed, trial, occurrence index, ELT),
+// so results are reproducible and independent of execution order —
+// the same property the pre-simulated YET gives the primary
+// uncertainty.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+
+namespace ara::ext {
+
+struct SecondaryUncertaintyConfig {
+  /// Beta(a, b) damage-ratio shape; the multiplier is
+  /// Beta(a, b) / (a / (a + b)). Larger a+b = tighter around the mean.
+  double alpha = 2.0;
+  double beta = 4.0;
+  std::uint64_t seed = 97;
+};
+
+/// Sequential engine applying secondary uncertainty to every event
+/// loss before the financial terms. With alpha/beta -> infinity (no
+/// dispersion) it converges to FusedSequentialEngine's results; a
+/// property test asserts the mean-preservation.
+class SecondaryUncertaintyEngine final : public Engine {
+ public:
+  explicit SecondaryUncertaintyEngine(SecondaryUncertaintyConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "secondary_uncertainty"; }
+
+  SimulationResult run(const Portfolio& portfolio,
+                       const Yet& yet) const override;
+
+ private:
+  SecondaryUncertaintyConfig config_;
+};
+
+}  // namespace ara::ext

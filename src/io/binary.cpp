@@ -1,0 +1,261 @@
+#include "io/binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace ara::io {
+
+namespace {
+
+constexpr char kYetMagic[8] = {'A', 'R', 'A', 'Y', 'E', 'T', '0', '1'};
+constexpr char kEltMagic[8] = {'A', 'R', 'A', 'E', 'L', 'T', '0', '1'};
+constexpr char kPortMagic[8] = {'A', 'R', 'A', 'P', 'R', 'T', '0', '1'};
+constexpr char kYltMagic[8] = {'A', 'R', 'A', 'Y', 'L', 'T', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("binary read: truncated stream");
+  return v;
+}
+
+void write_magic(std::ostream& os, const char (&magic)[8]) {
+  os.write(magic, 8);
+  write_pod(os, kFormatVersion);
+}
+
+void check_magic(std::istream& is, const char (&magic)[8],
+                 const char* what) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is || std::memcmp(buf, magic, 8) != 0) {
+    throw std::runtime_error(std::string("binary read: bad magic for ") +
+                             what);
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kFormatVersion) {
+    throw std::runtime_error(std::string("binary read: unsupported ") + what +
+                             " version " + std::to_string(version));
+  }
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  if (n > (1ULL << 20)) {
+    throw std::runtime_error("binary read: implausible string length");
+  }
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("binary read: truncated string");
+  return s;
+}
+
+void write_terms(std::ostream& os, const FinancialTerms& t) {
+  write_pod(os, t.fx_rate);
+  write_pod(os, t.retention);
+  write_pod(os, t.limit);
+  write_pod(os, t.share);
+}
+
+FinancialTerms read_terms(std::istream& is) {
+  FinancialTerms t;
+  t.fx_rate = read_pod<double>(is);
+  t.retention = read_pod<double>(is);
+  t.limit = read_pod<double>(is);
+  t.share = read_pod<double>(is);
+  return t;
+}
+
+}  // namespace
+
+void write_yet(std::ostream& os, const Yet& yet) {
+  write_magic(os, kYetMagic);
+  write_pod(os, yet.catalogue_size());
+  write_pod(os, static_cast<std::uint64_t>(yet.trial_count()));
+  write_pod(os, static_cast<std::uint64_t>(yet.occurrence_count()));
+  for (const std::size_t off : yet.offsets()) {
+    write_pod(os, static_cast<std::uint64_t>(off));
+  }
+  for (const EventOccurrence& o : yet.occurrences()) {
+    write_pod(os, o.event);
+    write_pod(os, o.time);
+  }
+}
+
+Yet read_yet(std::istream& is) {
+  check_magic(is, kYetMagic, "YET");
+  const auto catalogue = read_pod<EventId>(is);
+  const auto trials = read_pod<std::uint64_t>(is);
+  const auto occurrences = read_pod<std::uint64_t>(is);
+  std::vector<std::size_t> offsets;
+  offsets.reserve(trials + 1);
+  for (std::uint64_t i = 0; i <= trials; ++i) {
+    offsets.push_back(static_cast<std::size_t>(read_pod<std::uint64_t>(is)));
+  }
+  std::vector<EventOccurrence> occ;
+  occ.reserve(occurrences);
+  for (std::uint64_t i = 0; i < occurrences; ++i) {
+    EventOccurrence o;
+    o.event = read_pod<EventId>(is);
+    o.time = read_pod<Timestamp>(is);
+    occ.push_back(o);
+  }
+  return Yet(std::move(occ), std::move(offsets), catalogue);
+}
+
+void write_elt(std::ostream& os, const Elt& elt) {
+  write_magic(os, kEltMagic);
+  write_pod(os, elt.catalogue_size());
+  write_terms(os, elt.terms());
+  write_pod(os, static_cast<std::uint64_t>(elt.size()));
+  for (const EventLoss& r : elt.records()) {
+    write_pod(os, r.event);
+    write_pod(os, r.loss);
+  }
+}
+
+Elt read_elt(std::istream& is) {
+  check_magic(is, kEltMagic, "ELT");
+  const auto catalogue = read_pod<EventId>(is);
+  const FinancialTerms terms = read_terms(is);
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<EventLoss> records;
+  records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EventLoss r;
+    r.event = read_pod<EventId>(is);
+    r.loss = read_pod<double>(is);
+    records.push_back(r);
+  }
+  return Elt(std::move(records), terms, catalogue);
+}
+
+void write_portfolio(std::ostream& os, const Portfolio& portfolio) {
+  write_magic(os, kPortMagic);
+  write_pod(os, static_cast<std::uint64_t>(portfolio.elt_count()));
+  for (const Elt& e : portfolio.elts()) write_elt(os, e);
+  write_pod(os, static_cast<std::uint64_t>(portfolio.layer_count()));
+  for (const Layer& l : portfolio.layers()) {
+    write_string(os, l.name);
+    write_pod(os, static_cast<std::uint64_t>(l.elt_indices.size()));
+    for (const std::size_t idx : l.elt_indices) {
+      write_pod(os, static_cast<std::uint64_t>(idx));
+    }
+    write_pod(os, l.terms.occ_retention);
+    write_pod(os, l.terms.occ_limit);
+    write_pod(os, l.terms.agg_retention);
+    write_pod(os, l.terms.agg_limit);
+  }
+}
+
+Portfolio read_portfolio(std::istream& is) {
+  check_magic(is, kPortMagic, "portfolio");
+  const auto elt_count = read_pod<std::uint64_t>(is);
+  std::vector<Elt> elts;
+  elts.reserve(elt_count);
+  for (std::uint64_t i = 0; i < elt_count; ++i) {
+    elts.push_back(read_elt(is));
+  }
+  const auto layer_count = read_pod<std::uint64_t>(is);
+  std::vector<Layer> layers;
+  layers.reserve(layer_count);
+  for (std::uint64_t i = 0; i < layer_count; ++i) {
+    Layer l;
+    l.name = read_string(is);
+    const auto n = read_pod<std::uint64_t>(is);
+    l.elt_indices.reserve(n);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      l.elt_indices.push_back(
+          static_cast<std::size_t>(read_pod<std::uint64_t>(is)));
+    }
+    l.terms.occ_retention = read_pod<double>(is);
+    l.terms.occ_limit = read_pod<double>(is);
+    l.terms.agg_retention = read_pod<double>(is);
+    l.terms.agg_limit = read_pod<double>(is);
+    layers.push_back(std::move(l));
+  }
+  return Portfolio(std::move(elts), std::move(layers));
+}
+
+void write_ylt(std::ostream& os, const Ylt& ylt) {
+  write_magic(os, kYltMagic);
+  write_pod(os, static_cast<std::uint64_t>(ylt.layer_count()));
+  write_pod(os, static_cast<std::uint64_t>(ylt.trial_count()));
+  for (const double v : ylt.annual_raw()) write_pod(os, v);
+  for (const double v : ylt.max_occurrence_raw()) write_pod(os, v);
+}
+
+Ylt read_ylt(std::istream& is) {
+  check_magic(is, kYltMagic, "YLT");
+  const auto layers = read_pod<std::uint64_t>(is);
+  const auto trials = read_pod<std::uint64_t>(is);
+  Ylt ylt(static_cast<std::size_t>(layers), static_cast<std::size_t>(trials));
+  for (std::uint64_t l = 0; l < layers; ++l) {
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      ylt.annual_loss(l, static_cast<TrialId>(t)) = read_pod<double>(is);
+    }
+  }
+  for (std::uint64_t l = 0; l < layers; ++l) {
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      ylt.max_occurrence_loss(l, static_cast<TrialId>(t)) =
+          read_pod<double>(is);
+    }
+  }
+  return ylt;
+}
+
+namespace {
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  return os;
+}
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return is;
+}
+}  // namespace
+
+void save_yet(const std::string& path, const Yet& yet) {
+  auto os = open_out(path);
+  write_yet(os, yet);
+}
+Yet load_yet(const std::string& path) {
+  auto is = open_in(path);
+  return read_yet(is);
+}
+void save_portfolio(const std::string& path, const Portfolio& portfolio) {
+  auto os = open_out(path);
+  write_portfolio(os, portfolio);
+}
+Portfolio load_portfolio(const std::string& path) {
+  auto is = open_in(path);
+  return read_portfolio(is);
+}
+void save_ylt(const std::string& path, const Ylt& ylt) {
+  auto os = open_out(path);
+  write_ylt(os, ylt);
+}
+Ylt load_ylt(const std::string& path) {
+  auto is = open_in(path);
+  return read_ylt(is);
+}
+
+}  // namespace ara::io

@@ -1,0 +1,42 @@
+// Versioned binary serialisation of the library's data sets.
+//
+// Format: an 8-byte magic tag per type, a u32 format version, then the
+// type's fields in little-endian fixed-width integers/doubles. The
+// loaders validate magic, version and structural invariants (through
+// the types' own constructors), so a truncated or corrupted file fails
+// loudly rather than producing a silently wrong YLT.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/elt.hpp"
+#include "core/layer.hpp"
+#include "core/yet.hpp"
+#include "core/ylt.hpp"
+
+namespace ara::io {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+void write_yet(std::ostream& os, const Yet& yet);
+Yet read_yet(std::istream& is);
+
+void write_elt(std::ostream& os, const Elt& elt);
+Elt read_elt(std::istream& is);
+
+void write_portfolio(std::ostream& os, const Portfolio& portfolio);
+Portfolio read_portfolio(std::istream& is);
+
+void write_ylt(std::ostream& os, const Ylt& ylt);
+Ylt read_ylt(std::istream& is);
+
+// File-path conveniences (throw std::runtime_error on IO failure).
+void save_yet(const std::string& path, const Yet& yet);
+Yet load_yet(const std::string& path);
+void save_portfolio(const std::string& path, const Portfolio& portfolio);
+Portfolio load_portfolio(const std::string& path);
+void save_ylt(const std::string& path, const Ylt& ylt);
+Ylt load_ylt(const std::string& path);
+
+}  // namespace ara::io

@@ -1,0 +1,147 @@
+#include "io/compressed_yet.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace ara::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'R', 'A', 'Y', 'E', 'T', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("compressed YET: truncated stream");
+  return v;
+}
+
+void write_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    const char byte = static_cast<char>((v & 0x7F) | 0x80);
+    os.put(byte);
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t read_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = is.get();
+    if (byte == std::char_traits<char>::eof()) {
+      throw std::runtime_error("compressed YET: truncated varint");
+    }
+    if (shift >= 63 && (byte & 0x7E) != 0) {
+      throw std::runtime_error("compressed YET: varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void write_yet_compressed(std::ostream& os, const Yet& yet) {
+  os.write(kMagic, 8);
+  write_pod(os, kVersion);
+  write_pod(os, yet.catalogue_size());
+  write_pod(os, static_cast<std::uint64_t>(yet.trial_count()));
+  for (TrialId t = 0; t < yet.trial_count(); ++t) {
+    const auto trial = yet.trial(t);
+    write_varint(os, trial.size());
+    Timestamp prev = 0;
+    for (const EventOccurrence& o : trial) {
+      write_varint(os, o.event);
+      write_varint(os, o.time - prev);  // non-decreasing: delta >= 0
+      prev = o.time;
+    }
+  }
+}
+
+Yet read_yet_compressed(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::memcmp(magic, kMagic, 8) != 0) {
+    throw std::runtime_error("compressed YET: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("compressed YET: unsupported version");
+  }
+  const auto catalogue = read_pod<EventId>(is);
+  const auto trials = read_pod<std::uint64_t>(is);
+
+  std::vector<EventOccurrence> occurrences;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(trials + 1);
+  offsets.push_back(0);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t count = read_varint(is);
+    Timestamp prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      EventOccurrence o;
+      const std::uint64_t event = read_varint(is);
+      const std::uint64_t delta = read_varint(is);
+      if (event == 0 || event > catalogue) {
+        throw std::runtime_error("compressed YET: event id out of range");
+      }
+      o.event = static_cast<EventId>(event);
+      o.time = prev + static_cast<Timestamp>(delta);
+      prev = o.time;
+      occurrences.push_back(o);
+    }
+    offsets.push_back(occurrences.size());
+  }
+  return Yet(std::move(occurrences), std::move(offsets), catalogue);
+}
+
+std::uint64_t compressed_yet_bytes(const Yet& yet) {
+  std::uint64_t total = 8 + 4 + 4 + 8;  // header
+  for (TrialId t = 0; t < yet.trial_count(); ++t) {
+    const auto trial = yet.trial(t);
+    total += varint_size(trial.size());
+    Timestamp prev = 0;
+    for (const EventOccurrence& o : trial) {
+      total += varint_size(o.event) + varint_size(o.time - prev);
+      prev = o.time;
+    }
+  }
+  return total;
+}
+
+void save_yet_compressed(const std::string& path, const Yet& yet) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_yet_compressed(os, yet);
+}
+
+Yet load_yet_compressed(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_yet_compressed(is);
+}
+
+}  // namespace ara::io

@@ -1,0 +1,66 @@
+#include "io/csv.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ara::io {
+
+void write_ylt_csv(std::ostream& os, const Ylt& ylt) {
+  os << "trial,layer,annual_loss,max_occurrence_loss\n";
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    for (std::size_t t = 0; t < ylt.trial_count(); ++t) {
+      os << t << ',' << l << ','
+         << ylt.annual_loss(l, static_cast<TrialId>(t)) << ','
+         << ylt.max_occurrence_loss(l, static_cast<TrialId>(t)) << '\n';
+    }
+  }
+}
+
+void write_ep_curve_csv(std::ostream& os, const metrics::EpCurve& curve,
+                        const std::vector<double>& return_periods) {
+  os << "return_period_years,loss\n";
+  for (const double rp : return_periods) {
+    os << rp << ',' << curve.loss_at_return_period(rp) << '\n';
+  }
+}
+
+Elt read_elt_csv(std::istream& is, FinancialTerms terms,
+                 EventId catalogue_size) {
+  std::vector<EventLoss> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("read_elt_csv: line " +
+                               std::to_string(line_no) + ": missing comma");
+    }
+    // Skip a header line ("event_id,loss").
+    if (line_no == 1 && !line.empty() && !std::isdigit(
+            static_cast<unsigned char>(line[0]))) {
+      continue;
+    }
+    EventLoss r;
+    const char* begin = line.data();
+    const char* mid = line.data() + comma;
+    auto [p1, e1] = std::from_chars(begin, mid, r.event);
+    if (e1 != std::errc{} || p1 != mid) {
+      throw std::runtime_error("read_elt_csv: line " +
+                               std::to_string(line_no) + ": bad event id");
+    }
+    try {
+      r.loss = std::stod(line.substr(comma + 1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_elt_csv: line " +
+                               std::to_string(line_no) + ": bad loss value");
+    }
+    records.push_back(r);
+  }
+  return Elt(std::move(records), terms, catalogue_size);
+}
+
+}  // namespace ara::io

@@ -1,0 +1,29 @@
+// CSV export of analysis outputs (YLTs, EP curves, risk summaries)
+// and a small ELT reader for user-supplied loss data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/elt.hpp"
+#include "core/metrics/risk_measures.hpp"
+#include "core/ylt.hpp"
+
+namespace ara::io {
+
+/// Writes "trial,layer,annual_loss,max_occurrence_loss" rows.
+void write_ylt_csv(std::ostream& os, const Ylt& ylt);
+
+/// Writes "return_period_years,loss" rows for the given return
+/// periods of one EP curve.
+void write_ep_curve_csv(std::ostream& os, const metrics::EpCurve& curve,
+                        const std::vector<double>& return_periods);
+
+/// Parses "event_id,loss" lines (header line optional; blank lines and
+/// '#' comments ignored) into an ELT. Throws std::runtime_error with
+/// the offending line number on malformed input.
+Elt read_elt_csv(std::istream& is, FinancialTerms terms,
+                 EventId catalogue_size);
+
+}  // namespace ara::io

@@ -1,0 +1,72 @@
+// parallel_for / parallel_reduce built on ThreadPool. Mirrors the
+// OpenMP `parallel for` semantics used by the paper's multi-core
+// implementation: static partitioning by default (one contiguous range
+// per worker, like `schedule(static)`), with an optional chunked
+// dynamic mode (`schedule(dynamic, chunk)`).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/partition.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ara::parallel {
+
+/// Scheduling policy for parallel_for.
+enum class Schedule {
+  kStatic,   ///< one contiguous range per worker
+  kDynamic,  ///< workers pull fixed-size chunks from a shared counter
+};
+
+/// Runs `body(Range)` over [0, n) across the pool's workers and blocks
+/// until complete. With `Schedule::kDynamic`, `chunk` is the grab size.
+inline void parallel_for(ThreadPool& pool, std::size_t n,
+                         const std::function<void(Range)>& body,
+                         Schedule schedule = Schedule::kStatic,
+                         std::size_t chunk = 1024) {
+  if (n == 0) return;
+  if (schedule == Schedule::kStatic) {
+    for (const Range r : split_even(n, pool.size())) {
+      if (!r.empty()) pool.submit([r, &body] { body(r); });
+    }
+  } else {
+    if (chunk == 0) chunk = 1;
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      pool.submit([n, chunk, next, &body] {
+        for (;;) {
+          const std::size_t at = next->fetch_add(chunk);
+          if (at >= n) return;
+          body({at, std::min(at + chunk, n)});
+        }
+      });
+    }
+  }
+  pool.wait_idle();
+}
+
+/// Parallel reduction: each worker folds its ranges into a private
+/// accumulator seeded with `init`; the partials are combined with
+/// `join` on the calling thread (deterministic combination order by
+/// worker index).
+template <typename T, typename Fold, typename Join>
+T parallel_reduce(ThreadPool& pool, std::size_t n, T init, Fold fold,
+                  Join join) {
+  const auto ranges = split_even(n, pool.size());
+  std::vector<T> partials(ranges.size(), init);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].empty()) continue;
+    pool.submit([&, i] { partials[i] = fold(ranges[i], partials[i]); });
+  }
+  pool.wait_idle();
+  T out = init;
+  for (const T& p : partials) out = join(out, p);
+  return out;
+}
+
+}  // namespace ara::parallel

@@ -1,0 +1,60 @@
+// Index-range partitioning helpers. The engines decompose work by
+// trial index; these helpers centralise the arithmetic so the CPU
+// engine, the simulated-GPU grid mapping and the multi-GPU trial split
+// all agree on chunk boundaries.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ara::parallel {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin >= end; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Splits [0, n) into exactly `parts` contiguous ranges whose sizes
+/// differ by at most one (the first `n % parts` ranges get the extra
+/// element). `parts == 0` yields an empty vector.
+inline std::vector<Range> split_even(std::size_t n, std::size_t parts) {
+  std::vector<Range> out;
+  if (parts == 0) return out;
+  out.reserve(parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t at = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    out.push_back({at, at + len});
+    at += len;
+  }
+  return out;
+}
+
+/// Splits [0, n) into ceil(n / chunk) ranges of length `chunk` (last
+/// range may be shorter). `chunk == 0` is clamped to 1.
+inline std::vector<Range> split_chunks(std::size_t n, std::size_t chunk) {
+  if (chunk == 0) chunk = 1;
+  std::vector<Range> out;
+  out.reserve((n + chunk - 1) / chunk);
+  for (std::size_t at = 0; at < n; at += chunk) {
+    out.push_back({at, at + std::min(chunk, n - at)});
+  }
+  return out;
+}
+
+/// Number of ranges split_chunks would produce.
+inline std::size_t chunk_count(std::size_t n, std::size_t chunk) {
+  if (chunk == 0) chunk = 1;
+  return (n + chunk - 1) / chunk;
+}
+
+}  // namespace ara::parallel

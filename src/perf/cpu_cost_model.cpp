@@ -1,0 +1,38 @@
+#include "perf/cpu_cost_model.hpp"
+
+#include <algorithm>
+
+namespace ara::perf {
+
+double CpuCostModel::mem_scaling(unsigned cores) const {
+  const double p = std::max(1u, std::min(cores, profile_.cores));
+  return (1.0 + profile_.mem_saturation_beta * (p - 1.0)) / p;
+}
+
+double CpuCostModel::oversub_scaling(unsigned threads_per_core) const {
+  const double extra = threads_per_core > 1 ? threads_per_core - 1.0 : 0.0;
+  return 1.0 -
+         profile_.oversub_h_max * extra / (extra + profile_.oversub_tau_half);
+}
+
+PhaseBreakdown CpuCostModel::estimate(const ara::OpCounts& ops, unsigned cores,
+                                      unsigned threads_per_core) const {
+  const double p = std::max(1u, std::min(cores, profile_.cores));
+  const double mem = mem_scaling(cores) * oversub_scaling(threads_per_core);
+  constexpr double kNs = 1e-9;
+
+  PhaseBreakdown out;
+  out[Phase::kEventFetch] = static_cast<double>(ops.event_fetches) *
+                            profile_.event_fetch_ns * kNs * mem;
+  out[Phase::kLossLookup] = static_cast<double>(ops.elt_lookups) *
+                            profile_.random_lookup_ns * kNs * mem;
+  out[Phase::kFinancialTerms] =
+      static_cast<double>(ops.financial_ops) * profile_.financial_ns * kNs / p;
+  out[Phase::kOccurrenceTerms] = static_cast<double>(ops.occurrence_ops) *
+                                 profile_.occurrence_ns * kNs / p;
+  out[Phase::kAggregateTerms] = static_cast<double>(ops.aggregate_ops) *
+                                profile_.aggregate_ns * kNs / p;
+  return out;
+}
+
+}  // namespace ara::perf

@@ -1,0 +1,55 @@
+// Analytic cost model of the aggregate-risk-analysis algorithm on a
+// multi-core CPU, reproducing the paper's Figures 1a/1b and the
+// sequential rows of Figures 5/6.
+//
+// Model: the algorithm's phases split into memory-bound work (event
+// fetch + random table lookups, which the paper shows dominate and do
+// not scale past memory bandwidth) and compute-bound work (the
+// financial / occurrence / aggregate term arithmetic, which scales
+// with cores):
+//
+//   t_mem(p, tau) = t_mem(1) * g(p) * o(tau)
+//   t_cpu(p)      = t_cpu(1) / p
+//   g(p) = (1 + beta (p-1)) / p          (bandwidth saturation)
+//   o(tau) = 1 - h_max (tau-1)/((tau-1) + tau_half)   (latency hiding)
+//
+// beta, h_max, tau_half are fitted to the paper's measurements (see
+// machine_profile.cpp).
+#pragma once
+
+#include "core/types.hpp"
+#include "perf/machine_profile.hpp"
+#include "perf/phase.hpp"
+
+namespace ara::perf {
+
+class CpuCostModel {
+ public:
+  explicit CpuCostModel(CpuProfile profile) : profile_(std::move(profile)) {}
+
+  /// Per-phase simulated seconds for running `ops` worth of algorithm
+  /// work on `cores` cores with `threads_per_core` software threads
+  /// per core. `cores == 1 && threads_per_core == 1` is the sequential
+  /// implementation.
+  PhaseBreakdown estimate(const ara::OpCounts& ops, unsigned cores,
+                          unsigned threads_per_core = 1) const;
+
+  /// Total simulated seconds (sum of phases).
+  double total_seconds(const ara::OpCounts& ops, unsigned cores,
+                       unsigned threads_per_core = 1) const {
+    return estimate(ops, cores, threads_per_core).total();
+  }
+
+  const CpuProfile& profile() const noexcept { return profile_; }
+
+  /// Memory-saturation factor g(p) (exposed for tests).
+  double mem_scaling(unsigned cores) const;
+
+  /// Oversubscription factor o(tau) (exposed for tests).
+  double oversub_scaling(unsigned threads_per_core) const;
+
+ private:
+  CpuProfile profile_;
+};
+
+}  // namespace ara::perf

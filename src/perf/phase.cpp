@@ -1,0 +1,27 @@
+#include "perf/phase.hpp"
+
+namespace ara::perf {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kEventFetch:
+      return "event_fetch";
+    case Phase::kLossLookup:
+      return "loss_lookup";
+    case Phase::kFinancialTerms:
+      return "financial_terms";
+    case Phase::kOccurrenceTerms:
+      return "occurrence_terms";
+    case Phase::kAggregateTerms:
+      return "aggregate_terms";
+    case Phase::kTransfer:
+      return "transfer";
+    case Phase::kOther:
+      return "other";
+    case Phase::kCount:
+      break;
+  }
+  return "invalid";
+}
+
+}  // namespace ara::perf

@@ -1,0 +1,71 @@
+// Activity phases of the aggregate risk analysis algorithm, matching
+// the breakdown the paper profiles in Figure 6: fetching events from
+// memory, loss lookup in the direct access table, financial-term
+// computations, and layer-term computations (which we split into the
+// occurrence and aggregate steps), plus host<->device transfer.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace ara::perf {
+
+enum class Phase : std::size_t {
+  kEventFetch = 0,     ///< reading (event, time) pairs from the YET
+  kLossLookup,         ///< random accesses into the loss tables
+  kFinancialTerms,     ///< per-(event, ELT) financial-term application
+  kOccurrenceTerms,    ///< per-event occurrence XL clamp
+  kAggregateTerms,     ///< prefix sum + aggregate XL clamp + differencing
+  kTransfer,           ///< host<->device copies (GPU engines only)
+  kOther,              ///< dispatch, allocation, merge
+  kCount
+};
+
+constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+std::string_view phase_name(Phase p);
+
+/// Per-phase wall seconds (measured or simulated).
+class PhaseBreakdown {
+ public:
+  double& operator[](Phase p) { return s_[static_cast<std::size_t>(p)]; }
+  double operator[](Phase p) const { return s_[static_cast<std::size_t>(p)]; }
+
+  /// Sum over all phases.
+  double total() const {
+    double t = 0.0;
+    for (const double v : s_) t += v;
+    return t;
+  }
+
+  /// Fraction of total time spent in `p` (0 when total is 0).
+  double fraction(Phase p) const {
+    const double t = total();
+    return t > 0.0 ? (*this)[p] / t : 0.0;
+  }
+
+  /// Combined financial + layer-term numeric time (the paper reports
+  /// these jointly in places).
+  double numeric() const {
+    return (*this)[Phase::kFinancialTerms] + (*this)[Phase::kOccurrenceTerms] +
+           (*this)[Phase::kAggregateTerms];
+  }
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) s_[i] += o.s_[i];
+    return *this;
+  }
+
+  /// Scales every phase by `f` (used to extrapolate scaled workloads).
+  PhaseBreakdown scaled(double f) const {
+    PhaseBreakdown out = *this;
+    for (double& v : out.s_) v *= f;
+    return out;
+  }
+
+ private:
+  std::array<double, kPhaseCount> s_{};
+};
+
+}  // namespace ara::perf

@@ -1,0 +1,42 @@
+// Fixed-width table printer used by the benchmark harness to emit the
+// rows/series of each paper figure in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ara::perf {
+
+/// A simple left/right-aligned text table. Numeric cells should be
+/// pre-formatted by the caller (see format_seconds / format_ratio).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123.46 s" / "987.6 ms" style duration formatting.
+std::string format_seconds(double seconds);
+
+/// "12.3x" ratio formatting.
+std::string format_ratio(double ratio);
+
+/// "87.2%" percentage formatting.
+std::string format_percent(double fraction);
+
+/// Fixed-precision decimal.
+std::string format_fixed(double value, int digits);
+
+}  // namespace ara::perf

@@ -1,0 +1,136 @@
+#include "simgpu/gpu_cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ara::simgpu {
+
+namespace {
+// Half-saturation constant of the latency-hiding curve, in units of
+// (warps x MLP) per SM. Fitted to Figure 2: 48 resident warps (the
+// basic kernel at >=256 threads/block) hide ~89% of latency; 32 warps
+// (128 threads/block) ~84%, reproducing the paper's modest 128->256
+// improvement and the "at least 128 threads per block" requirement.
+constexpr double kConcurrencyHalf = 6.0;
+
+// Streaming (coalesced) efficiencies relative to peak bandwidth.
+constexpr double kCoalescedEff = 0.125;  // staged chunk loads of the YET
+constexpr double kStreamEff = 0.5;       // sequential scratch traffic
+constexpr double kSharedBwBytes = 1.0e12;  // shared-memory bandwidth, B/s
+
+// Dependent-stream factor for the basic kernel's YET reads: each
+// thread walks its trial serially (no MLP), costing ~1.8x the random-
+// lookup transaction time. Calibrated to the paper's ~4 s basic-GPU
+// event-fetch time.
+constexpr double kDependentStreamFactor = 0.56;
+
+// A single resident block per SM serialises at block boundaries
+// (nothing to swap in on a stall, cf. the paper's warp-swap argument
+// for 32-thread blocks). Fitted to Figure 4's 64-thread point.
+constexpr double kSingleBlockPenalty = 0.93;
+
+// 32-byte memory transactions (Fermi L2 sector size).
+constexpr double kTransactionBytes = 32.0;
+}  // namespace
+
+double GpuCostModel::latency_hiding_efficiency(
+    double effective_concurrency) const {
+  if (effective_concurrency <= 0.0) return 0.0;
+  return effective_concurrency / (effective_concurrency + kConcurrencyHalf);
+}
+
+double GpuCostModel::transfer_seconds(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbps * 1e9);
+}
+
+KernelCost GpuCostModel::estimate(const LaunchConfig& cfg,
+                                  const KernelTraits& traits,
+                                  const ara::OpCounts& ops) const {
+  KernelCost out;
+  out.occupancy = compute_occupancy(spec_, cfg);
+  if (!out.occupancy.feasible) {
+    out.feasible = false;
+    out.infeasible_reason = out.occupancy.limiter;
+    return out;
+  }
+
+  // --- Random-access transaction rate -----------------------------------
+  const double peak_rate =
+      spec_.mem_bandwidth_gbps * 1e9 / kTransactionBytes;
+  const double e_rand = traits.loss_bytes <= 4
+                            ? spec_.random_access_efficiency_f32
+                            : spec_.random_access_efficiency_f64;
+
+  // Partial warps (block smaller than the warp size) waste issue slots
+  // and memory sectors; efficiency falls with the idle lane fraction.
+  const double lane_eff =
+      std::min(1.0, static_cast<double>(cfg.block_threads) /
+                        static_cast<double>(spec_.warp_size));
+  const double concurrency = static_cast<double>(out.occupancy.warps_per_sm) *
+                             traits.mlp_per_thread * lane_eff;
+  double rate = peak_rate * e_rand * latency_hiding_efficiency(concurrency);
+  rate *= std::sqrt(lane_eff);  // partial-warp sector wastage
+  if (out.occupancy.blocks_per_sm == 1) rate *= kSingleBlockPenalty;
+  rate *= std::clamp(traits.cooperative_load_penalty, 0.01, 1.0);
+
+  // Tail effect: the last wave of blocks underfills the SMs.
+  const double concurrent_blocks = static_cast<double>(
+      out.occupancy.blocks_per_sm * spec_.sm_count);
+  if (cfg.grid_blocks > 0) {
+    const double waves = std::ceil(cfg.grid_blocks / concurrent_blocks);
+    const double tail_eff = cfg.grid_blocks / (waves * concurrent_blocks);
+    rate *= 0.5 + 0.5 * tail_eff;
+  }
+  out.random_rate = rate;
+
+  perf::PhaseBreakdown& ph = out.phases;
+
+  // --- Loss lookup (one random transaction per (event, ELT)) ------------
+  ph[perf::Phase::kLossLookup] = static_cast<double>(ops.elt_lookups) / rate;
+
+  // --- Event fetch from the YET ------------------------------------------
+  if (traits.chunked) {
+    // Staged, coalesced chunk loads: bandwidth-bound streaming.
+    const double bytes = static_cast<double>(ops.event_fetches) * 8.0;
+    ph[perf::Phase::kEventFetch] =
+        bytes / (spec_.mem_bandwidth_gbps * 1e9 * kCoalescedEff);
+  } else {
+    // Per-thread serial walk: dependent random transactions.
+    ph[perf::Phase::kEventFetch] = static_cast<double>(ops.event_fetches) /
+                                   (rate * kDependentStreamFactor);
+  }
+
+  // --- Scratch traffic (the lx / lox arrays of Algorithm 1) --------------
+  const double scratch_bytes =
+      static_cast<double>(ops.global_updates + ops.shared_accesses) * 2.0 *
+      traits.loss_bytes;  // read-modify-write
+  double scratch_s = 0.0;
+  if (traits.scratch_in_registers) {
+    scratch_s = 0.0;  // register file: folded into the compute rate
+  } else if (traits.scratch_in_global) {
+    scratch_s = scratch_bytes / (spec_.mem_bandwidth_gbps * 1e9 * kStreamEff);
+  } else {
+    scratch_s = scratch_bytes / kSharedBwBytes;
+  }
+  ph[perf::Phase::kOther] = scratch_s;
+
+  // --- Numeric work -------------------------------------------------------
+  const double flops_rate =
+      traits.loss_bytes <= 4 ? spec_.flops_sp : spec_.flops_dp;
+  // The kernel runs below peak FLOPs (scalar clamps, no FMA chains);
+  // 40% of peak, improved 1/0.7 by unrolling, reproduces the paper's
+  // 0.11 s optimised financial+layer time (see EXPERIMENTS.md).
+  const double eff_flops =
+      flops_rate * 0.40 * (traits.unrolled ? 1.0 / 0.7 : 1.0);
+  ph[perf::Phase::kFinancialTerms] = static_cast<double>(ops.financial_ops) *
+                                     traits.flops_per_financial / eff_flops;
+  ph[perf::Phase::kOccurrenceTerms] = static_cast<double>(ops.occurrence_ops) *
+                                      traits.flops_per_occurrence / eff_flops;
+  ph[perf::Phase::kAggregateTerms] = static_cast<double>(ops.aggregate_ops) *
+                                     traits.flops_per_aggregate / eff_flops;
+
+  out.total_seconds = ph.total() + spec_.kernel_launch_overhead_s;
+  return out;
+}
+
+}  // namespace ara::simgpu

@@ -1,0 +1,61 @@
+#include "simgpu/occupancy.hpp"
+
+#include <algorithm>
+
+namespace ara::simgpu {
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const LaunchConfig& cfg) {
+  Occupancy out;
+  if (cfg.block_threads == 0 || cfg.block_threads > dev.max_threads_per_block ||
+      cfg.shared_bytes_per_block > dev.shared_mem_per_block_max) {
+    out.feasible = false;
+    out.limiter = cfg.block_threads == 0 || cfg.block_threads > dev.max_threads_per_block
+                      ? "block_threads"
+                      : "shared_memory_per_block";
+    return out;
+  }
+
+  unsigned by_blocks = dev.max_blocks_per_sm;
+  unsigned by_threads = dev.max_threads_per_sm / cfg.block_threads;
+  unsigned by_shared =
+      cfg.shared_bytes_per_block == 0
+          ? dev.max_blocks_per_sm
+          : static_cast<unsigned>(dev.shared_mem_per_sm /
+                                  cfg.shared_bytes_per_block);
+  const unsigned regs_per_block = cfg.regs_per_thread * cfg.block_threads;
+  unsigned by_regs = regs_per_block == 0
+                         ? dev.max_blocks_per_sm
+                         : dev.registers_per_sm / regs_per_block;
+
+  out.blocks_per_sm = std::min({by_blocks, by_threads, by_shared, by_regs});
+  if (out.blocks_per_sm == 0) {
+    out.feasible = false;
+    if (by_threads == 0) {
+      out.limiter = "threads_per_sm";
+    } else if (by_shared == 0) {
+      out.limiter = "shared_memory";
+    } else {
+      out.limiter = "registers";
+    }
+    return out;
+  }
+
+  if (out.blocks_per_sm == by_blocks) {
+    out.limiter = "max_blocks_per_sm";
+  } else if (out.blocks_per_sm == by_threads) {
+    out.limiter = "threads_per_sm";
+  } else if (out.blocks_per_sm == by_shared) {
+    out.limiter = "shared_memory";
+  } else {
+    out.limiter = "registers";
+  }
+
+  out.threads_per_sm = out.blocks_per_sm * cfg.block_threads;
+  out.warps_per_sm =
+      out.blocks_per_sm * ((cfg.block_threads + dev.warp_size - 1) / dev.warp_size);
+  out.occupancy = static_cast<double>(out.threads_per_sm) /
+                  static_cast<double>(dev.max_threads_per_sm);
+  return out;
+}
+
+}  // namespace ara::simgpu

@@ -1,0 +1,43 @@
+// CUDA-style occupancy calculation: how many blocks of a given shape
+// fit on one SM, limited by the thread, block, shared-memory and
+// register budgets. This is the real CUDA occupancy arithmetic (not a
+// calibration), and it is what produces the block-size behaviour of
+// the paper's Figures 2 and 4.
+#pragma once
+
+#include <cstddef>
+
+#include "simgpu/device_spec.hpp"
+
+namespace ara::simgpu {
+
+/// Launch shape of one kernel invocation.
+struct LaunchConfig {
+  unsigned grid_blocks = 0;
+  unsigned block_threads = 0;
+  std::size_t shared_bytes_per_block = 0;
+  unsigned regs_per_thread = 32;
+
+  /// Total threads in the launch.
+  std::size_t total_threads() const {
+    return static_cast<std::size_t>(grid_blocks) * block_threads;
+  }
+};
+
+/// Result of the occupancy computation.
+struct Occupancy {
+  unsigned blocks_per_sm = 0;    ///< resident blocks on one SM
+  unsigned threads_per_sm = 0;   ///< resident threads on one SM
+  unsigned warps_per_sm = 0;     ///< resident (possibly partial) warps
+  double occupancy = 0.0;        ///< threads_per_sm / max_threads_per_sm
+  bool feasible = true;          ///< false if the block shape cannot launch
+  const char* limiter = "";      ///< which resource bound blocks_per_sm
+};
+
+/// Computes occupancy of `cfg` on `dev`. An infeasible configuration
+/// (block too large, shared memory over the per-block maximum) returns
+/// feasible == false with zero occupancy — the situation the paper hit
+/// beyond 64 threads/block for the optimised kernel.
+Occupancy compute_occupancy(const DeviceSpec& dev, const LaunchConfig& cfg);
+
+}  // namespace ara::simgpu

@@ -1,0 +1,76 @@
+#include "synth/catalogue.hpp"
+
+#include <stdexcept>
+
+namespace ara::synth {
+
+Catalogue Catalogue::make(ara::EventId size, unsigned regions,
+                          double total_annual_rate) {
+  if (size == 0 || regions == 0 || regions > size) {
+    throw std::invalid_argument("Catalogue::make: bad size/regions");
+  }
+  std::vector<PerilRegion> rs;
+  rs.reserve(regions);
+  const ara::EventId base = size / regions;
+  const ara::EventId extra = size % regions;
+  // Stagger three archetypal seasonality profiles across regions.
+  static const struct {
+    const char* suffix;
+    double seasonality;
+    ara::Timestamp start, end;
+  } kProfiles[3] = {
+      {"hurricane", 0.8, 152, 334},  // Jun-Nov season
+      {"earthquake", 0.0, 1, 365},   // aseasonal
+      {"flood", 0.5, 60, 181},       // spring window
+  };
+  ara::EventId at = 1;
+  for (unsigned r = 0; r < regions; ++r) {
+    const ara::EventId len = base + (r < extra ? 1 : 0);
+    const auto& prof = kProfiles[r % 3];
+    PerilRegion region;
+    region.name = std::string(prof.suffix) + "_" + std::to_string(r);
+    region.first_event = at;
+    region.last_event = at + len - 1;
+    region.annual_rate = total_annual_rate * static_cast<double>(len) /
+                         static_cast<double>(size);
+    region.seasonality = prof.seasonality;
+    region.season_start = prof.start;
+    region.season_end = prof.end;
+    rs.push_back(region);
+    at += len;
+  }
+  return Catalogue(size, std::move(rs));
+}
+
+Catalogue::Catalogue(ara::EventId size, std::vector<PerilRegion> regions)
+    : size_(size), regions_(std::move(regions)) {
+  if (size_ == 0) {
+    throw std::invalid_argument("Catalogue: size must be > 0");
+  }
+  if (regions_.empty()) {
+    throw std::invalid_argument("Catalogue: at least one region required");
+  }
+  ara::EventId expect = 1;
+  for (const PerilRegion& r : regions_) {
+    if (r.first_event != expect || r.last_event < r.first_event) {
+      throw std::invalid_argument("Catalogue: regions must tile [1, size]");
+    }
+    if (!(r.annual_rate >= 0.0) || r.seasonality < 0.0 ||
+        r.seasonality > 1.0 || r.season_start < 1 || r.season_end > 365 ||
+        r.season_start > r.season_end) {
+      throw std::invalid_argument("Catalogue: invalid region parameters");
+    }
+    expect = r.last_event + 1;
+  }
+  if (expect != size_ + 1) {
+    throw std::invalid_argument("Catalogue: regions must cover [1, size]");
+  }
+}
+
+double Catalogue::total_annual_rate() const {
+  double sum = 0.0;
+  for (const PerilRegion& r : regions_) sum += r.annual_rate;
+  return sum;
+}
+
+}  // namespace ara::synth

@@ -1,0 +1,179 @@
+#include "synth/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ara::synth {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// log(k!) via Stirling with correction terms; exact table for k < 10.
+double log_factorial(std::uint32_t k) {
+  static const double table[10] = {
+      0.0,
+      0.0,
+      0.6931471805599453,
+      1.791759469228055,
+      3.1780538303479458,
+      4.787491742782046,
+      6.579251212010101,
+      8.525161361065415,
+      10.60460290274525,
+      12.801827480081469,
+  };
+  if (k < 10) return table[k];
+  const double x = static_cast<double>(k) + 1.0;
+  return (x - 0.5) * std::log(x) - x + 0.5 * std::log(2.0 * kPi) +
+         1.0 / (12.0 * x) - 1.0 / (360.0 * x * x * x);
+}
+}  // namespace
+
+double NormalSampler::sample(Xoshiro256StarStar& rng) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * rng.next_double() - 1.0;
+    v = 2.0 * rng.next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+PoissonSampler::PoissonSampler(double lambda) : lambda_(lambda) {
+  if (!(lambda >= 0.0)) {
+    throw std::invalid_argument("PoissonSampler: lambda must be >= 0");
+  }
+  if (lambda_ < 10.0) {
+    exp_neg_lambda_ = std::exp(-lambda_);
+  } else {
+    // PTRS setup (Hörmann 1993, "The transformed rejection method for
+    // generating Poisson random variables").
+    b_ = 0.931 + 2.53 * std::sqrt(lambda_);
+    a_ = -0.059 + 0.02483 * b_;
+    inv_alpha_ = 1.1239 + 1.1328 / (b_ - 3.4);
+    v_r_ = 0.9277 - 3.6224 / (b_ - 2.0);
+  }
+}
+
+std::uint32_t PoissonSampler::sample(Xoshiro256StarStar& rng) {
+  if (lambda_ == 0.0) return 0;
+  return lambda_ < 10.0 ? sample_inversion(rng) : sample_ptrs(rng);
+}
+
+std::uint32_t PoissonSampler::sample_inversion(Xoshiro256StarStar& rng) {
+  std::uint32_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > exp_neg_lambda_);
+  return k - 1;
+}
+
+std::uint32_t PoissonSampler::sample_ptrs(Xoshiro256StarStar& rng) {
+  for (;;) {
+    const double u = rng.next_double() - 0.5;
+    const double v = rng.next_double();
+    const double us = 0.5 - std::abs(u);
+    const double k_real = std::floor((2.0 * a_ / us + b_) * u + lambda_ + 0.43);
+    if (k_real < 0.0) continue;
+    const auto k = static_cast<std::uint32_t>(k_real);
+    if (us >= 0.07 && v <= v_r_) return k;
+    if (us < 0.013 && v > us) continue;
+    const double log_lambda = std::log(lambda_);
+    if (std::log(v * inv_alpha_ / (a_ / (us * us) + b_)) <=
+        k_real * log_lambda - lambda_ - log_factorial(k)) {
+      return k;
+    }
+  }
+}
+
+NegativeBinomialSampler::NegativeBinomialSampler(double mean, double k)
+    : mean_(mean), k_(k) {
+  if (!(mean >= 0.0) || !(k > 0.0)) {
+    throw std::invalid_argument(
+        "NegativeBinomialSampler: mean >= 0 and k > 0 required");
+  }
+}
+
+std::uint32_t NegativeBinomialSampler::sample(Xoshiro256StarStar& rng) {
+  if (mean_ == 0.0) return 0;
+  // Poisson-gamma mixture: rate ~ Gamma(k, mean/k), count ~ Poisson(rate).
+  GammaSampler gamma(k_, mean_ / k_);
+  const double rate = gamma.sample(rng);
+  PoissonSampler poisson(rate);
+  return poisson.sample(rng);
+}
+
+GammaSampler::GammaSampler(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("GammaSampler: shape and scale must be > 0");
+  }
+}
+
+double GammaSampler::sample(Xoshiro256StarStar& rng) {
+  double shape = shape_;
+  double boost = 1.0;
+  if (shape < 1.0) {
+    // Gamma(a) = Gamma(a+1) * U^{1/a}
+    boost = std::pow(rng.next_double(), 1.0 / shape);
+    shape += 1.0;
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal_.sample(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * scale_;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * scale_;
+    }
+  }
+}
+
+LognormalSampler LognormalSampler::from_mean_cv(double mean, double cv) {
+  if (!(mean > 0.0) || !(cv > 0.0)) {
+    throw std::invalid_argument(
+        "LognormalSampler::from_mean_cv: mean and cv must be > 0");
+  }
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LognormalSampler(mu, std::sqrt(sigma2));
+}
+
+double LognormalSampler::sample(Xoshiro256StarStar& rng) {
+  return std::exp(mu_ + sigma_ * normal_.sample(rng));
+}
+
+double ParetoSampler::sample(Xoshiro256StarStar& rng) {
+  // Inverse CDF: x_m / U^{1/alpha}; guard U == 0.
+  double u;
+  do {
+    u = rng.next_double();
+  } while (u == 0.0);
+  return x_m_ / std::pow(u, 1.0 / alpha_);
+}
+
+BetaSampler::BetaSampler(double a, double b)
+    : ga_(a, 1.0), gb_(b, 1.0) {}
+
+double BetaSampler::sample(Xoshiro256StarStar& rng) {
+  const double x = ga_.sample(rng);
+  const double y = gb_.sample(rng);
+  return x / (x + y);
+}
+
+}  // namespace ara::synth

@@ -1,0 +1,126 @@
+// Distribution samplers used by the synthetic workload generators.
+//
+// The catastrophe-modelling literature the paper builds on uses:
+//  * Poisson / negative-binomial annual event counts (neg-binomial adds
+//    the over-dispersion produced by hurricane clustering),
+//  * lognormal and Pareto severity distributions for event losses,
+//  * beta distributions for per-event damage-ratio ("secondary")
+//    uncertainty — the paper's stated future work, implemented here.
+//
+// All samplers draw from Xoshiro256StarStar so workloads are exactly
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/rng.hpp"
+
+namespace ara::synth {
+
+/// Standard normal variate (Marsaglia polar method; caches the spare).
+class NormalSampler {
+ public:
+  double sample(Xoshiro256StarStar& rng);
+
+ private:
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Poisson(lambda). Uses inversion by sequential search for small
+/// lambda and the PTRS transformed-rejection method (Hörmann 1993) for
+/// lambda >= 10, so generation stays O(1) per sample at catalogue
+/// scale.
+class PoissonSampler {
+ public:
+  explicit PoissonSampler(double lambda);
+
+  std::uint32_t sample(Xoshiro256StarStar& rng);
+
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  std::uint32_t sample_inversion(Xoshiro256StarStar& rng);
+  std::uint32_t sample_ptrs(Xoshiro256StarStar& rng);
+
+  double lambda_;
+  // Inversion constants.
+  double exp_neg_lambda_ = 0.0;
+  // PTRS constants.
+  double b_ = 0.0, a_ = 0.0, inv_alpha_ = 0.0, v_r_ = 0.0;
+};
+
+/// Negative binomial with mean `mean` and dispersion `k` (variance =
+/// mean + mean^2 / k). Sampled as a Poisson-gamma mixture; k -> inf
+/// degenerates to Poisson(mean). Models clustered event years.
+class NegativeBinomialSampler {
+ public:
+  NegativeBinomialSampler(double mean, double k);
+
+  std::uint32_t sample(Xoshiro256StarStar& rng);
+
+  double mean() const noexcept { return mean_; }
+  double dispersion() const noexcept { return k_; }
+
+ private:
+  double mean_;
+  double k_;
+};
+
+/// Gamma(shape, scale) via Marsaglia-Tsang (2000); shape < 1 handled by
+/// the boost trick U^{1/shape} * Gamma(shape+1).
+class GammaSampler {
+ public:
+  GammaSampler(double shape, double scale);
+
+  double sample(Xoshiro256StarStar& rng);
+
+ private:
+  double shape_, scale_;
+  NormalSampler normal_;
+};
+
+/// Lognormal with parameters of the underlying normal (mu, sigma).
+class LognormalSampler {
+ public:
+  LognormalSampler(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+
+  /// Construct from the desired mean and coefficient of variation of
+  /// the lognormal itself (how loss models are usually parameterised).
+  static LognormalSampler from_mean_cv(double mean, double cv);
+
+  double sample(Xoshiro256StarStar& rng);
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+  NormalSampler normal_;
+};
+
+/// Pareto (type I) with scale x_m > 0 and shape alpha > 0; heavy tail
+/// for extreme-loss events.
+class ParetoSampler {
+ public:
+  ParetoSampler(double x_m, double alpha) : x_m_(x_m), alpha_(alpha) {}
+
+  double sample(Xoshiro256StarStar& rng);
+
+ private:
+  double x_m_, alpha_;
+};
+
+/// Beta(a, b) via two gamma draws; used for damage-ratio secondary
+/// uncertainty.
+class BetaSampler {
+ public:
+  BetaSampler(double a, double b);
+
+  double sample(Xoshiro256StarStar& rng);
+
+ private:
+  GammaSampler ga_, gb_;
+};
+
+}  // namespace ara::synth

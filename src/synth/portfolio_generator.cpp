@@ -1,0 +1,77 @@
+#include "synth/portfolio_generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "synth/rng.hpp"
+
+namespace ara::synth {
+
+ara::Portfolio generate_portfolio(const Catalogue& catalogue,
+                                  const PortfolioGeneratorConfig& config) {
+  if (config.elt_count == 0 || config.layer_count == 0) {
+    throw std::invalid_argument(
+        "generate_portfolio: elt_count and layer_count must be > 0");
+  }
+  if (config.min_elts_per_layer == 0 ||
+      config.min_elts_per_layer > config.max_elts_per_layer) {
+    throw std::invalid_argument(
+        "generate_portfolio: bad min/max ELTs per layer");
+  }
+
+  // ELT pool: each table gets its own sub-stream and slightly varied
+  // financial terms around the template.
+  std::vector<ara::Elt> elts;
+  elts.reserve(config.elt_count);
+  for (std::size_t i = 0; i < config.elt_count; ++i) {
+    EltGeneratorConfig ec = config.elt;
+    ec.seed = substream(config.seed, i);
+    Xoshiro256StarStar trng(substream(config.seed, 1000 + i));
+    ec.terms.retention = config.elt.terms.retention *
+                         (0.8 + 0.4 * trng.next_double());
+    elts.push_back(generate_elt(catalogue, ec));
+  }
+
+  Xoshiro256StarStar rng(substream(config.seed, 0xA11C));
+  std::vector<ara::Layer> layers;
+  layers.reserve(config.layer_count);
+  std::vector<std::size_t> pool(config.elt_count);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+
+  for (std::size_t l = 0; l < config.layer_count; ++l) {
+    const std::size_t hi =
+        std::min(config.max_elts_per_layer, config.elt_count);
+    const std::size_t lo = std::min(config.min_elts_per_layer, hi);
+    const std::size_t count =
+        lo + static_cast<std::size_t>(rng.next_below(hi - lo + 1));
+
+    // Partial Fisher-Yates: draw `count` distinct pool indices.
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+
+    ara::Layer layer;
+    layer.name = "layer_" + std::to_string(l);
+    layer.elt_indices.assign(pool.begin(),
+                             pool.begin() + static_cast<std::ptrdiff_t>(count));
+    std::sort(layer.elt_indices.begin(), layer.elt_indices.end());
+
+    const double mean_loss = config.elt.mean_loss;
+    layer.terms.occ_retention = config.occ_retention_mult * mean_loss;
+    layer.terms.occ_limit = config.occ_limit_mult * mean_loss;
+    layer.terms.agg_retention =
+        config.agg_retention_mult * mean_loss * static_cast<double>(count);
+    layer.terms.agg_limit =
+        config.agg_limit_mult * mean_loss * static_cast<double>(count);
+    layers.push_back(std::move(layer));
+  }
+
+  return ara::Portfolio(std::move(elts), std::move(layers));
+}
+
+}  // namespace ara::synth

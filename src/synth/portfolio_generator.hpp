@@ -1,0 +1,38 @@
+// Portfolio generator: builds a pool of ELTs and a book of layers over
+// them. Layer terms are sized from the expected loss level of the
+// covered ELTs, so retention and limit sit in the working range of the
+// loss distribution (contracts that never attach or always exhaust
+// would make the numerics trivially degenerate).
+#pragma once
+
+#include <cstdint>
+
+#include "core/layer.hpp"
+#include "synth/catalogue.hpp"
+#include "synth/elt_generator.hpp"
+
+namespace ara::synth {
+
+struct PortfolioGeneratorConfig {
+  std::size_t elt_count = 15;        ///< size of the ELT pool
+  std::size_t layer_count = 1;
+  std::size_t min_elts_per_layer = 3;   ///< paper: 3-30 ELTs per layer
+  std::size_t max_elts_per_layer = 30;
+  EltGeneratorConfig elt;            ///< template for every generated ELT
+  /// Occurrence retention/limit as multiples of one ELT's mean loss.
+  double occ_retention_mult = 0.5;
+  double occ_limit_mult = 20.0;
+  /// Aggregate retention/limit as multiples of the layer's expected
+  /// annual loss scale.
+  double agg_retention_mult = 2.0;
+  double agg_limit_mult = 50.0;
+  std::uint64_t seed = 2013;
+};
+
+/// Generates a portfolio over `catalogue`. Layers draw a uniform
+/// number of ELTs in [min, max] from the pool without replacement
+/// (ELTs may be shared across layers, as in the paper).
+ara::Portfolio generate_portfolio(const Catalogue& catalogue,
+                                  const PortfolioGeneratorConfig& config);
+
+}  // namespace ara::synth

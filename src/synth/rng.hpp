@@ -1,0 +1,96 @@
+// Deterministic random number generation for synthetic workload
+// construction. Two generators are provided:
+//
+//  * SplitMix64 — a tiny stateless-seedable generator used for seeding
+//    and for cheap hashing-style randomness.
+//  * Xoshiro256StarStar — the main generator (fast, 256-bit state,
+//    passes BigCrush) used by all distribution samplers.
+//
+// Every generator is deterministic given its seed, so data sets used by
+// tests and benchmarks are exactly reproducible across runs and
+// platforms. Per-trial / per-ELT sub-streams are derived with
+// `substream(seed, index)`, which hashes the pair — independent streams
+// without the correlation hazards of sequential seeding.
+#pragma once
+
+#include <cstdint>
+
+namespace ara::synth {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used for seed expansion.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). UniformRandomBitGenerator-
+/// compatible so it can also feed <random> adaptors if ever needed.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (rejection
+  /// sampling over the largest multiple of `bound`).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const std::uint64_t limit = (~0ULL) - (~0ULL) % bound;
+    for (;;) {
+      const std::uint64_t x = next();
+      if (x < limit) return x % bound;
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Derives a seed for sub-stream `index` of a master seed. Uses
+/// SplitMix64's finalizer as a mixing function; distinct (seed, index)
+/// pairs give statistically independent streams.
+inline std::uint64_t substream(std::uint64_t seed, std::uint64_t index) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return sm.next();
+}
+
+}  // namespace ara::synth

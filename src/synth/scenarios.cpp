@@ -1,0 +1,105 @@
+#include "synth/scenarios.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ara::synth {
+
+WorkloadShape paper_shape() {
+  WorkloadShape s;
+  s.trials = 1000000;
+  s.events_per_trial = 1000.0;
+  s.catalogue_size = 2000000;
+  s.elts_per_layer = 15;
+  s.elt_records = 20000;
+  s.layers = 1;
+  return s;
+}
+
+Scenario tiny(std::size_t trials, std::uint64_t seed) {
+  Catalogue catalogue = Catalogue::make(100, 3, 20.0);
+
+  YetGeneratorConfig yc;
+  yc.trials = trials;
+  yc.seed = seed;
+  ara::Yet yet = generate_yet(catalogue, yc);
+
+  PortfolioGeneratorConfig pc;
+  pc.elt_count = 4;
+  pc.layer_count = 2;
+  pc.min_elts_per_layer = 2;
+  pc.max_elts_per_layer = 4;
+  pc.elt.record_count = 30;
+  pc.elt.mean_loss = 1000.0;
+  pc.elt.terms.retention = 50.0;
+  pc.elt.terms.limit = 100000.0;
+  pc.elt.terms.share = 0.9;
+  pc.seed = seed + 1;
+  ara::Portfolio portfolio = generate_portfolio(catalogue, pc);
+
+  return {std::move(catalogue), std::move(yet), std::move(portfolio)};
+}
+
+Scenario paper_scaled(std::size_t scale_down, std::uint64_t seed) {
+  if (scale_down == 0) {
+    throw std::invalid_argument("paper_scaled: scale_down must be > 0");
+  }
+  const WorkloadShape shape = paper_shape();
+  const std::size_t trials = std::max<std::size_t>(8, shape.trials / scale_down);
+  const auto catalogue_size = static_cast<ara::EventId>(std::max<std::size_t>(
+      2000, shape.catalogue_size / scale_down));
+  const std::size_t records = std::max<std::size_t>(
+      20, shape.elt_records / scale_down);
+
+  Catalogue catalogue = Catalogue::make(catalogue_size, 6, 1000.0);
+
+  YetGeneratorConfig yc;
+  yc.trials = trials;
+  yc.target_events_per_trial = shape.events_per_trial;
+  yc.seed = seed;
+  ara::Yet yet = generate_yet(catalogue, yc);
+
+  PortfolioGeneratorConfig pc;
+  pc.elt_count = shape.elts_per_layer;
+  pc.layer_count = 1;
+  pc.min_elts_per_layer = shape.elts_per_layer;
+  pc.max_elts_per_layer = shape.elts_per_layer;
+  pc.elt.record_count = records;
+  pc.elt.mean_loss = 2.0e6;
+  pc.elt.cv = 2.5;
+  pc.elt.terms.retention = 1.0e5;
+  pc.elt.terms.limit = 5.0e8;
+  pc.elt.terms.share = 0.8;
+  pc.seed = seed + 1;
+  ara::Portfolio portfolio = generate_portfolio(catalogue, pc);
+
+  return {std::move(catalogue), std::move(yet), std::move(portfolio)};
+}
+
+Scenario multi_layer_book(std::size_t layers, std::size_t trials,
+                          std::uint64_t seed) {
+  Catalogue catalogue = Catalogue::make(50000, 6, 800.0);
+
+  YetGeneratorConfig yc;
+  yc.trials = trials;
+  yc.clustering_k = 4.0;  // clustered years exercise the NB path
+  yc.seed = seed;
+  ara::Yet yet = generate_yet(catalogue, yc);
+
+  PortfolioGeneratorConfig pc;
+  pc.elt_count = 40;
+  pc.layer_count = layers;
+  pc.min_elts_per_layer = 3;
+  pc.max_elts_per_layer = 30;
+  pc.elt.record_count = 500;
+  pc.elt.mean_loss = 5.0e5;
+  pc.elt.severity = SeverityModel::kPareto;
+  pc.elt.terms.retention = 2.0e4;
+  pc.elt.terms.limit = 1.0e8;
+  pc.seed = seed + 1;
+  ara::Portfolio portfolio = generate_portfolio(catalogue, pc);
+
+  return {std::move(catalogue), std::move(yet), std::move(portfolio)};
+}
+
+}  // namespace ara::synth

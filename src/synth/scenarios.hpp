@@ -1,0 +1,63 @@
+// Scenario presets: ready-made (catalogue, YET, portfolio) bundles.
+//
+// `paper_scale()` describes the paper's headline workload (1 layer of
+// 15 ELTs x 20k losses over a 2M-event catalogue; 1M trials x 1000
+// events). Materialising it needs ~12 GB of host RAM and hours of
+// single-core compute, so benchmarks run `paper_scaled(f)` — the same
+// shape with trial count and catalogue scaled down by f — and
+// extrapolate with the cost models (exact, because operation counts
+// are linear in trials).
+#pragma once
+
+#include <cstdint>
+
+#include "core/layer.hpp"
+#include "core/yet.hpp"
+#include "synth/catalogue.hpp"
+#include "synth/portfolio_generator.hpp"
+#include "synth/yet_generator.hpp"
+
+namespace ara::synth {
+
+/// A fully materialised workload.
+struct Scenario {
+  Catalogue catalogue;
+  ara::Yet yet;
+  ara::Portfolio portfolio;
+};
+
+/// Parameters describing a workload without materialising it.
+struct WorkloadShape {
+  std::size_t trials = 0;
+  double events_per_trial = 0.0;
+  ara::EventId catalogue_size = 0;
+  std::size_t elts_per_layer = 0;
+  std::size_t elt_records = 0;
+  std::size_t layers = 0;
+
+  /// Total event occurrences across the YET.
+  double total_events() const {
+    return static_cast<double>(trials) * events_per_trial;
+  }
+};
+
+/// The paper's headline workload shape (Section IV).
+WorkloadShape paper_shape();
+
+/// A tiny deterministic scenario for unit tests: 100-event catalogue,
+/// `trials` trials of ~20 events, 2 layers over 4 ELTs.
+Scenario tiny(std::size_t trials = 64, std::uint64_t seed = 1);
+
+/// A small-to-medium scenario preserving the paper workload's *shape*
+/// (15 ELTs on one layer, 1000 events/trial) with the trial count and
+/// catalogue scaled by `1/scale_down`. scale_down = 100 gives 10,000
+/// trials over a 20,000-event catalogue — laptop-sized.
+Scenario paper_scaled(std::size_t scale_down = 100, std::uint64_t seed = 2013);
+
+/// A multi-layer book: `layers` contracts of 3-30 ELTs over a shared
+/// pool (exercises the outer layer loop the headline workload does
+/// not).
+Scenario multi_layer_book(std::size_t layers = 16, std::size_t trials = 2000,
+                          std::uint64_t seed = 77);
+
+}  // namespace ara::synth

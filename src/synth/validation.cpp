@@ -1,0 +1,160 @@
+#include "synth/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ara::synth {
+
+bool YetValidation::healthy(double max_z, double season_tol,
+                            double chi2_sigmas) const {
+  for (const RegionValidation& r : regions) {
+    if (std::abs(r.rate_z_score) > max_z) return false;
+    if (std::abs(r.observed_in_season - r.expected_in_season) > season_tol) {
+      return false;
+    }
+    if (r.id_buckets > 1) {
+      // chi2 with k-1 dof has mean k-1 and variance 2(k-1).
+      const double dof = static_cast<double>(r.id_buckets - 1);
+      if (r.id_chi2_stat > dof + chi2_sigmas * std::sqrt(2.0 * dof)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+YetValidation validate_yet(const Catalogue& catalogue, const Yet& yet,
+                           double rate_scale) {
+  if (catalogue.size() != yet.catalogue_size()) {
+    throw std::invalid_argument(
+        "validate_yet: YET and catalogue sizes differ");
+  }
+  if (yet.trial_count() == 0) {
+    throw std::invalid_argument("validate_yet: empty YET");
+  }
+  if (!(rate_scale > 0.0)) {
+    throw std::invalid_argument("validate_yet: rate_scale must be > 0");
+  }
+
+  const auto& regions = catalogue.regions();
+  const std::size_t nregions = regions.size();
+  const double trials = static_cast<double>(yet.trial_count());
+
+  // Per-region, per-trial occurrence counts and in-season tallies.
+  std::vector<std::vector<std::uint32_t>> counts(
+      nregions, std::vector<std::uint32_t>(yet.trial_count(), 0));
+  std::vector<std::uint64_t> in_season(nregions, 0);
+  std::vector<std::uint64_t> totals(nregions, 0);
+
+  // Event-id uniformity buckets per region.
+  constexpr std::size_t kMaxBuckets = 16;
+  std::vector<std::vector<std::uint64_t>> buckets(nregions);
+  std::vector<std::size_t> bucket_count(nregions);
+  for (std::size_t r = 0; r < nregions; ++r) {
+    bucket_count[r] = std::min<std::size_t>(
+        kMaxBuckets, std::max<std::size_t>(1, regions[r].event_count() / 8));
+    buckets[r].assign(bucket_count[r], 0);
+  }
+
+  auto region_of = [&](EventId e) {
+    // Regions tile [1, size]; binary search the first region whose
+    // last_event >= e.
+    std::size_t lo = 0, hi = nregions - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (regions[mid].last_event < e) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  for (TrialId t = 0; t < yet.trial_count(); ++t) {
+    for (const EventOccurrence& o : yet.trial(t)) {
+      const std::size_t r = region_of(o.event);
+      ++counts[r][t];
+      ++totals[r];
+      const PerilRegion& region = regions[r];
+      if (o.time >= region.season_start && o.time <= region.season_end) {
+        ++in_season[r];
+      }
+      const std::uint64_t offset = o.event - region.first_event;
+      const std::size_t b = static_cast<std::size_t>(
+          offset * bucket_count[r] / region.event_count());
+      ++buckets[r][b];
+    }
+  }
+
+  YetValidation out;
+  out.regions.reserve(nregions);
+  for (std::size_t r = 0; r < nregions; ++r) {
+    const PerilRegion& region = regions[r];
+    RegionValidation v;
+    v.region = region.name;
+    v.expected_rate = region.annual_rate * rate_scale;
+    v.observed_rate = static_cast<double>(totals[r]) / trials;
+
+    // Poisson: se of the mean over n trials = sqrt(lambda / n).
+    const double se =
+        std::sqrt(std::max(v.expected_rate, 1e-12) / trials);
+    v.rate_z_score = (v.observed_rate - v.expected_rate) / se;
+
+    // Expected in-window fraction: seasonal draws land inside with
+    // probability 1; uniform draws with window/365.
+    const double window =
+        static_cast<double>(region.season_end - region.season_start + 1) /
+        365.0;
+    v.expected_in_season =
+        region.seasonality + (1.0 - region.seasonality) * window;
+    v.observed_in_season =
+        totals[r] == 0 ? 0.0
+                       : static_cast<double>(in_season[r]) /
+                             static_cast<double>(totals[r]);
+
+    // Dispersion of annual counts.
+    double mean = 0.0;
+    for (const std::uint32_t c : counts[r]) mean += c;
+    mean /= trials;
+    double var = 0.0;
+    for (const std::uint32_t c : counts[r]) {
+      var += (c - mean) * (c - mean);
+    }
+    var /= std::max(1.0, trials - 1.0);
+    v.dispersion = mean > 0.0 ? var / mean : 0.0;
+
+    // Chi-square over id buckets (bucket widths are near-equal; use
+    // exact expected counts per bucket).
+    v.id_buckets = bucket_count[r];
+    if (totals[r] > 0 && bucket_count[r] > 1) {
+      double chi2 = 0.0;
+      for (std::size_t b = 0; b < bucket_count[r]; ++b) {
+        // Events in bucket b: ids with offset*B/N == b.
+        const std::uint64_t lo_id =
+            (static_cast<std::uint64_t>(b) * region.event_count() +
+             bucket_count[r] - 1) /
+            bucket_count[r];
+        const std::uint64_t hi_id =
+            (static_cast<std::uint64_t>(b + 1) * region.event_count() +
+             bucket_count[r] - 1) /
+            bucket_count[r];
+        const double width = static_cast<double>(hi_id - lo_id) /
+                             static_cast<double>(region.event_count());
+        const double expect = static_cast<double>(totals[r]) * width;
+        if (expect <= 0.0) continue;
+        const double diff = static_cast<double>(buckets[r][b]) - expect;
+        chi2 += diff * diff / expect;
+      }
+      v.id_chi2_stat = chi2;
+    }
+
+    out.total_expected_rate += v.expected_rate;
+    out.total_observed_rate += v.observed_rate;
+    out.regions.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace ara::synth

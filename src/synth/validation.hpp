@@ -1,0 +1,60 @@
+// Statistical validation of a Year Event Table against its catalogue —
+// the capability the paper attributes to pre-simulated YETs ("a
+// pre-simulated YET lends itself to statistical validation and to
+// tuning for seasonality and cluster effects", Sec. I).
+//
+// Checks implemented:
+//  * per-region occurrence rates vs the catalogue's annual rates
+//    (z-score of the observed mean against the Poisson expectation),
+//  * seasonality: observed in-window timestamp fraction vs the
+//    region's seasonality parameter,
+//  * dispersion: variance-to-mean ratio of annual counts (detects
+//    clustering, ~1 for Poisson years),
+//  * uniformity of event ids within each region (chi-square over
+//    equal-width id buckets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/yet.hpp"
+#include "synth/catalogue.hpp"
+
+namespace ara::synth {
+
+/// Validation outcome for one peril region.
+struct RegionValidation {
+  std::string region;
+  double expected_rate = 0.0;     ///< catalogue annual rate
+  double observed_rate = 0.0;     ///< mean occurrences per trial
+  double rate_z_score = 0.0;      ///< (obs-exp)/se; |z|<~4 is healthy
+  double expected_in_season = 0.0;///< expected in-window fraction
+  double observed_in_season = 0.0;
+  double dispersion = 0.0;        ///< var/mean of annual counts
+  double id_chi2_stat = 0.0;      ///< chi-square over id buckets
+  std::size_t id_buckets = 0;     ///< degrees of freedom + 1
+};
+
+/// Full validation report.
+struct YetValidation {
+  std::vector<RegionValidation> regions;
+  double total_expected_rate = 0.0;
+  double total_observed_rate = 0.0;
+
+  /// True when every region's rate z-score is within `max_z`, the
+  /// seasonality fractions are within `season_tol`, and the chi-square
+  /// statistics are within `chi2_sigmas` standard deviations of their
+  /// degrees of freedom.
+  bool healthy(double max_z = 4.0, double season_tol = 0.05,
+               double chi2_sigmas = 5.0) const;
+};
+
+/// Validates `yet` against `catalogue`. The YET must index the same
+/// catalogue size (throws std::invalid_argument otherwise).
+/// `rate_scale` is the factor the generator applied to the catalogue's
+/// native rates (YetGeneratorConfig::target_events_per_trial rescaling);
+/// 1.0 for natively generated tables.
+YetValidation validate_yet(const Catalogue& catalogue, const Yet& yet,
+                           double rate_scale = 1.0);
+
+}  // namespace ara::synth

@@ -1,0 +1,79 @@
+#include "synth/yet_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "synth/distributions.hpp"
+
+namespace ara::synth {
+
+namespace {
+
+// Draws a day-of-year for a region: with probability `seasonality` the
+// day falls uniformly inside the season window, otherwise uniformly
+// over the whole year.
+ara::Timestamp draw_timestamp(const PerilRegion& region,
+                              Xoshiro256StarStar& rng) {
+  const bool in_season = rng.next_double() < region.seasonality;
+  if (in_season) {
+    const auto span = static_cast<std::uint64_t>(region.season_end -
+                                                 region.season_start + 1);
+    return region.season_start +
+           static_cast<ara::Timestamp>(rng.next_below(span));
+  }
+  return 1 + static_cast<ara::Timestamp>(rng.next_below(365));
+}
+
+}  // namespace
+
+ara::Yet generate_yet(const Catalogue& catalogue,
+                      const YetGeneratorConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("generate_yet: trials must be > 0");
+  }
+  double rate_scale = 1.0;
+  if (config.target_events_per_trial > 0.0) {
+    const double native = catalogue.total_annual_rate();
+    if (native <= 0.0) {
+      throw std::invalid_argument(
+          "generate_yet: catalogue has zero annual rate");
+    }
+    rate_scale = config.target_events_per_trial / native;
+  }
+
+  std::vector<std::vector<ara::EventOccurrence>> trials(config.trials);
+  std::vector<ara::EventOccurrence> year;
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    Xoshiro256StarStar rng(substream(config.seed, t));
+    year.clear();
+    for (const PerilRegion& region : catalogue.regions()) {
+      const double lambda = region.annual_rate * rate_scale;
+      std::uint32_t count = 0;
+      if (config.clustering_k > 0.0) {
+        NegativeBinomialSampler nb(lambda, config.clustering_k);
+        count = nb.sample(rng);
+      } else {
+        PoissonSampler poisson(lambda);
+        count = poisson.sample(rng);
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ara::EventOccurrence occ;
+        occ.event = region.first_event + static_cast<ara::EventId>(
+                                             rng.next_below(region.event_count()));
+        occ.time = draw_timestamp(region, rng);
+        year.push_back(occ);
+      }
+    }
+    std::sort(year.begin(), year.end(),
+              [](const ara::EventOccurrence& a, const ara::EventOccurrence& b) {
+                return a.time < b.time ||
+                       (a.time == b.time && a.event < b.event);
+              });
+    trials[t] = year;
+  }
+  return ara::Yet(trials, catalogue.size());
+}
+
+}  // namespace ara::synth

@@ -1,0 +1,86 @@
+#include "synth/catalogue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ara::synth {
+namespace {
+
+TEST(Catalogue, MakeTilesIdSpace) {
+  const Catalogue cat = Catalogue::make(1000, 4, 100.0);
+  EXPECT_EQ(cat.size(), 1000u);
+  ASSERT_EQ(cat.regions().size(), 4u);
+  ara::EventId expect = 1;
+  for (const PerilRegion& r : cat.regions()) {
+    EXPECT_EQ(r.first_event, expect);
+    expect = r.last_event + 1;
+  }
+  EXPECT_EQ(expect, 1001u);
+}
+
+TEST(Catalogue, MakeDistributesRateProportionally) {
+  const Catalogue cat = Catalogue::make(1000, 4, 100.0);
+  EXPECT_NEAR(cat.total_annual_rate(), 100.0, 1e-9);
+  for (const PerilRegion& r : cat.regions()) {
+    EXPECT_NEAR(r.annual_rate,
+                100.0 * r.event_count() / 1000.0, 1e-9);
+  }
+}
+
+TEST(Catalogue, MakeHandlesUnevenSplit) {
+  const Catalogue cat = Catalogue::make(10, 3, 30.0);
+  ASSERT_EQ(cat.regions().size(), 3u);
+  EXPECT_EQ(cat.regions()[0].event_count(), 4u);
+  EXPECT_EQ(cat.regions()[1].event_count(), 3u);
+  EXPECT_EQ(cat.regions()[2].event_count(), 3u);
+}
+
+TEST(Catalogue, MakeAssignsSeasonalityProfiles) {
+  const Catalogue cat = Catalogue::make(300, 3, 30.0);
+  EXPECT_GT(cat.regions()[0].seasonality, 0.5);   // hurricane profile
+  EXPECT_DOUBLE_EQ(cat.regions()[1].seasonality, 0.0);  // earthquake
+  EXPECT_GT(cat.regions()[2].seasonality, 0.0);   // flood
+}
+
+TEST(Catalogue, MakeRejectsBadArguments) {
+  EXPECT_THROW(Catalogue::make(0, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Catalogue::make(10, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Catalogue::make(3, 10, 1.0), std::invalid_argument);
+}
+
+TEST(Catalogue, ExplicitRegionsValidated) {
+  PerilRegion a{"a", 1, 50, 5.0, 0.0, 1, 365};
+  PerilRegion b{"b", 51, 100, 5.0, 0.0, 1, 365};
+  EXPECT_NO_THROW(Catalogue(100, {a, b}));
+
+  // Gap between regions.
+  PerilRegion gap{"gap", 60, 100, 5.0, 0.0, 1, 365};
+  EXPECT_THROW(Catalogue(100, {a, gap}), std::invalid_argument);
+
+  // Not covering the full space.
+  EXPECT_THROW(Catalogue(200, {a, b}), std::invalid_argument);
+
+  // Bad seasonality.
+  PerilRegion bad_season{"s", 1, 100, 5.0, 1.5, 1, 365};
+  EXPECT_THROW(Catalogue(100, {bad_season}), std::invalid_argument);
+
+  // Inverted season window.
+  PerilRegion bad_window{"w", 1, 100, 5.0, 0.5, 200, 100};
+  EXPECT_THROW(Catalogue(100, {bad_window}), std::invalid_argument);
+
+  // Negative rate.
+  PerilRegion bad_rate{"r", 1, 100, -1.0, 0.0, 1, 365};
+  EXPECT_THROW(Catalogue(100, {bad_rate}), std::invalid_argument);
+}
+
+TEST(Catalogue, PaperScaleCatalogueConstructs) {
+  // 2M events, the paper's catalogue size; regions only hold ranges so
+  // this is cheap.
+  const Catalogue cat = Catalogue::make(2000000, 12, 1000.0);
+  EXPECT_EQ(cat.size(), 2000000u);
+  EXPECT_NEAR(cat.total_annual_rate(), 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ara::synth

@@ -1,0 +1,74 @@
+// The paper's rejected "second implementation": the combined-ELT GPU
+// engine must produce identical results to the independent-table
+// engines while the cost model charges its extra coordination traffic.
+#include <gtest/gtest.h>
+
+#include "core/engine_factory.hpp"
+#include "core/gpu_engines.hpp"
+#include "core/reference_engine.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+TEST(GpuCombinedTableEngine, ResultsBitwiseEqualReference) {
+  const synth::Scenario s = synth::tiny(96, 81);
+  EngineConfig cfg;
+  cfg.block_threads = 128;
+  GpuCombinedTableEngine engine(simgpu::tesla_c2075(), cfg);
+  ReferenceEngine ref;
+  const auto expect = ref.run(s.portfolio, s.yet);
+  const auto got = engine.run(s.portfolio, s.yet);
+  for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
+    for (TrialId t = 0; t < expect.ylt.trial_count(); ++t) {
+      ASSERT_EQ(got.ylt.annual_loss(l, t), expect.ylt.annual_loss(l, t))
+          << "layer " << l << " trial " << t;
+      ASSERT_EQ(got.ylt.max_occurrence_loss(l, t),
+                expect.ylt.max_occurrence_loss(l, t));
+    }
+  }
+}
+
+TEST(GpuCombinedTableEngine, SlowerThanIndependentTablesBasic) {
+  // The paper: "the second implementation has comparatively poorer
+  // performance than the first" — the combined engine's simulated
+  // time must exceed the basic independent-tables engine at the same
+  // block size.
+  const synth::Scenario s = synth::paper_scaled(20000, 82);
+  EngineConfig cfg;
+  cfg.block_threads = 256;
+  GpuCombinedTableEngine combined(simgpu::tesla_c2075(), cfg);
+  GpuBasicEngine basic(simgpu::tesla_c2075(),
+                       paper_config(EngineKind::kGpuBasic));
+  const double tc = combined.run(s.portfolio, s.yet).simulated_seconds;
+  const double tb = basic.run(s.portfolio, s.yet).simulated_seconds;
+  EXPECT_GT(tc, tb);
+}
+
+TEST(GpuCombinedTableEngine, ChargesCoordinationTraffic) {
+  const synth::Scenario s = synth::tiny(32, 83);
+  EngineConfig cfg;
+  cfg.block_threads = 128;
+  GpuCombinedTableEngine engine(simgpu::tesla_c2075(), cfg);
+  const auto r = engine.run(s.portfolio, s.yet);
+  // Two shared accesses per lookup plus the scratch traffic.
+  EXPECT_GE(r.ops.shared_accesses, 2 * r.ops.elt_lookups);
+}
+
+TEST(GpuCombinedTableEngine, MultiLayerBook) {
+  const synth::Scenario s = synth::multi_layer_book(5, 64, 84);
+  EngineConfig cfg;
+  cfg.block_threads = 64;
+  GpuCombinedTableEngine engine(simgpu::tesla_m2090(), cfg);
+  ReferenceEngine ref;
+  const auto expect = ref.run(s.portfolio, s.yet);
+  const auto got = engine.run(s.portfolio, s.yet);
+  for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
+    for (TrialId t = 0; t < expect.ylt.trial_count(); ++t) {
+      ASSERT_EQ(got.ylt.annual_loss(l, t), expect.ylt.annual_loss(l, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,118 @@
+#include "io/compressed_yet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/binary.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara::io {
+namespace {
+
+TEST(CompressedYet, RoundTripPreservesEverything) {
+  const synth::Scenario s = synth::tiny(64, 51);
+  std::stringstream buf;
+  write_yet_compressed(buf, s.yet);
+  const Yet loaded = read_yet_compressed(buf);
+  EXPECT_EQ(loaded.catalogue_size(), s.yet.catalogue_size());
+  EXPECT_EQ(loaded.trial_count(), s.yet.trial_count());
+  EXPECT_EQ(loaded.occurrences(), s.yet.occurrences());
+  EXPECT_EQ(loaded.offsets(), s.yet.offsets());
+}
+
+TEST(CompressedYet, RoundTripPaperShapedWorkload) {
+  const synth::Scenario s = synth::paper_scaled(5000, 52);
+  std::stringstream buf;
+  write_yet_compressed(buf, s.yet);
+  const Yet loaded = read_yet_compressed(buf);
+  EXPECT_EQ(loaded.occurrences(), s.yet.occurrences());
+}
+
+TEST(CompressedYet, SmallerThanUncompressedFormat) {
+  const synth::Scenario s = synth::paper_scaled(5000, 53);
+  std::stringstream raw, compressed;
+  write_yet(raw, s.yet);
+  write_yet_compressed(compressed, s.yet);
+  const auto raw_size = raw.str().size();
+  const auto comp_size = compressed.str().size();
+  // Varint deltas should cut well below the 8 B/occurrence raw format
+  // (plus its 8 B/trial offsets).
+  EXPECT_LT(comp_size * 3, raw_size * 2);  // at least 1.5x smaller
+}
+
+TEST(CompressedYet, SizePredictionExact) {
+  const synth::Scenario s = synth::tiny(32, 54);
+  std::stringstream buf;
+  write_yet_compressed(buf, s.yet);
+  EXPECT_EQ(buf.str().size(), compressed_yet_bytes(s.yet));
+}
+
+TEST(CompressedYet, EmptyYetRoundTrips) {
+  const Yet empty(std::vector<std::vector<EventOccurrence>>{}, 10);
+  std::stringstream buf;
+  write_yet_compressed(buf, empty);
+  const Yet loaded = read_yet_compressed(buf);
+  EXPECT_EQ(loaded.trial_count(), 0u);
+  EXPECT_EQ(loaded.catalogue_size(), 10u);
+}
+
+TEST(CompressedYet, EmptyTrialsPreserved) {
+  const Yet yet(
+      std::vector<std::vector<EventOccurrence>>{{}, {{3, 7}}, {}}, 10);
+  std::stringstream buf;
+  write_yet_compressed(buf, yet);
+  const Yet loaded = read_yet_compressed(buf);
+  EXPECT_EQ(loaded.trial_size(0), 0u);
+  EXPECT_EQ(loaded.trial_size(1), 1u);
+  EXPECT_EQ(loaded.trial_size(2), 0u);
+}
+
+TEST(CompressedYet, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "WRONGMAGICDATA";
+  EXPECT_THROW(read_yet_compressed(buf), std::runtime_error);
+}
+
+TEST(CompressedYet, RejectsTruncation) {
+  const synth::Scenario s = synth::tiny(16, 55);
+  std::stringstream buf;
+  write_yet_compressed(buf, s.yet);
+  const std::string full = buf.str();
+  // Truncate at several points through the stream; every cut must
+  // throw, never crash or return a partial YET silently.
+  for (const std::size_t cut :
+       {std::size_t{4}, std::size_t{12}, full.size() / 4, full.size() / 2,
+        full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(read_yet_compressed(truncated), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CompressedYet, RejectsOutOfRangeEvent) {
+  // Hand-craft a stream with event id beyond the catalogue.
+  std::stringstream buf;
+  const Yet yet(std::vector<std::vector<EventOccurrence>>{{{5, 1}}}, 10);
+  write_yet_compressed(buf, yet);
+  std::string bytes = buf.str();
+  // The event varint (5) is the first byte after header + trial count
+  // varint: header = 8+4+4+8 = 24, count varint = 1 byte -> index 25.
+  ASSERT_EQ(bytes[25], 5);
+  bytes[25] = 11;  // catalogue is 10
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_yet_compressed(bad), std::runtime_error);
+}
+
+TEST(CompressedYet, FileHelpersRoundTrip) {
+  const synth::Scenario s = synth::tiny(8, 56);
+  const std::string path = ::testing::TempDir() + "/yet_compressed.bin";
+  save_yet_compressed(path, s.yet);
+  const Yet loaded = load_yet_compressed(path);
+  EXPECT_EQ(loaded.occurrences(), s.yet.occurrences());
+  EXPECT_THROW(load_yet_compressed(::testing::TempDir() + "/missing.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ara::io

@@ -1,0 +1,112 @@
+#include "core/metrics/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "synth/distributions.hpp"
+#include "synth/rng.hpp"
+
+namespace ara::metrics {
+namespace {
+
+std::vector<double> lognormal_sample(std::size_t n, std::uint64_t seed,
+                                     double cv = 1.5) {
+  synth::Xoshiro256StarStar rng(seed);
+  synth::LognormalSampler s =
+      synth::LognormalSampler::from_mean_cv(1.0e6, cv);
+  std::vector<double> out(n);
+  for (double& x : out) x = s.sample(rng);
+  return out;
+}
+
+TEST(AalConvergence, StandardErrorShrinksAsRootN) {
+  // Mild tail (cv 0.5) so the sd estimate itself is stable enough for
+  // a quantitative 1/sqrt(n) check.
+  const auto losses = lognormal_sample(40000, 1, 0.5);
+  const auto curve =
+      aal_convergence(losses, {100, 400, 1600, 6400, 25600});
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].std_error, curve[i - 1].std_error);
+  }
+  // 16x the sample (1600 -> 25600) should quarter the SE.
+  EXPECT_NEAR(curve[2].std_error / curve[4].std_error, 4.0, 0.8);
+}
+
+TEST(AalConvergence, EstimateApproachesTrueMean) {
+  const auto losses = lognormal_sample(40000, 2);
+  const auto curve = aal_convergence(losses, {40000});
+  EXPECT_NEAR(curve[0].estimate, 1.0e6, 3.0 * curve[0].std_error + 2e4);
+}
+
+TEST(AalConvergence, ValidatesSizes) {
+  const auto losses = lognormal_sample(100, 3);
+  EXPECT_THROW(aal_convergence(losses, {}), std::invalid_argument);
+  EXPECT_THROW(aal_convergence(losses, {0}), std::invalid_argument);
+  EXPECT_THROW(aal_convergence(losses, {200}), std::invalid_argument);
+  EXPECT_THROW(aal_convergence(losses, {50, 20}), std::invalid_argument);
+}
+
+TEST(QuantileConvergence, BootstrapSeShrinks) {
+  const auto losses = lognormal_sample(20000, 4);
+  const auto curve =
+      quantile_convergence(losses, 0.99, {500, 2000, 8000}, 100);
+  EXPECT_GT(curve[0].std_error, 0.0);
+  EXPECT_LT(curve[2].std_error, curve[0].std_error);
+}
+
+TEST(QuantileConvergence, DeterministicForSeed) {
+  const auto losses = lognormal_sample(2000, 5);
+  const auto a = quantile_convergence(losses, 0.95, {1000}, 50, 7);
+  const auto b = quantile_convergence(losses, 0.95, {1000}, 50, 7);
+  EXPECT_DOUBLE_EQ(a[0].std_error, b[0].std_error);
+  const auto c = quantile_convergence(losses, 0.95, {1000}, 50, 8);
+  EXPECT_NE(a[0].std_error, c[0].std_error);
+}
+
+TEST(QuantileConvergence, ValidatesReps) {
+  const auto losses = lognormal_sample(100, 6);
+  EXPECT_THROW(quantile_convergence(losses, 0.9, {50}, 1),
+               std::invalid_argument);
+}
+
+TEST(RequiredTrials, MatchesClosedForm) {
+  const auto losses = lognormal_sample(50000, 7);
+  // cv ~ 1.5; for 1% relative error at 95%: n ~ (1.96*1.5/0.01)^2 ~ 86k.
+  const std::size_t n = required_trials_for_aal(losses, 0.01, 0.95);
+  EXPECT_GT(n, 50000u);
+  EXPECT_LT(n, 150000u);
+  // Looser target -> far fewer trials; 4x looser -> 16x fewer.
+  const std::size_t loose = required_trials_for_aal(losses, 0.04, 0.95);
+  EXPECT_NEAR(static_cast<double>(n) / static_cast<double>(loose), 16.0,
+              0.5);
+}
+
+TEST(RequiredTrials, MonotoneInConfidence) {
+  const auto losses = lognormal_sample(10000, 8);
+  EXPECT_LT(required_trials_for_aal(losses, 0.01, 0.90),
+            required_trials_for_aal(losses, 0.01, 0.99));
+}
+
+TEST(RequiredTrials, Validates) {
+  const auto losses = lognormal_sample(100, 9);
+  EXPECT_THROW(required_trials_for_aal(losses, 0.0), std::invalid_argument);
+  EXPECT_THROW(required_trials_for_aal(losses, 0.01, 1.5),
+               std::invalid_argument);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_THROW(required_trials_for_aal(zeros, 0.01), std::invalid_argument);
+}
+
+TEST(RequiredTrials, PaperScaleSanity) {
+  // At the paper workload's loss profile (heavy-tailed annual losses),
+  // ~1M trials supports sub-percent AAL precision — consistent with
+  // the paper's choice of YET size.
+  const auto losses = lognormal_sample(50000, 10);
+  const std::size_t n = required_trials_for_aal(losses, 0.003, 0.95);
+  EXPECT_LT(n, 1000000u);
+}
+
+}  // namespace
+}  // namespace ara::metrics

@@ -1,0 +1,106 @@
+// Calibration tests against the paper's sequential and multi-core
+// measurements (Sections IV-A, Figures 1a/1b, 5, 6).
+#include "perf/cpu_cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/machine_profile.hpp"
+
+namespace ara::perf {
+namespace {
+
+ara::OpCounts paper_ops() {
+  ara::OpCounts ops;
+  ops.event_fetches = 1'000'000'000ULL;
+  ops.elt_lookups = 15'000'000'000ULL;
+  ops.financial_ops = 15'000'000'000ULL;
+  ops.occurrence_ops = 1'000'000'000ULL;
+  ops.aggregate_ops = 1'000'000'000ULL;
+  return ops;
+}
+
+TEST(CpuCostModel, SequentialTotalMatches337s) {
+  const CpuCostModel model(intel_i7_2600());
+  const PhaseBreakdown ph = model.estimate(paper_ops(), 1);
+  EXPECT_NEAR(ph.total(), 337.47, 3.0);
+}
+
+TEST(CpuCostModel, SequentialLookupMatches222s) {
+  const CpuCostModel model(intel_i7_2600());
+  const PhaseBreakdown ph = model.estimate(paper_ops(), 1);
+  EXPECT_NEAR(ph[Phase::kLossLookup], 222.61, 1.0);
+  // "over 65% of the time for look-up" (Sec. IV-A).
+  EXPECT_GT(ph.fraction(Phase::kLossLookup), 0.65);
+}
+
+TEST(CpuCostModel, SequentialNumericMatches104s) {
+  const CpuCostModel model(intel_i7_2600());
+  const PhaseBreakdown ph = model.estimate(paper_ops(), 1);
+  EXPECT_NEAR(ph.numeric(), 104.67, 1.5);
+  // "over 31% of the time for the numerical computations".
+  EXPECT_GT(ph.numeric() / ph.total(), 0.30);
+}
+
+TEST(CpuCostModel, SequentialFetchAbout10s) {
+  const CpuCostModel model(intel_i7_2600());
+  const PhaseBreakdown ph = model.estimate(paper_ops(), 1);
+  EXPECT_NEAR(ph[Phase::kEventFetch], 10.19, 0.5);
+}
+
+TEST(CpuCostModel, Fig1aSpeedups) {
+  const CpuCostModel model(intel_i7_2600());
+  const double t1 = model.total_seconds(paper_ops(), 1);
+  EXPECT_NEAR(t1 / model.total_seconds(paper_ops(), 2), 1.5, 0.1);
+  EXPECT_NEAR(t1 / model.total_seconds(paper_ops(), 4), 2.2, 0.15);
+  EXPECT_NEAR(t1 / model.total_seconds(paper_ops(), 8), 2.6, 0.15);
+}
+
+TEST(CpuCostModel, Fig1bOversubscription) {
+  const CpuCostModel model(intel_i7_2600());
+  const double base = model.total_seconds(paper_ops(), 8, 1);
+  const double oversub = model.total_seconds(paper_ops(), 8, 256);
+  // Paper Fig. 5: 123.5 s with 256 threads/core.
+  EXPECT_NEAR(oversub, 123.5, 6.0);
+  EXPECT_LT(oversub, base);
+  // Diminishing returns: 16 -> 256 gains less than 1 -> 16.
+  const double mid = model.total_seconds(paper_ops(), 8, 16);
+  EXPECT_GT(base - mid, mid - oversub);
+}
+
+TEST(CpuCostModel, NumericScalesLinearlyWithCores) {
+  const CpuCostModel model(intel_i7_2600());
+  const PhaseBreakdown p1 = model.estimate(paper_ops(), 1);
+  const PhaseBreakdown p4 = model.estimate(paper_ops(), 4);
+  EXPECT_NEAR(p1.numeric() / p4.numeric(), 4.0, 1e-9);
+}
+
+TEST(CpuCostModel, MemScalingFormula) {
+  const CpuCostModel model(intel_i7_2600());
+  EXPECT_DOUBLE_EQ(model.mem_scaling(1), 1.0);
+  EXPECT_GT(model.mem_scaling(2), 0.5);   // worse than perfect
+  EXPECT_LT(model.mem_scaling(2), 1.0);   // but better than nothing
+  EXPECT_GT(model.mem_scaling(8), 1.0 / 8.0);
+}
+
+TEST(CpuCostModel, OversubScalingBounded) {
+  const CpuCostModel model(intel_i7_2600());
+  EXPECT_DOUBLE_EQ(model.oversub_scaling(1), 1.0);
+  const double o256 = model.oversub_scaling(256);
+  EXPECT_LT(o256, 1.0);
+  EXPECT_GT(o256, 0.9);
+}
+
+TEST(CpuCostModel, ZeroOpsZeroTime) {
+  const CpuCostModel model(intel_i7_2600());
+  EXPECT_DOUBLE_EQ(model.total_seconds(ara::OpCounts{}, 4), 0.0);
+}
+
+TEST(MachineProfile, I7PublishedNumbers) {
+  const CpuProfile p = intel_i7_2600();
+  EXPECT_DOUBLE_EQ(p.clock_ghz, 3.40);
+  EXPECT_DOUBLE_EQ(p.mem_bandwidth_gbps, 21.0);
+  EXPECT_EQ(p.cores, 8u);
+}
+
+}  // namespace
+}  // namespace ara::perf

@@ -1,0 +1,54 @@
+#include "simgpu/device_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::simgpu {
+namespace {
+
+TEST(DeviceSpec, C2075MatchesPublishedNumbers) {
+  const DeviceSpec d = tesla_c2075();
+  EXPECT_EQ(d.name, "Tesla C2075");
+  EXPECT_EQ(d.sm_count * d.cores_per_sm, 448u);  // paper: 448 cores
+  EXPECT_DOUBLE_EQ(d.clock_ghz, 1.15);
+  EXPECT_DOUBLE_EQ(d.mem_bandwidth_gbps, 144.0);
+  EXPECT_DOUBLE_EQ(d.flops_dp, 515e9);
+  EXPECT_DOUBLE_EQ(d.flops_sp, 1.03e12);
+  EXPECT_NEAR(static_cast<double>(d.global_mem_bytes), 5.375 * (1ULL << 30),
+              1.0);
+}
+
+TEST(DeviceSpec, M2090MatchesPublishedNumbers) {
+  const DeviceSpec d = tesla_m2090();
+  EXPECT_EQ(d.sm_count * d.cores_per_sm, 512u);  // paper: 512 cores
+  EXPECT_DOUBLE_EQ(d.mem_bandwidth_gbps, 177.0);
+  EXPECT_DOUBLE_EQ(d.flops_dp, 665e9);
+  EXPECT_DOUBLE_EQ(d.flops_sp, 1.33e12);
+}
+
+TEST(DeviceSpec, FermiArchitecturalLimits) {
+  for (const DeviceSpec& d : {tesla_c2075(), tesla_m2090()}) {
+    EXPECT_EQ(d.warp_size, 32u);
+    EXPECT_EQ(d.max_threads_per_sm, 1536u);  // 48 warps
+    EXPECT_EQ(d.max_blocks_per_sm, 8u);
+    EXPECT_EQ(d.shared_mem_per_sm, 48u * 1024);
+    EXPECT_EQ(d.max_threads_per_block, 1024u);
+  }
+}
+
+TEST(DeviceSpec, MaxResidentThreads) {
+  EXPECT_EQ(tesla_c2075().max_resident_threads(), 14u * 1536);
+  EXPECT_EQ(tesla_m2090().max_resident_threads(), 16u * 1536);
+}
+
+TEST(DeviceSpec, M2090HasHigherRandomThroughputFamily) {
+  // Same architecture: identical f64 efficiency, comparable f32.
+  EXPECT_DOUBLE_EQ(tesla_c2075().random_access_efficiency_f64,
+                   tesla_m2090().random_access_efficiency_f64);
+  EXPECT_GT(tesla_m2090().mem_bandwidth_gbps *
+                tesla_m2090().random_access_efficiency_f32,
+            tesla_c2075().mem_bandwidth_gbps *
+                tesla_c2075().random_access_efficiency_f32 * 0.99);
+}
+
+}  // namespace
+}  // namespace ara::simgpu

@@ -1,0 +1,209 @@
+#include "synth/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ara::synth {
+namespace {
+
+template <typename Sampler>
+std::pair<double, double> sample_moments(Sampler& s, int n,
+                                         std::uint64_t seed = 1) {
+  Xoshiro256StarStar rng(seed);
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(s.sample(rng));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  return {mean, sum2 / n - mean * mean};
+}
+
+TEST(NormalSampler, MeanZeroVarianceOne) {
+  NormalSampler s;
+  auto [mean, var] = sample_moments(s, 200000);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(PoissonSampler, SmallLambdaMoments) {
+  PoissonSampler s(3.5);  // inversion path
+  auto [mean, var] = sample_moments(s, 200000);
+  EXPECT_NEAR(mean, 3.5, 0.03);
+  EXPECT_NEAR(var, 3.5, 0.1);
+}
+
+TEST(PoissonSampler, LargeLambdaMoments) {
+  PoissonSampler s(1000.0);  // PTRS path (the paper's 1000 events/trial)
+  auto [mean, var] = sample_moments(s, 50000);
+  EXPECT_NEAR(mean, 1000.0, 1.0);
+  EXPECT_NEAR(var, 1000.0, 30.0);
+}
+
+TEST(PoissonSampler, BoundaryLambdas) {
+  PoissonSampler zero(0.0);
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zero.sample(rng), 0u);
+  }
+  PoissonSampler tiny(1e-6);
+  int nonzero = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (tiny.sample(rng) > 0) ++nonzero;
+  }
+  EXPECT_LT(nonzero, 5);
+  EXPECT_THROW(PoissonSampler(-1.0), std::invalid_argument);
+}
+
+TEST(PoissonSampler, PtrsInversionAgreeAcrossThreshold) {
+  // Means just below/above the lambda=10 method switch should be close.
+  PoissonSampler below(9.99);
+  PoissonSampler above(10.01);
+  auto [mb, vb] = sample_moments(below, 100000, 5);
+  auto [ma, va] = sample_moments(above, 100000, 6);
+  EXPECT_NEAR(mb, 9.99, 0.1);
+  EXPECT_NEAR(ma, 10.01, 0.1);
+  (void)vb;
+  (void)va;
+}
+
+TEST(NegativeBinomial, MeanAndOverdispersion) {
+  NegativeBinomialSampler s(20.0, 4.0);  // var = 20 + 400/4 = 120
+  auto [mean, var] = sample_moments(s, 100000);
+  EXPECT_NEAR(mean, 20.0, 0.3);
+  EXPECT_NEAR(var, 120.0, 8.0);
+}
+
+TEST(NegativeBinomial, LargeKDegeneratesToPoisson) {
+  NegativeBinomialSampler s(15.0, 1e7);
+  auto [mean, var] = sample_moments(s, 100000);
+  EXPECT_NEAR(mean, 15.0, 0.2);
+  EXPECT_NEAR(var, 15.0, 1.0);  // Poisson: var == mean
+}
+
+TEST(NegativeBinomial, RejectsBadParameters) {
+  EXPECT_THROW(NegativeBinomialSampler(-1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(NegativeBinomialSampler(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(GammaSampler, MomentsMatch) {
+  GammaSampler s(3.0, 2.0);  // mean 6, var 12
+  auto [mean, var] = sample_moments(s, 200000);
+  EXPECT_NEAR(mean, 6.0, 0.05);
+  EXPECT_NEAR(var, 12.0, 0.4);
+}
+
+TEST(GammaSampler, ShapeBelowOne) {
+  GammaSampler s(0.5, 1.0);  // mean 0.5, var 0.5
+  auto [mean, var] = sample_moments(s, 200000);
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 0.5, 0.05);
+}
+
+TEST(GammaSampler, RejectsBadParameters) {
+  EXPECT_THROW(GammaSampler(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GammaSampler(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(LognormalSampler, FromMeanCvMatchesMoments) {
+  const double mean = 1e6, cv = 2.0;
+  LognormalSampler s = LognormalSampler::from_mean_cv(mean, cv);
+  Xoshiro256StarStar rng(9);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += s.sample(rng);
+  EXPECT_NEAR(sum / n, mean, 0.03 * mean);
+}
+
+TEST(LognormalSampler, AlwaysPositive) {
+  LognormalSampler s(0.0, 3.0);
+  Xoshiro256StarStar rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(s.sample(rng), 0.0);
+  }
+}
+
+TEST(LognormalSampler, FromMeanCvRejectsBadInput) {
+  EXPECT_THROW(LognormalSampler::from_mean_cv(0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(LognormalSampler::from_mean_cv(1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ParetoSampler, SupportStartsAtScale) {
+  ParetoSampler s(100.0, 2.5);
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(s.sample(rng), 100.0);
+  }
+}
+
+TEST(ParetoSampler, MeanMatchesClosedForm) {
+  // E[X] = alpha x_m / (alpha - 1) = 2.5 * 100 / 1.5
+  ParetoSampler s(100.0, 2.5);
+  Xoshiro256StarStar rng(12);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += s.sample(rng);
+  EXPECT_NEAR(sum / n, 2.5 * 100.0 / 1.5, 3.0);
+}
+
+TEST(ParetoSampler, HeavierTailThanLognormal) {
+  // With matched means, Pareto's extreme quantile should dominate.
+  ParetoSampler pareto(100.0, 1.2);
+  LognormalSampler logn = LognormalSampler::from_mean_cv(600.0, 1.0);
+  Xoshiro256StarStar r1(13), r2(14);
+  double pmax = 0.0, lmax = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    pmax = std::max(pmax, pareto.sample(r1));
+    lmax = std::max(lmax, logn.sample(r2));
+  }
+  EXPECT_GT(pmax, lmax);
+}
+
+TEST(BetaSampler, MomentsMatch) {
+  BetaSampler s(2.0, 4.0);  // mean 1/3, var = ab/((a+b)^2(a+b+1)) = 8/252
+  auto [mean, var] = sample_moments(s, 200000);
+  EXPECT_NEAR(mean, 1.0 / 3.0, 0.005);
+  EXPECT_NEAR(var, 8.0 / 252.0, 0.003);
+}
+
+TEST(BetaSampler, SupportIsUnitInterval) {
+  BetaSampler s(0.5, 0.5);
+  Xoshiro256StarStar rng(15);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = s.sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+// Reproducibility across the whole family: same seed, same stream.
+class SamplerReproducibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerReproducibility, SameSeedSameSequence) {
+  const std::uint64_t seed = 1000 + GetParam();
+  auto draw = [&](std::uint64_t s) {
+    Xoshiro256StarStar rng(s);
+    PoissonSampler poisson(12.0);
+    LognormalSampler logn(1.0, 0.5);
+    std::vector<double> out;
+    for (int i = 0; i < 50; ++i) {
+      out.push_back(static_cast<double>(poisson.sample(rng)));
+      out.push_back(logn.sample(rng));
+    }
+    return out;
+  };
+  EXPECT_EQ(draw(seed), draw(seed));
+  EXPECT_NE(draw(seed), draw(seed + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerReproducibility,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ara::synth

@@ -1,0 +1,110 @@
+#include "synth/elt_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ara::synth {
+namespace {
+
+TEST(EltGenerator, ProducesRequestedRecords) {
+  const Catalogue cat = Catalogue::make(10000, 3, 50.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 500;
+  const ara::Elt elt = generate_elt(cat, cfg);
+  EXPECT_EQ(elt.size(), 500u);
+  EXPECT_EQ(elt.catalogue_size(), 10000u);
+}
+
+TEST(EltGenerator, EventsAreDistinct) {
+  // The Elt constructor rejects duplicates, so construction succeeding
+  // is the distinctness proof; double-check the sorted order here.
+  const Catalogue cat = Catalogue::make(2000, 3, 50.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 1500;  // dense: 75% of the catalogue
+  const ara::Elt elt = generate_elt(cat, cfg);
+  for (std::size_t i = 1; i < elt.records().size(); ++i) {
+    EXPECT_LT(elt.records()[i - 1].event, elt.records()[i].event);
+  }
+}
+
+TEST(EltGenerator, LognormalMeanApproximatesTarget) {
+  const Catalogue cat = Catalogue::make(100000, 3, 50.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 20000;
+  cfg.mean_loss = 1.0e6;
+  cfg.cv = 1.0;
+  const ara::Elt elt = generate_elt(cat, cfg);
+  EXPECT_NEAR(elt.total_loss() / static_cast<double>(elt.size()), 1.0e6,
+              0.05e6);
+}
+
+TEST(EltGenerator, ParetoMeanApproximatesTarget) {
+  const Catalogue cat = Catalogue::make(100000, 3, 50.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 20000;
+  cfg.severity = SeverityModel::kPareto;
+  cfg.mean_loss = 5.0e5;
+  cfg.pareto_alpha = 2.5;  // finite variance for a stable mean test
+  const ara::Elt elt = generate_elt(cat, cfg);
+  EXPECT_NEAR(elt.total_loss() / static_cast<double>(elt.size()), 5.0e5,
+              0.1e5 * 5);
+}
+
+TEST(EltGenerator, DeterministicForSeed) {
+  const Catalogue cat = Catalogue::make(5000, 3, 50.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 100;
+  cfg.seed = 31;
+  const ara::Elt a = generate_elt(cat, cfg);
+  const ara::Elt b = generate_elt(cat, cfg);
+  EXPECT_EQ(a.records(), b.records());
+  cfg.seed = 32;
+  const ara::Elt c = generate_elt(cat, cfg);
+  EXPECT_NE(a.records(), c.records());
+}
+
+TEST(EltGenerator, CarriesFinancialTerms) {
+  const Catalogue cat = Catalogue::make(5000, 3, 50.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 10;
+  cfg.terms.retention = 123.0;
+  cfg.terms.share = 0.5;
+  const ara::Elt elt = generate_elt(cat, cfg);
+  EXPECT_DOUBLE_EQ(elt.terms().retention, 123.0);
+  EXPECT_DOUBLE_EQ(elt.terms().share, 0.5);
+}
+
+TEST(EltGenerator, RegionalEltStaysInRegion) {
+  const Catalogue cat = Catalogue::make(9000, 3, 50.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 200;
+  const ara::Elt elt = generate_regional_elt(cat, 1, cfg);
+  const PerilRegion& r = cat.regions()[1];
+  for (const ara::EventLoss& rec : elt.records()) {
+    EXPECT_GE(rec.event, r.first_event);
+    EXPECT_LE(rec.event, r.last_event);
+  }
+}
+
+TEST(EltGenerator, RejectsBadArguments) {
+  const Catalogue cat = Catalogue::make(100, 2, 5.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 0;
+  EXPECT_THROW(generate_elt(cat, cfg), std::invalid_argument);
+  cfg.record_count = 101;  // more records than catalogue events
+  EXPECT_THROW(generate_elt(cat, cfg), std::invalid_argument);
+  cfg.record_count = 10;
+  EXPECT_THROW(generate_regional_elt(cat, 5, cfg), std::invalid_argument);
+}
+
+TEST(EltGenerator, FullDensityIsPossible) {
+  const Catalogue cat = Catalogue::make(64, 1, 5.0);
+  EltGeneratorConfig cfg;
+  cfg.record_count = 64;  // every event
+  const ara::Elt elt = generate_elt(cat, cfg);
+  EXPECT_EQ(elt.size(), 64u);
+}
+
+}  // namespace
+}  // namespace ara::synth

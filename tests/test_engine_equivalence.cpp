@@ -1,0 +1,134 @@
+// The central correctness property of the paper's engineering study:
+// every implementation — sequential literal, fused, multi-core, basic
+// GPU, optimised GPU (double and float), multi-GPU — computes the same
+// Year Loss Table.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/engine_factory.hpp"
+#include "core/reference_engine.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+struct EquivCase {
+  EngineKind kind;
+  bool use_float;
+};
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<EquivCase, int>> {};
+
+std::string case_name(
+    const ::testing::TestParamInfo<EngineEquivalence::ParamType>& info) {
+  const auto& [c, scenario] = info.param;
+  return engine_kind_name(c.kind) + (c.use_float ? "_f32" : "_f64") +
+         "_s" + std::to_string(scenario);
+}
+
+synth::Scenario scenario_for(int id) {
+  switch (id) {
+    case 0:
+      return synth::tiny(64, 11);
+    case 1:
+      return synth::multi_layer_book(6, 100, 22);
+    default:
+      return synth::paper_scaled(20000, 33);  // 50 trials, paper shape
+  }
+}
+
+TEST_P(EngineEquivalence, MatchesReferenceYlt) {
+  const auto& [c, scenario_id] = GetParam();
+  const synth::Scenario s = scenario_for(scenario_id);
+
+  ReferenceEngine reference;
+  const SimulationResult expect = reference.run(s.portfolio, s.yet);
+
+  EngineConfig cfg = paper_config(c.kind);
+  cfg.use_float = c.use_float;
+  cfg.cores = 4;           // keep host thread counts sane in CI
+  cfg.threads_per_core = 2;
+  const auto engine = make_engine(c.kind, cfg, simgpu::tesla_c2075(), 3);
+  const SimulationResult got = engine->run(s.portfolio, s.yet);
+
+  ASSERT_EQ(got.ylt.layer_count(), expect.ylt.layer_count());
+  ASSERT_EQ(got.ylt.trial_count(), expect.ylt.trial_count());
+
+  // Float engines accumulate in single precision; allow relative error.
+  const double tol = c.use_float ? 2e-4 : 0.0;
+  for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
+    for (TrialId t = 0; t < expect.ylt.trial_count(); ++t) {
+      const double e = expect.ylt.annual_loss(l, t);
+      const double g = got.ylt.annual_loss(l, t);
+      ASSERT_NEAR(g, e, tol * (1.0 + std::abs(e)))
+          << "annual loss, layer " << l << " trial " << t;
+      const double eo = expect.ylt.max_occurrence_loss(l, t);
+      const double go = got.ylt.max_occurrence_loss(l, t);
+      ASSERT_NEAR(go, eo, tol * (1.0 + std::abs(eo)))
+          << "max occurrence, layer " << l << " trial " << t;
+    }
+  }
+  // Identical algorithmic work regardless of implementation.
+  EXPECT_EQ(got.ops.elt_lookups, expect.ops.elt_lookups);
+  EXPECT_EQ(got.ops.financial_ops, expect.ops.financial_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllScenarios, EngineEquivalence,
+    ::testing::Combine(
+        ::testing::Values(EquivCase{EngineKind::kSequentialFused, false},
+                          EquivCase{EngineKind::kMultiCore, false},
+                          EquivCase{EngineKind::kGpuBasic, false},
+                          EquivCase{EngineKind::kGpuOptimized, false},
+                          EquivCase{EngineKind::kGpuOptimized, true},
+                          EquivCase{EngineKind::kMultiGpu, false},
+                          EquivCase{EngineKind::kMultiGpu, true}),
+        ::testing::Values(0, 1, 2)),
+    case_name);
+
+// Double-precision engines should agree with the reference *bitwise*:
+// same operand ordering everywhere.
+class BitwiseEquivalence : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(BitwiseEquivalence, DoubleEnginesBitwiseEqual) {
+  const synth::Scenario s = synth::tiny(128, 5);
+  ReferenceEngine reference;
+  const SimulationResult expect = reference.run(s.portfolio, s.yet);
+
+  EngineConfig cfg = paper_config(GetParam());
+  cfg.use_float = false;
+  cfg.cores = 4;
+  const auto engine = make_engine(GetParam(), cfg, simgpu::tesla_c2075(), 2);
+  const SimulationResult got = engine->run(s.portfolio, s.yet);
+
+  for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
+    for (TrialId t = 0; t < expect.ylt.trial_count(); ++t) {
+      ASSERT_EQ(got.ylt.annual_loss(l, t), expect.ylt.annual_loss(l, t))
+          << "layer " << l << " trial " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DoubleEngines, BitwiseEquivalence,
+                         ::testing::Values(EngineKind::kSequentialFused,
+                                           EngineKind::kMultiCore,
+                                           EngineKind::kGpuBasic,
+                                           EngineKind::kGpuOptimized,
+                                           EngineKind::kMultiGpu),
+                         [](const auto& info) {
+                           return engine_kind_name(info.param);
+                         });
+
+TEST(EngineFactory, AllKindsConstruct) {
+  for (const EngineKind kind : all_engine_kinds()) {
+    const auto engine = make_engine(kind, paper_config(kind));
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->name(), engine_kind_name(kind));
+  }
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,170 @@
+// Calibration tests: the cost model must land on the paper's published
+// timings for the paper's workload (1.5e10 lookups, 1e9 event fetches)
+// at the paper's launch configurations. Tolerances are ~10% — the model
+// is analytic, not a curve fit per figure.
+#include "simgpu/gpu_cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::simgpu {
+namespace {
+
+// Operation counts of the paper's headline workload (one layer of 15
+// ELTs, 1e6 trials x 1000 events).
+ara::OpCounts paper_ops() {
+  ara::OpCounts ops;
+  ops.event_fetches = 1'000'000'000ULL;
+  ops.elt_lookups = 15'000'000'000ULL;
+  ops.financial_ops = 15'000'000'000ULL;
+  ops.occurrence_ops = 1'000'000'000ULL;
+  ops.aggregate_ops = 1'000'000'000ULL;
+  return ops;
+}
+
+KernelTraits basic_traits() {
+  KernelTraits t;
+  t.loss_bytes = 8;
+  t.mlp_per_thread = 1;
+  t.chunked = false;
+  t.scratch_in_global = true;
+  return t;
+}
+
+KernelTraits optimized_traits() {
+  KernelTraits t;
+  t.loss_bytes = 4;
+  t.mlp_per_thread = 16;
+  t.chunked = true;
+  t.scratch_in_global = false;
+  t.scratch_in_registers = true;
+  t.unrolled = true;
+  return t;
+}
+
+LaunchConfig basic_launch(unsigned block) {
+  LaunchConfig c;
+  c.block_threads = block;
+  c.grid_blocks = static_cast<unsigned>((1'000'000 + block - 1) / block);
+  c.regs_per_thread = 20;
+  return c;
+}
+
+LaunchConfig optimized_launch(unsigned block) {
+  LaunchConfig c;
+  c.block_threads = block;
+  c.grid_blocks = static_cast<unsigned>((1'000'000 + block - 1) / block);
+  c.shared_bytes_per_block = static_cast<std::size_t>(block) * 88 * 8 + 256;
+  c.regs_per_thread = 63;
+  return c;
+}
+
+TEST(GpuCostModel, BasicKernelMatchesPaper38s) {
+  const GpuCostModel model(tesla_c2075());
+  ara::OpCounts ops = paper_ops();
+  ops.global_updates = ops.occurrence_ops * 5;
+  const KernelCost cost =
+      model.estimate(basic_launch(256), basic_traits(), ops);
+  ASSERT_TRUE(cost.feasible);
+  // Paper: 38.47-38.49 s on the C2075.
+  EXPECT_NEAR(cost.total_seconds, 38.5, 3.5);
+  // Paper Fig. 6: basic-GPU event fetch ~ 4 s.
+  EXPECT_NEAR(cost.phases[perf::Phase::kEventFetch], 4.0, 1.0);
+}
+
+TEST(GpuCostModel, OptimizedKernelMatchesPaper20s) {
+  const GpuCostModel model(tesla_c2075());
+  const KernelCost cost =
+      model.estimate(optimized_launch(32), optimized_traits(), paper_ops());
+  ASSERT_TRUE(cost.feasible);
+  // Paper: 20.63 s total; 20.1 s lookup; 0.11 s financial+layer;
+  // < 0.5 s fetch.
+  EXPECT_NEAR(cost.total_seconds, 20.6, 2.0);
+  EXPECT_NEAR(cost.phases[perf::Phase::kLossLookup], 20.1, 2.0);
+  EXPECT_LT(cost.phases[perf::Phase::kEventFetch], 0.5);
+  EXPECT_NEAR(cost.phases[perf::Phase::kFinancialTerms] +
+                  cost.phases[perf::Phase::kOccurrenceTerms] +
+                  cost.phases[perf::Phase::kAggregateTerms],
+              0.11, 0.06);
+}
+
+TEST(GpuCostModel, QuarterWorkloadOnM2090MatchesPaper4_35s) {
+  // Each of the paper's four M2090s processes 1/4 of the trials.
+  const GpuCostModel model(tesla_m2090());
+  ara::OpCounts ops = paper_ops();
+  ops.event_fetches /= 4;
+  ops.elt_lookups /= 4;
+  ops.financial_ops /= 4;
+  ops.occurrence_ops /= 4;
+  ops.aggregate_ops /= 4;
+  LaunchConfig launch = optimized_launch(32);
+  launch.grid_blocks /= 4;
+  const KernelCost cost = model.estimate(launch, optimized_traits(), ops);
+  ASSERT_TRUE(cost.feasible);
+  EXPECT_NEAR(cost.total_seconds, 4.35, 0.45);
+  // Paper: lookup 4.25 s, financial+layer 0.02 s, fetch < 0.1 s.
+  EXPECT_NEAR(cost.phases[perf::Phase::kLossLookup], 4.25, 0.45);
+  EXPECT_LT(cost.phases[perf::Phase::kEventFetch], 0.12);
+}
+
+TEST(GpuCostModel, LookupShareOnMultiGpuIs97Percent) {
+  const GpuCostModel model(tesla_m2090());
+  ara::OpCounts ops = paper_ops();
+  LaunchConfig launch = optimized_launch(32);
+  const KernelCost cost = model.estimate(launch, optimized_traits(), ops);
+  // Paper: "97.54% of the total time is for look-up".
+  EXPECT_GT(cost.phases[perf::Phase::kLossLookup] / cost.total_seconds, 0.93);
+}
+
+TEST(GpuCostModel, LatencyHidingCurveShape) {
+  const GpuCostModel model(tesla_c2075());
+  EXPECT_DOUBLE_EQ(model.latency_hiding_efficiency(0.0), 0.0);
+  EXPECT_NEAR(model.latency_hiding_efficiency(48.0), 0.889, 0.01);
+  EXPECT_NEAR(model.latency_hiding_efficiency(32.0), 0.842, 0.01);
+  EXPECT_LT(model.latency_hiding_efficiency(16.0),
+            model.latency_hiding_efficiency(48.0));
+  EXPECT_GT(model.latency_hiding_efficiency(1000.0), 0.99);
+}
+
+TEST(GpuCostModel, InfeasibleLaunchReported) {
+  const GpuCostModel model(tesla_c2075());
+  const KernelCost cost =
+      model.estimate(optimized_launch(128), optimized_traits(), paper_ops());
+  EXPECT_FALSE(cost.feasible);
+  EXPECT_STREQ(cost.infeasible_reason, "shared_memory_per_block");
+}
+
+TEST(GpuCostModel, TransferUsesPcieBandwidth) {
+  const GpuCostModel model(tesla_c2075());
+  const double s = model.transfer_seconds(6ULL * 1000 * 1000 * 1000);
+  EXPECT_NEAR(s, 1.0, 1e-9);  // 6 GB at 6 GB/s
+}
+
+TEST(GpuCostModel, CostsScaleLinearlyInWork) {
+  const GpuCostModel model(tesla_c2075());
+  ara::OpCounts ops = paper_ops();
+  const KernelCost full =
+      model.estimate(basic_launch(256), basic_traits(), ops);
+  ara::OpCounts half = ops;
+  half.event_fetches /= 2;
+  half.elt_lookups /= 2;
+  half.financial_ops /= 2;
+  half.occurrence_ops /= 2;
+  half.aggregate_ops /= 2;
+  const KernelCost half_cost =
+      model.estimate(basic_launch(256), basic_traits(), half);
+  EXPECT_NEAR(half_cost.phases[perf::Phase::kLossLookup] * 2.0,
+              full.phases[perf::Phase::kLossLookup], 1e-9);
+}
+
+TEST(GpuCostModel, M2090FasterThanC2075) {
+  const GpuCostModel c(tesla_c2075());
+  const GpuCostModel m(tesla_m2090());
+  const KernelCost tc =
+      c.estimate(optimized_launch(32), optimized_traits(), paper_ops());
+  const KernelCost tm =
+      m.estimate(optimized_launch(32), optimized_traits(), paper_ops());
+  EXPECT_LT(tm.total_seconds, tc.total_seconds);
+}
+
+}  // namespace
+}  // namespace ara::simgpu

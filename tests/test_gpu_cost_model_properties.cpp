@@ -1,0 +1,129 @@
+// Parameterized property sweeps over the GPU cost model: invariants
+// that must hold for every device, precision and feasible launch
+// shape, not just the paper's configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "simgpu/gpu_cost_model.hpp"
+
+namespace ara::simgpu {
+namespace {
+
+ara::OpCounts workload(double scale) {
+  ara::OpCounts ops;
+  ops.event_fetches = static_cast<std::uint64_t>(1e9 * scale);
+  ops.elt_lookups = static_cast<std::uint64_t>(15e9 * scale);
+  ops.financial_ops = ops.elt_lookups;
+  ops.occurrence_ops = ops.event_fetches;
+  ops.aggregate_ops = ops.event_fetches;
+  return ops;
+}
+
+using Param = std::tuple<int /*device*/, int /*precision*/, unsigned /*block*/>;
+
+DeviceSpec device_for(int id) {
+  return id == 0 ? tesla_c2075() : tesla_m2090();
+}
+
+class CostModelSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  KernelTraits traits() const {
+    KernelTraits t;
+    t.loss_bytes = std::get<1>(GetParam()) == 0 ? 8 : 4;
+    t.mlp_per_thread = 4;
+    return t;
+  }
+  LaunchConfig launch(std::size_t trials = 1'000'000) const {
+    LaunchConfig c;
+    c.block_threads = std::get<2>(GetParam());
+    c.grid_blocks = static_cast<unsigned>(
+        (trials + c.block_threads - 1) / c.block_threads);
+    c.regs_per_thread = 20;
+    return c;
+  }
+};
+
+TEST_P(CostModelSweep, CostsArePositiveAndFinite) {
+  const GpuCostModel model(device_for(std::get<0>(GetParam())));
+  const KernelCost cost = model.estimate(launch(), traits(), workload(1.0));
+  ASSERT_TRUE(cost.feasible);
+  EXPECT_GT(cost.total_seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(cost.total_seconds));
+  EXPECT_GT(cost.random_rate, 0.0);
+  for (std::size_t p = 0; p < perf::kPhaseCount; ++p) {
+    EXPECT_GE(cost.phases[static_cast<perf::Phase>(p)], 0.0);
+  }
+}
+
+TEST_P(CostModelSweep, MonotoneInWork) {
+  const GpuCostModel model(device_for(std::get<0>(GetParam())));
+  const double t1 =
+      model.estimate(launch(), traits(), workload(1.0)).total_seconds;
+  const double t2 =
+      model.estimate(launch(), traits(), workload(2.0)).total_seconds;
+  EXPECT_GT(t2, t1);
+  // Memory-dominated: doubling the work should roughly double time.
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST_P(CostModelSweep, FloatNeverSlowerThanDouble) {
+  const GpuCostModel model(device_for(std::get<0>(GetParam())));
+  KernelTraits f32 = traits(), f64 = traits();
+  f32.loss_bytes = 4;
+  f64.loss_bytes = 8;
+  EXPECT_LE(model.estimate(launch(), f32, workload(1.0)).total_seconds,
+            model.estimate(launch(), f64, workload(1.0)).total_seconds);
+}
+
+TEST_P(CostModelSweep, MoreMlpNeverHurts) {
+  const GpuCostModel model(device_for(std::get<0>(GetParam())));
+  KernelTraits low = traits(), high = traits();
+  low.mlp_per_thread = 1;
+  high.mlp_per_thread = 16;
+  EXPECT_GE(model.estimate(launch(), low, workload(1.0)).total_seconds,
+            model.estimate(launch(), high, workload(1.0)).total_seconds);
+}
+
+TEST_P(CostModelSweep, UnrollingOnlyAffectsComputePhases) {
+  const GpuCostModel model(device_for(std::get<0>(GetParam())));
+  KernelTraits rolled = traits(), unrolled = traits();
+  unrolled.unrolled = true;
+  const KernelCost a = model.estimate(launch(), rolled, workload(1.0));
+  const KernelCost b = model.estimate(launch(), unrolled, workload(1.0));
+  EXPECT_DOUBLE_EQ(a.phases[perf::Phase::kLossLookup],
+                   b.phases[perf::Phase::kLossLookup]);
+  EXPECT_GT(a.phases[perf::Phase::kFinancialTerms],
+            b.phases[perf::Phase::kFinancialTerms]);
+}
+
+TEST_P(CostModelSweep, TailEffectSmallGridsSlowerPerUnit) {
+  const GpuCostModel model(device_for(std::get<0>(GetParam())));
+  // Per-trial cost of a grid that underfills the device vs a full one.
+  const double small_trials = 64.0;
+  const KernelCost small = model.estimate(
+      launch(static_cast<std::size_t>(small_trials)), traits(),
+      workload(small_trials / 1e6));
+  const KernelCost big =
+      model.estimate(launch(1'000'000), traits(), workload(1.0));
+  const double per_trial_small = small.total_seconds / small_trials;
+  const double per_trial_big = big.total_seconds / 1e6;
+  EXPECT_GT(per_trial_small, per_trial_big);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(std::get<0>(info.param) == 0 ? "c2075" : "m2090") +
+         (std::get<1>(info.param) == 0 ? "_f64" : "_f32") + "_b" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostModelSweep,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(64u, 128u, 256u, 512u)),
+    sweep_name);
+
+}  // namespace
+}  // namespace ara::simgpu

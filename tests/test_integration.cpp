@@ -1,0 +1,138 @@
+// End-to-end integration: generate a workload, run every engine,
+// derive risk metrics, serialise and reload — the full pipeline a
+// downstream user would run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cpu_engines.hpp"
+#include "core/engine_factory.hpp"
+#include "core/gpu_engines.hpp"
+#include "core/metrics/stats.hpp"
+#include "core/reference_engine.hpp"
+#include "core/metrics/risk_measures.hpp"
+#include "extensions/secondary_uncertainty.hpp"
+#include "io/binary.hpp"
+#include "io/csv.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+TEST(Integration, FullPipelinePaperShapedWorkload) {
+  // Paper-shaped workload at 1/250 scale: 4000 trials x 1000 events
+  // (enough to fill four simulated GPUs without tail effects),
+  // 15 ELTs, one layer.
+  const synth::Scenario s = synth::paper_scaled(250, 4242);
+  ASSERT_EQ(s.portfolio.layer_count(), 1u);
+  ASSERT_NEAR(s.yet.mean_events_per_trial(), 1000.0, 60.0);
+
+  // Run all engines; collect YLTs.
+  std::vector<SimulationResult> results;
+  for (const EngineKind kind : all_engine_kinds()) {
+    const auto engine = make_engine(kind, paper_config(kind));
+    results.push_back(engine->run(s.portfolio, s.yet));
+  }
+
+  // All agree with the first (reference) within float tolerance.
+  const Ylt& ref = results.front().ylt;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    for (TrialId t = 0; t < ref.trial_count(); ++t) {
+      ASSERT_NEAR(results[i].ylt.annual_loss(0, t), ref.annual_loss(0, t),
+                  2e-4 * (1.0 + ref.annual_loss(0, t)))
+          << results[i].engine_name << " trial " << t;
+    }
+  }
+
+  // The simulated-time ordering of the paper holds end-to-end:
+  // sequential > multicore > basic GPU > optimised GPU > 4 GPUs.
+  const double t_seq = results[0].simulated_seconds;
+  const double t_mc = results[2].simulated_seconds;
+  const double t_basic = results[3].simulated_seconds;
+  const double t_opt = results[4].simulated_seconds;
+  const double t_multi = results[5].simulated_seconds;
+  EXPECT_GT(t_seq, t_mc);
+  EXPECT_GT(t_mc, t_basic);
+  EXPECT_GT(t_basic, t_opt);
+  EXPECT_GT(t_opt, t_multi);
+  // Headline speed-up ~77x (paper: 337.47 / 4.35).
+  EXPECT_NEAR(t_seq / t_multi, 77.0, 12.0);
+
+  // Risk metrics behave.
+  const metrics::LayerRiskSummary summary = metrics::summarize_layer(ref, 0);
+  EXPECT_GT(summary.aal, 0.0);
+  EXPECT_GE(summary.tvar_99, summary.var_99);
+
+  // Serialise outputs and reload.
+  std::stringstream buf;
+  io::write_ylt(buf, ref);
+  const Ylt reloaded = io::read_ylt(buf);
+  EXPECT_EQ(reloaded.annual_raw(), ref.annual_raw());
+
+  std::ostringstream csv;
+  io::write_ylt_csv(csv, reloaded);
+  EXPECT_GT(csv.str().size(), 100u);
+}
+
+TEST(Integration, MultiLayerBookAcrossEngines) {
+  const synth::Scenario s = synth::multi_layer_book(10, 150, 7);
+  ReferenceEngine ref_engine;
+  const Ylt ref = ref_engine.run(s.portfolio, s.yet).ylt;
+
+  EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+  MultiGpuEngine multi(simgpu::tesla_m2090(), 4, cfg);
+  const Ylt got = multi.run(s.portfolio, s.yet).ylt;
+  for (std::size_t l = 0; l < ref.layer_count(); ++l) {
+    for (TrialId t = 0; t < ref.trial_count(); ++t) {
+      ASSERT_NEAR(got.annual_loss(l, t), ref.annual_loss(l, t),
+                  2e-4 * (1.0 + ref.annual_loss(l, t)));
+    }
+  }
+}
+
+TEST(Integration, SecondaryUncertaintyPipelineProducesWiderTail) {
+  // The future-work extension: secondary uncertainty should widen the
+  // loss distribution (TVaR up) while keeping AAL roughly stable, on
+  // a book with loose limits.
+  synth::Scenario s = synth::tiny(512, 99);
+  std::vector<Elt> elts;
+  for (const Elt& e : s.portfolio.elts()) {
+    elts.emplace_back(e.records(), FinancialTerms::identity(),
+                      e.catalogue_size());
+  }
+  std::vector<Layer> layers;
+  for (const Layer& l : s.portfolio.layers()) {
+    layers.push_back({l.name, l.elt_indices, LayerTerms::identity()});
+  }
+  const Portfolio open(std::move(elts), std::move(layers));
+
+  FusedSequentialEngine det_engine;
+  ext::SecondaryUncertaintyConfig su_cfg;
+  su_cfg.alpha = 0.8;  // strongly dispersed damage ratios
+  su_cfg.beta = 1.6;
+  ext::SecondaryUncertaintyEngine su_engine(su_cfg);
+
+  const Ylt det = det_engine.run(open, s.yet).ylt;
+  const Ylt sto = su_engine.run(open, s.yet).ylt;
+
+  const auto det_losses = det.layer_annual_vector(0);
+  const auto sto_losses = sto.layer_annual_vector(0);
+  const double det_aal = metrics::average_annual_loss(det_losses);
+  const double sto_aal = metrics::average_annual_loss(sto_losses);
+  EXPECT_NEAR(sto_aal / det_aal, 1.0, 0.15);
+  EXPECT_GT(metrics::stddev(sto_losses), metrics::stddev(det_losses) * 0.9);
+}
+
+TEST(Integration, EngineRunsAreRepeatable) {
+  const synth::Scenario s = synth::paper_scaled(50000, 1);
+  for (const EngineKind kind :
+       {EngineKind::kSequentialFused, EngineKind::kMultiGpu}) {
+    const auto engine = make_engine(kind, paper_config(kind));
+    const auto a = engine->run(s.portfolio, s.yet);
+    const auto b = engine->run(s.portfolio, s.yet);
+    EXPECT_EQ(a.ylt.annual_raw(), b.ylt.annual_raw()) << a.engine_name;
+  }
+}
+
+}  // namespace
+}  // namespace ara

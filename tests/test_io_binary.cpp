@@ -1,0 +1,120 @@
+#include "io/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/reference_engine.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara::io {
+namespace {
+
+TEST(BinaryIo, YetRoundTrip) {
+  const synth::Scenario s = synth::tiny(32, 3);
+  std::stringstream buf;
+  write_yet(buf, s.yet);
+  const Yet loaded = read_yet(buf);
+  EXPECT_EQ(loaded.catalogue_size(), s.yet.catalogue_size());
+  EXPECT_EQ(loaded.trial_count(), s.yet.trial_count());
+  EXPECT_EQ(loaded.occurrences(), s.yet.occurrences());
+  EXPECT_EQ(loaded.offsets(), s.yet.offsets());
+}
+
+TEST(BinaryIo, EltRoundTrip) {
+  Elt elt({{3, 1.5}, {7, 2.25}}, {1.1, 10.0, 1e6, 0.75}, 100);
+  std::stringstream buf;
+  write_elt(buf, elt);
+  const Elt loaded = read_elt(buf);
+  EXPECT_EQ(loaded.records(), elt.records());
+  EXPECT_EQ(loaded.terms(), elt.terms());
+  EXPECT_EQ(loaded.catalogue_size(), 100u);
+}
+
+TEST(BinaryIo, PortfolioRoundTrip) {
+  const synth::Scenario s = synth::tiny(4, 7);
+  std::stringstream buf;
+  write_portfolio(buf, s.portfolio);
+  const Portfolio loaded = read_portfolio(buf);
+  ASSERT_EQ(loaded.elt_count(), s.portfolio.elt_count());
+  ASSERT_EQ(loaded.layer_count(), s.portfolio.layer_count());
+  for (std::size_t i = 0; i < loaded.elt_count(); ++i) {
+    EXPECT_EQ(loaded.elts()[i].records(), s.portfolio.elts()[i].records());
+  }
+  for (std::size_t i = 0; i < loaded.layer_count(); ++i) {
+    EXPECT_EQ(loaded.layers()[i].name, s.portfolio.layers()[i].name);
+    EXPECT_EQ(loaded.layers()[i].elt_indices,
+              s.portfolio.layers()[i].elt_indices);
+    EXPECT_EQ(loaded.layers()[i].terms, s.portfolio.layers()[i].terms);
+  }
+}
+
+TEST(BinaryIo, YltRoundTrip) {
+  const synth::Scenario s = synth::tiny(16, 2);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+  std::stringstream buf;
+  write_ylt(buf, ylt);
+  const Ylt loaded = read_ylt(buf);
+  ASSERT_EQ(loaded.layer_count(), ylt.layer_count());
+  ASSERT_EQ(loaded.trial_count(), ylt.trial_count());
+  EXPECT_EQ(loaded.annual_raw(), ylt.annual_raw());
+  EXPECT_EQ(loaded.max_occurrence_raw(), ylt.max_occurrence_raw());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOTAMAGICHEADER and some garbage";
+  EXPECT_THROW(read_yet(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsWrongTypeMagic) {
+  const synth::Scenario s = synth::tiny(4, 1);
+  std::stringstream buf;
+  write_yet(buf, s.yet);
+  EXPECT_THROW(read_elt(buf), std::runtime_error);  // YET magic, ELT reader
+}
+
+TEST(BinaryIo, RejectsTruncatedStream) {
+  const synth::Scenario s = synth::tiny(16, 4);
+  std::stringstream buf;
+  write_yet(buf, s.yet);
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_yet(truncated), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsEmptyStream) {
+  std::stringstream buf;
+  EXPECT_THROW(read_portfolio(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, FileHelpersRoundTrip) {
+  const synth::Scenario s = synth::tiny(8, 5);
+  const std::string dir = ::testing::TempDir();
+  save_yet(dir + "/yet.bin", s.yet);
+  save_portfolio(dir + "/portfolio.bin", s.portfolio);
+  const Yet yet = load_yet(dir + "/yet.bin");
+  const Portfolio p = load_portfolio(dir + "/portfolio.bin");
+  EXPECT_EQ(yet.occurrences(), s.yet.occurrences());
+  EXPECT_EQ(p.layer_count(), s.portfolio.layer_count());
+  EXPECT_THROW(load_yet(dir + "/does_not_exist.bin"), std::runtime_error);
+}
+
+TEST(BinaryIo, AnalysisReproducibleFromSavedInputs) {
+  // Save -> load -> run must equal run on the originals (bitwise).
+  const synth::Scenario s = synth::tiny(16, 6);
+  std::stringstream ybuf, pbuf;
+  write_yet(ybuf, s.yet);
+  write_portfolio(pbuf, s.portfolio);
+  const Yet yet = read_yet(ybuf);
+  const Portfolio portfolio = read_portfolio(pbuf);
+  ReferenceEngine engine;
+  const Ylt a = engine.run(s.portfolio, s.yet).ylt;
+  const Ylt b = engine.run(portfolio, yet).ylt;
+  EXPECT_EQ(a.annual_raw(), b.annual_raw());
+}
+
+}  // namespace
+}  // namespace ara::io

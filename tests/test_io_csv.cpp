@@ -1,0 +1,96 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/reference_engine.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara::io {
+namespace {
+
+TEST(CsvIo, YltCsvHasHeaderAndAllRows) {
+  const synth::Scenario s = synth::tiny(8, 3);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+  std::ostringstream os;
+  write_ylt_csv(os, ylt);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("trial,layer,annual_loss,max_occurrence_loss\n"), 0u);
+  std::size_t lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1 + ylt.layer_count() * ylt.trial_count());
+}
+
+TEST(CsvIo, EpCurveCsv) {
+  std::vector<double> losses;
+  for (int i = 1; i <= 100; ++i) losses.push_back(i);
+  const metrics::EpCurve curve(losses);
+  std::ostringstream os;
+  write_ep_curve_csv(os, curve, {10.0, 100.0});
+  EXPECT_EQ(os.str(), "return_period_years,loss\n10,91\n100,100\n");
+}
+
+TEST(CsvIo, ReadEltParsesRecords) {
+  std::istringstream is("event_id,loss\n5,100.5\n3,7\n");
+  const Elt elt = read_elt_csv(is, FinancialTerms::identity(), 10);
+  EXPECT_EQ(elt.size(), 2u);
+  EXPECT_DOUBLE_EQ(elt.lookup(5), 100.5);
+  EXPECT_DOUBLE_EQ(elt.lookup(3), 7.0);
+}
+
+TEST(CsvIo, ReadEltSkipsCommentsAndBlankLines) {
+  std::istringstream is("# comment\n\n5,1.5\n# another\n6,2.5\n");
+  const Elt elt = read_elt_csv(is, FinancialTerms::identity(), 10);
+  EXPECT_EQ(elt.size(), 2u);
+}
+
+TEST(CsvIo, ReadEltWithoutHeader) {
+  std::istringstream is("5,1.5\n6,2.5\n");
+  const Elt elt = read_elt_csv(is, FinancialTerms::identity(), 10);
+  EXPECT_EQ(elt.size(), 2u);
+}
+
+TEST(CsvIo, ReadEltRejectsMalformedLines) {
+  std::istringstream no_comma("5;1.5\n");
+  EXPECT_THROW(read_elt_csv(no_comma, FinancialTerms::identity(), 10),
+               std::runtime_error);
+  // A non-numeric first line is treated as an (optional) header, so
+  // put the malformed event id on line 2.
+  std::istringstream bad_event("1,2.0\nabc,1.5\n");
+  EXPECT_THROW(read_elt_csv(bad_event, FinancialTerms::identity(), 10),
+               std::runtime_error);
+  std::istringstream bad_loss("5,xyz\n");
+  EXPECT_THROW(read_elt_csv(bad_loss, FinancialTerms::identity(), 10),
+               std::runtime_error);
+}
+
+TEST(CsvIo, ReadEltEnforcesCatalogueBounds) {
+  std::istringstream is("50,1.0\n");
+  EXPECT_THROW(read_elt_csv(is, FinancialTerms::identity(), 10),
+               std::invalid_argument);  // Elt constructor validates
+}
+
+TEST(CsvIo, RoundTripThroughCsvPreservesLookups) {
+  const synth::Scenario s = synth::tiny(4, 9);
+  const Elt& original = s.portfolio.elts()[0];
+  std::ostringstream os;
+  os << "event_id,loss\n";
+  for (const EventLoss& r : original.records()) {
+    os << r.event << ',' << std::setprecision(17) << r.loss << '\n';
+  }
+  std::istringstream is(os.str());
+  const Elt loaded =
+      read_elt_csv(is, original.terms(), original.catalogue_size());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (const EventLoss& r : original.records()) {
+    EXPECT_DOUBLE_EQ(loaded.lookup(r.event), r.loss);
+  }
+}
+
+}  // namespace
+}  // namespace ara::io

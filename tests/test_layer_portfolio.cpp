@@ -1,0 +1,83 @@
+#include "core/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ara {
+namespace {
+
+std::vector<Elt> sample_elts() {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{1, 10.0}, {2, 20.0}},
+                    FinancialTerms::identity(), 100);
+  elts.emplace_back(std::vector<EventLoss>{{3, 30.0}},
+                    FinancialTerms::identity(), 100);
+  elts.emplace_back(std::vector<EventLoss>{{4, 40.0}, {5, 50.0}},
+                    FinancialTerms::identity(), 100);
+  return elts;
+}
+
+TEST(Portfolio, BasicConstruction) {
+  Layer layer{"test", {0, 2}, LayerTerms::identity()};
+  const Portfolio p(sample_elts(), {layer});
+  EXPECT_EQ(p.elt_count(), 3u);
+  EXPECT_EQ(p.layer_count(), 1u);
+  EXPECT_EQ(p.catalogue_size(), 100u);
+  EXPECT_DOUBLE_EQ(p.mean_elts_per_layer(), 2.0);
+}
+
+TEST(Portfolio, LayerEltsResolvesPointers) {
+  Layer layer{"test", {2, 0}, LayerTerms::identity()};
+  const Portfolio p(sample_elts(), {layer});
+  const auto elts = p.layer_elts(p.layers()[0]);
+  ASSERT_EQ(elts.size(), 2u);
+  EXPECT_DOUBLE_EQ(elts[0]->lookup(4), 40.0);  // layer order preserved
+  EXPECT_DOUBLE_EQ(elts[1]->lookup(1), 10.0);
+}
+
+TEST(Portfolio, LayersMayShareElts) {
+  Layer a{"a", {0, 1}, LayerTerms::identity()};
+  Layer b{"b", {1, 2}, LayerTerms::identity()};
+  const Portfolio p(sample_elts(), {a, b});
+  EXPECT_EQ(p.layer_count(), 2u);
+  EXPECT_DOUBLE_EQ(p.mean_elts_per_layer(), 2.0);
+}
+
+TEST(Portfolio, EmptyLayerListIsLegal) {
+  const Portfolio p(sample_elts(), {});
+  EXPECT_EQ(p.layer_count(), 0u);
+  EXPECT_DOUBLE_EQ(p.mean_elts_per_layer(), 0.0);
+}
+
+TEST(Portfolio, RejectsNoElts) {
+  EXPECT_THROW(Portfolio({}, {}), std::invalid_argument);
+}
+
+TEST(Portfolio, RejectsLayerWithNoElts) {
+  Layer bad{"bad", {}, LayerTerms::identity()};
+  EXPECT_THROW(Portfolio(sample_elts(), {bad}), std::invalid_argument);
+}
+
+TEST(Portfolio, RejectsOutOfRangeEltIndex) {
+  Layer bad{"bad", {3}, LayerTerms::identity()};
+  EXPECT_THROW(Portfolio(sample_elts(), {bad}), std::invalid_argument);
+}
+
+TEST(Portfolio, RejectsInvalidLayerTerms) {
+  LayerTerms t;
+  t.agg_limit = -1.0;
+  Layer bad{"bad", {0}, t};
+  EXPECT_THROW(Portfolio(sample_elts(), {bad}), std::invalid_argument);
+}
+
+TEST(Portfolio, RejectsMixedCatalogues) {
+  auto elts = sample_elts();
+  elts.emplace_back(std::vector<EventLoss>{{1, 1.0}},
+                    FinancialTerms::identity(), 200);
+  Layer layer{"l", {0}, LayerTerms::identity()};
+  EXPECT_THROW(Portfolio(std::move(elts), {layer}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,112 @@
+#include "core/layer_terms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace ara {
+namespace {
+
+TEST(XlClamp, BasicBehaviour) {
+  EXPECT_DOUBLE_EQ(xl_clamp(50.0, 100.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(xl_clamp(100.0, 100.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(xl_clamp(600.0, 100.0, 1000.0), 500.0);
+  EXPECT_DOUBLE_EQ(xl_clamp(5000.0, 100.0, 1000.0), 1000.0);
+}
+
+TEST(LayerTerms, IdentityIsNoOp) {
+  const LayerTerms t = LayerTerms::identity();
+  EXPECT_DOUBLE_EQ(apply_occurrence_terms(123.0, t), 123.0);
+  EXPECT_DOUBLE_EQ(apply_aggregate_terms(456.0, t), 456.0);
+}
+
+TEST(LayerTerms, OccurrenceUsesOccFields) {
+  LayerTerms t;
+  t.occ_retention = 10.0;
+  t.occ_limit = 100.0;
+  t.agg_retention = 1e9;  // must not affect occurrence terms
+  EXPECT_DOUBLE_EQ(apply_occurrence_terms(50.0, t), 40.0);
+  EXPECT_DOUBLE_EQ(apply_occurrence_terms(500.0, t), 100.0);
+}
+
+TEST(LayerTerms, AggregateUsesAggFields) {
+  LayerTerms t;
+  t.agg_retention = 100.0;
+  t.agg_limit = 300.0;
+  t.occ_retention = 1e9;  // must not affect aggregate terms
+  EXPECT_DOUBLE_EQ(apply_aggregate_terms(150.0, t), 50.0);
+  EXPECT_DOUBLE_EQ(apply_aggregate_terms(1000.0, t), 300.0);
+}
+
+TEST(LayerTerms, Validity) {
+  EXPECT_TRUE(LayerTerms::identity().valid());
+  LayerTerms bad;
+  bad.occ_retention = -5.0;
+  EXPECT_FALSE(bad.valid());
+}
+
+// The year-loss identity behind Algorithm 1 lines 18-29: summing the
+// differenced, clamped prefix sums equals clamping the total once.
+// This is the invariant the fused engines rely on.
+class AggregateTelescopeProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AggregateTelescopeProperty, DifferencedPrefixSumsTelescope) {
+  const auto [agg_ret, agg_lim] = GetParam();
+  LayerTerms t;
+  t.agg_retention = agg_ret;
+  t.agg_limit = agg_lim;
+
+  const std::vector<std::vector<double>> cases = {
+      {},
+      {0.0},
+      {10.0},
+      {100.0, 200.0, 50.0},
+      {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0},
+      {500.0, 0.0, 0.0, 700.0},
+      {1e6},
+  };
+  for (const auto& occ_losses : cases) {
+    // Literal: prefix sums, clamp each, difference, sum.
+    double total = 0.0;
+    std::vector<double> prefix;
+    double running = 0.0;
+    for (const double l : occ_losses) {
+      running += l;
+      prefix.push_back(apply_aggregate_terms(running, t));
+    }
+    for (std::size_t d = 0; d < prefix.size(); ++d) {
+      total += prefix[d] - (d ? prefix[d - 1] : 0.0);
+    }
+    // Closed form: clamp the full-year total once.
+    double sum = 0.0;
+    for (const double l : occ_losses) sum += l;
+    const double closed = apply_aggregate_terms(sum, t);
+    EXPECT_NEAR(total, closed, 1e-9 * (1.0 + closed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AggGrid, AggregateTelescopeProperty,
+    ::testing::Combine(::testing::Values(0.0, 5.0, 150.0, 1e5),
+                       ::testing::Values(1.0, 300.0, 1e7)));
+
+// Occurrence output bounded by occ_limit regardless of input.
+TEST(LayerTermsProperty, OccurrenceBounded) {
+  for (double ret : {0.0, 10.0, 1e4}) {
+    for (double lim : {1.0, 250.0, 1e6}) {
+      LayerTerms t;
+      t.occ_retention = ret;
+      t.occ_limit = lim;
+      for (double x = 0.0; x < 3e6; x = x * 3 + 7) {
+        const double out = apply_occurrence_terms(x, t);
+        EXPECT_GE(out, 0.0);
+        EXPECT_LE(out, lim);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/engine_factory.hpp"
+#include "core/reference_engine.hpp"
+#include "core/gpu_engines.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+double sim_seconds(std::size_t gpus, const synth::Scenario& s) {
+  EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+  MultiGpuEngine engine(simgpu::tesla_m2090(), gpus, cfg);
+  return engine.run(s.portfolio, s.yet).simulated_seconds;
+}
+
+TEST(MultiGpuEngine, NearLinearScaling) {
+  // Fig. 3: ~100% efficiency from 1 to 4 GPUs.
+  const synth::Scenario s = synth::paper_scaled(10000);  // 100 trials
+  const double t1 = sim_seconds(1, s);
+  const double t2 = sim_seconds(2, s);
+  const double t4 = sim_seconds(4, s);
+  EXPECT_NEAR(t1 / t2, 2.0, 0.15);
+  EXPECT_NEAR(t1 / t4, 4.0, 0.40);
+  // Efficiency above 90%.
+  EXPECT_GT(t1 / (4.0 * t4), 0.90);
+}
+
+TEST(MultiGpuEngine, FourM2090sAboutFourXFasterThanOneC2075Optimized) {
+  // The paper: 4.35 s on 4 GPUs vs 20.63 s on the single optimised
+  // C2075 — "around 5x"; vs a single M2090 it is ~4x.
+  const synth::Scenario s = synth::paper_scaled(10000);
+  EngineConfig cfg = paper_config(EngineKind::kGpuOptimized);
+  GpuOptimizedEngine single(simgpu::tesla_c2075(), cfg);
+  const double t_single = single.run(s.portfolio, s.yet).simulated_seconds;
+  const double t_multi = sim_seconds(4, s);
+  EXPECT_NEAR(t_single / t_multi, 4.7, 0.8);
+}
+
+TEST(MultiGpuEngine, ResultsIdenticalForAnyDeviceCount) {
+  const synth::Scenario s = synth::tiny(100, 9);
+  EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+  cfg.use_float = false;
+  MultiGpuEngine one(simgpu::tesla_m2090(), 1, cfg);
+  MultiGpuEngine three(simgpu::tesla_m2090(), 3, cfg);
+  MultiGpuEngine four(simgpu::tesla_m2090(), 4, cfg);
+  const auto a = one.run(s.portfolio, s.yet);
+  const auto b = three.run(s.portfolio, s.yet);
+  const auto c = four.run(s.portfolio, s.yet);
+  for (std::size_t l = 0; l < a.ylt.layer_count(); ++l) {
+    for (TrialId t = 0; t < a.ylt.trial_count(); ++t) {
+      ASSERT_EQ(b.ylt.annual_loss(l, t), a.ylt.annual_loss(l, t));
+      ASSERT_EQ(c.ylt.annual_loss(l, t), a.ylt.annual_loss(l, t));
+    }
+  }
+}
+
+TEST(MultiGpuEngine, HandlesTrialsNotDivisibleByDevices) {
+  const synth::Scenario s = synth::tiny(37, 3);  // 37 trials on 4 GPUs
+  EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+  cfg.use_float = false;
+  MultiGpuEngine engine(simgpu::tesla_m2090(), 4, cfg);
+  ReferenceEngine ref;
+  const auto expect = ref.run(s.portfolio, s.yet);
+  const auto got = engine.run(s.portfolio, s.yet);
+  for (TrialId t = 0; t < 37; ++t) {
+    for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
+      ASSERT_EQ(got.ylt.annual_loss(l, t), expect.ylt.annual_loss(l, t));
+    }
+  }
+}
+
+TEST(MultiGpuEngine, MoreDevicesThanTrials) {
+  const synth::Scenario s = synth::tiny(2, 4);
+  EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+  cfg.use_float = false;
+  MultiGpuEngine engine(simgpu::tesla_m2090(), 4, cfg);
+  ReferenceEngine ref;
+  const auto expect = ref.run(s.portfolio, s.yet);
+  const auto got = engine.run(s.portfolio, s.yet);
+  for (TrialId t = 0; t < 2; ++t) {
+    ASSERT_EQ(got.ylt.annual_loss(0, t), expect.ylt.annual_loss(0, t));
+  }
+}
+
+TEST(MultiGpuEngine, ReportsDeviceCount) {
+  EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
+  MultiGpuEngine engine(simgpu::tesla_m2090(), 4, cfg);
+  const synth::Scenario s = synth::tiny(8);
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  EXPECT_EQ(r.devices, 4u);
+  EXPECT_EQ(engine.device_count(), 4u);
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,89 @@
+#include "core/cpu_engines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_engine.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+TEST(MultiCoreEngine, SimulatedSpeedupsMatchFig1a) {
+  // The paper's Fig. 1a: 1.5x @ 2 cores, 2.2x @ 4, 2.6x @ 8 (+-10%).
+  const synth::Scenario s = synth::tiny(32);
+  auto run_sim = [&](unsigned cores) {
+    EngineConfig cfg;
+    cfg.cores = cores;
+    MultiCoreEngine engine(cfg);
+    return engine.run(s.portfolio, s.yet).simulated_seconds;
+  };
+  const double t1 = run_sim(1);
+  EXPECT_NEAR(t1 / run_sim(2), 1.5, 0.15);
+  EXPECT_NEAR(t1 / run_sim(4), 2.2, 0.22);
+  EXPECT_NEAR(t1 / run_sim(8), 2.6, 0.26);
+}
+
+TEST(MultiCoreEngine, SpeedupMonotoneInCores) {
+  const synth::Scenario s = synth::tiny(16);
+  double prev = 1e300;
+  for (unsigned cores : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    EngineConfig cfg;
+    cfg.cores = cores;
+    MultiCoreEngine engine(cfg);
+    const double t = engine.run(s.portfolio, s.yet).simulated_seconds;
+    EXPECT_LT(t, prev) << cores << " cores";
+    prev = t;
+  }
+}
+
+TEST(MultiCoreEngine, OversubscriptionHelpsSlightly) {
+  // Fig. 1b: more threads per core shaves a few percent off.
+  const synth::Scenario s = synth::tiny(16);
+  auto run_sim = [&](unsigned tpc) {
+    EngineConfig cfg;
+    cfg.cores = 8;
+    cfg.threads_per_core = tpc;
+    MultiCoreEngine engine(cfg);
+    return engine.run(s.portfolio, s.yet).simulated_seconds;
+  };
+  const double t1 = run_sim(1);
+  const double t256 = run_sim(256);
+  EXPECT_LT(t256, t1);
+  EXPECT_GT(t256, 0.90 * t1);  // effect is modest: 135 -> 125 in the paper
+}
+
+TEST(MultiCoreEngine, CoresBeyondProfileClamped) {
+  const synth::Scenario s = synth::tiny(8);
+  EngineConfig cfg8, cfg64;
+  cfg8.cores = 8;
+  cfg64.cores = 64;  // the i7-2600 profile has 8 hardware threads
+  MultiCoreEngine e8(cfg8), e64(cfg64);
+  EXPECT_DOUBLE_EQ(e8.run(s.portfolio, s.yet).simulated_seconds,
+                   e64.run(s.portfolio, s.yet).simulated_seconds);
+}
+
+TEST(MultiCoreEngine, FusedMatchesReferenceOnMultiLayerBook) {
+  const synth::Scenario s = synth::multi_layer_book(4, 64);
+  ReferenceEngine ref;
+  FusedSequentialEngine fused;
+  const auto a = ref.run(s.portfolio, s.yet);
+  const auto b = fused.run(s.portfolio, s.yet);
+  for (std::size_t l = 0; l < a.ylt.layer_count(); ++l) {
+    for (TrialId t = 0; t < a.ylt.trial_count(); ++t) {
+      ASSERT_EQ(b.ylt.annual_loss(l, t), a.ylt.annual_loss(l, t));
+    }
+  }
+}
+
+TEST(MultiCoreEngine, WallClockIsMeasured) {
+  const synth::Scenario s = synth::tiny(64);
+  EngineConfig cfg;
+  cfg.cores = 2;
+  MultiCoreEngine engine(cfg);
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_EQ(r.engine_name, "multicore_cpu");
+}
+
+}  // namespace
+}  // namespace ara

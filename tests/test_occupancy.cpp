@@ -1,0 +1,96 @@
+#include "simgpu/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ara::simgpu {
+namespace {
+
+LaunchConfig cfg(unsigned block, std::size_t shared = 0, unsigned regs = 20) {
+  LaunchConfig c;
+  c.grid_blocks = 1000;
+  c.block_threads = block;
+  c.shared_bytes_per_block = shared;
+  c.regs_per_thread = regs;
+  return c;
+}
+
+TEST(Occupancy, FullOccupancyAt256Threads) {
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(256));
+  EXPECT_TRUE(o.feasible);
+  EXPECT_EQ(o.blocks_per_sm, 6u);  // 1536 / 256
+  EXPECT_EQ(o.threads_per_sm, 1536u);
+  EXPECT_EQ(o.warps_per_sm, 48u);
+  EXPECT_DOUBLE_EQ(o.occupancy, 1.0);
+}
+
+TEST(Occupancy, BlockCountLimitAtSmallBlocks) {
+  // 128-thread blocks: 8-block limit -> 1024 threads (2/3 occupancy).
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(128));
+  EXPECT_EQ(o.blocks_per_sm, 8u);
+  EXPECT_EQ(o.threads_per_sm, 1024u);
+  EXPECT_NEAR(o.occupancy, 2.0 / 3.0, 1e-9);
+  EXPECT_STREQ(o.limiter, "max_blocks_per_sm");
+}
+
+TEST(Occupancy, ThreadLimitAtLargeBlocks) {
+  // 640-thread blocks: only 2 fit in 1536 threads.
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(640));
+  EXPECT_EQ(o.blocks_per_sm, 2u);
+  EXPECT_EQ(o.threads_per_sm, 1280u);
+}
+
+TEST(Occupancy, SharedMemoryLimits) {
+  // 23 KB/block: two blocks fit in 48 KB.
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(32, 23 * 1024));
+  EXPECT_EQ(o.blocks_per_sm, 2u);
+  EXPECT_STREQ(o.limiter, "shared_memory");
+  // 45 KB/block: one block.
+  const Occupancy o2 = compute_occupancy(tesla_c2075(), cfg(64, 45 * 1024));
+  EXPECT_EQ(o2.blocks_per_sm, 1u);
+}
+
+TEST(Occupancy, SharedMemoryOverflowInfeasible) {
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(128, 90 * 1024));
+  EXPECT_FALSE(o.feasible);
+  EXPECT_EQ(o.blocks_per_sm, 0u);
+  EXPECT_EQ(std::string(o.limiter), "shared_memory_per_block");
+}
+
+TEST(Occupancy, RegisterLimit) {
+  // 63 regs x 512 threads = 32256 regs/block: one block per SM.
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(512, 0, 63));
+  EXPECT_EQ(o.blocks_per_sm, 1u);
+  EXPECT_STREQ(o.limiter, "registers");
+}
+
+TEST(Occupancy, BlockTooLargeInfeasible) {
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(2048));
+  EXPECT_FALSE(o.feasible);
+}
+
+TEST(Occupancy, ZeroThreadsInfeasible) {
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(0));
+  EXPECT_FALSE(o.feasible);
+}
+
+TEST(Occupancy, PartialWarpsCountedAsWholeWarps) {
+  const Occupancy o = compute_occupancy(tesla_c2075(), cfg(16, 11 * 1024));
+  EXPECT_TRUE(o.feasible);
+  EXPECT_EQ(o.blocks_per_sm, 4u);       // 48 KB / 11 KB
+  EXPECT_EQ(o.warps_per_sm, 4u);        // each 16-thread block = 1 warp
+  EXPECT_EQ(o.threads_per_sm, 64u);
+}
+
+TEST(Occupancy, PaperOptimizedConfigTwoBlocksPerSm) {
+  // The optimised kernel at 32 threads/block, 88-event chunks:
+  // 32 * 88 * 8 + 256 = 22784 B -> 2 blocks/SM.
+  const Occupancy o =
+      compute_occupancy(tesla_m2090(), cfg(32, 32 * 88 * 8 + 256, 63));
+  EXPECT_TRUE(o.feasible);
+  EXPECT_EQ(o.blocks_per_sm, 2u);
+}
+
+}  // namespace
+}  // namespace ara::simgpu

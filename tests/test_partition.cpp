@@ -1,0 +1,86 @@
+#include "parallel/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::parallel {
+namespace {
+
+TEST(SplitEven, ExactDivision) {
+  const auto r = split_even(100, 4);
+  ASSERT_EQ(r.size(), 4u);
+  for (const Range& range : r) {
+    EXPECT_EQ(range.size(), 25u);
+  }
+  EXPECT_EQ(r.front().begin, 0u);
+  EXPECT_EQ(r.back().end, 100u);
+}
+
+TEST(SplitEven, RemainderGoesToFirstRanges) {
+  const auto r = split_even(10, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].size(), 4u);
+  EXPECT_EQ(r[1].size(), 3u);
+  EXPECT_EQ(r[2].size(), 3u);
+}
+
+TEST(SplitEven, ContiguousAndComplete) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 1001u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 8u, 17u}) {
+      const auto r = split_even(n, parts);
+      ASSERT_EQ(r.size(), parts);
+      std::size_t at = 0;
+      for (const Range& range : r) {
+        EXPECT_EQ(range.begin, at);
+        at = range.end;
+      }
+      EXPECT_EQ(at, n);
+    }
+  }
+}
+
+TEST(SplitEven, MorePartsThanElements) {
+  const auto r = split_even(3, 8);
+  ASSERT_EQ(r.size(), 8u);
+  std::size_t total = 0;
+  for (const Range& range : r) total += range.size();
+  EXPECT_EQ(total, 3u);
+  EXPECT_TRUE(r.back().empty());
+}
+
+TEST(SplitEven, ZeroPartsGivesEmpty) {
+  EXPECT_TRUE(split_even(10, 0).empty());
+}
+
+TEST(SplitChunks, ExactAndRemainder) {
+  const auto r = split_chunks(10, 4);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].size(), 4u);
+  EXPECT_EQ(r[1].size(), 4u);
+  EXPECT_EQ(r[2].size(), 2u);
+}
+
+TEST(SplitChunks, ZeroChunkClampedToOne) {
+  const auto r = split_chunks(3, 0);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(SplitChunks, EmptyInput) {
+  EXPECT_TRUE(split_chunks(0, 8).empty());
+}
+
+TEST(ChunkCount, MatchesSplitChunks) {
+  for (std::size_t n : {0u, 1u, 5u, 64u, 1000u}) {
+    for (std::size_t c : {1u, 2u, 7u, 64u}) {
+      EXPECT_EQ(chunk_count(n, c), split_chunks(n, c).size());
+    }
+  }
+}
+
+TEST(Range, SizeAndEmpty) {
+  EXPECT_EQ((Range{2, 7}).size(), 5u);
+  EXPECT_FALSE((Range{2, 7}).empty());
+  EXPECT_TRUE((Range{3, 3}).empty());
+}
+
+}  // namespace
+}  // namespace ara::parallel

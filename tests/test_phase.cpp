@@ -1,0 +1,70 @@
+#include "perf/phase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::perf {
+namespace {
+
+TEST(PhaseBreakdown, StartsAtZero) {
+  const PhaseBreakdown ph;
+  EXPECT_DOUBLE_EQ(ph.total(), 0.0);
+  EXPECT_DOUBLE_EQ(ph[Phase::kLossLookup], 0.0);
+  EXPECT_DOUBLE_EQ(ph.fraction(Phase::kLossLookup), 0.0);  // no div by 0
+}
+
+TEST(PhaseBreakdown, TotalSumsAllPhases) {
+  PhaseBreakdown ph;
+  ph[Phase::kEventFetch] = 1.0;
+  ph[Phase::kLossLookup] = 2.0;
+  ph[Phase::kTransfer] = 0.5;
+  EXPECT_DOUBLE_EQ(ph.total(), 3.5);
+}
+
+TEST(PhaseBreakdown, FractionComputed) {
+  PhaseBreakdown ph;
+  ph[Phase::kLossLookup] = 3.0;
+  ph[Phase::kFinancialTerms] = 1.0;
+  EXPECT_DOUBLE_EQ(ph.fraction(Phase::kLossLookup), 0.75);
+}
+
+TEST(PhaseBreakdown, NumericGroupsTermPhases) {
+  PhaseBreakdown ph;
+  ph[Phase::kFinancialTerms] = 1.0;
+  ph[Phase::kOccurrenceTerms] = 2.0;
+  ph[Phase::kAggregateTerms] = 4.0;
+  ph[Phase::kLossLookup] = 100.0;  // excluded
+  EXPECT_DOUBLE_EQ(ph.numeric(), 7.0);
+}
+
+TEST(PhaseBreakdown, PlusEqualsAccumulates) {
+  PhaseBreakdown a, b;
+  a[Phase::kEventFetch] = 1.0;
+  b[Phase::kEventFetch] = 2.0;
+  b[Phase::kOther] = 3.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a[Phase::kEventFetch], 3.0);
+  EXPECT_DOUBLE_EQ(a[Phase::kOther], 3.0);
+}
+
+TEST(PhaseBreakdown, ScaledMultipliesEveryPhase) {
+  PhaseBreakdown ph;
+  ph[Phase::kEventFetch] = 2.0;
+  ph[Phase::kTransfer] = 4.0;
+  const PhaseBreakdown half = ph.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half[Phase::kEventFetch], 1.0);
+  EXPECT_DOUBLE_EQ(half[Phase::kTransfer], 2.0);
+  EXPECT_DOUBLE_EQ(ph[Phase::kEventFetch], 2.0);  // original untouched
+}
+
+TEST(PhaseNames, AllDistinctAndNonEmpty) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto name = phase_name(static_cast<Phase>(i));
+    EXPECT_FALSE(name.empty());
+    for (std::size_t j = i + 1; j < kPhaseCount; ++j) {
+      EXPECT_NE(name, phase_name(static_cast<Phase>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ara::perf

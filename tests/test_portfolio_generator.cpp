@@ -1,0 +1,125 @@
+#include "synth/portfolio_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace ara::synth {
+namespace {
+
+TEST(PortfolioGenerator, ProducesRequestedShape) {
+  const Catalogue cat = Catalogue::make(20000, 3, 100.0);
+  PortfolioGeneratorConfig cfg;
+  cfg.elt_count = 10;
+  cfg.layer_count = 5;
+  cfg.min_elts_per_layer = 2;
+  cfg.max_elts_per_layer = 6;
+  cfg.elt.record_count = 50;
+  const ara::Portfolio p = generate_portfolio(cat, cfg);
+  EXPECT_EQ(p.elt_count(), 10u);
+  EXPECT_EQ(p.layer_count(), 5u);
+  for (const ara::Layer& l : p.layers()) {
+    EXPECT_GE(l.elt_indices.size(), 2u);
+    EXPECT_LE(l.elt_indices.size(), 6u);
+  }
+}
+
+TEST(PortfolioGenerator, LayerEltIndicesAreDistinct) {
+  const Catalogue cat = Catalogue::make(20000, 3, 100.0);
+  PortfolioGeneratorConfig cfg;
+  cfg.elt_count = 12;
+  cfg.layer_count = 8;
+  cfg.min_elts_per_layer = 3;
+  cfg.max_elts_per_layer = 12;
+  cfg.elt.record_count = 20;
+  const ara::Portfolio p = generate_portfolio(cat, cfg);
+  for (const ara::Layer& l : p.layers()) {
+    const std::set<std::size_t> unique(l.elt_indices.begin(),
+                                       l.elt_indices.end());
+    EXPECT_EQ(unique.size(), l.elt_indices.size());
+  }
+}
+
+TEST(PortfolioGenerator, EltsDifferAcrossPool) {
+  const Catalogue cat = Catalogue::make(20000, 3, 100.0);
+  PortfolioGeneratorConfig cfg;
+  cfg.elt_count = 4;
+  cfg.layer_count = 1;
+  cfg.min_elts_per_layer = cfg.max_elts_per_layer = 4;
+  cfg.elt.record_count = 100;
+  const ara::Portfolio p = generate_portfolio(cat, cfg);
+  EXPECT_NE(p.elts()[0].records(), p.elts()[1].records());
+  EXPECT_NE(p.elts()[1].records(), p.elts()[2].records());
+}
+
+TEST(PortfolioGenerator, TermsScaleWithMeanLoss) {
+  const Catalogue cat = Catalogue::make(20000, 3, 100.0);
+  PortfolioGeneratorConfig cfg;
+  cfg.elt_count = 5;
+  cfg.layer_count = 1;
+  cfg.min_elts_per_layer = cfg.max_elts_per_layer = 5;
+  cfg.elt.record_count = 10;
+  cfg.elt.mean_loss = 2.0e6;
+  cfg.occ_retention_mult = 0.5;
+  cfg.occ_limit_mult = 10.0;
+  const ara::Portfolio p = generate_portfolio(cat, cfg);
+  const ara::LayerTerms& t = p.layers()[0].terms;
+  EXPECT_DOUBLE_EQ(t.occ_retention, 1.0e6);
+  EXPECT_DOUBLE_EQ(t.occ_limit, 2.0e7);
+  EXPECT_GT(t.agg_limit, t.occ_limit);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(PortfolioGenerator, DeterministicForSeed) {
+  const Catalogue cat = Catalogue::make(20000, 3, 100.0);
+  PortfolioGeneratorConfig cfg;
+  cfg.elt_count = 6;
+  cfg.layer_count = 3;
+  cfg.elt.record_count = 30;
+  cfg.min_elts_per_layer = 2;
+  cfg.max_elts_per_layer = 5;
+  cfg.seed = 555;
+  const ara::Portfolio a = generate_portfolio(cat, cfg);
+  const ara::Portfolio b = generate_portfolio(cat, cfg);
+  ASSERT_EQ(a.layer_count(), b.layer_count());
+  for (std::size_t i = 0; i < a.layer_count(); ++i) {
+    EXPECT_EQ(a.layers()[i].elt_indices, b.layers()[i].elt_indices);
+  }
+  for (std::size_t i = 0; i < a.elt_count(); ++i) {
+    EXPECT_EQ(a.elts()[i].records(), b.elts()[i].records());
+  }
+}
+
+TEST(PortfolioGenerator, RejectsBadArguments) {
+  const Catalogue cat = Catalogue::make(1000, 2, 10.0);
+  PortfolioGeneratorConfig cfg;
+  cfg.elt_count = 0;
+  EXPECT_THROW(generate_portfolio(cat, cfg), std::invalid_argument);
+  cfg.elt_count = 3;
+  cfg.layer_count = 0;
+  EXPECT_THROW(generate_portfolio(cat, cfg), std::invalid_argument);
+  cfg.layer_count = 1;
+  cfg.min_elts_per_layer = 5;
+  cfg.max_elts_per_layer = 3;
+  EXPECT_THROW(generate_portfolio(cat, cfg), std::invalid_argument);
+  cfg.min_elts_per_layer = 0;
+  EXPECT_THROW(generate_portfolio(cat, cfg), std::invalid_argument);
+}
+
+TEST(PortfolioGenerator, ClampsLayerSizeToPool) {
+  const Catalogue cat = Catalogue::make(1000, 2, 10.0);
+  PortfolioGeneratorConfig cfg;
+  cfg.elt_count = 3;
+  cfg.layer_count = 2;
+  cfg.min_elts_per_layer = 3;
+  cfg.max_elts_per_layer = 30;  // pool only has 3
+  cfg.elt.record_count = 10;
+  const ara::Portfolio p = generate_portfolio(cat, cfg);
+  for (const ara::Layer& l : p.layers()) {
+    EXPECT_EQ(l.elt_indices.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace ara::synth

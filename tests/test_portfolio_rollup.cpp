@@ -1,0 +1,107 @@
+#include "core/metrics/portfolio_rollup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/metrics/risk_measures.hpp"
+#include "core/metrics/stats.hpp"
+#include "core/reference_engine.hpp"
+#include "synth/rng.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara::metrics {
+namespace {
+
+Ylt random_ylt(std::size_t layers, std::size_t trials, std::uint64_t seed) {
+  Ylt ylt(layers, trials);
+  synth::Xoshiro256StarStar rng(seed);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (TrialId t = 0; t < trials; ++t) {
+      const double u = rng.next_double();
+      ylt.annual_loss(l, t) = u * u * 1e6;  // skewed
+    }
+  }
+  return ylt;
+}
+
+TEST(PortfolioRollup, TrialLossesSumLayers) {
+  Ylt ylt(2, 3);
+  ylt.annual_loss(0, 0) = 10.0;
+  ylt.annual_loss(1, 0) = 5.0;
+  ylt.annual_loss(0, 2) = 1.0;
+  const auto losses = portfolio_trial_losses(ylt);
+  EXPECT_EQ(losses, (std::vector<double>{15.0, 0.0, 1.0}));
+}
+
+TEST(PortfolioRollup, AalIsSumOfLayerAals) {
+  const Ylt ylt = random_ylt(5, 400, 71);
+  const PortfolioRollup r = rollup_portfolio(ylt);
+  double sum = 0.0;
+  for (std::size_t l = 0; l < 5; ++l) {
+    sum += mean(ylt.layer_annual_vector(l));
+  }
+  EXPECT_NEAR(r.aal, sum, 1e-9 * (1.0 + sum));  // expectation is linear
+}
+
+TEST(PortfolioRollup, DiversificationBenefitNonNegative) {
+  // TVaR is subadditive, so the standalone sum should not be below
+  // the portfolio TVaR for independent-ish layers.
+  const Ylt ylt = random_ylt(6, 1000, 72);
+  const PortfolioRollup r = rollup_portfolio(ylt);
+  EXPECT_GE(r.diversification_benefit_tvar99, -1e-6 * r.tvar_99);
+}
+
+TEST(PortfolioRollup, ComonotoneLayersNoDiversification) {
+  // Identical layers: portfolio = 3x layer; TVaR is positively
+  // homogeneous, so the benefit is ~0.
+  Ylt ylt(3, 500);
+  synth::Xoshiro256StarStar rng(73);
+  for (TrialId t = 0; t < 500; ++t) {
+    const double loss = rng.next_double() * 1e6;
+    for (std::size_t l = 0; l < 3; ++l) {
+      ylt.annual_loss(l, t) = loss;
+    }
+  }
+  const PortfolioRollup r = rollup_portfolio(ylt);
+  EXPECT_NEAR(r.diversification_benefit_tvar99, 0.0, 1e-6 * r.tvar_99);
+}
+
+TEST(PortfolioRollup, MarginalsBoundedByStandalone) {
+  const Ylt ylt = random_ylt(4, 800, 74);
+  const PortfolioRollup r = rollup_portfolio(ylt);
+  ASSERT_EQ(r.marginal_tvar99.size(), 4u);
+  for (std::size_t l = 0; l < 4; ++l) {
+    const double standalone =
+        tail_value_at_risk(ylt.layer_annual_vector(l), 0.99);
+    // Marginal contribution of a layer is at most its standalone TVaR
+    // (subadditivity) and can be negative only by estimation noise.
+    EXPECT_LE(r.marginal_tvar99[l], standalone + 1e-6 * standalone);
+  }
+}
+
+TEST(PortfolioRollup, SingleLayerDegenerates) {
+  const Ylt ylt = random_ylt(1, 300, 75);
+  const PortfolioRollup r = rollup_portfolio(ylt);
+  EXPECT_NEAR(r.tvar_99,
+              tail_value_at_risk(ylt.layer_annual_vector(0), 0.99), 1e-9);
+  EXPECT_NEAR(r.diversification_benefit_tvar99, 0.0, 1e-9);
+  EXPECT_NEAR(r.marginal_tvar99[0], r.tvar_99, 1e-9);
+}
+
+TEST(PortfolioRollup, RejectsEmptyYlt) {
+  EXPECT_THROW(rollup_portfolio(Ylt{}), std::invalid_argument);
+}
+
+TEST(PortfolioRollup, WorksOnRealEngineOutput) {
+  const synth::Scenario s = synth::multi_layer_book(8, 400, 76);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+  const PortfolioRollup r = rollup_portfolio(ylt);
+  EXPECT_GT(r.aal, 0.0);
+  EXPECT_GE(r.tvar_99, r.var_99);
+  EXPECT_GE(r.diversification_benefit_tvar99, 0.0);
+}
+
+}  // namespace
+}  // namespace ara::metrics

@@ -1,0 +1,217 @@
+// Cross-cutting property suites over randomly generated workloads:
+// contract invariants every engine must satisfy regardless of the
+// sampled portfolio and YET.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine_factory.hpp"
+#include "core/reference_engine.hpp"
+#include "core/metrics/risk_measures.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+class YltInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YltInvariants, LossesBoundedByContractTerms) {
+  const synth::Scenario s = synth::tiny(64, GetParam());
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  for (std::size_t l = 0; l < s.portfolio.layer_count(); ++l) {
+    const LayerTerms& t = s.portfolio.layers()[l].terms;
+    for (TrialId b = 0; b < s.yet.trial_count(); ++b) {
+      const double annual = r.ylt.annual_loss(l, b);
+      const double occ = r.ylt.max_occurrence_loss(l, b);
+      EXPECT_GE(annual, 0.0);
+      EXPECT_LE(annual, t.agg_limit + 1e-9);
+      EXPECT_GE(occ, 0.0);
+      EXPECT_LE(occ, t.occ_limit + 1e-9);
+      // A year's aggregate cannot exceed events x occ_limit either.
+      EXPECT_LE(annual, static_cast<double>(s.yet.trial_size(b)) *
+                                t.occ_limit +
+                            1e-9);
+    }
+  }
+}
+
+TEST_P(YltInvariants, TighterRetentionNeverIncreasesLoss) {
+  synth::Scenario s = synth::tiny(32, GetParam());
+  auto with_occ_retention = [&](double ret) {
+    std::vector<Layer> layers;
+    for (const Layer& l : s.portfolio.layers()) {
+      Layer copy = l;
+      copy.terms.occ_retention = ret;
+      layers.push_back(copy);
+    }
+    Portfolio p(s.portfolio.elts(), layers);
+    ReferenceEngine engine;
+    return engine.run(p, s.yet).ylt;
+  };
+  const Ylt loose = with_occ_retention(0.0);
+  const Ylt tight = with_occ_retention(500.0);
+  for (std::size_t l = 0; l < loose.layer_count(); ++l) {
+    for (TrialId t = 0; t < loose.trial_count(); ++t) {
+      EXPECT_LE(tight.annual_loss(l, t), loose.annual_loss(l, t) + 1e-9);
+    }
+  }
+}
+
+TEST_P(YltInvariants, WiderLimitNeverDecreasesLoss) {
+  synth::Scenario s = synth::tiny(32, GetParam() + 100);
+  auto with_agg_limit = [&](double lim) {
+    std::vector<Layer> layers;
+    for (const Layer& l : s.portfolio.layers()) {
+      Layer copy = l;
+      copy.terms.agg_limit = lim;
+      layers.push_back(copy);
+    }
+    Portfolio p(s.portfolio.elts(), layers);
+    ReferenceEngine engine;
+    return engine.run(p, s.yet).ylt;
+  };
+  const Ylt narrow = with_agg_limit(1e4);
+  const Ylt wide = with_agg_limit(1e8);
+  for (std::size_t l = 0; l < narrow.layer_count(); ++l) {
+    for (TrialId t = 0; t < narrow.trial_count(); ++t) {
+      EXPECT_GE(wide.annual_loss(l, t), narrow.annual_loss(l, t) - 1e-9);
+    }
+  }
+}
+
+TEST_P(YltInvariants, AnnualAtMostSumOfOccurrenceLosses) {
+  // With identity aggregate terms, the annual loss equals the sum of
+  // occurrence losses; with any terms it is never larger.
+  const synth::Scenario s = synth::tiny(32, GetParam() + 200);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  for (std::size_t l = 0; l < s.portfolio.layer_count(); ++l) {
+    for (TrialId t = 0; t < s.yet.trial_count(); ++t) {
+      EXPECT_LE(r.ylt.annual_loss(l, t),
+                static_cast<double>(s.yet.trial_size(t)) *
+                        r.ylt.max_occurrence_loss(l, t) +
+                    1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YltInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Scaling all losses and all monetary terms by a constant scales the
+// YLT by the same constant (positive homogeneity of the XL algebra).
+TEST(ScalingInvariance, HomogeneousInMoney) {
+  const synth::Scenario s = synth::tiny(32, 55);
+  const double k = 3.5;
+
+  std::vector<Elt> scaled_elts;
+  for (const Elt& e : s.portfolio.elts()) {
+    std::vector<EventLoss> recs = e.records();
+    for (EventLoss& r : recs) r.loss *= k;
+    FinancialTerms ft = e.terms();
+    ft.retention *= k;
+    ft.limit *= k;
+    scaled_elts.emplace_back(std::move(recs), ft, e.catalogue_size());
+  }
+  std::vector<Layer> scaled_layers;
+  for (const Layer& l : s.portfolio.layers()) {
+    Layer copy = l;
+    copy.terms.occ_retention *= k;
+    copy.terms.occ_limit *= k;
+    copy.terms.agg_retention *= k;
+    copy.terms.agg_limit *= k;
+    scaled_layers.push_back(copy);
+  }
+  const Portfolio scaled(std::move(scaled_elts), std::move(scaled_layers));
+
+  ReferenceEngine engine;
+  const Ylt base = engine.run(s.portfolio, s.yet).ylt;
+  const Ylt big = engine.run(scaled, s.yet).ylt;
+  for (std::size_t l = 0; l < base.layer_count(); ++l) {
+    for (TrialId t = 0; t < base.trial_count(); ++t) {
+      EXPECT_NEAR(big.annual_loss(l, t), k * base.annual_loss(l, t),
+                  1e-6 * (1.0 + k * base.annual_loss(l, t)));
+    }
+  }
+}
+
+// Appending trials must not change earlier trials' results (trial
+// independence — the property the multi-GPU decomposition relies on).
+TEST(TrialIndependence, PrefixStableUnderExtension) {
+  const synth::Scenario small = synth::tiny(32, 77);
+  const synth::Scenario large = synth::tiny(64, 77);  // same seed
+  ReferenceEngine engine;
+  const Ylt a = engine.run(small.portfolio, small.yet).ylt;
+  const Ylt b = engine.run(small.portfolio, large.yet).ylt;
+  for (std::size_t l = 0; l < a.layer_count(); ++l) {
+    for (TrialId t = 0; t < 32; ++t) {
+      EXPECT_EQ(a.annual_loss(l, t), b.annual_loss(l, t));
+    }
+  }
+}
+
+// Event order within a trial matters only through the aggregate terms:
+// with identity aggregate terms, shuffling a trial leaves its annual
+// loss unchanged.
+TEST(OrderSensitivity, IdentityAggTermsOrderInvariant) {
+  std::vector<Elt> elts;
+  elts.emplace_back(
+      std::vector<EventLoss>{{1, 100.0}, {2, 300.0}, {3, 50.0}},
+      FinancialTerms::identity(), 5);
+  LayerTerms lt;
+  lt.occ_retention = 20.0;
+  lt.occ_limit = 250.0;
+  Portfolio p(std::move(elts), {Layer{"L", {0}, lt}});
+
+  Yet forward(std::vector<std::vector<EventOccurrence>>{
+                  {{1, 1}, {2, 2}, {3, 3}}},
+              5);
+  Yet reversed(std::vector<std::vector<EventOccurrence>>{
+                   {{3, 1}, {2, 2}, {1, 3}}},
+               5);
+  ReferenceEngine engine;
+  EXPECT_DOUBLE_EQ(engine.run(p, forward).ylt.annual_loss(0, 0),
+                   engine.run(p, reversed).ylt.annual_loss(0, 0));
+}
+
+// With binding aggregate terms, order CAN matter only through ties at
+// the cap — the cumulative clamp is order-dependent in general. Verify
+// a concrete case where early large losses exhaust the aggregate
+// limit: totals still agree because the telescoping sum only depends
+// on the final cumulative value.
+TEST(OrderSensitivity, AggregateCapDependsOnlyOnCumulative) {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{1, 400.0}, {2, 100.0}},
+                    FinancialTerms::identity(), 5);
+  LayerTerms lt;
+  lt.agg_retention = 50.0;
+  lt.agg_limit = 300.0;
+  Portfolio p(std::move(elts), {Layer{"L", {0}, lt}});
+  Yet big_first(
+      std::vector<std::vector<EventOccurrence>>{{{1, 1}, {2, 2}}}, 5);
+  Yet small_first(
+      std::vector<std::vector<EventOccurrence>>{{{2, 1}, {1, 2}}}, 5);
+  ReferenceEngine engine;
+  EXPECT_DOUBLE_EQ(engine.run(p, big_first).ylt.annual_loss(0, 0),
+                   engine.run(p, small_first).ylt.annual_loss(0, 0));
+}
+
+// Metrics invariants on real engine output.
+TEST(MetricsOnEngineOutput, SummaryInvariantsHold) {
+  const synth::Scenario s = synth::multi_layer_book(5, 300, 91);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  for (std::size_t l = 0; l < s.portfolio.layer_count(); ++l) {
+    const metrics::LayerRiskSummary sum = metrics::summarize_layer(r.ylt, l);
+    EXPECT_GE(sum.tvar_99, sum.var_99 - 1e-9);
+    EXPECT_GE(sum.pml_250yr, sum.pml_100yr - 1e-9);
+    EXPECT_GE(sum.max_annual, sum.pml_250yr - 1e-9);
+    EXPECT_GE(sum.aal, 0.0);
+    EXPECT_LE(sum.oep_100yr,
+              s.portfolio.layers()[l].terms.occ_limit + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,189 @@
+#include "core/reference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+// A fully hand-computable workload: 1 layer, 2 ELTs, 1 trial.
+struct HandCase {
+  Portfolio portfolio;
+  Yet yet;
+};
+
+HandCase make_hand_case(LayerTerms lt, FinancialTerms ft1,
+                        FinancialTerms ft2) {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{1, 100.0}, {2, 200.0}}, ft1, 5);
+  elts.emplace_back(std::vector<EventLoss>{{2, 50.0}, {3, 300.0}}, ft2, 5);
+  Layer layer{"L", {0, 1}, lt};
+  Portfolio p(std::move(elts), {layer});
+  // Trial: events 1, 2, 3, 4 in time order (4 has no loss anywhere).
+  std::vector<std::vector<EventOccurrence>> trials = {
+      {{1, 10}, {2, 20}, {3, 30}, {4, 40}}};
+  Yet yet(trials, 5);
+  return {std::move(p), std::move(yet)};
+}
+
+TEST(ReferenceEngine, IdentityTermsSumAllLosses) {
+  HandCase c = make_hand_case(LayerTerms::identity(),
+                              FinancialTerms::identity(),
+                              FinancialTerms::identity());
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(c.portfolio, c.yet);
+  // Event losses: e1: 100, e2: 200+50=250, e3: 300, e4: 0. Total 650.
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 650.0);
+  EXPECT_DOUBLE_EQ(r.ylt.max_occurrence_loss(0, 0), 300.0);
+}
+
+TEST(ReferenceEngine, FinancialTermsAppliedPerElt) {
+  FinancialTerms ft1;
+  ft1.retention = 50.0;  // e1: 50, e2: 150
+  FinancialTerms ft2;
+  ft2.share = 0.5;  // e2: 25, e3: 150
+  HandCase c = make_hand_case(LayerTerms::identity(), ft1, ft2);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(c.portfolio, c.yet);
+  // e1: 50; e2: 150 + 25 = 175; e3: 150. Total 375.
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 375.0);
+  EXPECT_DOUBLE_EQ(r.ylt.max_occurrence_loss(0, 0), 175.0);
+}
+
+TEST(ReferenceEngine, OccurrenceTermsClampPerEvent) {
+  LayerTerms lt;
+  lt.occ_retention = 100.0;
+  lt.occ_limit = 120.0;
+  HandCase c = make_hand_case(lt, FinancialTerms::identity(),
+                              FinancialTerms::identity());
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(c.portfolio, c.yet);
+  // e1: clamp(100-100)=0; e2: clamp(250-100)=120 (capped);
+  // e3: clamp(300-100)=120 (capped); e4: 0. Total 240.
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 240.0);
+  EXPECT_DOUBLE_EQ(r.ylt.max_occurrence_loss(0, 0), 120.0);
+}
+
+TEST(ReferenceEngine, AggregateTermsApplyToRunningSum) {
+  LayerTerms lt;
+  lt.agg_retention = 200.0;
+  lt.agg_limit = 250.0;
+  HandCase c = make_hand_case(lt, FinancialTerms::identity(),
+                              FinancialTerms::identity());
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(c.portfolio, c.yet);
+  // Occurrence losses 100, 250, 300, 0; cumulative 100, 350, 650, 650.
+  // After agg terms: 0, 150, 250 (capped), 250. Year loss = 250.
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 250.0);
+}
+
+TEST(ReferenceEngine, CombinedTermsHandComputed) {
+  FinancialTerms ft;
+  ft.retention = 20.0;
+  LayerTerms lt;
+  lt.occ_retention = 50.0;
+  lt.occ_limit = 150.0;
+  lt.agg_retention = 100.0;
+  lt.agg_limit = 180.0;
+  HandCase c = make_hand_case(lt, ft, ft);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(c.portfolio, c.yet);
+  // After financial (ret 20 per ELT record):
+  //   e1: 80; e2: 180 + 30 = 210; e3: 280; e4: 0.
+  // After occurrence (ret 50, lim 150): 30, 150, 150, 0.
+  // Cumulative: 30, 180, 330, 330.
+  // After aggregate (ret 100, lim 180): 0, 80, 180, 180. Year = 180.
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 180.0);
+  EXPECT_DOUBLE_EQ(r.ylt.max_occurrence_loss(0, 0), 150.0);
+}
+
+TEST(ReferenceEngine, EmptyTrialGivesZeroLoss) {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{1, 10.0}},
+                    FinancialTerms::identity(), 5);
+  Portfolio p(std::move(elts), {Layer{"L", {0}, LayerTerms::identity()}});
+  Yet yet(std::vector<std::vector<EventOccurrence>>{{}, {{1, 3}}}, 5);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(p, yet);
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 1), 10.0);
+}
+
+TEST(ReferenceEngine, RepeatedEventCountsEachOccurrence) {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{2, 40.0}},
+                    FinancialTerms::identity(), 5);
+  Portfolio p(std::move(elts), {Layer{"L", {0}, LayerTerms::identity()}});
+  Yet yet(std::vector<std::vector<EventOccurrence>>{{{2, 1}, {2, 2}, {2, 3}}},
+          5);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(p, yet);
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 120.0);
+}
+
+TEST(ReferenceEngine, MultipleLayersProduceIndependentRows) {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{1, 100.0}},
+                    FinancialTerms::identity(), 5);
+  LayerTerms capped;
+  capped.occ_limit = 30.0;
+  Portfolio p(std::move(elts),
+              {Layer{"full", {0}, LayerTerms::identity()},
+               Layer{"capped", {0}, capped}});
+  Yet yet(std::vector<std::vector<EventOccurrence>>{{{1, 1}}}, 5);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(p, yet);
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(r.ylt.annual_loss(1, 0), 30.0);
+}
+
+TEST(ReferenceEngine, OpCountsMatchWorkload) {
+  const synth::Scenario s = synth::tiny(16);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  const auto occurrences =
+      static_cast<std::uint64_t>(s.yet.occurrence_count());
+  std::uint64_t expect_lookups = 0;
+  for (const Layer& l : s.portfolio.layers()) {
+    expect_lookups += l.elt_indices.size() * occurrences;
+  }
+  EXPECT_EQ(r.ops.elt_lookups, expect_lookups);
+  EXPECT_EQ(r.ops.event_fetches,
+            occurrences * s.portfolio.layer_count());
+  EXPECT_EQ(r.ops.financial_ops, expect_lookups);
+}
+
+TEST(ReferenceEngine, SimulatedTimeUsesPaperCalibration) {
+  const synth::Scenario s = synth::tiny(8);
+  ReferenceEngine engine;
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  EXPECT_GT(r.simulated_seconds, 0.0);
+  // Lookup must dominate at 14.84 ns x 15-elts-worth of accesses, as
+  // in the paper's 65% profile; with tiny's 2-4 ELT layers the lookup
+  // share is smaller but still the largest single phase.
+  EXPECT_GT(r.simulated_phases[perf::Phase::kLossLookup],
+            r.simulated_phases[perf::Phase::kEventFetch]);
+}
+
+TEST(ReferenceEngine, ProfiledRunFillsMeasuredPhases) {
+  const synth::Scenario s = synth::tiny(32);
+  EngineConfig cfg;
+  cfg.profile_phases = true;
+  ReferenceEngine engine(cfg);
+  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  EXPECT_GT(r.measured_phases.total(), 0.0);
+  EXPECT_GT(r.measured_phases[perf::Phase::kLossLookup], 0.0);
+}
+
+TEST(ReferenceEngine, MismatchedCatalogueThrows) {
+  const synth::Scenario s = synth::tiny(4);
+  Yet other(std::vector<std::vector<EventOccurrence>>{{{1, 1}}}, 999);
+  ReferenceEngine engine;
+  EXPECT_THROW(engine.run(s.portfolio, other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,180 @@
+#include "extensions/reinstatements.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/reference_engine.hpp"
+#include "synth/rng.hpp"
+#include <limits>
+#include "synth/scenarios.hpp"
+
+namespace ara::ext {
+namespace {
+
+ReinstatementTerms basic_terms() {
+  ReinstatementTerms t;
+  t.occ_retention = 100.0;
+  t.occ_limit = 200.0;
+  t.reinstatements = 1;     // capacity 400 total, 200 restorable
+  t.premium_rate = 1.0;     // "one reinstatement at 100%"
+  t.upfront_premium = 50.0;
+  return t;
+}
+
+TEST(ReinstatementTrial, NoLossNoRecovery) {
+  const auto out = evaluate_reinstatement_trial({}, basic_terms());
+  EXPECT_DOUBLE_EQ(out.recovered, 0.0);
+  EXPECT_DOUBLE_EQ(out.reinstatement_premium, 0.0);
+}
+
+TEST(ReinstatementTrial, SingleLossWithinLimit) {
+  // loss 250: recovery clamp(250-100, 0, 200) = 150; all restorable.
+  const auto out = evaluate_reinstatement_trial({250.0}, basic_terms());
+  EXPECT_DOUBLE_EQ(out.recovered, 150.0);
+  EXPECT_DOUBLE_EQ(out.reinstated, 150.0);
+  // 150/200 * 100% * 50 = 37.5
+  EXPECT_DOUBLE_EQ(out.reinstatement_premium, 37.5);
+}
+
+TEST(ReinstatementTrial, LossBelowRetentionIgnored) {
+  const auto out = evaluate_reinstatement_trial({90.0, 100.0}, basic_terms());
+  EXPECT_DOUBLE_EQ(out.recovered, 0.0);
+}
+
+TEST(ReinstatementTrial, CapacityExhaustion) {
+  // Three full-limit losses against capacity 2 x 200.
+  const auto out = evaluate_reinstatement_trial({1000.0, 1000.0, 1000.0},
+                                                basic_terms());
+  EXPECT_DOUBLE_EQ(out.recovered, 400.0);  // capacity cap
+  // Only the first 200 of consumption is restorable (N=1).
+  EXPECT_DOUBLE_EQ(out.reinstated, 200.0);
+  EXPECT_DOUBLE_EQ(out.reinstatement_premium, 50.0);  // full reinstatement
+}
+
+TEST(ReinstatementTrial, PartialFinalRecovery) {
+  // First loss consumes 200 (restored), second 150, third limited by
+  // remaining capacity 50.
+  ReinstatementTerms t = basic_terms();
+  const auto out =
+      evaluate_reinstatement_trial({1000.0, 250.0, 1000.0}, t);
+  EXPECT_DOUBLE_EQ(out.recovered, 400.0);
+  EXPECT_DOUBLE_EQ(out.reinstated, 200.0);
+}
+
+TEST(ReinstatementTrial, ZeroReinstatementsEqualsSingleLimit) {
+  ReinstatementTerms t = basic_terms();
+  t.reinstatements = 0;
+  const auto out = evaluate_reinstatement_trial({1000.0, 1000.0}, t);
+  EXPECT_DOUBLE_EQ(out.recovered, 200.0);
+  EXPECT_DOUBLE_EQ(out.reinstated, 0.0);
+  EXPECT_DOUBLE_EQ(out.reinstatement_premium, 0.0);
+}
+
+TEST(ReinstatementTrial, PremiumRateScales) {
+  ReinstatementTerms t = basic_terms();
+  t.premium_rate = 0.5;  // "at 50%"
+  const auto out = evaluate_reinstatement_trial({300.0}, t);
+  EXPECT_DOUBLE_EQ(out.recovered, 200.0);
+  EXPECT_DOUBLE_EQ(out.reinstatement_premium, 0.5 * 50.0);
+}
+
+TEST(ReinstatementTrial, RejectsInvalidTerms) {
+  ReinstatementTerms bad;
+  bad.occ_limit = 0.0;
+  EXPECT_THROW(evaluate_reinstatement_trial({1.0}, bad),
+               std::invalid_argument);
+}
+
+// Properties over random loss sequences.
+class ReinstatementProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReinstatementProperty, InvariantsHold) {
+  ReinstatementTerms t = basic_terms();
+  t.reinstatements = GetParam();
+  synth::Xoshiro256StarStar rng(404 + GetParam());
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> losses;
+    const std::size_t n = rng.next_below(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      losses.push_back(rng.next_double() * 600.0);
+    }
+    const auto out = evaluate_reinstatement_trial(losses, t);
+    EXPECT_GE(out.recovered, 0.0);
+    EXPECT_LE(out.recovered, t.annual_capacity() + 1e-9);
+    EXPECT_LE(out.reinstated, out.recovered + 1e-9);
+    EXPECT_LE(out.reinstated,
+              t.reinstatements * t.occ_limit + 1e-9);
+    EXPECT_LE(out.reinstatement_premium,
+              t.reinstatements * t.premium_rate * t.upfront_premium + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ReinstatementProperty,
+                         ::testing::Values(0u, 1u, 2u, 5u));
+
+TEST(ReinstatementEngine, ManyReinstatementsConvergeToOccOnlyLayer) {
+  // With effectively unlimited reinstatements, recovery equals the
+  // plain occurrence-terms engine with no aggregate terms.
+  const synth::Scenario s = synth::tiny(64, 17);
+  std::vector<ReinstatementTerms> terms;
+  std::vector<Layer> occ_layers;
+  for (const Layer& l : s.portfolio.layers()) {
+    ReinstatementTerms t;
+    t.occ_retention = l.terms.occ_retention;
+    t.occ_limit = l.terms.occ_limit;
+    t.reinstatements = 1000000;  // effectively unlimited
+    t.upfront_premium = 0.0;
+    terms.push_back(t);
+    Layer copy = l;
+    copy.terms.agg_retention = 0.0;
+    copy.terms.agg_limit = std::numeric_limits<double>::infinity();
+    occ_layers.push_back(copy);
+  }
+  const Portfolio occ_only(s.portfolio.elts(), occ_layers);
+
+  ReinstatementEngine engine(s.portfolio, terms);
+  const ReinstatementResult got = engine.run(s.yet);
+  ReferenceEngine ref;
+  const Ylt expect = ref.run(occ_only, s.yet).ylt;
+  for (std::size_t l = 0; l < s.portfolio.layer_count(); ++l) {
+    for (TrialId t = 0; t < s.yet.trial_count(); ++t) {
+      ASSERT_NEAR(got.at(l, t).recovered, expect.annual_loss(l, t),
+                  1e-9 * (1.0 + expect.annual_loss(l, t)));
+    }
+  }
+}
+
+TEST(ReinstatementEngine, ExpectedValuesAggregate) {
+  const synth::Scenario s = synth::tiny(128, 23);
+  std::vector<ReinstatementTerms> terms(s.portfolio.layer_count());
+  for (auto& t : terms) {
+    t.occ_retention = 500.0;
+    t.occ_limit = 2000.0;
+    t.reinstatements = 2;
+    t.premium_rate = 1.0;
+    t.upfront_premium = 800.0;
+  }
+  ReinstatementEngine engine(s.portfolio, terms);
+  const ReinstatementResult result = engine.run(s.yet);
+  for (std::size_t l = 0; l < result.layer_count(); ++l) {
+    double sum = 0.0;
+    for (TrialId t = 0; t < result.trial_count(); ++t) {
+      sum += result.at(l, t).recovered;
+    }
+    EXPECT_NEAR(result.expected_recovery(l),
+                sum / result.trial_count(), 1e-9);
+    EXPECT_GE(result.expected_reinstatement_premium(l), 0.0);
+  }
+}
+
+TEST(ReinstatementEngine, ValidatesConstruction) {
+  const synth::Scenario s = synth::tiny(4, 2);
+  EXPECT_THROW(ReinstatementEngine(s.portfolio, {}), std::invalid_argument);
+  std::vector<ReinstatementTerms> bad(s.portfolio.layer_count());
+  bad[0].occ_limit = 0.0;
+  EXPECT_THROW(ReinstatementEngine(s.portfolio, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara::ext

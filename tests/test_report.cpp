@@ -1,0 +1,62 @@
+#include "perf/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ara::perf {
+namespace {
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"name", "time"});
+  t.add_row({"alpha", "1.0 s"});
+  t.add_row({"beta", "2.5 s"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  std::ostringstream os;
+  t.print(os);
+  // Header row must be padded past "longvalue".
+  const std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(first_line.size(), std::string("longvalue").size());
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Formatting, Seconds) {
+  EXPECT_EQ(format_seconds(337.47), "337.47 s");
+  EXPECT_EQ(format_seconds(0.5), "500.00 ms");
+  EXPECT_EQ(format_seconds(0.0000005), "0.50 us");
+}
+
+TEST(Formatting, Ratio) {
+  EXPECT_EQ(format_ratio(77.0), "77.00x");
+  EXPECT_EQ(format_ratio(1.5), "1.50x");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(format_percent(0.9754), "97.5%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+TEST(Formatting, Fixed) {
+  EXPECT_EQ(format_fixed(4.349, 2), "4.35");
+  EXPECT_EQ(format_fixed(4.0, 0), "4");
+}
+
+}  // namespace
+}  // namespace ara::perf

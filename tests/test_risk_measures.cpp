@@ -1,0 +1,121 @@
+#include "core/metrics/risk_measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "synth/rng.hpp"
+
+namespace ara::metrics {
+namespace {
+
+std::vector<double> ladder(std::size_t n) {
+  // losses 1, 2, ..., n
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i + 1);
+  return v;
+}
+
+TEST(EpCurve, ExceedanceProbability) {
+  const EpCurve curve(ladder(100));
+  EXPECT_DOUBLE_EQ(curve.exceedance_probability(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.exceedance_probability(100.0), 0.01);
+  EXPECT_DOUBLE_EQ(curve.exceedance_probability(91.0), 0.10);
+  EXPECT_DOUBLE_EQ(curve.exceedance_probability(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.exceedance_probability(0.0), 1.0);
+}
+
+TEST(EpCurve, LossAtReturnPeriod) {
+  const EpCurve curve(ladder(100));
+  // 100-year RP over 100 trials: the single largest loss.
+  EXPECT_DOUBLE_EQ(curve.loss_at_return_period(100.0), 100.0);
+  // 10-year RP: the 10th largest = 91.
+  EXPECT_DOUBLE_EQ(curve.loss_at_return_period(10.0), 91.0);
+  // 1-year RP: every year exceeds -> smallest loss.
+  EXPECT_DOUBLE_EQ(curve.loss_at_return_period(1.0), 1.0);
+  // Beyond the sample horizon: clamps to the maximum observed.
+  EXPECT_DOUBLE_EQ(curve.loss_at_return_period(100000.0), 100.0);
+}
+
+TEST(EpCurve, ValidatesInput) {
+  EXPECT_THROW(EpCurve(std::vector<double>{}), std::invalid_argument);
+  const EpCurve curve(ladder(10));
+  EXPECT_THROW(curve.loss_at_return_period(0.5), std::invalid_argument);
+}
+
+TEST(EpCurve, MonotoneInReturnPeriod) {
+  synth::Xoshiro256StarStar rng(4);
+  std::vector<double> losses;
+  for (int i = 0; i < 5000; ++i) {
+    losses.push_back(rng.next_double() * 1e6);
+  }
+  const EpCurve curve(losses);
+  double prev = -1.0;
+  for (double rp : {1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 500.0, 2500.0}) {
+    const double loss = curve.loss_at_return_period(rp);
+    EXPECT_GE(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(RiskMeasures, VarIsQuantile) {
+  EXPECT_NEAR(value_at_risk(ladder(100), 0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(value_at_risk(ladder(100), 0.5), 50.5);
+}
+
+TEST(RiskMeasures, TvarAtLeastVar) {
+  synth::Xoshiro256StarStar rng(8);
+  std::vector<double> losses;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.next_double();
+    losses.push_back(u * u * 1e6);  // skewed
+  }
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_GE(tail_value_at_risk(losses, p), value_at_risk(losses, p));
+  }
+}
+
+TEST(RiskMeasures, TvarOfUniformLadder) {
+  // Tail beyond VaR_0.9 = 90.1: losses 91..100 average 95.5.
+  EXPECT_NEAR(tail_value_at_risk(ladder(100), 0.9), 95.5, 0.01);
+}
+
+TEST(RiskMeasures, PmlMatchesVarConvention) {
+  const auto losses = ladder(1000);
+  EXPECT_DOUBLE_EQ(probable_maximum_loss(losses, 100.0),
+                   value_at_risk(losses, 0.99));
+  EXPECT_THROW(probable_maximum_loss(losses, 1.0), std::invalid_argument);
+}
+
+TEST(RiskMeasures, AalIsMean) {
+  EXPECT_DOUBLE_EQ(average_annual_loss(ladder(100)), 50.5);
+}
+
+TEST(RiskMeasures, SummaryConsistency) {
+  Ylt ylt(1, 200);
+  synth::Xoshiro256StarStar rng(15);
+  for (TrialId t = 0; t < 200; ++t) {
+    const double annual = rng.next_double() * 1e6;
+    ylt.annual_loss(0, t) = annual;
+    ylt.max_occurrence_loss(0, t) = annual * 0.6;
+  }
+  const LayerRiskSummary s = summarize_layer(ylt, 0);
+  EXPECT_GT(s.aal, 0.0);
+  EXPECT_GE(s.tvar_99, s.var_99);
+  EXPECT_GE(s.pml_250yr, s.pml_100yr);
+  EXPECT_GE(s.max_annual, s.pml_250yr);
+  EXPECT_GT(s.oep_100yr, 0.0);
+  EXPECT_LE(s.oep_100yr, s.max_annual);
+}
+
+TEST(RiskMeasures, DegenerateAllZeroLosses) {
+  Ylt ylt(1, 50);  // all zeros
+  const LayerRiskSummary s = summarize_layer(ylt, 0);
+  EXPECT_DOUBLE_EQ(s.aal, 0.0);
+  EXPECT_DOUBLE_EQ(s.var_99, 0.0);
+  EXPECT_DOUBLE_EQ(s.tvar_99, 0.0);
+  EXPECT_DOUBLE_EQ(s.pml_100yr, 0.0);
+}
+
+}  // namespace
+}  // namespace ara::metrics

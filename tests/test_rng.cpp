@@ -1,0 +1,120 @@
+#include "synth/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ara::synth {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(99);
+  Xoshiro256StarStar b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextDoubleMeanIsHalf) {
+  Xoshiro256StarStar rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256StarStar rng(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 365ULL, 1000000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextBelowZeroBoundReturnsZero) {
+  Xoshiro256StarStar rng(17);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro, NextBelowIsApproximatelyUniform) {
+  Xoshiro256StarStar rng(19);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.next_below(bound)];
+  }
+  for (const int c : counts) {
+    // Each bucket expects 10000; allow 5 sigma (~500).
+    EXPECT_NEAR(c, n / 10, 500);
+  }
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256StarStar::min() == 0);
+  static_assert(Xoshiro256StarStar::max() == ~0ULL);
+  Xoshiro256StarStar rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+TEST(Substream, DistinctIndicesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(substream(42, i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Substream, StableAcrossCalls) {
+  EXPECT_EQ(substream(42, 7), substream(42, 7));
+  EXPECT_NE(substream(42, 7), substream(43, 7));
+  EXPECT_NE(substream(42, 7), substream(42, 8));
+}
+
+TEST(Substream, StreamsAreStatisticallyIndependent) {
+  // Correlation between adjacent sub-streams should be negligible.
+  Xoshiro256StarStar a(substream(5, 0));
+  Xoshiro256StarStar b(substream(5, 1));
+  const int n = 50000;
+  double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.next_double(), y = b.next_double();
+    sum_ab += x * y;
+    sum_a += x;
+    sum_b += y;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  EXPECT_NEAR(cov, 0.0, 0.002);  // var(U)=1/12; |corr| < ~2.4%
+}
+
+}  // namespace
+}  // namespace ara::synth

@@ -1,0 +1,66 @@
+#include "synth/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::synth {
+namespace {
+
+TEST(PaperShape, MatchesPublishedWorkload) {
+  const WorkloadShape s = paper_shape();
+  EXPECT_EQ(s.trials, 1000000u);
+  EXPECT_DOUBLE_EQ(s.events_per_trial, 1000.0);
+  EXPECT_EQ(s.catalogue_size, 2000000u);
+  EXPECT_EQ(s.elts_per_layer, 15u);
+  EXPECT_EQ(s.elt_records, 20000u);
+  EXPECT_EQ(s.layers, 1u);
+  EXPECT_DOUBLE_EQ(s.total_events(), 1.0e9);
+}
+
+TEST(TinyScenario, IsSmallAndConsistent) {
+  const Scenario s = tiny(32);
+  EXPECT_EQ(s.yet.trial_count(), 32u);
+  EXPECT_EQ(s.catalogue.size(), 100u);
+  EXPECT_EQ(s.portfolio.layer_count(), 2u);
+  EXPECT_EQ(s.portfolio.catalogue_size(), s.yet.catalogue_size());
+}
+
+TEST(TinyScenario, DeterministicForSeed) {
+  const Scenario a = tiny(16, 5);
+  const Scenario b = tiny(16, 5);
+  EXPECT_EQ(a.yet.occurrences(), b.yet.occurrences());
+}
+
+TEST(PaperScaled, PreservesWorkloadShape) {
+  const Scenario s = paper_scaled(1000);
+  EXPECT_EQ(s.yet.trial_count(), 1000u);        // 1M / 1000
+  EXPECT_EQ(s.catalogue.size(), 2000u);         // 2M / 1000
+  EXPECT_EQ(s.portfolio.layer_count(), 1u);
+  EXPECT_EQ(s.portfolio.layers()[0].elt_indices.size(), 15u);
+  // 1000 events per trial regardless of scale.
+  EXPECT_NEAR(s.yet.mean_events_per_trial(), 1000.0, 20.0);
+}
+
+TEST(PaperScaled, EltDensityScales) {
+  const Scenario s = paper_scaled(1000);
+  // 20000 / 1000 = 20 records per ELT.
+  for (const ara::Elt& e : s.portfolio.elts()) {
+    EXPECT_EQ(e.size(), 20u);
+  }
+}
+
+TEST(PaperScaled, RejectsZeroScale) {
+  EXPECT_THROW(paper_scaled(0), std::invalid_argument);
+}
+
+TEST(MultiLayerBook, HasManyLayers) {
+  const Scenario s = multi_layer_book(8, 200);
+  EXPECT_EQ(s.portfolio.layer_count(), 8u);
+  EXPECT_EQ(s.yet.trial_count(), 200u);
+  for (const ara::Layer& l : s.portfolio.layers()) {
+    EXPECT_GE(l.elt_indices.size(), 3u);
+    EXPECT_LE(l.elt_indices.size(), 30u);
+  }
+}
+
+}  // namespace
+}  // namespace ara::synth

@@ -1,0 +1,126 @@
+#include "simgpu/sim_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+namespace ara::simgpu {
+namespace {
+
+LaunchConfig small_launch() {
+  LaunchConfig c;
+  c.grid_blocks = 4;
+  c.block_threads = 32;
+  c.regs_per_thread = 20;
+  return c;
+}
+
+ara::OpCounts small_ops() {
+  ara::OpCounts ops;
+  ops.elt_lookups = 1000;
+  ops.event_fetches = 100;
+  return ops;
+}
+
+TEST(SimDevice, MemoryLedgerTracksAllocations) {
+  SimDevice dev(tesla_c2075());
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  dev.alloc(1000);
+  dev.alloc(500);
+  EXPECT_EQ(dev.allocated_bytes(), 1500u);
+  dev.free(500);
+  EXPECT_EQ(dev.allocated_bytes(), 1000u);
+}
+
+TEST(SimDevice, AllocBeyondGlobalMemoryThrows) {
+  SimDevice dev(tesla_c2075());
+  // The full-precision YET of the paper workload (1e9 events x 8 B)
+  // would NOT fit in 5.375 GB — the failure that motivates shipping
+  // event ids only.
+  EXPECT_THROW(dev.alloc(8ULL * 1000 * 1000 * 1000), std::bad_alloc);
+  // Ids only (4 GB) fit.
+  EXPECT_NO_THROW(dev.alloc(4ULL * 1000 * 1000 * 1000));
+}
+
+TEST(SimDevice, FreeMoreThanAllocatedThrows) {
+  SimDevice dev(tesla_c2075());
+  dev.alloc(100);
+  EXPECT_THROW(dev.free(200), std::logic_error);
+}
+
+TEST(SimDevice, LaunchExecutesEveryThread) {
+  SimDevice dev(tesla_c2075());
+  std::vector<int> hits(4 * 32, 0);
+  dev.launch("k", small_launch(), KernelTraits{}, small_ops(),
+             [&](const SimDevice::ThreadCtx& ctx) {
+               ++hits[ctx.global_id()];
+               EXPECT_EQ(ctx.global_id(),
+                         static_cast<std::size_t>(ctx.block) * 32 + ctx.thread);
+             });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(SimDevice, LaunchAccumulatesTimeline) {
+  SimDevice dev(tesla_c2075());
+  EXPECT_DOUBLE_EQ(dev.elapsed_seconds(), 0.0);
+  dev.launch("k1", small_launch(), KernelTraits{}, small_ops(),
+             [](const SimDevice::ThreadCtx&) {});
+  const double after_one = dev.elapsed_seconds();
+  EXPECT_GT(after_one, 0.0);
+  dev.launch("k2", small_launch(), KernelTraits{}, small_ops(),
+             [](const SimDevice::ThreadCtx&) {});
+  EXPECT_NEAR(dev.elapsed_seconds(), 2.0 * after_one, 1e-12);
+  EXPECT_EQ(dev.launches().size(), 2u);
+  EXPECT_EQ(dev.launches()[0].kernel_name, "k1");
+}
+
+TEST(SimDevice, InfeasibleLaunchThrowsWithoutExecuting) {
+  SimDevice dev(tesla_c2075());
+  LaunchConfig bad = small_launch();
+  bad.shared_bytes_per_block = 100 * 1024;
+  int executed = 0;
+  EXPECT_THROW(dev.launch("bad", bad, KernelTraits{}, small_ops(),
+                          [&](const SimDevice::ThreadCtx&) { ++executed; }),
+               std::runtime_error);
+  EXPECT_EQ(executed, 0);
+  EXPECT_DOUBLE_EQ(dev.elapsed_seconds(), 0.0);
+}
+
+TEST(SimDevice, CopyChargesTransferPhase) {
+  SimDevice dev(tesla_c2075());
+  const double s = dev.copy(6ULL * 1000 * 1000 * 1000);
+  EXPECT_NEAR(s, 1.0, 1e-9);
+  EXPECT_NEAR(dev.transfer_seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(dev.phase_seconds()[perf::Phase::kTransfer], 1.0, 1e-9);
+  EXPECT_NEAR(dev.elapsed_seconds(), 1.0, 1e-9);
+}
+
+TEST(SimDevice, ResetTimelineKeepsMemoryLedger) {
+  SimDevice dev(tesla_c2075());
+  dev.alloc(123);
+  dev.copy(1000);
+  dev.launch_cost_only("k", small_launch(), KernelTraits{}, small_ops());
+  dev.reset_timeline();
+  EXPECT_DOUBLE_EQ(dev.elapsed_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(dev.transfer_seconds(), 0.0);
+  EXPECT_TRUE(dev.launches().empty());
+  EXPECT_EQ(dev.allocated_bytes(), 123u);
+}
+
+TEST(SimDevice, CostOnlyMatchesExecutingLaunch) {
+  SimDevice a(tesla_c2075());
+  SimDevice b(tesla_c2075());
+  const KernelCost ca =
+      a.launch_cost_only("k", small_launch(), KernelTraits{}, small_ops());
+  const KernelCost cb = b.launch("k", small_launch(), KernelTraits{},
+                                 small_ops(), [](const auto&) {});
+  EXPECT_DOUBLE_EQ(ca.total_seconds, cb.total_seconds);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds(), b.elapsed_seconds());
+}
+
+}  // namespace
+}  // namespace ara::simgpu

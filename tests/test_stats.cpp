@@ -1,0 +1,77 @@
+#include "core/metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ara::metrics {
+namespace {
+
+const std::vector<double> kSample = {4.0, 1.0, 3.0, 2.0, 5.0};
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 3.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.5}), 7.5);
+}
+
+TEST(Stats, Stddev) {
+  // Sample variance of 1..5 = 2.5.
+  EXPECT_NEAR(stddev(kSample), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value(kSample), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(kSample), 5.0);
+  EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(max_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 1.0), 5.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  // Type-7 on 1..5: p=0.5 -> 3; p=0.25 -> 2; p=0.1 -> 1.4.
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.25), 2.0);
+  EXPECT_NEAR(quantile(kSample, 0.1), 1.4, 1e-12);
+}
+
+TEST(Stats, QuantileValidatesInput) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, QuantileSortedSkipsSorting) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double p : {0.0, 0.3, 0.5, 0.77, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, p), quantile(kSample, p));
+  }
+}
+
+TEST(Stats, QuantileMonotoneInP) {
+  const std::vector<double> data = {9.0, 1.0, 7.0, 7.0, 2.0, 5.0, 0.5};
+  double prev = -1e300;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double q = quantile(data, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Stats, SortedCopyDoesNotMutate) {
+  std::vector<double> data = {3.0, 1.0, 2.0};
+  const auto sorted = sorted_copy(data);
+  EXPECT_EQ(sorted, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(data, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace ara::metrics

@@ -1,0 +1,132 @@
+// Direct unit tests of the fused per-trial kernel math — the routine
+// every parallel engine's inner loop is built from.
+#include "core/trial_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ara {
+namespace {
+
+struct Fixture {
+  Portfolio portfolio;
+  TableStore<double> tables;
+
+  explicit Fixture(LayerTerms lt, FinancialTerms ft = {})
+      : portfolio(make_portfolio(lt, ft)),
+        tables(build_tables<double>(portfolio)) {}
+
+  static Portfolio make_portfolio(LayerTerms lt, FinancialTerms ft) {
+    std::vector<Elt> elts;
+    elts.emplace_back(
+        std::vector<EventLoss>{{1, 100.0}, {2, 200.0}, {3, 300.0}}, ft, 10);
+    elts.emplace_back(std::vector<EventLoss>{{2, 50.0}, {4, 400.0}}, ft, 10);
+    return Portfolio(std::move(elts), {Layer{"L", {0, 1}, lt}});
+  }
+
+  TrialOutcome<double> run(const std::vector<EventOccurrence>& events) {
+    const BoundLayer<double> layer = bind_layer(portfolio, tables, 0);
+    return simulate_trial_fused<double>(
+        std::span<const EventOccurrence>(events), layer);
+  }
+};
+
+TEST(TrialMath, EmptyTrialZeroOutcome) {
+  Fixture f(LayerTerms::identity());
+  const auto out = f.run({});
+  EXPECT_DOUBLE_EQ(out.annual, 0.0);
+  EXPECT_DOUBLE_EQ(out.max_occurrence, 0.0);
+}
+
+TEST(TrialMath, SumsAcrossEltsPerEvent) {
+  Fixture f(LayerTerms::identity());
+  // event 2 is in both ELTs: 200 + 50.
+  const auto out = f.run({{2, 1}});
+  EXPECT_DOUBLE_EQ(out.annual, 250.0);
+  EXPECT_DOUBLE_EQ(out.max_occurrence, 250.0);
+}
+
+TEST(TrialMath, UnknownEventContributesZero) {
+  Fixture f(LayerTerms::identity());
+  const auto out = f.run({{9, 1}, {10, 2}});
+  EXPECT_DOUBLE_EQ(out.annual, 0.0);
+}
+
+TEST(TrialMath, MaxOccurrenceTracksLargestClampedEvent) {
+  LayerTerms lt;
+  lt.occ_limit = 260.0;
+  Fixture f(lt);
+  const auto out = f.run({{1, 1}, {4, 2}, {2, 3}});
+  // events: 100, 400->260 (clamped), 250. Max clamped = 260.
+  EXPECT_DOUBLE_EQ(out.max_occurrence, 260.0);
+  EXPECT_DOUBLE_EQ(out.annual, 100.0 + 260.0 + 250.0);
+}
+
+TEST(TrialMath, AggregateTermsTelescopeToClampedTotal) {
+  LayerTerms lt;
+  lt.agg_retention = 150.0;
+  lt.agg_limit = 400.0;
+  Fixture f(lt);
+  const auto out = f.run({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  // Occurrence losses: 100, 250, 300, 400; total 1050.
+  // Annual = clamp(1050 - 150, 0, 400) = 400.
+  EXPECT_DOUBLE_EQ(out.annual, 400.0);
+}
+
+TEST(TrialMath, FinancialTermsAppliedBeforeCombining) {
+  FinancialTerms ft;
+  ft.retention = 150.0;
+  Fixture f(LayerTerms::identity(), ft);
+  // event 2: ELT1 200-150=50; ELT2 50-150 -> 0. Combined 50 (not
+  // (200+50)-150=100, which would be applying terms after combining).
+  const auto out = f.run({{2, 1}});
+  EXPECT_DOUBLE_EQ(out.annual, 50.0);
+}
+
+TEST(TrialMath, FloatInstantiationTracksDouble) {
+  LayerTerms lt;
+  lt.occ_retention = 10.0;
+  lt.agg_limit = 500.0;
+  std::vector<Elt> elts;
+  FinancialTerms ft;
+  ft.share = 0.7;
+  elts.emplace_back(std::vector<EventLoss>{{1, 123.456}, {2, 654.321}}, ft,
+                    10);
+  Portfolio p(std::move(elts), {Layer{"L", {0}, lt}});
+  const TableStore<double> td = build_tables<double>(p);
+  const TableStore<float> tf = build_tables<float>(p);
+  const std::vector<EventOccurrence> trial = {{1, 1}, {2, 2}, {1, 3}};
+  const auto d = simulate_trial_fused<double>(
+      std::span<const EventOccurrence>(trial), bind_layer(p, td, 0));
+  const auto f = simulate_trial_fused<float>(
+      std::span<const EventOccurrence>(trial), bind_layer(p, tf, 0));
+  EXPECT_NEAR(static_cast<double>(f.annual), d.annual,
+              1e-4 * (1.0 + d.annual));
+}
+
+TEST(TrialMath, BoundLayerResolvesLayerOrder) {
+  Fixture f(LayerTerms::identity());
+  const BoundLayer<double> layer = bind_layer(f.portfolio, f.tables, 0);
+  EXPECT_EQ(layer.elt_count(), 2u);
+  EXPECT_DOUBLE_EQ(layer.tables[0]->at(1), 100.0);
+  EXPECT_DOUBLE_EQ(layer.tables[1]->at(4), 400.0);
+}
+
+TEST(TrialMath, TableStorePerLayerShapes) {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{1, 1.0}},
+                    FinancialTerms::identity(), 10);
+  elts.emplace_back(std::vector<EventLoss>{{2, 2.0}},
+                    FinancialTerms::identity(), 10);
+  Portfolio p(std::move(elts),
+              {Layer{"a", {0}, LayerTerms::identity()},
+               Layer{"b", {0, 1}, LayerTerms::identity()}});
+  const TableStore<double> store = build_tables<double>(p);
+  ASSERT_EQ(store.per_layer.size(), 2u);
+  EXPECT_EQ(store.per_layer[0].size(), 1u);
+  EXPECT_EQ(store.per_layer[1].size(), 2u);
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,109 @@
+#include "synth/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "synth/yet_generator.hpp"
+
+namespace ara::synth {
+namespace {
+
+TEST(YetValidation, NativeGeneratedYetIsHealthy) {
+  const Catalogue cat = Catalogue::make(30000, 3, 200.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 2000;
+  cfg.seed = 61;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  const YetValidation v = validate_yet(cat, yet);
+  EXPECT_TRUE(v.healthy());
+  ASSERT_EQ(v.regions.size(), 3u);
+  EXPECT_NEAR(v.total_observed_rate, v.total_expected_rate,
+              0.05 * v.total_expected_rate);
+}
+
+TEST(YetValidation, RescaledYetNeedsRateScale) {
+  const Catalogue cat = Catalogue::make(30000, 3, 200.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 2000;
+  cfg.target_events_per_trial = 400.0;  // 2x the native rate
+  cfg.seed = 62;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  // Without the scale, the rate z-scores blow up.
+  EXPECT_FALSE(validate_yet(cat, yet, 1.0).healthy());
+  // With it, the table validates.
+  EXPECT_TRUE(validate_yet(cat, yet, 2.0).healthy());
+}
+
+TEST(YetValidation, DetectsSeasonalityMismatch) {
+  // Generate from a seasonal region, validate against a catalogue
+  // claiming no seasonality: the in-season fraction check must fail.
+  PerilRegion seasonal{"h", 1, 1000, 100.0, 0.9, 150, 250};
+  const Catalogue truth(1000, {seasonal});
+  YetGeneratorConfig cfg;
+  cfg.trials = 1000;
+  cfg.seed = 63;
+  const ara::Yet yet = generate_yet(truth, cfg);
+
+  PerilRegion flat = seasonal;
+  flat.seasonality = 0.0;
+  const Catalogue claimed(1000, {flat});
+  const YetValidation v = validate_yet(claimed, yet);
+  EXPECT_FALSE(v.healthy());
+  EXPECT_GT(v.regions[0].observed_in_season,
+            v.regions[0].expected_in_season + 0.2);
+}
+
+TEST(YetValidation, DetectsClustering) {
+  const Catalogue cat = Catalogue::make(10000, 1, 50.0);
+  YetGeneratorConfig poisson, clustered;
+  poisson.trials = clustered.trials = 2000;
+  poisson.seed = clustered.seed = 64;
+  clustered.clustering_k = 2.0;
+  const YetValidation vp = validate_yet(cat, generate_yet(cat, poisson));
+  const YetValidation vc = validate_yet(cat, generate_yet(cat, clustered));
+  EXPECT_NEAR(vp.regions[0].dispersion, 1.0, 0.15);  // Poisson: var=mean
+  EXPECT_GT(vc.regions[0].dispersion, 5.0);          // strongly clustered
+}
+
+TEST(YetValidation, DetectsRateMismatch) {
+  const Catalogue cat = Catalogue::make(10000, 2, 100.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 2000;
+  cfg.seed = 65;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  // Claim half the rate: z-scores explode.
+  const YetValidation v = validate_yet(cat, yet, 0.5);
+  EXPECT_FALSE(v.healthy());
+  EXPECT_GT(std::abs(v.regions[0].rate_z_score), 10.0);
+}
+
+TEST(YetValidation, UniformIdsPassChiSquare) {
+  const Catalogue cat = Catalogue::make(20000, 2, 300.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 1500;
+  cfg.seed = 66;
+  const YetValidation v = validate_yet(cat, generate_yet(cat, cfg));
+  for (const RegionValidation& r : v.regions) {
+    const double dof = static_cast<double>(r.id_buckets - 1);
+    EXPECT_LT(r.id_chi2_stat, dof + 5.0 * std::sqrt(2.0 * dof))
+        << r.region;
+  }
+}
+
+TEST(YetValidation, ValidatesInputs) {
+  const Catalogue cat = Catalogue::make(100, 1, 5.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 10;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  const Catalogue other = Catalogue::make(200, 1, 5.0);
+  EXPECT_THROW(validate_yet(other, yet), std::invalid_argument);
+  EXPECT_THROW(validate_yet(cat, yet, 0.0), std::invalid_argument);
+  const ara::Yet empty(std::vector<std::vector<ara::EventOccurrence>>{},
+                       100);
+  EXPECT_THROW(validate_yet(cat, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara::synth

@@ -1,0 +1,103 @@
+#include "core/yet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ara {
+namespace {
+
+std::vector<std::vector<EventOccurrence>> sample_trials() {
+  return {
+      {{3, 10}, {7, 20}, {3, 30}},
+      {},
+      {{1, 5}},
+      {{9, 1}, {9, 1}, {2, 365}},
+  };
+}
+
+TEST(Yet, BuildsFromTrialVectors) {
+  const Yet yet(sample_trials(), 10);
+  EXPECT_EQ(yet.trial_count(), 4u);
+  EXPECT_EQ(yet.occurrence_count(), 7u);
+  EXPECT_EQ(yet.catalogue_size(), 10u);
+  EXPECT_DOUBLE_EQ(yet.mean_events_per_trial(), 7.0 / 4.0);
+}
+
+TEST(Yet, TrialSpansMatchInput) {
+  const Yet yet(sample_trials(), 10);
+  const auto t0 = yet.trial(0);
+  ASSERT_EQ(t0.size(), 3u);
+  EXPECT_EQ(t0[0].event, 3u);
+  EXPECT_EQ(t0[1].event, 7u);
+  EXPECT_EQ(t0[2].time, 30u);
+  EXPECT_EQ(yet.trial(1).size(), 0u);
+  EXPECT_EQ(yet.trial_size(2), 1u);
+  EXPECT_EQ(yet.trial_size(3), 3u);
+}
+
+TEST(Yet, EmptyYetIsLegal) {
+  const Yet yet(std::vector<std::vector<EventOccurrence>>{}, 5);
+  EXPECT_EQ(yet.trial_count(), 0u);
+  EXPECT_EQ(yet.occurrence_count(), 0u);
+  EXPECT_DOUBLE_EQ(yet.mean_events_per_trial(), 0.0);
+}
+
+TEST(Yet, RejectsZeroCatalogue) {
+  EXPECT_THROW(Yet(sample_trials(), 0), std::invalid_argument);
+}
+
+TEST(Yet, RejectsEventIdZero) {
+  std::vector<std::vector<EventOccurrence>> trials = {{{0, 10}}};
+  EXPECT_THROW(Yet(trials, 10), std::invalid_argument);
+}
+
+TEST(Yet, RejectsEventBeyondCatalogue) {
+  std::vector<std::vector<EventOccurrence>> trials = {{{11, 10}}};
+  EXPECT_THROW(Yet(trials, 10), std::invalid_argument);
+}
+
+TEST(Yet, RejectsUnorderedTimestamps) {
+  std::vector<std::vector<EventOccurrence>> trials = {{{3, 20}, {4, 10}}};
+  EXPECT_THROW(Yet(trials, 10), std::invalid_argument);
+}
+
+TEST(Yet, AcceptsEqualTimestamps) {
+  std::vector<std::vector<EventOccurrence>> trials = {{{3, 20}, {4, 20}}};
+  EXPECT_NO_THROW(Yet(trials, 10));
+}
+
+TEST(Yet, CsrConstructorRoundTrips) {
+  const Yet a(sample_trials(), 10);
+  const Yet b(a.occurrences(), a.offsets(), 10);
+  EXPECT_EQ(b.trial_count(), a.trial_count());
+  EXPECT_EQ(b.occurrence_count(), a.occurrence_count());
+  for (TrialId t = 0; t < a.trial_count(); ++t) {
+    ASSERT_EQ(b.trial_size(t), a.trial_size(t));
+  }
+}
+
+TEST(Yet, CsrConstructorRejectsMalformedOffsets) {
+  const Yet a(sample_trials(), 10);
+  // offsets not ending at occurrence count
+  std::vector<std::size_t> bad = a.offsets();
+  bad.back() += 1;
+  EXPECT_THROW(Yet(a.occurrences(), bad, 10), std::invalid_argument);
+  // empty offsets
+  EXPECT_THROW(Yet(a.occurrences(), {}, 10), std::invalid_argument);
+  // non-monotone offsets ({0,3,3,4,7} -> {0,3,4,3,7})
+  std::vector<std::size_t> nonmono = a.offsets();
+  ASSERT_GT(nonmono.size(), 3u);
+  std::swap(nonmono[2], nonmono[3]);
+  EXPECT_THROW(Yet(a.occurrences(), nonmono, 10), std::invalid_argument);
+}
+
+TEST(Yet, MemoryBytesAccounts) {
+  const Yet yet(sample_trials(), 10);
+  EXPECT_EQ(yet.memory_bytes(), 7 * sizeof(EventOccurrence) +
+                                    5 * sizeof(std::size_t));
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,135 @@
+#include "synth/yet_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ara::synth {
+namespace {
+
+TEST(YetGenerator, ProducesRequestedTrials) {
+  const Catalogue cat = Catalogue::make(1000, 3, 50.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 200;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  EXPECT_EQ(yet.trial_count(), 200u);
+  EXPECT_EQ(yet.catalogue_size(), 1000u);
+}
+
+TEST(YetGenerator, MeanEventsNearAnnualRate) {
+  const Catalogue cat = Catalogue::make(1000, 3, 50.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 2000;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  // Poisson(50) mean over 2000 trials: sd of mean ~ sqrt(50/2000)=0.16
+  EXPECT_NEAR(yet.mean_events_per_trial(), 50.0, 1.0);
+}
+
+TEST(YetGenerator, TargetEventsPerTrialRescalesRate) {
+  const Catalogue cat = Catalogue::make(1000, 3, 50.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 1000;
+  cfg.target_events_per_trial = 200.0;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  EXPECT_NEAR(yet.mean_events_per_trial(), 200.0, 3.0);
+}
+
+TEST(YetGenerator, TrialsAreTimeOrdered) {
+  const Catalogue cat = Catalogue::make(1000, 3, 100.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 50;
+  const ara::Yet yet = generate_yet(cat, cfg);  // Yet ctor validates order
+  for (ara::TrialId t = 0; t < yet.trial_count(); ++t) {
+    const auto trial = yet.trial(t);
+    for (std::size_t i = 1; i < trial.size(); ++i) {
+      EXPECT_LE(trial[i - 1].time, trial[i].time);
+    }
+  }
+}
+
+TEST(YetGenerator, EventsStayInsideRegionRanges) {
+  const Catalogue cat = Catalogue::make(999, 3, 60.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 100;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  for (const ara::EventOccurrence& o : yet.occurrences()) {
+    EXPECT_GE(o.event, 1u);
+    EXPECT_LE(o.event, 999u);
+    EXPECT_GE(o.time, 1u);
+    EXPECT_LE(o.time, 365u);
+  }
+}
+
+TEST(YetGenerator, SeasonalityConcentratesTimestamps) {
+  // One fully seasonal region: all in-season draws land in the window.
+  PerilRegion r{"h", 1, 100, 40.0, 1.0, 150, 250};
+  const Catalogue cat(100, {r});
+  YetGeneratorConfig cfg;
+  cfg.trials = 200;
+  const ara::Yet yet = generate_yet(cat, cfg);
+  std::size_t inside = 0;
+  for (const ara::EventOccurrence& o : yet.occurrences()) {
+    if (o.time >= 150 && o.time <= 250) ++inside;
+  }
+  EXPECT_EQ(inside, yet.occurrence_count());
+}
+
+TEST(YetGenerator, DeterministicForSeed) {
+  const Catalogue cat = Catalogue::make(1000, 3, 50.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 100;
+  cfg.seed = 777;
+  const ara::Yet a = generate_yet(cat, cfg);
+  const ara::Yet b = generate_yet(cat, cfg);
+  ASSERT_EQ(a.occurrence_count(), b.occurrence_count());
+  EXPECT_EQ(a.occurrences(), b.occurrences());
+}
+
+TEST(YetGenerator, TrialsStableUnderTrialCountChange) {
+  // Trial i must be identical whether 50 or 100 trials are generated
+  // (per-trial sub-streams) — scaled benchmarks rely on this.
+  const Catalogue cat = Catalogue::make(1000, 3, 50.0);
+  YetGeneratorConfig small, large;
+  small.trials = 50;
+  large.trials = 100;
+  const ara::Yet a = generate_yet(cat, small);
+  const ara::Yet b = generate_yet(cat, large);
+  for (ara::TrialId t = 0; t < 50; ++t) {
+    const auto ta = a.trial(t);
+    const auto tb = b.trial(t);
+    ASSERT_EQ(ta.size(), tb.size()) << "trial " << t;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i], tb[i]);
+    }
+  }
+}
+
+TEST(YetGenerator, ClusteringIncreasesVariance) {
+  const Catalogue cat = Catalogue::make(1000, 1, 30.0);
+  YetGeneratorConfig poisson, clustered;
+  poisson.trials = clustered.trials = 3000;
+  clustered.clustering_k = 2.0;  // var = 30 + 900/2 = 480 vs 30
+  const ara::Yet yp = generate_yet(cat, poisson);
+  const ara::Yet yc = generate_yet(cat, clustered);
+  auto variance = [](const ara::Yet& y) {
+    double sum = 0.0, sum2 = 0.0;
+    for (ara::TrialId t = 0; t < y.trial_count(); ++t) {
+      const double k = static_cast<double>(y.trial_size(t));
+      sum += k;
+      sum2 += k * k;
+    }
+    const double n = static_cast<double>(y.trial_count());
+    return sum2 / n - (sum / n) * (sum / n);
+  };
+  EXPECT_GT(variance(yc), 4.0 * variance(yp));
+}
+
+TEST(YetGenerator, RejectsZeroTrials) {
+  const Catalogue cat = Catalogue::make(100, 1, 5.0);
+  YetGeneratorConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(generate_yet(cat, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara::synth

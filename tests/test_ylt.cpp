@@ -1,0 +1,82 @@
+#include "core/ylt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ara {
+namespace {
+
+TEST(Ylt, ZeroInitialised) {
+  const Ylt ylt(2, 5);
+  EXPECT_EQ(ylt.layer_count(), 2u);
+  EXPECT_EQ(ylt.trial_count(), 5u);
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (TrialId t = 0; t < 5; ++t) {
+      EXPECT_DOUBLE_EQ(ylt.annual_loss(l, t), 0.0);
+      EXPECT_DOUBLE_EQ(ylt.max_occurrence_loss(l, t), 0.0);
+    }
+  }
+}
+
+TEST(Ylt, ReadWriteRoundTrip) {
+  Ylt ylt(2, 3);
+  ylt.annual_loss(1, 2) = 42.5;
+  ylt.max_occurrence_loss(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(ylt.annual_loss(1, 2), 42.5);
+  EXPECT_DOUBLE_EQ(ylt.max_occurrence_loss(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(ylt.annual_loss(0, 0), 0.0);
+}
+
+TEST(Ylt, LayerSpansAreContiguous) {
+  Ylt ylt(2, 4);
+  for (TrialId t = 0; t < 4; ++t) {
+    ylt.annual_loss(1, t) = 10.0 + t;
+  }
+  const double* layer1 = ylt.layer_annual(1);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(layer1[t], 10.0 + static_cast<double>(t));
+  }
+  const auto vec = ylt.layer_annual_vector(1);
+  ASSERT_EQ(vec.size(), 4u);
+  EXPECT_DOUBLE_EQ(vec[3], 13.0);
+}
+
+TEST(Ylt, MergeTrialBlockCopiesAllLayers) {
+  Ylt whole(2, 10);
+  Ylt part(2, 3);
+  for (TrialId t = 0; t < 3; ++t) {
+    part.annual_loss(0, t) = 1.0 + t;
+    part.annual_loss(1, t) = 100.0 + t;
+    part.max_occurrence_loss(0, t) = 0.5 + t;
+  }
+  whole.merge_trial_block(part, 4);
+  EXPECT_DOUBLE_EQ(whole.annual_loss(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(whole.annual_loss(0, 6), 3.0);
+  EXPECT_DOUBLE_EQ(whole.annual_loss(1, 5), 101.0);
+  EXPECT_DOUBLE_EQ(whole.max_occurrence_loss(0, 5), 1.5);
+  EXPECT_DOUBLE_EQ(whole.annual_loss(0, 3), 0.0);  // outside the block
+  EXPECT_DOUBLE_EQ(whole.annual_loss(0, 7), 0.0);
+}
+
+TEST(Ylt, MergeRejectsLayerMismatch) {
+  Ylt whole(2, 10);
+  Ylt part(3, 2);
+  EXPECT_THROW(whole.merge_trial_block(part, 0), std::invalid_argument);
+}
+
+TEST(Ylt, MergeRejectsOutOfBounds) {
+  Ylt whole(1, 10);
+  Ylt part(1, 4);
+  EXPECT_THROW(whole.merge_trial_block(part, 8), std::invalid_argument);
+  EXPECT_NO_THROW(whole.merge_trial_block(part, 6));
+}
+
+TEST(Ylt, DefaultConstructedIsEmpty) {
+  const Ylt ylt;
+  EXPECT_EQ(ylt.layer_count(), 0u);
+  EXPECT_EQ(ylt.trial_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,219 @@
+// ara_cli — command-line front end for the aggregate risk analysis
+// library: generate workloads, run any engine, and report risk
+// metrics, with all data sets persisted in the library's binary
+// format so the three stages compose like a pipeline.
+//
+//   ara_cli generate --out DIR [--trials N] [--events-per-trial E]
+//                    [--catalogue C] [--elts K] [--layers L] [--seed S]
+//   ara_cli run      --in DIR --out YLT.bin [--engine NAME]
+//                    [--gpus N] [--cores N] [--block-threads B]
+//   ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]
+//
+// Engine names: sequential_reference, sequential_fused, multicore_cpu,
+// gpu_basic, gpu_optimized, multi_gpu_optimized.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/engine_factory.hpp"
+#include "core/metrics/convergence.hpp"
+#include "core/metrics/risk_measures.hpp"
+#include "io/binary.hpp"
+#include "io/csv.hpp"
+#include "perf/report.hpp"
+#include "synth/scenarios.hpp"
+
+namespace {
+
+using namespace ara;
+
+[[noreturn]] void usage(const std::string& msg = "") {
+  if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  ara_cli generate --out DIR [--trials N] [--events-per-trial E]\n"
+      "                   [--catalogue C] [--elts K] [--layers L] [--seed S]\n"
+      "  ara_cli run      --in DIR --out YLT.bin [--engine NAME]\n"
+      "                   [--gpus N] [--cores N] [--block-threads B]\n"
+      "  ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]\n";
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) usage("unexpected argument: " + arg);
+    if (i + 1 >= argc) usage("missing value for " + arg);
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string get(const std::map<std::string, std::string>& flags,
+                const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+long get_long(const std::map<std::string, std::string>& flags,
+              const std::string& key, long fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    usage("bad integer for --" + key + ": " + it->second);
+  }
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  const std::string out = get(flags, "out", "");
+  if (out.empty()) usage("generate requires --out DIR");
+
+  const auto trials = static_cast<std::size_t>(get_long(flags, "trials", 10000));
+  const double events = static_cast<double>(
+      get_long(flags, "events-per-trial", 1000));
+  const auto catalogue = static_cast<EventId>(
+      get_long(flags, "catalogue", 100000));
+  const auto elts = static_cast<std::size_t>(get_long(flags, "elts", 15));
+  const auto layers = static_cast<std::size_t>(get_long(flags, "layers", 1));
+  const auto seed = static_cast<std::uint64_t>(get_long(flags, "seed", 2013));
+
+  synth::Catalogue cat = synth::Catalogue::make(catalogue, 6, 1000.0);
+  synth::YetGeneratorConfig yc;
+  yc.trials = trials;
+  yc.target_events_per_trial = events;
+  yc.seed = seed;
+  const Yet yet = synth::generate_yet(cat, yc);
+
+  synth::PortfolioGeneratorConfig pc;
+  pc.elt_count = std::max<std::size_t>(elts, 2);
+  pc.layer_count = layers;
+  pc.min_elts_per_layer = std::min<std::size_t>(elts, pc.elt_count);
+  pc.max_elts_per_layer = pc.min_elts_per_layer;
+  pc.elt.record_count =
+      std::min<std::size_t>(20000, static_cast<std::size_t>(catalogue) / 10);
+  pc.elt.mean_loss = 2.0e6;
+  pc.elt.terms.retention = 1.0e5;
+  pc.elt.terms.limit = 5.0e8;
+  pc.elt.terms.share = 0.8;
+  pc.seed = seed + 1;
+  const Portfolio portfolio = synth::generate_portfolio(cat, pc);
+
+  io::save_yet(out + "/yet.bin", yet);
+  io::save_portfolio(out + "/portfolio.bin", portfolio);
+  std::cout << "wrote " << out << "/yet.bin (" << yet.trial_count()
+            << " trials, " << yet.occurrence_count() << " events) and "
+            << out << "/portfolio.bin (" << portfolio.elt_count()
+            << " ELTs, " << portfolio.layer_count() << " layers)\n";
+  return 0;
+}
+
+int cmd_run(const std::map<std::string, std::string>& flags) {
+  const std::string in = get(flags, "in", "");
+  const std::string out = get(flags, "out", "");
+  if (in.empty() || out.empty()) usage("run requires --in DIR and --out FILE");
+  const std::string engine_name = get(flags, "engine", "multi_gpu_optimized");
+
+  EngineKind kind = EngineKind::kMultiGpu;
+  bool found = false;
+  for (const EngineKind k : all_engine_kinds()) {
+    if (engine_kind_name(k) == engine_name) {
+      kind = k;
+      found = true;
+      break;
+    }
+  }
+  if (!found) usage("unknown engine: " + engine_name);
+
+  EngineConfig cfg = paper_config(kind);
+  cfg.cores = static_cast<unsigned>(get_long(flags, "cores", cfg.cores));
+  cfg.block_threads = static_cast<unsigned>(
+      get_long(flags, "block-threads", cfg.block_threads));
+  const auto gpus = static_cast<std::size_t>(get_long(flags, "gpus", 4));
+
+  const Yet yet = io::load_yet(in + "/yet.bin");
+  const Portfolio portfolio = io::load_portfolio(in + "/portfolio.bin");
+
+  const auto engine =
+      make_engine(kind, cfg, simgpu::tesla_c2075(), gpus);
+  const SimulationResult result = engine->run(portfolio, yet);
+  io::save_ylt(out, result.ylt);
+
+  std::cout << "engine    : " << result.engine_name << '\n'
+            << "trials    : " << result.ylt.trial_count() << " x "
+            << result.ylt.layer_count() << " layer(s)\n"
+            << "lookups   : " << result.ops.elt_lookups << '\n'
+            << "wall      : " << perf::format_seconds(result.wall_seconds)
+            << " (this host)\n"
+            << "simulated : "
+            << perf::format_seconds(result.simulated_seconds)
+            << " (paper hardware)\n"
+            << "wrote     : " << out << '\n';
+  return 0;
+}
+
+int cmd_report(const std::map<std::string, std::string>& flags) {
+  const std::string ylt_path = get(flags, "ylt", "");
+  if (ylt_path.empty()) usage("report requires --ylt FILE");
+  const Ylt ylt = io::load_ylt(ylt_path);
+  const auto layer = static_cast<std::size_t>(get_long(flags, "layer", 0));
+  if (layer >= ylt.layer_count()) usage("--layer out of range");
+
+  const metrics::LayerRiskSummary m = metrics::summarize_layer(ylt, layer);
+  perf::Table table({"metric", "value"});
+  table.add_row({"trials", std::to_string(ylt.trial_count())});
+  table.add_row({"AAL", perf::format_fixed(m.aal, 2)});
+  table.add_row({"std dev", perf::format_fixed(m.std_dev, 2)});
+  table.add_row({"VaR 99%", perf::format_fixed(m.var_99, 2)});
+  table.add_row({"TVaR 99%", perf::format_fixed(m.tvar_99, 2)});
+  table.add_row({"PML 100yr", perf::format_fixed(m.pml_100yr, 2)});
+  table.add_row({"PML 250yr", perf::format_fixed(m.pml_250yr, 2)});
+  table.add_row({"OEP 100yr", perf::format_fixed(m.oep_100yr, 2)});
+  table.add_row({"max annual", perf::format_fixed(m.max_annual, 2)});
+  table.print(std::cout);
+
+  // Convergence diagnostic: is the YET large enough for 1% AAL error?
+  const auto losses = ylt.layer_annual_vector(layer);
+  if (losses.size() >= 100 && m.aal > 0.0) {
+    const std::size_t needed =
+        metrics::required_trials_for_aal(losses, 0.01, 0.95);
+    std::cout << "\ntrials for 1% AAL standard error at 95%: " << needed
+              << (needed <= losses.size() ? " (satisfied)" : " (NOT met)")
+              << '\n';
+  }
+
+  const std::string csv_prefix = get(flags, "csv", "");
+  if (!csv_prefix.empty()) {
+    std::ofstream ylt_csv(csv_prefix + "_ylt.csv");
+    io::write_ylt_csv(ylt_csv, ylt);
+    const metrics::EpCurve aep(losses);
+    std::ofstream aep_csv(csv_prefix + "_aep.csv");
+    io::write_ep_curve_csv(aep_csv, aep,
+                           {2, 5, 10, 25, 50, 100, 250, 500, 1000});
+    std::cout << "wrote " << csv_prefix << "_ylt.csv and " << csv_prefix
+              << "_aep.csv\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "run") return cmd_run(flags);
+    if (cmd == "report") return cmd_report(flags);
+    usage("unknown command: " + cmd);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
