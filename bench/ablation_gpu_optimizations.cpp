@@ -116,9 +116,10 @@ int main() {
   }
 
   // Measured: functional execution of the two endpoints.
-  bench::print_measured_footer(GpuOptimizedEngine(
-      simgpu::tesla_c2075(), paper_config(EngineKind::kGpuOptimized)));
-  bench::print_measured_footer(GpuBasicEngine(
-      simgpu::tesla_c2075(), paper_config(EngineKind::kGpuBasic)));
+  AnalysisSession session;
+  bench::print_measured_footer(
+      session, ExecutionPolicy::with_engine(EngineKind::kGpuOptimized));
+  bench::print_measured_footer(
+      session, ExecutionPolicy::with_engine(EngineKind::kGpuBasic));
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "core/session.hpp"
 #include "perf/report.hpp"
 #include "simgpu/gpu_cost_model.hpp"
 #include "synth/scenarios.hpp"
@@ -104,17 +105,29 @@ inline std::size_t measured_scale() {
   return 2000;  // 500 trials x 1000 events: ~10^7 lookups per run
 }
 
-/// Runs `engine` on a paper-shaped scaled workload and prints the
-/// measured wall clock (the functional-execution proof line).
-inline void print_measured_footer(const Engine& engine) {
+/// Runs the engine `policy` describes on a paper-shaped scaled
+/// workload through `session` and prints the measured wall clock (the
+/// functional-execution proof line).
+inline void print_measured_footer(AnalysisSession& session,
+                                  const ExecutionPolicy& policy) {
   const std::size_t scale = measured_scale();
   const synth::Scenario s = synth::paper_scaled(scale);
-  const SimulationResult r = engine.run(s.portfolio, s.yet);
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  request.policy = policy;
+  const SimulationResult r = session.run(request).simulation;
   std::cout << "measured: " << r.engine_name << " on paper workload / "
             << scale << " (" << s.yet.trial_count() << " trials): "
             << perf::format_seconds(r.wall_seconds)
             << " wall on this host (functional execution of "
             << r.ops.elt_lookups << " lookups)\n";
+}
+
+/// Single-run convenience: a throwaway session around one footer.
+inline void print_measured_footer(const ExecutionPolicy& policy) {
+  AnalysisSession session(policy);
+  print_measured_footer(session, policy);
 }
 
 inline void print_header(const std::string& title,

@@ -29,9 +29,11 @@ int main() {
   table.print(std::cout);
   std::cout << '\n';
 
+  ExecutionPolicy policy = ExecutionPolicy::with_engine(EngineKind::kMultiCore);
   EngineConfig cfg;
   cfg.cores = 2;
   cfg.threads_per_core = 8;
-  bench::print_measured_footer(MultiCoreEngine(cfg));
+  policy.config = cfg;
+  bench::print_measured_footer(policy);
   return 0;
 }

@@ -31,7 +31,6 @@ int main() {
   std::cout << '\n';
 
   bench::print_measured_footer(
-      GpuBasicEngine(simgpu::tesla_c2075(),
-                     paper_config(EngineKind::kGpuBasic)));
+      ExecutionPolicy::with_engine(EngineKind::kGpuBasic));
   return 0;
 }

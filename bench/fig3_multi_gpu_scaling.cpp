@@ -37,7 +37,7 @@ int main() {
   table.print(std::cout);
   std::cout << '\n';
 
-  bench::print_measured_footer(MultiGpuEngine(
-      simgpu::tesla_m2090(), 4, paper_config(EngineKind::kMultiGpu)));
+  bench::print_measured_footer(
+      ExecutionPolicy::with_engine(EngineKind::kMultiGpu));
   return 0;
 }

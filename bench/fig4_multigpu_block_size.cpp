@@ -43,7 +43,7 @@ int main() {
   table.print(std::cout);
   std::cout << '\n';
 
-  EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
-  bench::print_measured_footer(MultiGpuEngine(simgpu::tesla_m2090(), 4, cfg));
+  bench::print_measured_footer(
+      ExecutionPolicy::with_engine(EngineKind::kMultiGpu));
   return 0;
 }

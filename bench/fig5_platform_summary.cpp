@@ -63,10 +63,12 @@ int main() {
   std::cout << "\nheadline: model " << perf::format_ratio(t_seq / t_multi)
             << " vs paper ~77x\n\n";
 
-  // Measured: run every engine functionally on the scaled workload.
+  // Measured: run every engine functionally on the scaled workload,
+  // through one shared session.
+  AnalysisSession session;
   for (const EngineKind kind : all_engine_kinds()) {
-    const auto engine = make_engine(kind, paper_config(kind));
-    bench::print_measured_footer(*engine);
+    bench::print_measured_footer(session,
+                                 ExecutionPolicy::with_engine(kind));
   }
   return 0;
 }

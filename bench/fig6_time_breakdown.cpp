@@ -69,12 +69,17 @@ int main() {
 
   // Measured per-phase profile of the literal Algorithm 1 on the
   // scaled workload (profile_phases instruments each pass).
+  ExecutionPolicy policy =
+      ExecutionPolicy::with_engine(EngineKind::kSequentialReference);
   EngineConfig cfg;
   cfg.profile_phases = true;
-  const auto engine =
-      make_engine(EngineKind::kSequentialReference, cfg);
+  policy.config = cfg;
+  AnalysisSession session(policy);
   const synth::Scenario s = synth::paper_scaled(bench::measured_scale());
-  const SimulationResult r = engine->run(s.portfolio, s.yet);
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  const SimulationResult r = session.run(request).simulation;
   std::cout << "measured (scaled, this host): lookup "
             << perf::format_percent(
                    r.measured_phases.fraction(Phase::kLossLookup))

@@ -2,13 +2,15 @@
 // device count and how the block-size choice interacts with it — the
 // operational questions behind the paper's Figures 3 and 4, asked the
 // way a capacity planner would ("how many GPUs buy real-time
-// pricing?").
+// pricing?"). The sweep is expressed as one AnalysisSession batch:
+// every configuration is a request with its own ExecutionPolicy, all
+// sharing the same portfolio and YET, dispatched concurrently.
 //
 // Build & run:  ./build/examples/multi_gpu_throughput
 #include <iostream>
+#include <vector>
 
-#include "core/engine_factory.hpp"
-#include "core/gpu_engines.hpp"
+#include "core/session.hpp"
 #include "perf/report.hpp"
 #include "synth/scenarios.hpp"
 
@@ -22,22 +24,34 @@ int main() {
   std::cout << "workload: " << s.yet.trial_count() << " trials, "
             << total_events << " events, 15 ELTs\n\n";
 
-  // Device-count sweep at the paper's optimal 32-thread blocks.
+  AnalysisSession session;
+
+  // Device-count sweep at the paper's optimal 32-thread blocks — one
+  // request per platform size, run as a single batch.
+  std::vector<AnalysisRequest> sweep;
+  for (std::size_t gpus = 1; gpus <= 4; ++gpus) {
+    AnalysisRequest r;
+    r.label = std::to_string(gpus) + " GPUs";
+    r.portfolio = &s.portfolio;
+    r.yet = &s.yet;
+    ExecutionPolicy policy =
+        ExecutionPolicy::with_engine(EngineKind::kMultiGpu);
+    policy.gpu_count = gpus;
+    r.policy = policy;
+    sweep.push_back(std::move(r));
+  }
+  const std::vector<AnalysisResult> platforms = session.run_batch(sweep);
+
   perf::Table scaling({"GPUs", "simulated time", "trials/s (simulated)",
                        "efficiency"});
-  double t1 = 0.0;
-  for (std::size_t gpus = 1; gpus <= 4; ++gpus) {
-    EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
-    MultiGpuEngine engine(simgpu::tesla_m2090(), gpus, cfg);
-    const SimulationResult r = engine.run(s.portfolio, s.yet);
-    if (gpus == 1) t1 = r.simulated_seconds;
+  const double t1 = platforms.front().simulation.simulated_seconds;
+  for (std::size_t i = 0; i < platforms.size(); ++i) {
+    const double t = platforms[i].simulation.simulated_seconds;
     scaling.add_row(
-        {std::to_string(gpus), perf::format_seconds(r.simulated_seconds),
+        {std::to_string(i + 1), perf::format_seconds(t),
          perf::format_fixed(
-             static_cast<double>(s.yet.trial_count()) / r.simulated_seconds,
-             0),
-         perf::format_percent(t1 / (static_cast<double>(gpus) *
-                                    r.simulated_seconds))});
+             static_cast<double>(s.yet.trial_count()) / t, 0),
+         perf::format_percent(t1 / (static_cast<double>(i + 1) * t))});
   }
   scaling.print(std::cout);
 
@@ -45,13 +59,21 @@ int main() {
   std::cout << "\nblock-size sensitivity on 4 GPUs:\n";
   perf::Table blocks({"threads/block", "simulated time", "note"});
   for (unsigned block : {16u, 32u, 64u, 128u}) {
+    ExecutionPolicy policy =
+        ExecutionPolicy::with_engine(EngineKind::kMultiGpu);
     EngineConfig cfg = paper_config(EngineKind::kMultiGpu);
     cfg.block_threads = block;
-    MultiGpuEngine engine(simgpu::tesla_m2090(), 4, cfg);
+    policy.config = cfg;
+
+    AnalysisRequest r;
+    r.portfolio = &s.portfolio;
+    r.yet = &s.yet;
+    r.policy = policy;
     try {
-      const SimulationResult r = engine.run(s.portfolio, s.yet);
+      const AnalysisResult result = session.run(r);
       blocks.add_row({std::to_string(block),
-                      perf::format_seconds(r.simulated_seconds),
+                      perf::format_seconds(
+                          result.simulation.simulated_seconds),
                       block == 32 ? "best (= warp size)" : ""});
     } catch (const std::exception& e) {
       blocks.add_row({std::to_string(block), "infeasible",

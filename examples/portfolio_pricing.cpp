@@ -7,9 +7,9 @@
 // Build & run:  ./build/examples/portfolio_pricing
 #include <iostream>
 
-#include "core/engine_factory.hpp"
 #include "core/metrics/risk_measures.hpp"
 #include "core/metrics/stats.hpp"
+#include "core/session.hpp"
 #include "perf/report.hpp"
 #include "perf/stopwatch.hpp"
 #include "synth/scenarios.hpp"
@@ -38,10 +38,14 @@ int main() {
   }
   const Portfolio book(base.portfolio.elts(), quotes);
 
-  const auto engine = make_engine(EngineKind::kMultiGpu,
-                                  paper_config(EngineKind::kMultiGpu));
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kMultiGpu));
+  AnalysisRequest request;
+  request.label = "quote_sweep";
+  request.portfolio = &book;
+  request.yet = &base.yet;
   perf::Stopwatch sw;
-  const SimulationResult result = engine->run(book, base.yet);
+  const SimulationResult result = session.run(request).simulation;
   const double pricing_wall = sw.seconds();
 
   perf::Table table({"attachment", "expected loss", "std dev",

@@ -1,14 +1,14 @@
 // Quickstart: the smallest end-to-end use of the library.
 //
 //   1. Generate a synthetic workload (catalogue -> YET -> portfolio).
-//   2. Run the aggregate risk analysis on the multi-GPU engine.
-//   3. Derive the standard portfolio risk metrics from the YLT.
+//   2. Run the aggregate risk analysis through an AnalysisSession on
+//      the multi-GPU engine.
+//   3. Read the standard portfolio risk metrics off the result.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/engine_factory.hpp"
-#include "core/metrics/risk_measures.hpp"
+#include "core/session.hpp"
 #include "synth/scenarios.hpp"
 
 int main() {
@@ -23,21 +23,25 @@ int main() {
             << scenario.portfolio.elt_count() << " ELTs, "
             << scenario.portfolio.layer_count() << " layer(s)\n";
 
-  // 2. Run on four simulated Tesla M2090s with the paper's optimised
-  //    kernel configuration.
-  const auto engine = make_engine(EngineKind::kMultiGpu,
-                                  paper_config(EngineKind::kMultiGpu));
-  const SimulationResult result =
-      engine->run(scenario.portfolio, scenario.yet);
-  std::cout << "engine:   " << result.engine_name << " ("
-            << result.devices << " devices)\n"
-            << "wall:     " << result.wall_seconds << " s on this host; "
-            << "simulated " << result.simulated_seconds
+  // 2. One session call: four simulated Tesla M2090s with the paper's
+  //    optimised kernel configuration, plus the per-layer metrics.
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kMultiGpu));
+  AnalysisRequest request;
+  request.portfolio = &scenario.portfolio;
+  request.yet = &scenario.yet;
+  request.metrics.layer_summaries = true;
+  const AnalysisResult result = session.run(request);
+
+  std::cout << "engine:   " << result.simulation.engine_name << " ("
+            << result.simulation.devices << " devices)\n"
+            << "wall:     " << result.simulation.wall_seconds
+            << " s on this host; "
+            << "simulated " << result.simulation.simulated_seconds
             << " s on the paper's hardware\n";
 
-  // 3. Portfolio risk metrics from the Year Loss Table.
-  const metrics::LayerRiskSummary summary =
-      metrics::summarize_layer(result.ylt, 0);
+  // 3. Portfolio risk metrics, computed by the session from the YLT.
+  const metrics::LayerRiskSummary& summary = result.layer_summaries[0];
   std::cout << "\nrisk metrics for layer 0 ("
             << scenario.portfolio.layers()[0].name << "):\n"
             << "  average annual loss : " << summary.aal << '\n'

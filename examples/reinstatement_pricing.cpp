@@ -8,8 +8,9 @@
 //
 // Build & run:  ./build/examples/reinstatement_pricing
 #include <iostream>
+#include <vector>
 
-#include "extensions/reinstatements.hpp"
+#include "core/session.hpp"
 #include "perf/report.hpp"
 #include "synth/scenarios.hpp"
 
@@ -25,31 +26,46 @@ int main() {
             << ", reinstatements at " << rate * 100 << "%, "
             << s.yet.trial_count() << " trials\n\n";
 
-  perf::Table table({"reinstatements", "annual capacity",
-                     "E[recovery]", "E[reinst. premium] @ breakeven",
-                     "breakeven upfront"});
-  for (const unsigned n : {0u, 1u, 2u, 3u, 5u}) {
+  // One request per reinstatement count, all against the shared YET,
+  // priced concurrently in a single session batch. The reinstatement
+  // analysis rides along with the core run as an extension hook.
+  const unsigned counts[] = {0u, 1u, 2u, 3u, 5u};
+  std::vector<AnalysisRequest> requests;
+  for (const unsigned n : counts) {
     ext::ReinstatementTerms terms;
     terms.occ_retention = occ_retention;
     terms.occ_limit = occ_limit;
     terms.reinstatements = n;
     terms.premium_rate = rate;
-
     // Recoveries and the *premium fraction* are independent of the
     // upfront premium P: E[reinst premium] = k * P with
     // k = E[reinstated]/limit * rate. Breakeven: P + kP = E[recovery].
     terms.upfront_premium = 1.0;  // compute k against a unit premium
-    ext::ReinstatementEngine engine(
-        s.portfolio,
-        std::vector<ext::ReinstatementTerms>(s.portfolio.layer_count(),
-                                             terms));
-    const ext::ReinstatementResult r = engine.run(s.yet);
+
+    AnalysisRequest r;
+    r.label = std::to_string(n) + " reinstatements";
+    r.portfolio = &s.portfolio;
+    r.yet = &s.yet;
+    r.core_simulation = false;  // treaty pricing needs no core YLT
+    r.reinstatement_terms.assign(s.portfolio.layer_count(), terms);
+    requests.push_back(std::move(r));
+  }
+
+  AnalysisSession session;
+  const std::vector<AnalysisResult> results = session.run_batch(requests);
+
+  perf::Table table({"reinstatements", "annual capacity",
+                     "E[recovery]", "E[reinst. premium] @ breakeven",
+                     "breakeven upfront"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ext::ReinstatementResult& r = *results[i].reinstatements;
     const double expected_recovery = r.expected_recovery(0);
     const double k = r.expected_reinstatement_premium(0);  // per unit P
     const double breakeven = expected_recovery / (1.0 + k);
+    const double capacity = (counts[i] + 1.0) * occ_limit;
 
-    table.add_row({std::to_string(n),
-                   perf::format_fixed(terms.annual_capacity(), 0),
+    table.add_row({std::to_string(counts[i]),
+                   perf::format_fixed(capacity, 0),
                    perf::format_fixed(expected_recovery, 0),
                    perf::format_fixed(k * breakeven, 0),
                    perf::format_fixed(breakeven, 0)});

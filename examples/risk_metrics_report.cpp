@@ -8,10 +8,9 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/engine_factory.hpp"
 #include "core/metrics/convergence.hpp"
-#include "core/metrics/portfolio_rollup.hpp"
 #include "core/metrics/risk_measures.hpp"
+#include "core/session.hpp"
 #include "io/csv.hpp"
 #include "perf/report.hpp"
 #include "synth/scenarios.hpp"
@@ -23,18 +22,25 @@ int main(int argc, char** argv) {
   // A 12-contract book over 40 shared ELTs with clustered event years.
   const synth::Scenario s = synth::multi_layer_book(/*layers=*/12,
                                                     /*trials=*/5000);
-  const auto engine = make_engine(EngineKind::kMultiGpu,
-                                  paper_config(EngineKind::kMultiGpu));
-  const SimulationResult result = engine->run(s.portfolio, s.yet);
+  // One session call produces the YLT, the per-layer summaries and the
+  // portfolio rollup together.
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kMultiGpu));
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  request.metrics = MetricsSelection::all();
+  const AnalysisResult analysis = session.run(request);
+  const SimulationResult& result = analysis.simulation;
 
   const std::vector<double> return_periods = {2,  5,   10,  25,  50,
                                               100, 250, 500, 1000};
 
-  // Per-layer summary table.
+  // Per-layer summary table (computed by the session).
   perf::Table summary({"layer", "AAL", "VaR99", "TVaR99", "PML100",
                        "PML250", "OEP100"});
   for (std::size_t l = 0; l < s.portfolio.layer_count(); ++l) {
-    const metrics::LayerRiskSummary m = metrics::summarize_layer(result.ylt, l);
+    const metrics::LayerRiskSummary& m = analysis.layer_summaries[l];
     summary.add_row({s.portfolio.layers()[l].name,
                      perf::format_fixed(m.aal, 0),
                      perf::format_fixed(m.var_99, 0),
@@ -58,8 +64,7 @@ int main(int argc, char** argv) {
   curves.print(std::cout);
 
   // Portfolio rollup: the whole book's tail plus capital allocation.
-  const metrics::PortfolioRollup rollup =
-      metrics::rollup_portfolio(result.ylt);
+  const metrics::PortfolioRollup& rollup = *analysis.rollup;
   std::cout << "\nportfolio rollup:\n";
   perf::Table roll({"metric", "value"});
   roll.add_row({"portfolio AAL", perf::format_fixed(rollup.aal, 0)});

@@ -1,0 +1,71 @@
+// AnalysisRequest: the unit of work the AnalysisSession façade
+// consumes — *what* to analyse (portfolio + YET), *which* derived
+// outputs to compute (risk metrics), and which engine extensions to
+// run alongside (reinstatements, secondary uncertainty). *How* to
+// execute is the ExecutionPolicy (engine_factory.hpp), either the
+// session's default or a per-request override.
+//
+// Requests hold their inputs by pointer: a batch of many portfolios
+// priced against one shared YET is many requests pointing at the same
+// Yet, with zero copies — the batching shape the one-shot Engine::run
+// could not express. The caller keeps both alive for the duration of
+// the run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine_factory.hpp"
+#include "core/layer.hpp"
+#include "core/yet.hpp"
+#include "extensions/reinstatements.hpp"
+#include "extensions/secondary_uncertainty.hpp"
+
+namespace ara {
+
+/// Which derived risk metrics the session computes from the YLT.
+/// Everything defaults off: the YLT itself is always produced, and
+/// metric passes cost extra sorts per layer.
+struct MetricsSelection {
+  bool layer_summaries = false;   ///< AAL/VaR/TVaR/PML/OEP per layer
+  bool portfolio_rollup = false;  ///< book-level tail + capital allocation
+
+  static MetricsSelection none() { return {}; }
+  static MetricsSelection all() { return {true, true}; }
+};
+
+/// One analysis to run. Only `portfolio` and `yet` are required; both
+/// must index the same event catalogue.
+struct AnalysisRequest {
+  /// Optional caller tag, copied into the result (useful for matching
+  /// batch outputs to inputs).
+  std::string label;
+
+  const Portfolio* portfolio = nullptr;
+  const Yet* yet = nullptr;
+
+  MetricsSelection metrics;
+
+  /// When false, the core engine run (and its YLT) is skipped and only
+  /// the requested extensions execute — e.g. a pure reinstatement
+  /// pricing pass, which derives everything it needs itself. At least
+  /// one of core simulation / extensions must remain requested.
+  bool core_simulation = true;
+
+  /// Overrides the session's default policy for this request only.
+  std::optional<ExecutionPolicy> policy;
+
+  /// Reinstatement extension: when non-empty (one entry per portfolio
+  /// layer), the session additionally prices the layers as XL treaties
+  /// with reinstatements and fills AnalysisResult::reinstatements.
+  std::vector<ext::ReinstatementTerms> reinstatement_terms;
+
+  /// Secondary-uncertainty extension: when set, the analysis draws a
+  /// damage multiplier per occurrence instead of taking ELT losses as
+  /// deterministic, and the engine choice in the policy is ignored
+  /// (the extension has a single sequential implementation).
+  std::optional<ext::SecondaryUncertaintyConfig> secondary_uncertainty;
+};
+
+}  // namespace ara

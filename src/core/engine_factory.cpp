@@ -32,11 +32,25 @@ std::string engine_kind_name(EngineKind kind) {
   throw std::invalid_argument("engine_kind_name: unknown kind");
 }
 
-std::unique_ptr<Engine> make_engine(EngineKind kind,
-                                    const EngineConfig& config,
-                                    const simgpu::DeviceSpec& device,
-                                    std::size_t gpu_count,
-                                    const simgpu::DeviceSpec& multi_gpu_device) {
+std::optional<EngineKind> engine_kind_from_name(const std::string& name) {
+  for (const EngineKind kind : all_engine_kinds()) {
+    if (engine_kind_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+EngineConfig resolved_config(const ExecutionPolicy& policy, EngineKind kind) {
+  return policy.config ? *policy.config : paper_config(kind);
+}
+
+std::unique_ptr<Engine> make_engine(const ExecutionPolicy& policy) {
+  if (!policy.engine) {
+    throw std::invalid_argument(
+        "make_engine: policy.engine is kAuto; auto-selection needs a "
+        "workload — use AnalysisSession");
+  }
+  const EngineKind kind = *policy.engine;
+  const EngineConfig config = resolved_config(policy, kind);
   switch (kind) {
     case EngineKind::kSequentialReference:
       return std::make_unique<ReferenceEngine>(config);
@@ -45,14 +59,27 @@ std::unique_ptr<Engine> make_engine(EngineKind kind,
     case EngineKind::kMultiCore:
       return std::make_unique<MultiCoreEngine>(config);
     case EngineKind::kGpuBasic:
-      return std::make_unique<GpuBasicEngine>(device, config);
+      return std::make_unique<GpuBasicEngine>(policy.gpu_device, config);
     case EngineKind::kGpuOptimized:
-      return std::make_unique<GpuOptimizedEngine>(device, config);
+      return std::make_unique<GpuOptimizedEngine>(policy.gpu_device, config);
     case EngineKind::kMultiGpu:
-      return std::make_unique<MultiGpuEngine>(multi_gpu_device, gpu_count,
-                                              config);
+      return std::make_unique<MultiGpuEngine>(policy.multi_gpu_device,
+                                              policy.gpu_count, config);
   }
   throw std::invalid_argument("make_engine: unknown kind");
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    const EngineConfig& config,
+                                    const simgpu::DeviceSpec& device,
+                                    std::size_t gpu_count,
+                                    const simgpu::DeviceSpec& multi_gpu_device) {
+  ExecutionPolicy policy = ExecutionPolicy::with_engine(kind);
+  policy.config = config;
+  policy.gpu_device = device;
+  policy.gpu_count = gpu_count;
+  policy.multi_gpu_device = multi_gpu_device;
+  return make_engine(policy);
 }
 
 EngineConfig paper_config(EngineKind kind) {

@@ -1,8 +1,15 @@
 // Factory for the paper's five implementations, keyed by an enum so
 // benchmarks and examples can sweep them uniformly.
+//
+// Engine construction is driven by an ExecutionPolicy: a named-field
+// description of *how* to execute (which engine, which tunables, which
+// devices, how many of them). The policy is also the unit the
+// AnalysisSession façade (core/session.hpp) consumes — including its
+// kAuto mode, where the cost models pick the engine.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,10 +32,61 @@ std::vector<EngineKind> all_engine_kinds();
 
 std::string engine_kind_name(EngineKind kind);
 
-/// Builds an engine. GPU kinds run on `device` (default: the paper's
-/// Tesla C2075 for single-GPU kinds); kMultiGpu uses `gpu_count`
-/// devices of type `multi_gpu_device` (default: Tesla M2090, the
-/// paper's 4-GPU machine).
+/// Inverse of engine_kind_name. Returns nullopt for unknown names.
+std::optional<EngineKind> engine_kind_from_name(const std::string& name);
+
+/// How an analysis should execute. Every knob the old positional
+/// make_engine overload took silently is a named field here.
+struct ExecutionPolicy {
+  /// Sentinel for `engine`: let the cost models choose (resolved by
+  /// AnalysisSession::choose_engine; the plain factory requires a
+  /// concrete kind).
+  static constexpr std::optional<EngineKind> kAuto = std::nullopt;
+
+  /// Which implementation to run. kAuto = predict the simulated cost
+  /// of every kind with the cpu/gpu cost models and take the cheapest
+  /// feasible one.
+  std::optional<EngineKind> engine = EngineKind::kMultiGpu;
+
+  /// Tunables. nullopt = paper_config() of the resolved engine kind,
+  /// so a default policy reproduces the paper's configuration per
+  /// engine instead of freezing one EngineConfig across all kinds.
+  std::optional<EngineConfig> config;
+
+  /// Device for the single-GPU kinds (paper: Tesla C2075).
+  simgpu::DeviceSpec gpu_device = simgpu::tesla_c2075();
+
+  /// Device type and count for kMultiGpu (paper: 4x Tesla M2090).
+  simgpu::DeviceSpec multi_gpu_device = simgpu::tesla_m2090();
+  std::size_t gpu_count = 4;
+
+  /// Convenience constructors.
+  static ExecutionPolicy with_engine(EngineKind kind) {
+    ExecutionPolicy p;
+    p.engine = kind;
+    return p;
+  }
+  static ExecutionPolicy auto_select() {
+    ExecutionPolicy p;
+    p.engine = kAuto;
+    return p;
+  }
+};
+
+/// The EngineConfig a policy resolves to for `kind`: the policy's own
+/// config if set, otherwise the paper's configuration for that kind.
+EngineConfig resolved_config(const ExecutionPolicy& policy, EngineKind kind);
+
+/// Builds the engine a policy describes. The policy must name a
+/// concrete engine kind; kAuto needs a workload to price and is
+/// resolved by AnalysisSession. Throws std::invalid_argument on kAuto.
+std::unique_ptr<Engine> make_engine(const ExecutionPolicy& policy);
+
+/// DEPRECATED positional overload, kept as a compatibility layer: the
+/// trailing defaults (device, count, multi-GPU device) are exactly the
+/// footgun ExecutionPolicy exists to kill — `make_engine(kind, cfg,
+/// dev, 2)` silently runs 2 *M2090s*, not 2 of `dev`. New code should
+/// build an ExecutionPolicy (or use AnalysisSession) instead.
 std::unique_ptr<Engine> make_engine(
     EngineKind kind, const EngineConfig& config,
     const simgpu::DeviceSpec& device = simgpu::tesla_c2075(),

@@ -13,8 +13,6 @@
 
 namespace ara {
 
-namespace {
-
 // Device-resident footprint of the inputs. The kernel consumes event
 // ids in trial order (timestamps only define the order, which the YET
 // already encodes), so the YET ships as 4-byte ids — this is what lets
@@ -36,7 +34,6 @@ std::uint64_t tables_device_bytes(const Portfolio& p, unsigned loss_bytes) {
   return total;
 }
 
-// Operation counts for a contiguous trial range (one device's share).
 OpCounts range_ops(const Portfolio& p, const Yet& yet,
                    std::size_t trial_begin, std::size_t trial_end) {
   const std::uint64_t occurrences =
@@ -52,6 +49,8 @@ OpCounts range_ops(const Portfolio& p, const Yet& yet,
   }
   return ops;
 }
+
+namespace {
 
 // Runs the optimised kernel for trials [begin, end) of every layer on
 // `dev`, writing into the global YLT. Functionally the kernel stages

@@ -154,4 +154,19 @@ class HeterogeneousMultiGpuEngine final : public Engine {
 std::size_t optimized_shared_bytes(unsigned block_threads,
                                    unsigned chunk_size);
 
+/// Device-resident bytes of a YET slice ([trial_begin, trial_end)) as
+/// shipped to a device: 4-byte event ids plus 8-byte trial offsets.
+/// Exposed for the session's cost predictor and capacity planning.
+std::uint64_t yet_device_bytes(const Yet& yet, std::size_t trial_begin,
+                               std::size_t trial_end);
+
+/// Device-resident bytes of the portfolio's direct-access loss tables
+/// at the given precision (one table per (layer, ELT)).
+std::uint64_t tables_device_bytes(const Portfolio& p, unsigned loss_bytes);
+
+/// Operation counts of a contiguous trial range (one device's share of
+/// the algorithm's work).
+OpCounts range_ops(const Portfolio& p, const Yet& yet,
+                   std::size_t trial_begin, std::size_t trial_end);
+
 }  // namespace ara

@@ -1,0 +1,362 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/gpu_engines.hpp"
+#include "parallel/partition.hpp"
+#include "perf/cpu_cost_model.hpp"
+#include "perf/machine_profile.hpp"
+#include "simgpu/gpu_cost_model.hpp"
+
+namespace ara {
+
+namespace {
+
+// An engine is reusable whenever kind + tunables + devices match; the
+// key serialises exactly the fields make_engine consumes.
+std::string engine_cache_key(EngineKind kind, const EngineConfig& c,
+                             const ExecutionPolicy& p) {
+  std::ostringstream key;
+  key << engine_kind_name(kind) << '|' << c.cores << '|' << c.threads_per_core
+      << '|' << c.block_threads << '|' << c.chunk_size << '|' << c.use_float
+      << c.unroll << c.use_registers << c.chunking << c.profile_phases << '|'
+      << p.gpu_device.name << '|' << p.multi_gpu_device.name << '|'
+      << p.gpu_count;
+  return key.str();
+}
+
+// ---- kAuto cost prediction ------------------------------------------------
+//
+// Each helper mirrors the launch shapes, kernel traits and scratch
+// attribution of the corresponding engine (cpu_engines.cpp /
+// gpu_engines.cpp), evaluated through the same cost models the engines
+// charge their simulated time with — so a prediction is the engine's
+// simulated_seconds computed without executing the workload.
+
+double predict_cpu(const Portfolio& portfolio, const Yet& yet,
+                   const EngineConfig& cfg, EngineKind kind) {
+  OpCounts ops = count_algorithm_ops(portfolio, yet);
+  if (kind == EngineKind::kSequentialFused) {
+    ops.global_updates = ops.occurrence_ops ? 1 : 0;
+  } else {
+    ops.global_updates = ops.occurrence_ops * kScratchTouchesPerEvent;
+  }
+  const perf::CpuCostModel model(perf::intel_i7_2600());
+  if (kind == EngineKind::kMultiCore) {
+    return model.total_seconds(ops, std::max(1u, cfg.cores),
+                               std::max(1u, cfg.threads_per_core));
+  }
+  return model.total_seconds(ops, 1);
+}
+
+EnginePrediction predict_gpu_basic(const Portfolio& portfolio, const Yet& yet,
+                                   const EngineConfig& cfg,
+                                   const simgpu::DeviceSpec& device) {
+  EnginePrediction p;
+  p.kind = EngineKind::kGpuBasic;
+  const std::size_t trials = yet.trial_count();
+  const std::uint64_t footprint =
+      tables_device_bytes(portfolio, 8) + yet_device_bytes(yet, 0, trials) +
+      static_cast<std::uint64_t>(portfolio.layer_count()) * trials * 8;
+  if (footprint > device.global_mem_bytes) {
+    p.feasible = false;
+    p.note = "inputs exceed device memory";
+    return p;
+  }
+
+  simgpu::KernelTraits traits;
+  traits.loss_bytes = 8;
+  traits.scratch_in_global = true;
+
+  simgpu::LaunchConfig launch;
+  launch.block_threads = cfg.block_threads;
+  launch.grid_blocks = static_cast<unsigned>(
+      (trials + cfg.block_threads - 1) / cfg.block_threads);
+  launch.regs_per_thread = 20;
+
+  OpCounts ops = range_ops(portfolio, yet, 0, trials);
+  ops.global_updates = ops.occurrence_ops * kScratchTouchesPerEvent;
+
+  const simgpu::GpuCostModel model(device);
+  const simgpu::KernelCost cost = model.estimate(launch, traits, ops);
+  if (!cost.feasible) {
+    p.feasible = false;
+    p.note = cost.infeasible_reason;
+    return p;
+  }
+  // One launch per layer, each charged the full range (gpu_engines.cpp).
+  p.seconds =
+      cost.phases.total() * static_cast<double>(portfolio.layer_count());
+  return p;
+}
+
+// Predicted kernel seconds of the optimised kernel over one device's
+// trial slice; mirrors run_optimized_on_device.
+simgpu::KernelCost optimized_range_cost(const Portfolio& portfolio,
+                                        const Yet& yet,
+                                        const EngineConfig& cfg,
+                                        const simgpu::GpuCostModel& model,
+                                        std::size_t begin, std::size_t end) {
+  simgpu::KernelTraits traits;
+  traits.loss_bytes = cfg.use_float ? 4 : 8;
+  traits.chunked = cfg.chunking;
+  traits.mlp_per_thread = cfg.chunking ? std::min(cfg.chunk_size, 16u) : 1;
+  traits.scratch_in_global = !cfg.chunking && !cfg.use_registers;
+  traits.scratch_in_registers = cfg.use_registers;
+  traits.unrolled = cfg.unroll;
+
+  simgpu::LaunchConfig launch;
+  launch.block_threads = cfg.block_threads;
+  launch.grid_blocks = static_cast<unsigned>(
+      (end - begin + cfg.block_threads - 1) / cfg.block_threads);
+  launch.shared_bytes_per_block =
+      cfg.chunking ? optimized_shared_bytes(cfg.block_threads, cfg.chunk_size)
+                   : 0;
+  launch.regs_per_thread = cfg.use_registers ? 63 : 32;
+
+  OpCounts ops = range_ops(portfolio, yet, begin, end);
+  const std::uint64_t scratch = ops.occurrence_ops * kScratchTouchesPerEvent;
+  if (traits.scratch_in_global) {
+    ops.global_updates = scratch;
+  } else if (!traits.scratch_in_registers) {
+    ops.shared_accesses = scratch;
+  }
+  return model.estimate(launch, traits, ops);
+}
+
+EnginePrediction predict_gpu_optimized(const Portfolio& portfolio,
+                                       const Yet& yet, const EngineConfig& cfg,
+                                       const simgpu::DeviceSpec& device) {
+  EnginePrediction p;
+  p.kind = EngineKind::kGpuOptimized;
+  const std::size_t trials = yet.trial_count();
+  const unsigned loss_bytes = cfg.use_float ? 4 : 8;
+  const std::uint64_t footprint =
+      tables_device_bytes(portfolio, loss_bytes) +
+      yet_device_bytes(yet, 0, trials) +
+      static_cast<std::uint64_t>(portfolio.layer_count()) * trials * loss_bytes;
+  if (footprint > device.global_mem_bytes) {
+    p.feasible = false;
+    p.note = "inputs exceed device memory";
+    return p;
+  }
+  const simgpu::GpuCostModel model(device);
+  const simgpu::KernelCost cost =
+      optimized_range_cost(portfolio, yet, cfg, model, 0, trials);
+  if (!cost.feasible) {
+    p.feasible = false;
+    p.note = cost.infeasible_reason;
+    return p;
+  }
+  p.seconds =
+      cost.phases.total() * static_cast<double>(portfolio.layer_count());
+  return p;
+}
+
+EnginePrediction predict_multi_gpu(const Portfolio& portfolio, const Yet& yet,
+                                   const EngineConfig& cfg,
+                                   const simgpu::DeviceSpec& device,
+                                   std::size_t gpu_count) {
+  EnginePrediction p;
+  p.kind = EngineKind::kMultiGpu;
+  if (gpu_count == 0) {
+    p.feasible = false;
+    p.note = "gpu_count is zero";
+    return p;
+  }
+  const unsigned loss_bytes = cfg.use_float ? 4 : 8;
+  const simgpu::GpuCostModel model(device);
+  const auto ranges = parallel::split_even(yet.trial_count(), gpu_count);
+  double slowest = 0.0;
+  for (const parallel::Range& r : ranges) {
+    if (r.empty()) continue;
+    const std::uint64_t footprint =
+        tables_device_bytes(portfolio, loss_bytes) +
+        yet_device_bytes(yet, r.begin, r.end) +
+        static_cast<std::uint64_t>(portfolio.layer_count()) * r.size() *
+            loss_bytes;
+    if (footprint > device.global_mem_bytes) {
+      p.feasible = false;
+      p.note = "device slice exceeds device memory";
+      return p;
+    }
+    const simgpu::KernelCost cost =
+        optimized_range_cost(portfolio, yet, cfg, model, r.begin, r.end);
+    if (!cost.feasible) {
+      p.feasible = false;
+      p.note = cost.infeasible_reason;
+      return p;
+    }
+    slowest = std::max(
+        slowest,
+        cost.phases.total() * static_cast<double>(portfolio.layer_count()));
+  }
+  // Devices run concurrently; the platform finishes with the slowest.
+  p.seconds = slowest;
+  return p;
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(ExecutionPolicy default_policy,
+                                 std::size_t workers)
+    : default_policy_(std::move(default_policy)),
+      workers_(workers != 0
+                   ? workers
+                   : std::max(1u, std::thread::hardware_concurrency())) {}
+
+parallel::ThreadPool& AnalysisSession::batch_pool() {
+  // Built lazily: run()-only sessions (the CLI, most examples) never
+  // pay for idle workers.
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_) pool_ = std::make_unique<parallel::ThreadPool>(workers_);
+  return *pool_;
+}
+
+std::vector<EnginePrediction> AnalysisSession::predict(
+    const Portfolio& portfolio, const Yet& yet,
+    const ExecutionPolicy& policy) const {
+  std::vector<EnginePrediction> out;
+  out.reserve(6);
+  for (const EngineKind kind : all_engine_kinds()) {
+    const EngineConfig cfg = resolved_config(policy, kind);
+    switch (kind) {
+      case EngineKind::kSequentialReference:
+      case EngineKind::kSequentialFused:
+      case EngineKind::kMultiCore: {
+        EnginePrediction p;
+        p.kind = kind;
+        p.seconds = predict_cpu(portfolio, yet, cfg, kind);
+        out.push_back(std::move(p));
+        break;
+      }
+      case EngineKind::kGpuBasic:
+        out.push_back(
+            predict_gpu_basic(portfolio, yet, cfg, policy.gpu_device));
+        break;
+      case EngineKind::kGpuOptimized:
+        out.push_back(
+            predict_gpu_optimized(portfolio, yet, cfg, policy.gpu_device));
+        break;
+      case EngineKind::kMultiGpu:
+        out.push_back(predict_multi_gpu(portfolio, yet, cfg,
+                                        policy.multi_gpu_device,
+                                        policy.gpu_count));
+        break;
+    }
+  }
+  return out;
+}
+
+EnginePrediction AnalysisSession::choose(const Portfolio& portfolio,
+                                         const Yet& yet,
+                                         const ExecutionPolicy& policy) const {
+  const std::vector<EnginePrediction> predictions =
+      predict(portfolio, yet, policy);
+  const EnginePrediction* best = nullptr;
+  for (const EnginePrediction& p : predictions) {
+    if (!p.feasible) continue;
+    if (!best || p.seconds < best->seconds) best = &p;
+  }
+  if (!best) {
+    throw std::runtime_error(
+        "AnalysisSession::choose: no feasible engine for workload");
+  }
+  return *best;
+}
+
+const Engine& AnalysisSession::engine_for(EngineKind kind,
+                                          const ExecutionPolicy& policy) {
+  const EngineConfig cfg = resolved_config(policy, kind);
+  const std::string key = engine_cache_key(kind, cfg, policy);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = engines_.find(key);
+  if (it == engines_.end()) {
+    ExecutionPolicy concrete = policy;
+    concrete.engine = kind;
+    concrete.config = cfg;
+    it = engines_.emplace(key, make_engine(concrete)).first;
+  }
+  return *it->second;
+}
+
+AnalysisResult AnalysisSession::run(const AnalysisRequest& request) {
+  if (request.portfolio == nullptr || request.yet == nullptr) {
+    throw std::invalid_argument(
+        "AnalysisSession::run: request needs a portfolio and a yet");
+  }
+  if (!request.core_simulation && !request.secondary_uncertainty &&
+      request.reinstatement_terms.empty()) {
+    throw std::invalid_argument(
+        "AnalysisSession::run: request disables the core simulation but "
+        "asks for no extension — nothing to run");
+  }
+  return run_resolved(request,
+                      request.policy ? *request.policy : default_policy_);
+}
+
+AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
+                                             const ExecutionPolicy& policy) {
+  const Portfolio& portfolio = *request.portfolio;
+  const Yet& yet = *request.yet;
+
+  AnalysisResult result;
+  result.label = request.label;
+
+  if (request.secondary_uncertainty) {
+    // The extension is itself an Engine with a single implementation;
+    // it replaces the policy's engine choice.
+    const ext::SecondaryUncertaintyEngine engine(*request.secondary_uncertainty);
+    result.simulation = engine.run(portfolio, yet);
+  } else if (request.core_simulation) {
+    EngineKind kind;
+    if (policy.engine) {
+      kind = *policy.engine;
+    } else {
+      const EnginePrediction best = choose(portfolio, yet, policy);
+      kind = best.kind;
+      result.auto_selected = true;
+      result.predicted_seconds = best.seconds;
+    }
+    result.engine = kind;
+    result.simulation = engine_for(kind, policy).run(portfolio, yet);
+  }
+
+  // Metric passes need a YLT, which only a simulation produces.
+  const bool have_ylt = result.simulation.ylt.layer_count() > 0;
+  if (request.metrics.layer_summaries && have_ylt) {
+    result.layer_summaries.reserve(result.simulation.ylt.layer_count());
+    for (std::size_t l = 0; l < result.simulation.ylt.layer_count(); ++l) {
+      result.layer_summaries.push_back(
+          metrics::summarize_layer(result.simulation.ylt, l));
+    }
+  }
+  if (request.metrics.portfolio_rollup && have_ylt) {
+    result.rollup = metrics::rollup_portfolio(result.simulation.ylt);
+  }
+  if (!request.reinstatement_terms.empty()) {
+    const ext::ReinstatementEngine engine(portfolio,
+                                          request.reinstatement_terms);
+    result.reinstatements = engine.run(yet);
+  }
+  return result;
+}
+
+std::vector<AnalysisResult> AnalysisSession::run_batch(
+    std::span<const AnalysisRequest> requests) {
+  std::vector<AnalysisResult> results(requests.size());
+  parallel::ThreadPool& pool = batch_pool();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool.submit([this, &requests, &results, i] {
+      results[i] = run(requests[i]);
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace ara

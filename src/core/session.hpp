@@ -1,0 +1,128 @@
+// AnalysisSession: the batched, policy-driven front door of the
+// library (see DESIGN.md §3).
+//
+// The paper's engines expose one shape of work — a single synchronous
+// Engine::run(portfolio, yet). A production service prices many
+// analyses against a shared pre-simulated YET, picks an engine per
+// workload, and amortises engine construction and dispatch threads
+// across calls. The session owns exactly that shared state:
+//
+//   * a default ExecutionPolicy (per-request overridable),
+//   * a cache of constructed engines, keyed by kind + configuration,
+//   * a dispatch thread pool for run_batch,
+//   * the cost models, used by ExecutionPolicy::kAuto to predict the
+//     simulated cost of every engine kind on the concrete workload
+//     and run the cheapest feasible one.
+//
+// Engine::run stays available as the thin one-shot compatibility
+// layer; the session is a superset (metrics, extensions, batching).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis_request.hpp"
+#include "core/engine_factory.hpp"
+#include "core/metrics/portfolio_rollup.hpp"
+#include "core/metrics/risk_measures.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ara {
+
+/// Everything one analysis produced: the raw simulation output (YLT +
+/// op counts + measured and simulated timings) plus the requested
+/// derived metrics and extension results, in one struct.
+struct AnalysisResult {
+  std::string label;  ///< copied from the request
+
+  /// The engine kind that actually ran. nullopt when an extension
+  /// replaced the core engine (secondary uncertainty).
+  std::optional<EngineKind> engine;
+  bool auto_selected = false;     ///< engine came from kAuto
+  double predicted_seconds = 0.0; ///< kAuto's cost-model prediction
+
+  SimulationResult simulation;
+
+  /// Filled when the request's MetricsSelection asked for them.
+  std::vector<metrics::LayerRiskSummary> layer_summaries;
+  std::optional<metrics::PortfolioRollup> rollup;
+
+  /// Filled when the request carried reinstatement terms.
+  std::optional<ext::ReinstatementResult> reinstatements;
+};
+
+/// Cost-model prediction for one engine kind on one workload.
+struct EnginePrediction {
+  EngineKind kind = EngineKind::kSequentialReference;
+  double seconds = 0.0;  ///< predicted simulated seconds (paper hardware)
+  bool feasible = true;  ///< launch shape + device memory fit
+  std::string note;      ///< why infeasible, when !feasible
+};
+
+class AnalysisSession {
+ public:
+  /// `workers` sizes the run_batch dispatch pool; 0 = one worker per
+  /// hardware thread.
+  explicit AnalysisSession(ExecutionPolicy default_policy = {},
+                           std::size_t workers = 0);
+
+  const ExecutionPolicy& default_policy() const noexcept {
+    return default_policy_;
+  }
+
+  /// Runs one analysis. Thread-safe.
+  AnalysisResult run(const AnalysisRequest& request);
+
+  /// Runs many analyses concurrently on the session's pool. Results
+  /// are in request order and identical to running each request alone
+  /// (engines are deterministic), so the output is independent of the
+  /// dispatch interleaving. The first request failure is rethrown
+  /// after the batch drains.
+  std::vector<AnalysisResult> run_batch(std::span<const AnalysisRequest> requests);
+
+  /// Simulated-cost predictions of every engine kind for a workload
+  /// under `policy` (launch shapes and devices come from the policy).
+  /// This is the ranking kAuto selects from.
+  std::vector<EnginePrediction> predict(const Portfolio& portfolio,
+                                        const Yet& yet,
+                                        const ExecutionPolicy& policy) const;
+  std::vector<EnginePrediction> predict(const Portfolio& portfolio,
+                                        const Yet& yet) const {
+    return predict(portfolio, yet, default_policy_);
+  }
+
+  /// The prediction kAuto resolves to: the cheapest feasible one.
+  /// Throws std::runtime_error if no kind is feasible (cannot happen
+  /// with the CPU kinds present).
+  EnginePrediction choose(const Portfolio& portfolio, const Yet& yet,
+                          const ExecutionPolicy& policy) const;
+
+  /// Convenience: just the kind of choose().
+  EngineKind choose_engine(const Portfolio& portfolio, const Yet& yet,
+                           const ExecutionPolicy& policy) const {
+    return choose(portfolio, yet, policy).kind;
+  }
+  EngineKind choose_engine(const Portfolio& portfolio, const Yet& yet) const {
+    return choose_engine(portfolio, yet, default_policy_);
+  }
+
+ private:
+  const Engine& engine_for(EngineKind kind, const ExecutionPolicy& policy);
+  AnalysisResult run_resolved(const AnalysisRequest& request,
+                              const ExecutionPolicy& policy);
+  parallel::ThreadPool& batch_pool();
+
+  ExecutionPolicy default_policy_;
+  std::size_t workers_;
+  std::mutex pool_mutex_;
+  std::unique_ptr<parallel::ThreadPool> pool_;  ///< built on first run_batch
+  std::mutex cache_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Engine>> engines_;
+};
+
+}  // namespace ara

@@ -1,0 +1,279 @@
+// AnalysisSession façade: the session must be a faithful superset of
+// the one-shot Engine::run path — bitwise-identical YLTs per engine
+// kind, deterministic order-independent batches, and a kAuto mode that
+// picks exactly what the cost models rank cheapest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/session.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+void expect_bitwise_equal_ylt(const Ylt& a, const Ylt& b) {
+  ASSERT_EQ(a.layer_count(), b.layer_count());
+  ASSERT_EQ(a.trial_count(), b.trial_count());
+  for (std::size_t l = 0; l < a.layer_count(); ++l) {
+    for (TrialId t = 0; t < a.trial_count(); ++t) {
+      ASSERT_EQ(a.annual_loss(l, t), b.annual_loss(l, t))
+          << "layer " << l << " trial " << t;
+      ASSERT_EQ(a.max_occurrence_loss(l, t), b.max_occurrence_loss(l, t))
+          << "layer " << l << " trial " << t;
+    }
+  }
+}
+
+class SessionVsLegacy : public ::testing::TestWithParam<EngineKind> {};
+
+// (a) For every engine kind, the session produces the YLT the legacy
+// make_engine/Engine::run path produces, bit for bit.
+TEST_P(SessionVsLegacy, BitwiseIdenticalToDirectEngineRun) {
+  const EngineKind kind = GetParam();
+  const synth::Scenario s = synth::multi_layer_book(4, 200, 22);
+
+  const auto legacy = make_engine(kind, paper_config(kind));
+  const SimulationResult direct = legacy->run(s.portfolio, s.yet);
+
+  AnalysisSession session(ExecutionPolicy::with_engine(kind));
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  const AnalysisResult result = session.run(request);
+
+  ASSERT_TRUE(result.engine.has_value());
+  EXPECT_EQ(*result.engine, kind);
+  EXPECT_FALSE(result.auto_selected);
+  EXPECT_EQ(result.simulation.engine_name, direct.engine_name);
+  EXPECT_EQ(result.simulation.ops, direct.ops);
+  EXPECT_DOUBLE_EQ(result.simulation.simulated_seconds,
+                   direct.simulated_seconds);
+  expect_bitwise_equal_ylt(result.simulation.ylt, direct.ylt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SessionVsLegacy, ::testing::ValuesIn(all_engine_kinds()),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return engine_kind_name(info.param);
+    });
+
+// (b) run_batch: many portfolios against ONE shared YET; outputs are
+// in request order, equal to solo runs, and independent of submission
+// order.
+TEST(SessionBatch, DeterministicAndOrderIndependent) {
+  const synth::Scenario s = synth::multi_layer_book(6, 300, 7);
+
+  // Carve three single-layer portfolios out of the book, all priced
+  // against the same YET (held by reference — no copies).
+  std::vector<Portfolio> books;
+  for (std::size_t l = 0; l < 3; ++l) {
+    books.emplace_back(s.portfolio.elts(),
+                       std::vector<Layer>{s.portfolio.layers()[l]});
+  }
+
+  std::vector<AnalysisRequest> requests;
+  for (std::size_t i = 0; i < books.size(); ++i) {
+    AnalysisRequest r;
+    r.label = "book_" + std::to_string(i);
+    r.portfolio = &books[i];
+    r.yet = &s.yet;
+    r.metrics.layer_summaries = true;
+    requests.push_back(std::move(r));
+  }
+
+  AnalysisSession session(ExecutionPolicy::with_engine(EngineKind::kMultiGpu));
+  const std::vector<AnalysisResult> batch = session.run_batch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+
+  // Batch output equals solo runs (request order preserved).
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batch[i].label, requests[i].label);
+    const AnalysisResult solo = session.run(requests[i]);
+    expect_bitwise_equal_ylt(batch[i].simulation.ylt, solo.simulation.ylt);
+    ASSERT_EQ(batch[i].layer_summaries.size(), 1u);
+    EXPECT_DOUBLE_EQ(batch[i].layer_summaries[0].aal,
+                     solo.layer_summaries[0].aal);
+  }
+
+  // Reversed submission order: per-label results unchanged.
+  std::vector<AnalysisRequest> reversed(requests.rbegin(), requests.rend());
+  const std::vector<AnalysisResult> rev = session.run_batch(reversed);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const AnalysisResult& fwd = batch[i];
+    const AnalysisResult& bwd = rev[requests.size() - 1 - i];
+    EXPECT_EQ(fwd.label, bwd.label);
+    expect_bitwise_equal_ylt(fwd.simulation.ylt, bwd.simulation.ylt);
+  }
+
+  // Repeat run: bitwise identical (determinism).
+  const std::vector<AnalysisResult> again = session.run_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    expect_bitwise_equal_ylt(batch[i].simulation.ylt,
+                             again[i].simulation.ylt);
+  }
+}
+
+// (c) kAuto runs exactly the engine the cost models rank cheapest.
+TEST(SessionAuto, PicksCheapestPredictedEngine) {
+  const synth::Scenario s = synth::paper_scaled(20000, 33);
+
+  AnalysisSession session(ExecutionPolicy::auto_select());
+  const std::vector<EnginePrediction> predictions =
+      session.predict(s.portfolio, s.yet);
+  ASSERT_EQ(predictions.size(), all_engine_kinds().size());
+
+  const EnginePrediction* best = nullptr;
+  for (const EnginePrediction& p : predictions) {
+    if (!p.feasible) continue;
+    if (!best || p.seconds < best->seconds) best = &p;
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(session.choose_engine(s.portfolio, s.yet), best->kind);
+
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  const AnalysisResult result = session.run(request);
+  ASSERT_TRUE(result.engine.has_value());
+  EXPECT_EQ(*result.engine, best->kind);
+  EXPECT_TRUE(result.auto_selected);
+  EXPECT_DOUBLE_EQ(result.predicted_seconds, best->seconds);
+}
+
+// On a paper-shaped workload the predictions must reproduce the
+// paper's Figure 5 ranking: multi-GPU < optimised GPU < basic GPU <
+// multi-core < sequential.
+TEST(SessionAuto, PredictionsReproducePaperRanking) {
+  const synth::Scenario s = synth::paper_scaled(20000, 33);
+  AnalysisSession session;
+  const std::vector<EnginePrediction> predictions =
+      session.predict(s.portfolio, s.yet);
+
+  auto seconds = [&](EngineKind kind) {
+    for (const EnginePrediction& p : predictions) {
+      if (p.kind == kind) {
+        EXPECT_TRUE(p.feasible) << engine_kind_name(kind);
+        return p.seconds;
+      }
+    }
+    ADD_FAILURE() << "missing prediction for " << engine_kind_name(kind);
+    return 0.0;
+  };
+
+  const double t_multi = seconds(EngineKind::kMultiGpu);
+  const double t_opt = seconds(EngineKind::kGpuOptimized);
+  const double t_basic = seconds(EngineKind::kGpuBasic);
+  const double t_mc = seconds(EngineKind::kMultiCore);
+  const double t_seq = seconds(EngineKind::kSequentialReference);
+  EXPECT_LT(t_multi, t_opt);
+  EXPECT_LT(t_opt, t_basic);
+  EXPECT_LT(t_basic, t_mc);
+  EXPECT_LT(t_mc, t_seq);
+}
+
+// A prediction is the engine's simulated time computed without
+// executing: running the predicted kind must report (almost) exactly
+// the predicted simulated seconds.
+TEST(SessionAuto, PredictionMatchesEngineSimulatedTime) {
+  const synth::Scenario s = synth::multi_layer_book(3, 150, 5);
+  AnalysisSession session;
+  const std::vector<EnginePrediction> predictions =
+      session.predict(s.portfolio, s.yet);
+
+  for (const EnginePrediction& p : predictions) {
+    if (!p.feasible) continue;
+    AnalysisRequest request;
+    request.portfolio = &s.portfolio;
+    request.yet = &s.yet;
+    request.policy = ExecutionPolicy::with_engine(p.kind);
+    const AnalysisResult result = session.run(request);
+    EXPECT_NEAR(result.simulation.simulated_seconds, p.seconds,
+                1e-6 * p.seconds)
+        << engine_kind_name(p.kind);
+  }
+}
+
+// Extension hooks ride along with a normal analysis.
+TEST(SessionExtensions, ReinstatementHookFillsResult) {
+  const synth::Scenario s = synth::tiny(64, 11);
+
+  ext::ReinstatementTerms terms;
+  terms.occ_retention = 1000.0;
+  terms.occ_limit = 50000.0;
+  terms.reinstatements = 2;
+  terms.premium_rate = 1.0;
+  terms.upfront_premium = 1.0;
+
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  request.reinstatement_terms.assign(s.portfolio.layer_count(), terms);
+
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+  const AnalysisResult result = session.run(request);
+  ASSERT_TRUE(result.reinstatements.has_value());
+  EXPECT_EQ(result.reinstatements->layer_count(), s.portfolio.layer_count());
+  EXPECT_EQ(result.reinstatements->trial_count(), s.yet.trial_count());
+  EXPECT_GE(result.reinstatements->expected_recovery(0), 0.0);
+}
+
+// A pure extension pass: core_simulation=false skips the engine run
+// (no YLT) but still prices the treaty.
+TEST(SessionExtensions, ReinstatementOnlySkipsCoreSimulation) {
+  const synth::Scenario s = synth::tiny(64, 11);
+
+  ext::ReinstatementTerms terms;
+  terms.occ_limit = 50000.0;
+
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  request.core_simulation = false;
+  request.reinstatement_terms.assign(s.portfolio.layer_count(), terms);
+
+  AnalysisSession session;
+  const AnalysisResult result = session.run(request);
+  EXPECT_FALSE(result.engine.has_value());
+  EXPECT_EQ(result.simulation.ylt.layer_count(), 0u);
+  ASSERT_TRUE(result.reinstatements.has_value());
+  EXPECT_EQ(result.reinstatements->trial_count(), s.yet.trial_count());
+
+  // Disabling the core run with no extension requested is an error.
+  AnalysisRequest empty;
+  empty.portfolio = &s.portfolio;
+  empty.yet = &s.yet;
+  empty.core_simulation = false;
+  EXPECT_THROW(session.run(empty), std::invalid_argument);
+}
+
+TEST(SessionExtensions, SecondaryUncertaintyReplacesEngine) {
+  const synth::Scenario s = synth::tiny(64, 11);
+
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  request.secondary_uncertainty = ext::SecondaryUncertaintyConfig{};
+
+  AnalysisSession session;
+  const AnalysisResult result = session.run(request);
+  EXPECT_FALSE(result.engine.has_value());
+  EXPECT_EQ(result.simulation.engine_name, "secondary_uncertainty");
+  EXPECT_EQ(result.simulation.ylt.trial_count(), s.yet.trial_count());
+}
+
+TEST(SessionPolicy, FactoryRejectsAutoWithoutWorkload) {
+  EXPECT_THROW(make_engine(ExecutionPolicy::auto_select()),
+               std::invalid_argument);
+}
+
+TEST(SessionPolicy, RequestValidation) {
+  AnalysisSession session;
+  AnalysisRequest request;  // no portfolio / yet
+  EXPECT_THROW(session.run(request), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara

@@ -5,12 +5,15 @@
 //
 //   ara_cli generate --out DIR [--trials N] [--events-per-trial E]
 //                    [--catalogue C] [--elts K] [--layers L] [--seed S]
-//   ara_cli run      --in DIR --out YLT.bin [--engine NAME]
-//                    [--gpus N] [--cores N] [--block-threads B]
+//   ara_cli run      --in DIR --out YLT.bin [--engine NAME|auto]
+//                    [--gpus N] [--cores N] [--threads-per-core T]
+//                    [--block-threads B] [--chunk-size C]
+//   ara_cli run      --list-engines
 //   ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]
 //
 // Engine names: sequential_reference, sequential_fused, multicore_cpu,
-// gpu_basic, gpu_optimized, multi_gpu_optimized.
+// gpu_basic, gpu_optimized, multi_gpu_optimized — or "auto", which
+// prices every engine with the cost models and runs the cheapest.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -20,6 +23,7 @@
 #include "core/engine_factory.hpp"
 #include "core/metrics/convergence.hpp"
 #include "core/metrics/risk_measures.hpp"
+#include "core/session.hpp"
 #include "io/binary.hpp"
 #include "io/csv.hpp"
 #include "perf/report.hpp"
@@ -35,11 +39,16 @@ using namespace ara;
       "usage:\n"
       "  ara_cli generate --out DIR [--trials N] [--events-per-trial E]\n"
       "                   [--catalogue C] [--elts K] [--layers L] [--seed S]\n"
-      "  ara_cli run      --in DIR --out YLT.bin [--engine NAME]\n"
-      "                   [--gpus N] [--cores N] [--block-threads B]\n"
+      "  ara_cli run      --in DIR --out YLT.bin [--engine NAME|auto]\n"
+      "                   [--gpus N] [--cores N] [--threads-per-core T]\n"
+      "                   [--block-threads B] [--chunk-size C]\n"
+      "  ara_cli run      --list-engines\n"
       "  ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]\n";
   std::exit(2);
 }
+
+// Flags that take no value.
+bool is_switch(const std::string& name) { return name == "list-engines"; }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
@@ -47,8 +56,13 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) usage("unexpected argument: " + arg);
+    const std::string name = arg.substr(2);
+    if (is_switch(name)) {
+      flags[name] = "1";
+      continue;
+    }
     if (i + 1 >= argc) usage("missing value for " + arg);
-    flags[arg.substr(2)] = argv[++i];
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -113,38 +127,127 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_list_engines() {
+  perf::Table table({"engine", "paper configuration"});
+  for (const EngineKind k : all_engine_kinds()) {
+    const EngineConfig cfg = paper_config(k);
+    std::string note;
+    switch (k) {
+      case EngineKind::kSequentialReference:
+      case EngineKind::kSequentialFused:
+        note = "1 core";
+        break;
+      case EngineKind::kMultiCore:
+        note = std::to_string(cfg.cores) + " cores x " +
+               std::to_string(cfg.threads_per_core) + " threads/core";
+        break;
+      case EngineKind::kGpuBasic:
+        note = std::to_string(cfg.block_threads) +
+               " threads/block (Tesla C2075)";
+        break;
+      case EngineKind::kGpuOptimized:
+        note = std::to_string(cfg.block_threads) + " threads/block, " +
+               std::to_string(cfg.chunk_size) + "-event chunks (Tesla C2075)";
+        break;
+      case EngineKind::kMultiGpu:
+        note = "4x Tesla M2090, " + std::to_string(cfg.block_threads) +
+               " threads/block";
+        break;
+    }
+    table.add_row({engine_kind_name(k), note});
+  }
+  table.print(std::cout);
+  std::cout << "\n\"auto\" prices every engine with the cost models for the\n"
+               "concrete workload and runs the cheapest feasible one.\n";
+  return 0;
+}
+
 int cmd_run(const std::map<std::string, std::string>& flags) {
+  if (flags.count("list-engines")) return cmd_list_engines();
+
   const std::string in = get(flags, "in", "");
   const std::string out = get(flags, "out", "");
   if (in.empty() || out.empty()) usage("run requires --in DIR and --out FILE");
   const std::string engine_name = get(flags, "engine", "multi_gpu_optimized");
 
-  EngineKind kind = EngineKind::kMultiGpu;
-  bool found = false;
-  for (const EngineKind k : all_engine_kinds()) {
-    if (engine_kind_name(k) == engine_name) {
-      kind = k;
-      found = true;
-      break;
-    }
-  }
-  if (!found) usage("unknown engine: " + engine_name);
-
-  EngineConfig cfg = paper_config(kind);
-  cfg.cores = static_cast<unsigned>(get_long(flags, "cores", cfg.cores));
-  cfg.block_threads = static_cast<unsigned>(
-      get_long(flags, "block-threads", cfg.block_threads));
-  const auto gpus = static_cast<std::size_t>(get_long(flags, "gpus", 4));
+  ExecutionPolicy policy;
+  policy.gpu_count = static_cast<std::size_t>(get_long(flags, "gpus", 4));
 
   const Yet yet = io::load_yet(in + "/yet.bin");
   const Portfolio portfolio = io::load_portfolio(in + "/portfolio.bin");
 
-  const auto engine =
-      make_engine(kind, cfg, simgpu::tesla_c2075(), gpus);
-  const SimulationResult result = engine->run(portfolio, yet);
+  AnalysisSession session(policy);
+
+  // Tuning knobs apply on top of each engine's paper config — both to
+  // the run and to the auto-mode predictions, so the selection prices
+  // exactly the configurations it chooses between.
+  const auto apply_tuning = [&flags](EngineConfig cfg) {
+    cfg.cores = static_cast<unsigned>(get_long(flags, "cores", cfg.cores));
+    cfg.threads_per_core = static_cast<unsigned>(
+        get_long(flags, "threads-per-core", cfg.threads_per_core));
+    cfg.block_threads = static_cast<unsigned>(
+        get_long(flags, "block-threads", cfg.block_threads));
+    cfg.chunk_size = static_cast<unsigned>(
+        get_long(flags, "chunk-size", cfg.chunk_size));
+    return cfg;
+  };
+
+  EngineKind kind;
+  bool auto_selected = false;
+  double predicted_seconds = 0.0;
+  if (engine_name == "auto") {
+    // ExecutionPolicy::kAuto: rank every engine with the cost models
+    // on this workload (each at its tuned config), then run the
+    // cheapest feasible one.
+    std::vector<EnginePrediction> rows;
+    for (const EngineKind k : all_engine_kinds()) {
+      ExecutionPolicy tuned = policy;
+      tuned.config = apply_tuning(paper_config(k));
+      for (EnginePrediction& p : session.predict(portfolio, yet, tuned)) {
+        if (p.kind == k) rows.push_back(std::move(p));
+      }
+    }
+    const EnginePrediction* best = nullptr;
+    for (const EnginePrediction& p : rows) {
+      if (!p.feasible) continue;
+      if (!best || p.seconds < best->seconds) best = &p;
+    }
+    if (!best) usage("no engine is feasible for this workload");
+    kind = best->kind;
+    predicted_seconds = best->seconds;
+    auto_selected = true;
+
+    perf::Table table({"engine", "predicted (paper hw)", "note"});
+    for (const EnginePrediction& p : rows) {
+      table.add_row({engine_kind_name(p.kind),
+                     p.feasible ? perf::format_seconds(p.seconds)
+                                : "infeasible",
+                     p.kind == kind ? "<- selected" : p.note});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  } else {
+    const std::optional<EngineKind> named = engine_kind_from_name(engine_name);
+    if (!named) usage("unknown engine: " + engine_name);
+    kind = *named;
+  }
+
+  const EngineConfig cfg = apply_tuning(paper_config(kind));
+
+  AnalysisRequest request;
+  request.portfolio = &portfolio;
+  request.yet = &yet;
+  ExecutionPolicy resolved = policy;
+  resolved.engine = kind;
+  resolved.config = cfg;
+  request.policy = resolved;
+
+  const AnalysisResult analysis = session.run(request);
+  const SimulationResult& result = analysis.simulation;
   io::save_ylt(out, result.ylt);
 
-  std::cout << "engine    : " << result.engine_name << '\n'
+  std::cout << "engine    : " << result.engine_name
+            << (auto_selected ? " (auto-selected)" : "") << '\n'
             << "trials    : " << result.ylt.trial_count() << " x "
             << result.ylt.layer_count() << " layer(s)\n"
             << "lookups   : " << result.ops.elt_lookups << '\n'
@@ -152,8 +255,12 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
             << " (this host)\n"
             << "simulated : "
             << perf::format_seconds(result.simulated_seconds)
-            << " (paper hardware)\n"
-            << "wrote     : " << out << '\n';
+            << " (paper hardware)\n";
+  if (auto_selected) {
+    std::cout << "predicted : " << perf::format_seconds(predicted_seconds)
+              << " (cost model, drove the selection)\n";
+  }
+  std::cout << "wrote     : " << out << '\n';
   return 0;
 }
 
