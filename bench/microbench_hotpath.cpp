@@ -1,0 +1,329 @@
+// Hot-path micro-benchmark: old layer-major formulation vs the
+// trial-major fused pipeline (+ session-level table/pool caching),
+// measured as real wall time on this host and emitted as
+// BENCH_hotpath.json — the repo's performance trajectory record.
+//
+// Three scenario shapes bracket the workload space:
+//   * few_layers_many_trials — the paper's headline shape (trial count
+//     dominates; fusion changes little, caching still helps),
+//   * many_layers_few_trials — a production book (the YET used to be
+//     re-streamed per layer; the fused sweep reads it once),
+//   * batch_shared_yet       — many requests against one portfolio +
+//     YET through AnalysisSession (tables bound once, one persistent
+//     pool) vs one-shot engine runs.
+//
+// The "old" paths reproduce the pre-fusion code exactly: per-run
+// ThreadPool construction, per-(layer, ELT) duplicated table builds,
+// one parallel_for dispatch per layer, grain-free static splits. Every
+// comparison asserts the YLTs are bitwise identical before it reports
+// a speed-up; any mismatch fails the run (ctest runs this in --smoke
+// mode as a regression gate).
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/cpu_engines.hpp"
+#include "core/session.hpp"
+#include "core/trial_math.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/stopwatch.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara::bench {
+namespace {
+
+// ---- The pre-fusion (layer-major) formulations ----------------------------
+
+// The old TableStore: one dense table per (layer, ELT) pair, shared
+// ELTs duplicated — rebuilt on every run.
+struct LegacyTables {
+  std::vector<std::vector<DirectAccessTable<double>>> per_layer;
+};
+
+LegacyTables legacy_build_tables(const Portfolio& p) {
+  LegacyTables store;
+  store.per_layer.reserve(p.layer_count());
+  for (const Layer& layer : p.layers()) {
+    std::vector<DirectAccessTable<double>> tabs;
+    tabs.reserve(layer.elt_indices.size());
+    for (const std::size_t idx : layer.elt_indices) {
+      tabs.emplace_back(p.elts()[idx]);
+    }
+    store.per_layer.push_back(std::move(tabs));
+  }
+  return store;
+}
+
+BoundLayer<double> legacy_bind(const Portfolio& p, const LegacyTables& store,
+                               std::size_t a) {
+  const Layer& layer = p.layers()[a];
+  BoundLayer<double> bound;
+  bound.layer_terms = layer.terms;
+  for (std::size_t j = 0; j < layer.elt_indices.size(); ++j) {
+    bound.tables.push_back(&store.per_layer[a][j]);
+    bound.terms.push_back(p.elts()[layer.elt_indices[j]].terms());
+  }
+  return bound;
+}
+
+// Old FusedSequentialEngine::run body: layer-major double loop.
+Ylt legacy_sequential(const Portfolio& p, const Yet& yet) {
+  const LegacyTables tables = legacy_build_tables(p);
+  Ylt ylt(p.layer_count(), yet.trial_count());
+  for (std::size_t a = 0; a < p.layer_count(); ++a) {
+    const BoundLayer<double> layer = legacy_bind(p, tables, a);
+    for (TrialId b = 0; b < yet.trial_count(); ++b) {
+      const TrialOutcome<double> out =
+          simulate_trial_fused<double>(yet.trial(b), layer);
+      ylt.annual_loss(a, b) = out.annual;
+      ylt.max_occurrence_loss(a, b) = out.max_occurrence;
+    }
+  }
+  return ylt;
+}
+
+// Old MultiCoreEngine::run body: fresh ThreadPool per call, one
+// parallel_for wave per layer, no grain floor.
+Ylt legacy_multicore(const Portfolio& p, const Yet& yet,
+                     const EngineConfig& cfg) {
+  const LegacyTables tables = legacy_build_tables(p);
+  Ylt ylt(p.layer_count(), yet.trial_count());
+  parallel::ThreadPool pool(static_cast<std::size_t>(std::max(1u, cfg.cores)) *
+                            std::max(1u, cfg.threads_per_core));
+  for (std::size_t a = 0; a < p.layer_count(); ++a) {
+    const BoundLayer<double> layer = legacy_bind(p, tables, a);
+    parallel::parallel_for(
+        pool, yet.trial_count(),
+        [&](parallel::Range r) {
+          for (std::size_t b = r.begin; b < r.end; ++b) {
+            const TrialOutcome<double> out = simulate_trial_fused<double>(
+                yet.trial(static_cast<TrialId>(b)), layer);
+            ylt.annual_loss(a, static_cast<TrialId>(b)) = out.annual;
+            ylt.max_occurrence_loss(a, static_cast<TrialId>(b)) =
+                out.max_occurrence;
+          }
+        },
+        parallel::Schedule::kStatic, 1024, /*min_grain=*/1);
+  }
+  return ylt;
+}
+
+// ---- Harness ---------------------------------------------------------------
+
+bool bitwise_equal(const Ylt& a, const Ylt& b) {
+  if (a.layer_count() != b.layer_count() ||
+      a.trial_count() != b.trial_count()) {
+    return false;
+  }
+  return a.annual_raw() == b.annual_raw() &&
+         a.max_occurrence_raw() == b.max_occurrence_raw();
+}
+
+struct CaseResult {
+  std::string name;
+  std::string engine;
+  std::size_t layers = 0;
+  std::size_t trials = 0;
+  std::size_t reps = 0;
+  double old_seconds = 0.0;
+  double new_seconds = 0.0;
+  bool identical = false;
+
+  double speedup() const {
+    return new_seconds > 0.0 ? old_seconds / new_seconds : 0.0;
+  }
+};
+
+template <typename F>
+double best_of(std::size_t reps, F&& f) {
+  double best = 1e300;
+  for (std::size_t i = 0; i < reps; ++i) {
+    perf::Stopwatch sw;
+    f();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+void print_case(const CaseResult& c) {
+  std::cout << "  " << c.name << " [" << c.engine << "] layers=" << c.layers
+            << " trials=" << c.trials << ": old " << c.old_seconds * 1e3
+            << " ms -> new " << c.new_seconds * 1e3 << " ms  ("
+            << c.speedup() << "x, " << (c.identical ? "bitwise OK" : "YLT MISMATCH")
+            << ")\n";
+}
+
+void write_json(const std::string& path, const std::vector<CaseResult>& cases,
+                bool smoke) {
+  std::ofstream os(path);
+  os << "{\n  \"benchmark\": \"microbench_hotpath\",\n"
+     << "  \"unit\": \"seconds_wall\",\n"
+     << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+     << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    os << "    {\"name\": \"" << c.name << "\", \"engine\": \"" << c.engine
+       << "\", \"layers\": " << c.layers << ", \"trials\": " << c.trials
+       << ", \"reps\": " << c.reps << ", \"old_seconds\": " << c.old_seconds
+       << ", \"new_seconds\": " << c.new_seconds
+       << ", \"speedup\": " << c.speedup()
+       << ", \"bitwise_identical\": " << (c.identical ? "true" : "false")
+       << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace ara::bench
+
+int main(int argc, char** argv) {
+  using namespace ara;
+  using namespace ara::bench;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  print_header("hot-path microbenchmark: layer-major vs trial-major fused",
+               "perf trajectory (no paper figure; measured on this host)");
+
+  EngineConfig mc_cfg;
+  mc_cfg.cores = 4;
+  mc_cfg.threads_per_core = 2;
+
+  const std::size_t reps = smoke ? 2 : 5;
+  std::vector<CaseResult> cases;
+  bool all_identical = true;
+
+  const auto run_case = [&](const std::string& name, const synth::Scenario& s,
+                            EngineKind kind) {
+    CaseResult c;
+    c.name = name;
+    c.engine = engine_kind_name(kind);
+    c.layers = s.portfolio.layer_count();
+    c.trials = s.yet.trial_count();
+    c.reps = reps;
+
+    ExecutionPolicy policy = ExecutionPolicy::with_engine(kind);
+    policy.config = mc_cfg;
+    AnalysisSession session(policy);
+    AnalysisRequest request;
+    request.portfolio = &s.portfolio;
+    request.yet = &s.yet;
+
+    Ylt old_ylt, new_ylt;
+    if (kind == EngineKind::kMultiCore) {
+      old_ylt = legacy_multicore(s.portfolio, s.yet, mc_cfg);
+      c.old_seconds = best_of(
+          reps, [&] { legacy_multicore(s.portfolio, s.yet, mc_cfg); });
+    } else {
+      old_ylt = legacy_sequential(s.portfolio, s.yet);
+      c.old_seconds =
+          best_of(reps, [&] { legacy_sequential(s.portfolio, s.yet); });
+    }
+
+    new_ylt = session.run(request).simulation.ylt;  // warm the caches
+    c.new_seconds =
+        best_of(reps, [&] { (void)session.run(request); });
+
+    c.identical = bitwise_equal(old_ylt, new_ylt);
+    all_identical = all_identical && c.identical;
+    cases.push_back(c);
+    print_case(c);
+  };
+
+  // Shape 1: the paper's headline shape — one fat layer, many trials.
+  const synth::Scenario wide =
+      synth::paper_scaled(smoke ? 4000 : 1000, 2026);
+  run_case("few_layers_many_trials", wide, EngineKind::kSequentialFused);
+  run_case("few_layers_many_trials", wide, EngineKind::kMultiCore);
+
+  // Shape 2: a production book — many layers sharing an ELT pool over
+  // one YET. This is where layer-major re-streaming of the YET and
+  // per-(layer, ELT) table duplication hurt most.
+  const synth::Scenario book =
+      synth::multi_layer_book(smoke ? 12 : 24, smoke ? 150 : 400, 2026);
+  run_case("many_layers_shared_yet", book, EngineKind::kSequentialFused);
+  run_case("many_layers_shared_yet", book, EngineKind::kMultiCore);
+
+  // Shape 3: a batch of analyses against one portfolio + YET. Old: a
+  // fresh one-shot engine per request (tables + pool rebuilt every
+  // time). New: AnalysisSession::run_batch over cached tables and the
+  // persistent pools.
+  {
+    const synth::Scenario s =
+        synth::multi_layer_book(smoke ? 8 : 16, smoke ? 120 : 300, 77);
+    const std::size_t batch = smoke ? 4 : 8;
+
+    CaseResult c;
+    c.name = "batch_shared_yet";
+    c.engine = engine_kind_name(EngineKind::kMultiCore);
+    c.layers = s.portfolio.layer_count();
+    c.trials = s.yet.trial_count();
+    c.reps = reps;
+
+    Ylt old_ylt;
+    const auto run_old_batch = [&] {
+      for (std::size_t i = 0; i < batch; ++i) {
+        old_ylt = legacy_multicore(s.portfolio, s.yet, mc_cfg);
+      }
+    };
+    run_old_batch();
+    c.old_seconds = best_of(reps, run_old_batch);
+
+    ExecutionPolicy policy = ExecutionPolicy::with_engine(EngineKind::kMultiCore);
+    policy.config = mc_cfg;
+    AnalysisSession session(policy);
+    std::vector<AnalysisRequest> requests(batch);
+    for (auto& r : requests) {
+      r.portfolio = &s.portfolio;
+      r.yet = &s.yet;
+    }
+    Ylt new_ylt = session.run_batch(requests).back().simulation.ylt;  // warm
+    c.new_seconds = best_of(reps, [&] {
+      auto results = session.run_batch(requests);
+      new_ylt = std::move(results.back().simulation.ylt);
+    });
+
+    c.identical = bitwise_equal(old_ylt, new_ylt);
+    all_identical = all_identical && c.identical;
+    cases.push_back(c);
+    print_case(c);
+  }
+
+  write_json(out_path, cases, smoke);
+  std::cout << "\nwrote " << out_path << "\n";
+
+  // Regression gates: the YLTs must be bitwise identical, and the
+  // many-layers/shared-YET multi-core case must hold its speed-up
+  // floor. Full mode (the committed BENCH_hotpath.json) demands the
+  // >= 2x win; smoke mode runs on shared CI machines at reduced
+  // workload sizes where the wall-clock ratio is noisier, so it gates
+  // at 1.5x — enough to catch a genuine regression to the layer-major
+  // formulation without failing CI on runner contention.
+  const double floor = smoke ? 1.5 : 2.0;
+  if (!all_identical) {
+    std::cerr << "FAIL: old and new formulations disagree bitwise\n";
+    return 1;
+  }
+  for (const CaseResult& c : cases) {
+    if (c.name == "many_layers_shared_yet" && c.engine == "multicore_cpu" &&
+        c.speedup() < floor) {
+      std::cerr << "FAIL: many_layers_shared_yet multicore speedup "
+                << c.speedup() << "x < " << floor << "x\n";
+      return 1;
+    }
+  }
+  std::cout << "hot-path gates passed\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/cpu_engines.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/trial_math.hpp"
 #include "parallel/parallel_for.hpp"
@@ -11,27 +12,46 @@
 
 namespace ara {
 
+namespace {
+
+// Runs the trial-major sweep for trials [range.begin, range.end),
+// writing each layer's slice of the YLT. Different ranges touch
+// disjoint YLT elements, and within one range every layer's writes are
+// contiguous — workers never share a cache line except at range
+// boundaries.
+void sweep_trials(const Yet& yet, std::span<const BoundLayer<double>> layers,
+                  parallel::Range range, Ylt& ylt) {
+  std::vector<LayerTrialState<double>> state(layers.size());
+  for (std::size_t b = range.begin; b < range.end; ++b) {
+    const auto t = static_cast<TrialId>(b);
+    simulate_trial_multilayer<double>(yet.trial(t), layers, state);
+    for (std::size_t a = 0; a < layers.size(); ++a) {
+      ylt.annual_loss(a, t) = state[a].out.annual;
+      ylt.max_occurrence_loss(a, t) = state[a].out.max_occurrence;
+    }
+  }
+}
+
+}  // namespace
+
 SimulationResult FusedSequentialEngine::run(const Portfolio& portfolio,
-                                            const Yet& yet) const {
+                                            const Yet& yet,
+                                            const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops = count_fused_algorithm_ops(portfolio, yet);
   // The fused formulation keeps its scratch in registers; only the
   // YLT write remains.
   result.ops.global_updates = result.ops.occurrence_ops ? 1 : 0;
 
   perf::Stopwatch wall;
-  const TableStore<double> tables = build_tables<double>(portfolio);
+  TableStore<double> local;
+  const TableStore<double>* tables =
+      select_tables(context.tables_f64, local, portfolio);
+  const std::vector<BoundLayer<double>> layers =
+      bind_all_layers(portfolio, *tables);
   result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
-  for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
-    const BoundLayer<double> layer = bind_layer(portfolio, tables, a);
-    for (TrialId b = 0; b < yet.trial_count(); ++b) {
-      const TrialOutcome<double> out =
-          simulate_trial_fused<double>(yet.trial(b), layer);
-      result.ylt.annual_loss(a, b) = out.annual;
-      result.ylt.max_occurrence_loss(a, b) = out.max_occurrence;
-    }
-  }
+  sweep_trials(yet, layers, {0, yet.trial_count()}, result.ylt);
   result.wall_seconds = wall.seconds();
 
   const perf::CpuCostModel model(perf::intel_i7_2600());
@@ -40,11 +60,25 @@ SimulationResult FusedSequentialEngine::run(const Portfolio& portfolio,
   return result;
 }
 
+MultiCoreEngine::~MultiCoreEngine() = default;
+
+parallel::ThreadPool& MultiCoreEngine::cached_pool() const {
+  const unsigned cores = std::max(1u, config_.cores);
+  const unsigned oversub = std::max(1u, config_.threads_per_core);
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_) {
+    pool_ = std::make_unique<parallel::ThreadPool>(
+        static_cast<std::size_t>(cores) * oversub);
+  }
+  return *pool_;
+}
+
 SimulationResult MultiCoreEngine::run(const Portfolio& portfolio,
-                                      const Yet& yet) const {
+                                      const Yet& yet,
+                                      const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops = count_fused_algorithm_ops(portfolio, yet);
   result.ops.global_updates =
       result.ops.occurrence_ops * kScratchTouchesPerEvent;
 
@@ -52,26 +86,23 @@ SimulationResult MultiCoreEngine::run(const Portfolio& portfolio,
   const unsigned oversub = std::max(1u, config_.threads_per_core);
 
   perf::Stopwatch wall;
-  const TableStore<double> tables = build_tables<double>(portfolio);
+  TableStore<double> local;
+  const TableStore<double>* tables =
+      select_tables(context.tables_f64, local, portfolio);
+  const std::vector<BoundLayer<double>> layers =
+      bind_all_layers(portfolio, *tables);
   result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
 
-  // One software thread per trial batch; cores x threads_per_core
-  // workers, as in the paper's oversubscribed OpenMP runs. (On this
-  // container the workers time-share one physical core; the simulated
-  // time below models the paper's machine.)
-  parallel::ThreadPool pool(static_cast<std::size_t>(cores) * oversub);
-  for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
-    const BoundLayer<double> layer = bind_layer(portfolio, tables, a);
-    parallel::parallel_for(pool, yet.trial_count(), [&](parallel::Range r) {
-      for (std::size_t b = r.begin; b < r.end; ++b) {
-        const TrialOutcome<double> out = simulate_trial_fused<double>(
-            yet.trial(static_cast<TrialId>(b)), layer);
-        result.ylt.annual_loss(a, static_cast<TrialId>(b)) = out.annual;
-        result.ylt.max_occurrence_loss(a, static_cast<TrialId>(b)) =
-            out.max_occurrence;
-      }
-    });
-  }
+  // One software thread per trial batch, as in the paper's
+  // oversubscribed OpenMP runs; a single trial-major wave replaces the
+  // old per-layer dispatch. (On this container the workers time-share
+  // one physical core; the simulated time below models the paper's
+  // machine.)
+  parallel::ThreadPool& pool =
+      context.pool != nullptr ? *context.pool : cached_pool();
+  parallel::parallel_for(pool, yet.trial_count(), [&](parallel::Range r) {
+    sweep_trials(yet, layers, r, result.ylt);
+  });
   result.wall_seconds = wall.seconds();
 
   const perf::CpuCostModel model(perf::intel_i7_2600());

@@ -22,4 +22,16 @@ OpCounts count_algorithm_ops(const Portfolio& portfolio, const Yet& yet) {
   return ops;
 }
 
+OpCounts count_fused_algorithm_ops(const Portfolio& portfolio,
+                                   const Yet& yet) {
+  OpCounts ops = count_algorithm_ops(portfolio, yet);
+  // The trial-major sweep reads each occurrence exactly once for all
+  // layers; every other count is per (layer, event) work that the
+  // fusion does not change.
+  if (portfolio.layer_count() > 0) {
+    ops.event_fetches = static_cast<std::uint64_t>(yet.occurrence_count());
+  }
+  return ops;
+}
+
 }  // namespace ara

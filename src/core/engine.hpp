@@ -20,6 +20,31 @@
 
 namespace ara {
 
+namespace parallel {
+class ThreadPool;
+}
+
+template <typename Real>
+struct TableStore;
+
+/// Externally owned shared resources an engine run may draw on instead
+/// of rebuilding them per call (see DESIGN.md §4). Everything is
+/// optional: a null field means "build/own it yourself", so
+/// `run(portfolio, yet)` with a default context behaves exactly like
+/// the original one-shot API. The caller keeps the referenced objects
+/// alive for the duration of the run; the tables must have been built
+/// from the same portfolio that is being analysed.
+struct EngineContext {
+  const TableStore<double>* tables_f64 = nullptr;
+  const TableStore<float>* tables_f32 = nullptr;
+
+  /// Worker pool for host-parallel engines. May be shared by
+  /// concurrent runs (the pool's barrier covers all submitted work);
+  /// must NOT be the pool the caller itself is executing on, or the
+  /// barrier deadlocks.
+  parallel::ThreadPool* pool = nullptr;
+};
+
 /// Tunables shared by the engine family. Each engine reads the knobs
 /// relevant to it and ignores the rest.
 struct EngineConfig {
@@ -61,17 +86,32 @@ class Engine {
   virtual std::string name() const = 0;
 
   /// Runs the full aggregate risk analysis of `portfolio` against
-  /// `yet`. Both inputs must index the same event catalogue.
-  virtual SimulationResult run(const Portfolio& portfolio,
-                               const Yet& yet) const = 0;
+  /// `yet`, drawing shared resources (prebuilt tables, a persistent
+  /// worker pool) from `context` where provided. Both inputs must
+  /// index the same event catalogue.
+  virtual SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                               const EngineContext& context) const = 0;
+
+  /// One-shot convenience: no shared context, every resource built and
+  /// owned by the run (the original paper-shaped API).
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet) const {
+    return run(portfolio, yet, EngineContext{});
+  }
 };
 
-/// Algorithmic operation counts of one full analysis (identical for
-/// every engine — the algorithm does the same work everywhere; only
-/// the memory placement differs). `global_updates` / `shared_accesses`
-/// are zero here; engines fill them according to where their
-/// per-event scratch lives.
+/// Algorithmic operation counts of one full analysis in the paper's
+/// layer-major formulation (identical for every such engine — the
+/// algorithm does the same work everywhere; only the memory placement
+/// differs). `global_updates` / `shared_accesses` are zero here;
+/// engines fill them according to where their per-event scratch lives.
 OpCounts count_algorithm_ops(const Portfolio& portfolio, const Yet& yet);
+
+/// Operation counts of the trial-major fused sweep: the same algorithm
+/// (identical lookups, financial/occurrence/aggregate applications per
+/// layer) but the YET is streamed once for all layers, so
+/// `event_fetches` is the occurrence count instead of occurrences x
+/// layers. Equal to `count_algorithm_ops` on single-layer portfolios.
+OpCounts count_fused_algorithm_ops(const Portfolio& portfolio, const Yet& yet);
 
 /// Scratch traffic of Algorithm 1 per (layer, event) pair: write lx,
 /// read-modify-write lox in the financial step, then the occurrence

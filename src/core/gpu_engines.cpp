@@ -50,12 +50,25 @@ OpCounts range_ops(const Portfolio& p, const Yet& yet,
   return ops;
 }
 
+OpCounts range_fused_ops(const Portfolio& p, const Yet& yet,
+                         std::size_t trial_begin, std::size_t trial_end) {
+  OpCounts ops = range_ops(p, yet, trial_begin, trial_end);
+  if (p.layer_count() > 0) {
+    ops.event_fetches =
+        yet.offsets()[trial_end] - yet.offsets()[trial_begin];
+  }
+  return ops;
+}
+
 namespace {
 
-// Runs the optimised kernel for trials [begin, end) of every layer on
-// `dev`, writing into the global YLT. Functionally the kernel stages
-// chunk_size events at a time (the paper's chunking), then performs
-// the fused term math; results are identical to simulate_trial_fused.
+// Runs the optimised kernel for trials [begin, end) on `dev`, writing
+// into the global YLT. One fused multi-layer launch per device: the
+// kernel stages chunk_size events at a time (the paper's chunking),
+// then performs the fused term math for *every* layer on the staged
+// events before loading the next chunk — the YET slice crosses the
+// memory system once instead of once per layer. Per-layer results are
+// identical to simulate_trial_fused (same operand order).
 template <typename Real>
 void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
                              const Yet& yet, const TableStore<Real>& tables,
@@ -92,7 +105,7 @@ void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
                    : 0;
   launch.regs_per_thread = cfg.use_registers ? 63 : 32;
 
-  OpCounts ops = range_ops(p, yet, begin, end);
+  OpCounts ops = range_fused_ops(p, yet, begin, end);
   const std::uint64_t scratch =
       ops.occurrence_ops * kScratchTouchesPerEvent;
   if (traits.scratch_in_global) {
@@ -101,52 +114,46 @@ void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
     ops.shared_accesses = scratch;
   }
 
+  const std::vector<BoundLayer<Real>> layers = bind_all_layers(p, tables);
+  // Per-layer running state; SimDevice executes the functor thread by
+  // thread on this host thread, so one buffer serves the whole launch.
+  std::vector<LayerTrialState<Real>> state(layers.size());
+
   // The functional staging buffer is 512 entries; clamp the chunk so a
   // stage is always written before it is consumed.
   const unsigned chunk = std::clamp(cfg.chunk_size, 1u, 512u);
-  for (std::size_t a = 0; a < p.layer_count(); ++a) {
-    const BoundLayer<Real> layer = bind_layer(p, tables, a);
-    dev.launch(
-        "ara_optimized_layer" + std::to_string(a), launch, traits, ops,
-        [&](const simgpu::SimDevice::ThreadCtx& ctx) {
-          if (ctx.global_id() >= trials) return;  // guard threads past range
-          const TrialId t = static_cast<TrialId>(begin + ctx.global_id());
-          const auto trial = yet.trial(t);
+  dev.launch(
+      "ara_optimized_multilayer", launch, traits, ops,
+      [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+        if (ctx.global_id() >= trials) return;  // guard threads past range
+        const TrialId t = static_cast<TrialId>(begin + ctx.global_id());
+        const auto trial = yet.trial(t);
 
-          // Chunked processing: stage `chunk` occurrences, then apply
-          // the fused financial/occurrence/aggregate math. State that
-          // survives across chunks is exactly what the real kernel
-          // keeps in registers.
-          Real cumulative = Real(0), prev_capped = Real(0);
-          Real annual = Real(0), max_occ = Real(0);
-          std::array<EventId, 512> stage;  // shared-memory stand-in
-          const std::size_t k = trial.size();
-          for (std::size_t base = 0; base < k; base += chunk) {
-            const std::size_t n = std::min<std::size_t>(chunk, k - base);
-            for (std::size_t i = 0; i < n; ++i) {
-              stage[i % stage.size()] = trial[base + i].event;
-            }
-            for (std::size_t i = 0; i < n; ++i) {
-              const EventId ev = stage[i % stage.size()];
-              Real combined = Real(0);
-              for (std::size_t j = 0; j < layer.elt_count(); ++j) {
-                combined += apply_financial_terms(layer.tables[j]->at(ev),
-                                                  layer.terms[j]);
-              }
-              const Real occ_loss =
-                  apply_occurrence_terms(combined, layer.layer_terms);
-              if (occ_loss > max_occ) max_occ = occ_loss;
-              cumulative += occ_loss;
-              const Real capped =
-                  apply_aggregate_terms(cumulative, layer.layer_terms);
-              annual += capped - prev_capped;
-              prev_capped = capped;
+        // Chunked processing: stage `chunk` occurrences once, then
+        // apply the fused financial/occurrence/aggregate math for
+        // every layer. State that survives across chunks is exactly
+        // what the real kernel keeps in registers, per layer.
+        for (auto& s : state) s = LayerTrialState<Real>{};
+        std::array<EventId, 512> stage;  // shared-memory stand-in
+        const std::size_t k = trial.size();
+        for (std::size_t base = 0; base < k; base += chunk) {
+          const std::size_t n = std::min<std::size_t>(chunk, k - base);
+          for (std::size_t i = 0; i < n; ++i) {
+            stage[i % stage.size()] = trial[base + i].event;
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            const EventId ev = stage[i % stage.size()];
+            for (std::size_t a = 0; a < layers.size(); ++a) {
+              apply_event_to_layer(ev, layers[a], state[a]);
             }
           }
-          out.annual_loss(a, t) = static_cast<double>(annual);
-          out.max_occurrence_loss(a, t) = static_cast<double>(max_occ);
-        });
-  }
+        }
+        for (std::size_t a = 0; a < layers.size(); ++a) {
+          out.annual_loss(a, t) = static_cast<double>(state[a].out.annual);
+          out.max_occurrence_loss(a, t) =
+              static_cast<double>(state[a].out.max_occurrence);
+        }
+      });
 
   // Device -> host: the YLT slice.
   dev.copy(static_cast<std::uint64_t>(p.layer_count()) * trials * loss_bytes);
@@ -165,17 +172,20 @@ std::size_t optimized_shared_bytes(unsigned block_threads,
 }
 
 SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
-                                     const Yet& yet) const {
+                                     const Yet& yet,
+                                     const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops = count_fused_algorithm_ops(portfolio, yet);
   result.ops.global_updates =
       result.ops.occurrence_ops * kScratchTouchesPerEvent;
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
-  const TableStore<double> tables = build_tables<double>(portfolio);
+  TableStore<double> local;
+  const TableStore<double>& tables =
+      *select_tables(context.tables_f64, local, portfolio);
   result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
 
   dev.alloc(tables_device_bytes(portfolio, 8));
@@ -199,22 +209,26 @@ SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
       config_.block_threads);
   launch.regs_per_thread = 20;
 
-  OpCounts launch_ops = range_ops(portfolio, yet, 0, yet.trial_count());
+  OpCounts launch_ops = range_fused_ops(portfolio, yet, 0, yet.trial_count());
   launch_ops.global_updates =
       launch_ops.occurrence_ops * kScratchTouchesPerEvent;
 
-  for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
-    const BoundLayer<double> layer = bind_layer(portfolio, tables, a);
-    dev.launch("ara_basic_layer" + std::to_string(a), launch, traits,
-               launch_ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
-                 if (ctx.global_id() >= yet.trial_count()) return;
-                 const auto t = static_cast<TrialId>(ctx.global_id());
-                 const TrialOutcome<double> out =
-                     simulate_trial_fused<double>(yet.trial(t), layer);
-                 result.ylt.annual_loss(a, t) = out.annual;
-                 result.ylt.max_occurrence_loss(a, t) = out.max_occurrence;
-               });
-  }
+  // One fused launch: each thread walks its trial once, updating every
+  // layer's accumulators from the single YET read.
+  const std::vector<BoundLayer<double>> layers =
+      bind_all_layers(portfolio, tables);
+  std::vector<LayerTrialState<double>> state(layers.size());
+  dev.launch("ara_basic_multilayer", launch, traits, launch_ops,
+             [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+               if (ctx.global_id() >= yet.trial_count()) return;
+               const auto t = static_cast<TrialId>(ctx.global_id());
+               simulate_trial_multilayer<double>(yet.trial(t), layers, state);
+               for (std::size_t a = 0; a < layers.size(); ++a) {
+                 result.ylt.annual_loss(a, t) = state[a].out.annual;
+                 result.ylt.max_occurrence_loss(a, t) =
+                     state[a].out.max_occurrence;
+               }
+             });
   dev.copy(static_cast<std::uint64_t>(portfolio.layer_count()) *
            yet.trial_count() * 8);
 
@@ -226,21 +240,26 @@ SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
 }
 
 SimulationResult GpuOptimizedEngine::run(const Portfolio& portfolio,
-                                         const Yet& yet) const {
+                                         const Yet& yet,
+                                         const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops = count_fused_algorithm_ops(portfolio, yet);
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
   result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
   if (config_.use_float) {
-    const TableStore<float> tables = build_tables<float>(portfolio);
+    TableStore<float> local;
+    const TableStore<float>& tables =
+        *select_tables(context.tables_f32, local, portfolio);
     run_optimized_on_device<float>(dev, portfolio, yet, tables, config_, 0,
                                    yet.trial_count(), result.ylt);
   } else {
-    const TableStore<double> tables = build_tables<double>(portfolio);
+    TableStore<double> local;
+    const TableStore<double>& tables =
+        *select_tables(context.tables_f64, local, portfolio);
     run_optimized_on_device<double>(dev, portfolio, yet, tables, config_, 0,
                                     yet.trial_count(), result.ylt);
   }
@@ -251,8 +270,14 @@ SimulationResult GpuOptimizedEngine::run(const Portfolio& portfolio,
   return result;
 }
 
-SimulationResult GpuCombinedTableEngine::run(const Portfolio& portfolio,
-                                             const Yet& yet) const {
+SimulationResult GpuCombinedTableEngine::run(
+    const Portfolio& portfolio, const Yet& yet,
+    const EngineContext& /*context*/) const {
+  // Deliberately layer-major: this engine reproduces the paper's
+  // *rejected* combined-table formulation, whose per-layer row tables
+  // and cooperative loads are the point of comparison. It does not
+  // take the trial-major fusion (or the session's per-ELT table
+  // cache — it builds combined per-layer tables of its own).
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
@@ -353,11 +378,12 @@ SimulationResult GpuCombinedTableEngine::run(const Portfolio& portfolio,
 }
 
 SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
-                                        const Yet& yet) const {
+                                        const Yet& yet,
+                                        const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops = count_fused_algorithm_ops(portfolio, yet);
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
@@ -384,10 +410,23 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
       static_cast<double>(budget) * 0.75 / bytes_per_trial);
   batch_trials = std::max<std::size_t>(1, batch_trials);
 
-  const TableStore<float> tables_f =
-      config_.use_float ? build_tables<float>(portfolio) : TableStore<float>{};
-  const TableStore<double> tables_d =
-      config_.use_float ? TableStore<double>{} : build_tables<double>(portfolio);
+  TableStore<float> local_f;
+  TableStore<double> local_d;
+  const TableStore<float>* tables_f =
+      config_.use_float ? select_tables(context.tables_f32, local_f, portfolio)
+                        : nullptr;
+  const TableStore<double>* tables_d =
+      config_.use_float ? nullptr
+                        : select_tables(context.tables_f64, local_d, portfolio);
+
+  const std::vector<BoundLayer<float>> layers_f =
+      tables_f ? bind_all_layers(portfolio, *tables_f)
+               : std::vector<BoundLayer<float>>{};
+  const std::vector<BoundLayer<double>> layers_d =
+      tables_d ? bind_all_layers(portfolio, *tables_d)
+               : std::vector<BoundLayer<double>>{};
+  std::vector<LayerTrialState<float>> state_f(layers_f.size());
+  std::vector<LayerTrialState<double>> state_d(layers_d.size());
 
   for (std::size_t begin = 0; begin < yet.trial_count();
        begin += batch_trials) {
@@ -401,7 +440,8 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
     dev.alloc(ylt_bytes);
     dev.copy(yet_bytes);
 
-    // Run the optimised kernel on this batch (tables are resident).
+    // Run the fused multi-layer kernel on this batch (tables are
+    // resident).
     simgpu::KernelTraits traits;
     traits.loss_bytes = loss_bytes;
     traits.chunked = config_.chunking;
@@ -420,39 +460,37 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
             ? optimized_shared_bytes(config_.block_threads, config_.chunk_size)
             : 0;
     launch.regs_per_thread = config_.use_registers ? 63 : 32;
-    const OpCounts ops = range_ops(portfolio, yet, begin, end);
+    const OpCounts ops = range_fused_ops(portfolio, yet, begin, end);
 
     if (config_.use_float) {
-      for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
-        const BoundLayer<float> layer = bind_layer(portfolio, tables_f, a);
-        dev.launch("ara_streamed_layer" + std::to_string(a), launch, traits,
-                   ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
-                     if (ctx.global_id() >= end - begin) return;
-                     const auto t =
-                         static_cast<TrialId>(begin + ctx.global_id());
-                     const TrialOutcome<float> out =
-                         simulate_trial_fused<float>(yet.trial(t), layer);
+      dev.launch("ara_streamed_multilayer", launch, traits, ops,
+                 [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+                   if (ctx.global_id() >= end - begin) return;
+                   const auto t =
+                       static_cast<TrialId>(begin + ctx.global_id());
+                   simulate_trial_multilayer<float>(yet.trial(t), layers_f,
+                                                    state_f);
+                   for (std::size_t a = 0; a < layers_f.size(); ++a) {
                      result.ylt.annual_loss(a, t) =
-                         static_cast<double>(out.annual);
+                         static_cast<double>(state_f[a].out.annual);
                      result.ylt.max_occurrence_loss(a, t) =
-                         static_cast<double>(out.max_occurrence);
-                   });
-      }
+                         static_cast<double>(state_f[a].out.max_occurrence);
+                   }
+                 });
     } else {
-      for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
-        const BoundLayer<double> layer = bind_layer(portfolio, tables_d, a);
-        dev.launch("ara_streamed_layer" + std::to_string(a), launch, traits,
-                   ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
-                     if (ctx.global_id() >= end - begin) return;
-                     const auto t =
-                         static_cast<TrialId>(begin + ctx.global_id());
-                     const TrialOutcome<double> out =
-                         simulate_trial_fused<double>(yet.trial(t), layer);
-                     result.ylt.annual_loss(a, t) = out.annual;
+      dev.launch("ara_streamed_multilayer", launch, traits, ops,
+                 [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+                   if (ctx.global_id() >= end - begin) return;
+                   const auto t =
+                       static_cast<TrialId>(begin + ctx.global_id());
+                   simulate_trial_multilayer<double>(yet.trial(t), layers_d,
+                                                     state_d);
+                   for (std::size_t a = 0; a < layers_d.size(); ++a) {
+                     result.ylt.annual_loss(a, t) = state_d[a].out.annual;
                      result.ylt.max_occurrence_loss(a, t) =
-                         out.max_occurrence;
-                   });
-      }
+                         state_d[a].out.max_occurrence;
+                   }
+                 });
     }
 
     dev.copy(ylt_bytes);   // results back
@@ -506,12 +544,13 @@ HeterogeneousMultiGpuEngine::HeterogeneousMultiGpuEngine(
   for (double& w : weights_) w /= total;
 }
 
-SimulationResult HeterogeneousMultiGpuEngine::run(const Portfolio& portfolio,
-                                                  const Yet& yet) const {
+SimulationResult HeterogeneousMultiGpuEngine::run(
+    const Portfolio& portfolio, const Yet& yet,
+    const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
   result.devices = static_cast<unsigned>(devices_.size());
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops = count_fused_algorithm_ops(portfolio, yet);
 
   perf::Stopwatch wall;
   simgpu::SimPlatform platform(devices_);
@@ -533,14 +572,18 @@ SimulationResult HeterogeneousMultiGpuEngine::run(const Portfolio& portfolio,
   }
 
   if (config_.use_float) {
-    const TableStore<float> tables = build_tables<float>(portfolio);
+    TableStore<float> local;
+    const TableStore<float>& tables =
+        *select_tables(context.tables_f32, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<float>(platform.device(d), portfolio, yet,
                                      tables, config_, ranges[d].begin,
                                      ranges[d].end, result.ylt);
     });
   } else {
-    const TableStore<double> tables = build_tables<double>(portfolio);
+    TableStore<double> local;
+    const TableStore<double>& tables =
+        *select_tables(context.tables_f64, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<double>(platform.device(d), portfolio, yet,
                                       tables, config_, ranges[d].begin,
@@ -561,11 +604,12 @@ SimulationResult HeterogeneousMultiGpuEngine::run(const Portfolio& portfolio,
 }
 
 SimulationResult MultiGpuEngine::run(const Portfolio& portfolio,
-                                     const Yet& yet) const {
+                                     const Yet& yet,
+                                     const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
   result.devices = static_cast<unsigned>(device_count_);
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.ops = count_fused_algorithm_ops(portfolio, yet);
 
   perf::Stopwatch wall;
   simgpu::SimPlatform platform(device_, device_count_);
@@ -574,18 +618,23 @@ SimulationResult MultiGpuEngine::run(const Portfolio& portfolio,
   const auto ranges =
       parallel::split_even(yet.trial_count(), device_count_);
 
-  // Tables are built once on the host and shipped to every device; the
-  // YET is sliced. One host thread drives one GPU (the paper's
-  // dispatch scheme), realised by SimPlatform::for_each_device.
+  // Tables are built once on the host (or borrowed from the session's
+  // cache) and shipped to every device; the YET is sliced. One host
+  // thread drives one GPU (the paper's dispatch scheme), realised by
+  // SimPlatform::for_each_device.
   if (config_.use_float) {
-    const TableStore<float> tables = build_tables<float>(portfolio);
+    TableStore<float> local;
+    const TableStore<float>& tables =
+        *select_tables(context.tables_f32, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<float>(platform.device(d), portfolio, yet,
                                      tables, config_, ranges[d].begin,
                                      ranges[d].end, result.ylt);
     });
   } else {
-    const TableStore<double> tables = build_tables<double>(portfolio);
+    TableStore<double> local;
+    const TableStore<double>& tables =
+        *select_tables(context.tables_f64, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<double>(platform.device(d), portfolio, yet,
                                       tables, config_, ranges[d].begin,

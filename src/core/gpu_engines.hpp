@@ -12,6 +12,13 @@
 //    toggleable through EngineConfig for the ablation benchmark.
 //  * MultiGpuEngine — the optimised kernel with the trial range
 //    decomposed evenly across N devices, one host thread per device.
+//
+// The basic, optimised, streamed and multi-GPU kernels are trial-major
+// fused (DESIGN.md §4): one launch covers every layer, with each
+// thread updating all layers' accumulators from a single walk of its
+// trial — so the YET slice crosses the device memory system once, not
+// once per layer. Only GpuCombinedTableEngine keeps the per-layer
+// launches of the paper's rejected combined-table formulation.
 #pragma once
 
 #include <cstddef>
@@ -28,8 +35,9 @@ class GpuBasicEngine final : public Engine {
 
   std::string name() const override { return "gpu_basic"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
  private:
   simgpu::DeviceSpec device_;
@@ -43,8 +51,9 @@ class GpuOptimizedEngine final : public Engine {
 
   std::string name() const override { return "gpu_optimized"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
  private:
   simgpu::DeviceSpec device_;
@@ -61,8 +70,9 @@ class MultiGpuEngine final : public Engine {
 
   std::string name() const override { return "multi_gpu_optimized"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
   std::size_t device_count() const noexcept { return device_count_; }
 
@@ -88,8 +98,9 @@ class GpuCombinedTableEngine final : public Engine {
 
   std::string name() const override { return "gpu_combined_table"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
  private:
   simgpu::DeviceSpec device_;
@@ -110,8 +121,9 @@ class StreamedGpuEngine final : public Engine {
 
   std::string name() const override { return "gpu_streamed"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
   /// Number of batches the given workload needs on this device
   /// (diagnostics/tests).
@@ -134,8 +146,9 @@ class HeterogeneousMultiGpuEngine final : public Engine {
 
   std::string name() const override { return "hetero_multi_gpu"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
   /// Relative throughput weights used for the trial split (normalised
   /// to sum to 1; exposed for tests).
@@ -165,8 +178,14 @@ std::uint64_t yet_device_bytes(const Yet& yet, std::size_t trial_begin,
 std::uint64_t tables_device_bytes(const Portfolio& p, unsigned loss_bytes);
 
 /// Operation counts of a contiguous trial range (one device's share of
-/// the algorithm's work).
+/// the algorithm's work) in the layer-major formulation.
 OpCounts range_ops(const Portfolio& p, const Yet& yet,
                    std::size_t trial_begin, std::size_t trial_end);
+
+/// Trial-major variant of `range_ops`: the range's occurrences are
+/// fetched once for all layers (one fused multi-layer launch instead
+/// of one launch per layer); all other counts are unchanged.
+OpCounts range_fused_ops(const Portfolio& p, const Yet& yet,
+                         std::size_t trial_begin, std::size_t trial_end);
 
 }  // namespace ara

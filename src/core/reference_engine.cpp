@@ -11,7 +11,8 @@
 namespace ara {
 
 SimulationResult ReferenceEngine::run(const Portfolio& portfolio,
-                                      const Yet& yet) const {
+                                      const Yet& yet,
+                                      const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
   result.ops = count_algorithm_ops(portfolio, yet);
@@ -19,7 +20,9 @@ SimulationResult ReferenceEngine::run(const Portfolio& portfolio,
                               kScratchTouchesPerEvent;
 
   perf::Stopwatch wall;
-  const TableStore<double> tables = build_tables<double>(portfolio);
+  TableStore<double> local;
+  const TableStore<double>& tables =
+      *select_tables(context.tables_f64, local, portfolio);
   result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
 
   // Per-trial scratch arrays, sized to the largest trial: x (ground-up

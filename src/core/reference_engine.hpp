@@ -14,8 +14,9 @@ class ReferenceEngine final : public Engine {
 
   std::string name() const override { return "sequential_reference"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
  private:
   EngineConfig config_;

@@ -39,7 +39,12 @@ std::string engine_cache_key(EngineKind kind, const EngineConfig& c,
 
 double predict_cpu(const Portfolio& portfolio, const Yet& yet,
                    const EngineConfig& cfg, EngineKind kind) {
-  OpCounts ops = count_algorithm_ops(portfolio, yet);
+  // The fused engines run the trial-major sweep (YET streamed once for
+  // all layers); only the literal reference implementation re-fetches
+  // the YET per layer.
+  OpCounts ops = kind == EngineKind::kSequentialReference
+                     ? count_algorithm_ops(portfolio, yet)
+                     : count_fused_algorithm_ops(portfolio, yet);
   if (kind == EngineKind::kSequentialFused) {
     ops.global_updates = ops.occurrence_ops ? 1 : 0;
   } else {
@@ -78,7 +83,7 @@ EnginePrediction predict_gpu_basic(const Portfolio& portfolio, const Yet& yet,
       (trials + cfg.block_threads - 1) / cfg.block_threads);
   launch.regs_per_thread = 20;
 
-  OpCounts ops = range_ops(portfolio, yet, 0, trials);
+  OpCounts ops = range_fused_ops(portfolio, yet, 0, trials);
   ops.global_updates = ops.occurrence_ops * kScratchTouchesPerEvent;
 
   const simgpu::GpuCostModel model(device);
@@ -88,9 +93,9 @@ EnginePrediction predict_gpu_basic(const Portfolio& portfolio, const Yet& yet,
     p.note = cost.infeasible_reason;
     return p;
   }
-  // One launch per layer, each charged the full range (gpu_engines.cpp).
-  p.seconds =
-      cost.phases.total() * static_cast<double>(portfolio.layer_count());
+  // One fused multi-layer launch charged the full range
+  // (gpu_engines.cpp).
+  p.seconds = cost.phases.total();
   return p;
 }
 
@@ -118,7 +123,7 @@ simgpu::KernelCost optimized_range_cost(const Portfolio& portfolio,
                    : 0;
   launch.regs_per_thread = cfg.use_registers ? 63 : 32;
 
-  OpCounts ops = range_ops(portfolio, yet, begin, end);
+  OpCounts ops = range_fused_ops(portfolio, yet, begin, end);
   const std::uint64_t scratch = ops.occurrence_ops * kScratchTouchesPerEvent;
   if (traits.scratch_in_global) {
     ops.global_updates = scratch;
@@ -152,8 +157,7 @@ EnginePrediction predict_gpu_optimized(const Portfolio& portfolio,
     p.note = cost.infeasible_reason;
     return p;
   }
-  p.seconds =
-      cost.phases.total() * static_cast<double>(portfolio.layer_count());
+  p.seconds = cost.phases.total();
   return p;
 }
 
@@ -191,9 +195,7 @@ EnginePrediction predict_multi_gpu(const Portfolio& portfolio, const Yet& yet,
       p.note = cost.infeasible_reason;
       return p;
     }
-    slowest = std::max(
-        slowest,
-        cost.phases.total() * static_cast<double>(portfolio.layer_count()));
+    slowest = std::max(slowest, cost.phases.total());
   }
   // Devices run concurrently; the platform finishes with the slowest.
   p.seconds = slowest;
@@ -215,6 +217,108 @@ parallel::ThreadPool& AnalysisSession::batch_pool() {
   std::lock_guard<std::mutex> lock(pool_mutex_);
   if (!pool_) pool_ = std::make_unique<parallel::ThreadPool>(workers_);
   return *pool_;
+}
+
+parallel::ThreadPool& AnalysisSession::compute_pool() {
+  // Separate from the batch dispatch pool: a request executing on a
+  // dispatch worker barriers on this pool (parallel_for), and a
+  // barrier on the pool the caller occupies would deadlock. Shared by
+  // concurrent requests; engine results do not depend on partitioning.
+  std::lock_guard<std::mutex> lock(compute_pool_mutex_);
+  if (!compute_pool_) {
+    compute_pool_ = std::make_unique<parallel::ThreadPool>(workers_);
+  }
+  return *compute_pool_;
+}
+
+EngineContext AnalysisSession::context_for(const Portfolio& portfolio,
+                                           EngineKind kind,
+                                           const EngineConfig& cfg,
+                                           TablePins& pins) {
+  // Which table precision the engine will bind (gpu_engines.cpp /
+  // cpu_engines.cpp): only the optimised GPU kinds honour use_float.
+  const bool wants_float =
+      (kind == EngineKind::kGpuOptimized || kind == EngineKind::kMultiGpu) &&
+      cfg.use_float;
+
+  const std::size_t layers = portfolio.layer_count();
+  const std::size_t elts = portfolio.elt_count();
+  const void* elts_data = static_cast<const void*>(portfolio.elts().data());
+
+  const auto cache_lookup = [&]() -> std::shared_ptr<void> {
+    std::lock_guard<std::mutex> lock(tables_mutex_);
+    const auto it = tables_.find(&portfolio);
+    if (it == tables_.end()) return nullptr;
+    PortfolioTables& entry = it->second;
+    if (entry.layer_count != layers || entry.elt_count != elts ||
+        entry.elts_data != elts_data) {
+      // Address reuse: a different portfolio now lives where the
+      // cached one did. Drop the stale entry and rebuild below.
+      tables_.erase(it);
+      return nullptr;
+    }
+    return wants_float ? std::shared_ptr<void>(entry.f32)
+                       : std::shared_ptr<void>(entry.f64);
+  };
+
+  std::shared_ptr<void> cached = cache_lookup();
+  if (!cached) {
+    // Build outside the lock: concurrent requests against *different*
+    // portfolios must not queue behind one expensive dense-table
+    // build. A same-portfolio race builds twice; first insert wins.
+    std::shared_ptr<void> built;
+    if (wants_float) {
+      built = std::make_shared<TableStore<float>>(
+          build_tables<float>(portfolio));
+    } else {
+      built = std::make_shared<TableStore<double>>(
+          build_tables<double>(portfolio));
+    }
+    std::lock_guard<std::mutex> lock(tables_mutex_);
+    PortfolioTables& entry = tables_[&portfolio];
+    if (entry.layer_count != layers || entry.elt_count != elts ||
+        entry.elts_data != elts_data) {
+      entry = PortfolioTables{};
+      entry.layer_count = layers;
+      entry.elt_count = elts;
+      entry.elts_data = elts_data;
+    }
+    if (wants_float) {
+      if (!entry.f32) {
+        entry.f32 = std::static_pointer_cast<TableStore<float>>(built);
+      }
+      cached = entry.f32;
+    } else {
+      if (!entry.f64) {
+        entry.f64 = std::static_pointer_cast<TableStore<double>>(built);
+      }
+      cached = entry.f64;
+    }
+  }
+
+  EngineContext ctx;
+  if (wants_float) {
+    pins.f32 = std::static_pointer_cast<TableStore<float>>(cached);
+    ctx.tables_f32 = pins.f32.get();
+  } else {
+    pins.f64 = std::static_pointer_cast<TableStore<double>>(cached);
+    ctx.tables_f64 = pins.f64.get();
+  }
+  // Only the multi-core engine reads the context pool; attaching it
+  // unconditionally would spawn a workers_-sized pool that sequential
+  // and GPU-kind sessions never use.
+  if (kind == EngineKind::kMultiCore) ctx.pool = &compute_pool();
+  return ctx;
+}
+
+void AnalysisSession::invalidate_tables(const Portfolio& portfolio) {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  tables_.erase(&portfolio);
+}
+
+std::size_t AnalysisSession::cached_table_portfolios() const {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  return tables_.size();
 }
 
 std::vector<EnginePrediction> AnalysisSession::predict(
@@ -309,9 +413,16 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
 
   if (request.secondary_uncertainty) {
     // The extension is itself an Engine with a single implementation;
-    // it replaces the policy's engine choice.
+    // it replaces the policy's engine choice. It still draws the
+    // session's cached double-precision tables.
     const ext::SecondaryUncertaintyEngine engine(*request.secondary_uncertainty);
-    result.simulation = engine.run(portfolio, yet);
+    TablePins pins;
+    result.simulation =
+        engine.run(portfolio, yet,
+                   context_for(portfolio, EngineKind::kSequentialFused,
+                               resolved_config(policy,
+                                               EngineKind::kSequentialFused),
+                               pins));
   } else if (request.core_simulation) {
     EngineKind kind;
     if (policy.engine) {
@@ -323,7 +434,10 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
       result.predicted_seconds = best.seconds;
     }
     result.engine = kind;
-    result.simulation = engine_for(kind, policy).run(portfolio, yet);
+    const EngineConfig cfg = resolved_config(policy, kind);
+    TablePins pins;
+    result.simulation = engine_for(kind, policy).run(
+        portfolio, yet, context_for(portfolio, kind, cfg, pins));
   }
 
   // Metric passes need a YLT, which only a simulation produces.
@@ -341,7 +455,16 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
   if (!request.reinstatement_terms.empty()) {
     const ext::ReinstatementEngine engine(portfolio,
                                           request.reinstatement_terms);
-    result.reinstatements = engine.run(yet);
+    // The reinstatement pass draws the session's cached
+    // double-precision tables like the core engines do.
+    TablePins pins;
+    result.reinstatements =
+        engine.run(yet,
+                   context_for(portfolio, EngineKind::kSequentialFused,
+                               resolved_config(policy,
+                                               EngineKind::kSequentialFused),
+                               pins)
+                       .tables_f64);
   }
   return result;
 }

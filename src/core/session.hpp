@@ -4,12 +4,18 @@
 // The paper's engines expose one shape of work — a single synchronous
 // Engine::run(portfolio, yet). A production service prices many
 // analyses against a shared pre-simulated YET, picks an engine per
-// workload, and amortises engine construction and dispatch threads
-// across calls. The session owns exactly that shared state:
+// workload, and amortises engine construction, loss-table builds and
+// dispatch threads across calls. The session owns exactly that shared
+// state:
 //
 //   * a default ExecutionPolicy (per-request overridable),
 //   * a cache of constructed engines, keyed by kind + configuration,
-//   * a dispatch thread pool for run_batch,
+//   * a cache of built TableStores, keyed by portfolio identity +
+//     precision, so a batch of requests against one portfolio binds
+//     the direct-access tables exactly once (DESIGN.md §4),
+//   * a persistent compute thread pool handed to engines through
+//     EngineContext (distinct from the run_batch dispatch pool — an
+//     engine running *on* the dispatch pool must not barrier on it),
 //   * the cost models, used by ExecutionPolicy::kAuto to predict the
 //     simulated cost of every engine kind on the concrete workload
 //     and run the cheapest feasible one.
@@ -30,6 +36,7 @@
 #include "core/engine_factory.hpp"
 #include "core/metrics/portfolio_rollup.hpp"
 #include "core/metrics/risk_measures.hpp"
+#include "core/trial_math.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ara {
@@ -111,18 +118,70 @@ class AnalysisSession {
     return choose_engine(portfolio, yet, default_policy_);
   }
 
+  /// Drops the cached TableStores of `portfolio` (call when the
+  /// portfolio is about to be destroyed or mutated out from under the
+  /// session). Cached tables are keyed by the portfolio's address —
+  /// the same identity AnalysisRequest already relies on — so the
+  /// caller must keep a portfolio alive while the session may serve
+  /// requests against it, or invalidate it here first. Safe to call
+  /// while requests against the portfolio are in flight: each run
+  /// pins its tables for the duration, so only the cache entry is
+  /// dropped (the next request rebuilds). The cache has no automatic
+  /// eviction — a long-lived session streaming many short-lived
+  /// portfolios must invalidate each as it retires it, or the dense
+  /// tables (O(catalogue) per distinct ELT) accumulate.
+  void invalidate_tables(const Portfolio& portfolio);
+
+  /// Number of portfolios with cached tables (diagnostics/tests).
+  std::size_t cached_table_portfolios() const;
+
  private:
+  /// Both-precision table bundle of one portfolio; entries built on
+  /// first use per precision. shared_ptr so an in-flight run keeps its
+  /// tables alive even if `invalidate_tables` drops the cache entry
+  /// mid-run. The fingerprint is a cheap structural check against the
+  /// address-reuse hazard of keying by `const Portfolio*`: a new
+  /// portfolio allocated at a recycled address almost always differs
+  /// in shape or ELT storage, turning a silent stale hit into a
+  /// rebuild.
+  struct PortfolioTables {
+    std::shared_ptr<TableStore<double>> f64;
+    std::shared_ptr<TableStore<float>> f32;
+    std::size_t layer_count = 0;
+    std::size_t elt_count = 0;
+    const void* elts_data = nullptr;
+  };
+
+  /// Keeps a run's table stores alive for the duration of the
+  /// simulation, independent of the cache entry's lifetime.
+  struct TablePins {
+    std::shared_ptr<TableStore<double>> f64;
+    std::shared_ptr<TableStore<float>> f32;
+  };
+
   const Engine& engine_for(EngineKind kind, const ExecutionPolicy& policy);
   AnalysisResult run_resolved(const AnalysisRequest& request,
                               const ExecutionPolicy& policy);
   parallel::ThreadPool& batch_pool();
+  parallel::ThreadPool& compute_pool();
+
+  /// The cached EngineContext for running `kind` (with `cfg`) against
+  /// `portfolio`: the right-precision TableStore (built on first use)
+  /// plus the persistent compute pool. `pins` must outlive the engine
+  /// run that uses the returned context.
+  EngineContext context_for(const Portfolio& portfolio, EngineKind kind,
+                            const EngineConfig& cfg, TablePins& pins);
 
   ExecutionPolicy default_policy_;
   std::size_t workers_;
   std::mutex pool_mutex_;
   std::unique_ptr<parallel::ThreadPool> pool_;  ///< built on first run_batch
+  std::mutex compute_pool_mutex_;
+  std::unique_ptr<parallel::ThreadPool> compute_pool_;  ///< handed to engines
   std::mutex cache_mutex_;
   std::unordered_map<std::string, std::unique_ptr<Engine>> engines_;
+  mutable std::mutex tables_mutex_;
+  std::unordered_map<const Portfolio*, PortfolioTables> tables_;
 };
 
 }  // namespace ara

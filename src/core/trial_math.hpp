@@ -7,11 +7,21 @@
 // per trial, which is what the optimised GPU kernel holds in
 // registers.
 //
+// `simulate_trial_multilayer` is the trial-major formulation on top of
+// the fused one: a single pass over the trial's occurrences updates
+// the running state of *every* bound layer, so the YET (by far the
+// largest input) is streamed once per trial instead of once per
+// (layer, trial), and all of an event id's table lookups across layers
+// happen while the occurrence is hot in cache. Each layer's operand
+// sequence is exactly the one `simulate_trial_fused` executes, so the
+// two formulations are bitwise identical per layer (property-tested).
+//
 // Templated on the loss precision: the optimised GPU engine
 // instantiates float (the paper's "reducing the precision of
 // variables" optimisation); everything else uses double.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -43,24 +53,63 @@ struct BoundLayer {
   std::size_t elt_count() const noexcept { return tables.size(); }
 };
 
-/// Builds per-layer direct access tables in precision `Real`. The
-/// returned storage owns the tables; `bind_layer` views into it.
+/// Direct access tables for a portfolio in precision `Real`. Layers
+/// may share ELTs (the paper's portfolios do), so the store owns one
+/// table per *distinct* referenced ELT and `per_layer` holds views:
+/// building a book of 30 layers over a shared 40-ELT pool constructs
+/// 40 dense tables, not up to 900. `tables` is sized exactly once, so
+/// the `per_layer` pointers stay valid for the store's lifetime and
+/// survive moves (vector storage is stable under move) — the store is
+/// cheap to move into a session-level cache.
 template <typename Real>
 struct TableStore {
-  std::vector<std::vector<DirectAccessTable<Real>>> per_layer;
+  std::vector<DirectAccessTable<Real>> tables;  ///< one per distinct ELT
+  std::vector<std::vector<const DirectAccessTable<Real>*>> per_layer;
+
+  TableStore() = default;
+  // Copying would deep-copy `tables` but leave `per_layer` viewing the
+  // *source* store — a dangling trap. Moves keep the views valid
+  // (vector storage is stable under move), so the store is move-only.
+  TableStore(const TableStore&) = delete;
+  TableStore& operator=(const TableStore&) = delete;
+  TableStore(TableStore&&) noexcept = default;
+  TableStore& operator=(TableStore&&) noexcept = default;
+
+  /// Number of dense tables actually materialised.
+  std::size_t distinct_table_count() const noexcept { return tables.size(); }
 };
 
 template <typename Real>
 TableStore<Real> build_tables(const Portfolio& portfolio) {
+  constexpr std::size_t kUnreferenced = static_cast<std::size_t>(-1);
   TableStore<Real> store;
+
+  // First pass: assign each distinct referenced ELT a slot (in first-
+  // reference order), so `tables` can be reserved exactly once.
+  std::vector<std::size_t> slot(portfolio.elt_count(), kUnreferenced);
+  std::vector<std::size_t> slot_to_elt;
+  for (const Layer& layer : portfolio.layers()) {
+    for (const std::size_t idx : layer.elt_indices) {
+      if (slot[idx] == kUnreferenced) {
+        slot[idx] = slot_to_elt.size();
+        slot_to_elt.push_back(idx);
+      }
+    }
+  }
+
+  store.tables.reserve(slot_to_elt.size());
+  for (const std::size_t idx : slot_to_elt) {
+    store.tables.emplace_back(portfolio.elts()[idx]);
+  }
+
   store.per_layer.reserve(portfolio.layer_count());
   for (const Layer& layer : portfolio.layers()) {
-    std::vector<DirectAccessTable<Real>> tabs;
-    tabs.reserve(layer.elt_indices.size());
+    std::vector<const DirectAccessTable<Real>*> views;
+    views.reserve(layer.elt_indices.size());
     for (const std::size_t idx : layer.elt_indices) {
-      tabs.emplace_back(portfolio.elts()[idx]);
+      views.push_back(&store.tables[slot[idx]]);
     }
-    store.per_layer.push_back(std::move(tabs));
+    store.per_layer.push_back(std::move(views));
   }
   return store;
 }
@@ -75,37 +124,99 @@ BoundLayer<Real> bind_layer(const Portfolio& portfolio,
   bound.tables.reserve(layer.elt_indices.size());
   bound.terms.reserve(layer.elt_indices.size());
   for (std::size_t j = 0; j < layer.elt_indices.size(); ++j) {
-    bound.tables.push_back(&store.per_layer[layer_index][j]);
+    bound.tables.push_back(store.per_layer[layer_index][j]);
     bound.terms.push_back(portfolio.elts()[layer.elt_indices[j]].terms());
   }
   return bound;
+}
+
+/// Borrow-or-build: returns `shared` when the caller was handed a
+/// prebuilt store (e.g. the session's cache), otherwise builds the
+/// portfolio's tables into `local` and returns that. The returned
+/// pointer is valid as long as both arguments are.
+template <typename Real>
+const TableStore<Real>* select_tables(const TableStore<Real>* shared,
+                                      TableStore<Real>& local,
+                                      const Portfolio& portfolio) {
+  if (shared != nullptr) return shared;
+  local = build_tables<Real>(portfolio);
+  return &local;
+}
+
+/// All layers of the portfolio bound at once (the input of the
+/// trial-major sweep).
+template <typename Real>
+std::vector<BoundLayer<Real>> bind_all_layers(const Portfolio& portfolio,
+                                              const TableStore<Real>& store) {
+  std::vector<BoundLayer<Real>> bound;
+  bound.reserve(portfolio.layer_count());
+  for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
+    bound.push_back(bind_layer(portfolio, store, a));
+  }
+  return bound;
+}
+
+/// Running state of one layer inside a fused sweep: the fused
+/// formulation's O(1) registers plus the finished outcome.
+template <typename Real>
+struct LayerTrialState {
+  Real cumulative = Real(0);
+  Real prev_capped = Real(0);
+  TrialOutcome<Real> out;
+};
+
+/// One occurrence applied to one layer's running state — the single
+/// operand sequence every fused formulation executes: lookup +
+/// financial terms accumulated across ELTs, occurrence terms, then the
+/// running aggregate terms (prefix sum + clamp + diff). The per-layer
+/// and trial-major CPU sweeps and the chunk-staged GPU kernels all
+/// call this; the bitwise identity the engines promise depends on
+/// there being exactly one copy of this sequence.
+template <typename Real>
+inline void apply_event_to_layer(EventId ev, const BoundLayer<Real>& layer,
+                                 LayerTrialState<Real>& s) {
+  Real combined = Real(0);
+  const std::size_t elts = layer.elt_count();
+  for (std::size_t j = 0; j < elts; ++j) {
+    combined += apply_financial_terms(layer.tables[j]->at(ev), layer.terms[j]);
+  }
+  const Real occ_loss = apply_occurrence_terms(combined, layer.layer_terms);
+  if (occ_loss > s.out.max_occurrence) s.out.max_occurrence = occ_loss;
+  s.cumulative += occ_loss;
+  const Real capped = apply_aggregate_terms(s.cumulative, layer.layer_terms);
+  s.out.annual += capped - s.prev_capped;
+  s.prev_capped = capped;
 }
 
 /// Single-pass evaluation of one trial against one layer.
 template <typename Real>
 TrialOutcome<Real> simulate_trial_fused(
     std::span<const EventOccurrence> trial, const BoundLayer<Real>& layer) {
-  TrialOutcome<Real> out;
-  Real cumulative = Real(0);
-  Real prev_capped = Real(0);
-  const std::size_t elts = layer.elt_count();
+  LayerTrialState<Real> s;
   for (const EventOccurrence& occ : trial) {
-    // Steps 1-2: lookup + financial terms, accumulated across ELTs.
-    Real combined = Real(0);
-    for (std::size_t j = 0; j < elts; ++j) {
-      const Real ground = layer.tables[j]->at(occ.event);
-      combined += apply_financial_terms(ground, layer.terms[j]);
-    }
-    // Step 3: occurrence terms.
-    const Real occ_loss = apply_occurrence_terms(combined, layer.layer_terms);
-    if (occ_loss > out.max_occurrence) out.max_occurrence = occ_loss;
-    // Step 4: running aggregate terms (prefix sum + clamp + diff).
-    cumulative += occ_loss;
-    const Real capped = apply_aggregate_terms(cumulative, layer.layer_terms);
-    out.annual += capped - prev_capped;
-    prev_capped = capped;
+    apply_event_to_layer(occ.event, layer, s);
   }
-  return out;
+  return s.out;
+}
+
+/// Trial-major evaluation of one trial against *all* bound layers in a
+/// single pass over the occurrences. `state` (one entry per layer,
+/// reused across trials by the caller to avoid per-trial allocation)
+/// is reset on entry; on return `state[a].out` is exactly what
+/// `simulate_trial_fused(trial, layers[a])` returns — the per-layer
+/// operand order is identical, so the results are bitwise equal.
+template <typename Real>
+void simulate_trial_multilayer(std::span<const EventOccurrence> trial,
+                               std::span<const BoundLayer<Real>> layers,
+                               std::span<LayerTrialState<Real>> state) {
+  for (auto& s : state) s = LayerTrialState<Real>{};
+  for (const EventOccurrence& occ : trial) {
+    // One YET read serves every layer; each event id's table lookups
+    // across layers happen back to back.
+    for (std::size_t a = 0; a < layers.size(); ++a) {
+      apply_event_to_layer(occ.event, layers[a], state[a]);
+    }
+  }
 }
 
 }  // namespace ara

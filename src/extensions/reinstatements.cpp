@@ -75,13 +75,16 @@ ReinstatementEngine::ReinstatementEngine(
   }
 }
 
-ReinstatementResult ReinstatementEngine::run(const Yet& yet) const {
+ReinstatementResult ReinstatementEngine::run(
+    const Yet& yet, const TableStore<double>* shared_tables) const {
   if (portfolio_.catalogue_size() != yet.catalogue_size()) {
     throw std::invalid_argument(
         "ReinstatementEngine: portfolio and YET index different catalogues");
   }
   ReinstatementResult result(portfolio_.layer_count(), yet.trial_count());
-  const TableStore<double> tables = build_tables<double>(portfolio_);
+  TableStore<double> local;
+  const TableStore<double>& tables =
+      *select_tables(shared_tables, local, portfolio_);
 
   std::vector<double> occ_losses;
   for (std::size_t a = 0; a < portfolio_.layer_count(); ++a) {

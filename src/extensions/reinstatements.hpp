@@ -98,7 +98,13 @@ class ReinstatementEngine {
   ReinstatementEngine(const Portfolio& portfolio,
                       std::vector<ReinstatementTerms> terms);
 
-  ReinstatementResult run(const Yet& yet) const;
+  /// `shared_tables` (optional) must have been built from the same
+  /// portfolio; null means build locally (the one-shot API). The
+  /// session passes its cached store so a batch of requests with
+  /// reinstatement terms binds tables once.
+  ReinstatementResult run(const Yet& yet,
+                          const TableStore<double>* shared_tables
+                              = nullptr) const;
 
  private:
   const Portfolio& portfolio_;

@@ -11,14 +11,20 @@
 
 namespace ara::ext {
 
-SimulationResult SecondaryUncertaintyEngine::run(const Portfolio& portfolio,
-                                                 const Yet& yet) const {
+SimulationResult SecondaryUncertaintyEngine::run(
+    const Portfolio& portfolio, const Yet& yet,
+    const EngineContext& context) const {
   SimulationResult result;
   result.engine_name = name();
   result.ops = count_algorithm_ops(portfolio, yet);
 
   perf::Stopwatch wall;
-  const TableStore<double> tables = build_tables<double>(portfolio);
+  // Layer-major on purpose: each (layer, trial) owns a deterministic
+  // RNG sub-stream whose draws are consumed in per-layer order, so the
+  // trial-major fusion would reorder nothing but is not needed either.
+  TableStore<double> local;
+  const TableStore<double>& tables =
+      *select_tables(context.tables_f64, local, portfolio);
   result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
 
   const double mean_beta = config_.alpha / (config_.alpha + config_.beta);

@@ -38,8 +38,9 @@ class SecondaryUncertaintyEngine final : public Engine {
 
   std::string name() const override { return "secondary_uncertainty"; }
 
-  SimulationResult run(const Portfolio& portfolio,
-                       const Yet& yet) const override;
+  using Engine::run;
+  SimulationResult run(const Portfolio& portfolio, const Yet& yet,
+                       const EngineContext& context) const override;
 
  private:
   SecondaryUncertaintyConfig config_;

@@ -197,8 +197,14 @@ void write_ylt(std::ostream& os, const Ylt& ylt) {
   write_magic(os, kYltMagic);
   write_pod(os, static_cast<std::uint64_t>(ylt.layer_count()));
   write_pod(os, static_cast<std::uint64_t>(ylt.trial_count()));
-  for (const double v : ylt.annual_raw()) write_pod(os, v);
-  for (const double v : ylt.max_occurrence_raw()) write_pod(os, v);
+  // The raw vectors are already in file order (layer-major); one bulk
+  // write per table replaces a write call per (layer, trial) double.
+  os.write(reinterpret_cast<const char*>(ylt.annual_raw().data()),
+           static_cast<std::streamsize>(ylt.annual_raw().size() *
+                                        sizeof(double)));
+  os.write(reinterpret_cast<const char*>(ylt.max_occurrence_raw().data()),
+           static_cast<std::streamsize>(ylt.max_occurrence_raw().size() *
+                                        sizeof(double)));
 }
 
 Ylt read_ylt(std::istream& is) {
@@ -206,16 +212,28 @@ Ylt read_ylt(std::istream& is) {
   const auto layers = read_pod<std::uint64_t>(is);
   const auto trials = read_pod<std::uint64_t>(is);
   Ylt ylt(static_cast<std::size_t>(layers), static_cast<std::size_t>(trials));
+  // Buffered per-layer rows: one read call per (table, layer) instead
+  // of one per double; the on-disk layout is unchanged.
+  std::vector<double> row(trials);
+  const auto read_row = [&](auto&& assign) {
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(trials * sizeof(double)));
+    if (!is) throw std::runtime_error("binary read: truncated YLT");
+    assign();
+  };
   for (std::uint64_t l = 0; l < layers; ++l) {
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      ylt.annual_loss(l, static_cast<TrialId>(t)) = read_pod<double>(is);
-    }
+    read_row([&] {
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        ylt.annual_loss(l, static_cast<TrialId>(t)) = row[t];
+      }
+    });
   }
   for (std::uint64_t l = 0; l < layers; ++l) {
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      ylt.max_occurrence_loss(l, static_cast<TrialId>(t)) =
-          read_pod<double>(is);
-    }
+    read_row([&] {
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        ylt.max_occurrence_loss(l, static_cast<TrialId>(t)) = row[t];
+      }
+    });
   }
   return ylt;
 }

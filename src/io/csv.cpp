@@ -29,6 +29,28 @@ void write_ep_curve_csv(std::ostream& os, const metrics::EpCurve& curve,
 Elt read_elt_csv(std::istream& is, FinancialTerms terms,
                  EventId catalogue_size) {
   std::vector<EventLoss> records;
+  // Size the record vector once up front when the stream is seekable:
+  // a large catalogue's worth of push_back reallocation is visible
+  // next to the table build it feeds. ~12 bytes per "event,loss" line
+  // is a deliberate underestimate — one final growth beats overshoot.
+  const auto pos = is.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    if (is) {
+      const auto end = is.tellg();
+      is.seekg(pos);
+      if (end > pos) {
+        records.reserve(static_cast<std::size_t>(end - pos) / 12 + 1);
+      }
+    } else {
+      // A streambuf that reports a position but cannot seek to the
+      // end (filtering/network buffers): clear the failed probe so
+      // parsing proceeds un-reserved instead of silently reading
+      // nothing.
+      is.clear();
+      is.seekg(pos);
+    }
+  }
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {

@@ -7,9 +7,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "parallel/partition.hpp"
@@ -17,37 +20,101 @@
 
 namespace ara::parallel {
 
+namespace detail {
+
+/// Completion state of one parallel_for wave. A wave tracks its own
+/// pending-task count and first error instead of relying on
+/// ThreadPool::wait_idle, so concurrent waves sharing one pool (e.g.
+/// batch requests on a session's compute pool) neither wait on each
+/// other's tasks nor cross-wire each other's exceptions.
+struct Wave {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(m);
+    if (e && !error) error = std::move(e);
+    if (--pending == 0) cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [this] { return pending == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace detail
+
 /// Scheduling policy for parallel_for.
 enum class Schedule {
   kStatic,   ///< one contiguous range per worker
   kDynamic,  ///< workers pull fixed-size chunks from a shared counter
 };
 
+/// Minimum items per static task (the grain): below this, dispatching
+/// a task to a worker costs more than the work it carries (queue
+/// mutex, wake-up, barrier participation), so tiny inputs collapse to
+/// fewer tasks — a 40-trial YET runs as one task instead of eight
+/// 5-trial ones. Callers with unusually heavy per-item work can pass a
+/// smaller grain explicitly.
+inline constexpr std::size_t kDefaultGrain = 32;
+
 /// Runs `body(Range)` over [0, n) across the pool's workers and blocks
-/// until complete. With `Schedule::kDynamic`, `chunk` is the grab size.
+/// until complete. With `Schedule::kDynamic`, `chunk` is the grab size
+/// (the caller's explicit chunk is honoured as-is; the grain heuristic
+/// applies to static partitioning only).
 inline void parallel_for(ThreadPool& pool, std::size_t n,
                          const std::function<void(Range)>& body,
                          Schedule schedule = Schedule::kStatic,
-                         std::size_t chunk = 1024) {
+                         std::size_t chunk = 1024,
+                         std::size_t min_grain = kDefaultGrain) {
   if (n == 0) return;
+  // parallel_for blocks until its own tasks finish, so the wave (and
+  // `body`) outlive every task that references them.
+  detail::Wave wave;
   if (schedule == Schedule::kStatic) {
-    for (const Range r : split_even(n, pool.size())) {
-      if (!r.empty()) pool.submit([r, &body] { body(r); });
+    if (min_grain == 0) min_grain = 1;
+    const std::size_t max_tasks = std::max<std::size_t>(1, n / min_grain);
+    std::vector<Range> ranges;
+    for (const Range r : split_even(n, std::min(pool.size(), max_tasks))) {
+      if (!r.empty()) ranges.push_back(r);
+    }
+    wave.pending = ranges.size();
+    for (const Range r : ranges) {
+      pool.submit([r, &body, &wave] {
+        std::exception_ptr error;
+        try {
+          body(r);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        wave.finish_one(std::move(error));
+      });
     }
   } else {
     if (chunk == 0) chunk = 1;
     auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    wave.pending = pool.size();
     for (std::size_t w = 0; w < pool.size(); ++w) {
-      pool.submit([n, chunk, next, &body] {
-        for (;;) {
-          const std::size_t at = next->fetch_add(chunk);
-          if (at >= n) return;
-          body({at, std::min(at + chunk, n)});
+      pool.submit([n, chunk, next, &body, &wave] {
+        std::exception_ptr error;
+        try {
+          for (;;) {
+            const std::size_t at = next->fetch_add(chunk);
+            if (at >= n) break;
+            body({at, std::min(at + chunk, n)});
+          }
+        } catch (...) {
+          error = std::current_exception();
         }
+        wave.finish_one(std::move(error));
       });
     }
   }
-  pool.wait_idle();
+  wave.wait();
 }
 
 /// Parallel reduction: each worker folds its ranges into a private
@@ -59,11 +126,25 @@ T parallel_reduce(ThreadPool& pool, std::size_t n, T init, Fold fold,
                   Join join) {
   const auto ranges = split_even(n, pool.size());
   std::vector<T> partials(ranges.size(), init);
+  // Per-wave completion, like parallel_for: safe on a pool shared by
+  // concurrent callers (no global barrier, no foreign exceptions).
+  detail::Wave wave;
+  for (const Range& r : ranges) {
+    if (!r.empty()) ++wave.pending;
+  }
   for (std::size_t i = 0; i < ranges.size(); ++i) {
     if (ranges[i].empty()) continue;
-    pool.submit([&, i] { partials[i] = fold(ranges[i], partials[i]); });
+    pool.submit([&, i] {
+      std::exception_ptr error;
+      try {
+        partials[i] = fold(ranges[i], partials[i]);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      wave.finish_one(std::move(error));
+    });
   }
-  pool.wait_idle();
+  wave.wait();
   T out = init;
   for (const T& p : partials) out = join(out, p);
   return out;

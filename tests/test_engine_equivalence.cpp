@@ -122,6 +122,67 @@ INSTANTIATE_TEST_SUITE_P(DoubleEngines, BitwiseEquivalence,
                            return engine_kind_name(info.param);
                          });
 
+// The trial-major sweep must stay bitwise identical to the per-layer
+// reference on a many-layer book with shared ELTs — the shape where
+// the fused formulation actually reorders the memory walk.
+TEST(TrialMajorFusion, BitwiseEqualOnManyLayerBook) {
+  const synth::Scenario s = synth::multi_layer_book(12, 96, 19);
+  ReferenceEngine reference;
+  const SimulationResult expect = reference.run(s.portfolio, s.yet);
+
+  for (const EngineKind kind :
+       {EngineKind::kSequentialFused, EngineKind::kMultiCore,
+        EngineKind::kGpuBasic, EngineKind::kGpuOptimized,
+        EngineKind::kMultiGpu}) {
+    EngineConfig cfg = paper_config(kind);
+    cfg.use_float = false;
+    cfg.cores = 4;
+    const auto engine = make_engine(kind, cfg, simgpu::tesla_c2075(), 2);
+    const SimulationResult got = engine->run(s.portfolio, s.yet);
+    for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
+      for (TrialId t = 0; t < expect.ylt.trial_count(); ++t) {
+        ASSERT_EQ(got.ylt.annual_loss(l, t), expect.ylt.annual_loss(l, t))
+            << engine_kind_name(kind) << " layer " << l << " trial " << t;
+        ASSERT_EQ(got.ylt.max_occurrence_loss(l, t),
+                  expect.ylt.max_occurrence_loss(l, t))
+            << engine_kind_name(kind) << " layer " << l << " trial " << t;
+      }
+    }
+  }
+}
+
+// Op accounting of the fusion: fused engines fetch each occurrence
+// once for all layers; the literal reference re-fetches per layer.
+// All per-(layer, event) work is unchanged.
+TEST(TrialMajorFusion, FusedEnginesChargeSingleYetPass) {
+  const synth::Scenario s = synth::multi_layer_book(5, 64, 23);
+  const auto occurrences =
+      static_cast<std::uint64_t>(s.yet.occurrence_count());
+  ASSERT_GT(s.portfolio.layer_count(), 1u);
+
+  ReferenceEngine reference;
+  const SimulationResult ref = reference.run(s.portfolio, s.yet);
+  EXPECT_EQ(ref.ops.event_fetches,
+            occurrences * s.portfolio.layer_count());
+
+  for (const EngineKind kind :
+       {EngineKind::kSequentialFused, EngineKind::kMultiCore,
+        EngineKind::kGpuBasic, EngineKind::kGpuOptimized,
+        EngineKind::kMultiGpu}) {
+    EngineConfig cfg = paper_config(kind);
+    cfg.cores = 2;
+    const auto engine = make_engine(kind, cfg, simgpu::tesla_c2075(), 2);
+    const SimulationResult got = engine->run(s.portfolio, s.yet);
+    EXPECT_EQ(got.ops.event_fetches, occurrences) << engine_kind_name(kind);
+    EXPECT_EQ(got.ops.elt_lookups, ref.ops.elt_lookups)
+        << engine_kind_name(kind);
+    EXPECT_EQ(got.ops.financial_ops, ref.ops.financial_ops)
+        << engine_kind_name(kind);
+    EXPECT_EQ(got.ops.occurrence_ops, ref.ops.occurrence_ops)
+        << engine_kind_name(kind);
+  }
+}
+
 TEST(EngineFactory, AllKindsConstruct) {
   for (const EngineKind kind : all_engine_kinds()) {
     const auto engine = make_engine(kind, paper_config(kind));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -62,6 +63,54 @@ TEST(ParallelFor, DynamicZeroChunkClamped) {
       [&](Range r) { count.fetch_add(static_cast<int>(r.size())); },
       Schedule::kDynamic, 0);
   EXPECT_EQ(count.load(), 10);
+}
+
+// Grain heuristic: tiny inputs must not fan out into tasks whose
+// dispatch overhead exceeds their work.
+TEST(ParallelFor, GrainCollapsesTinyInputsToFewTasks) {
+  ThreadPool pool(8);
+  std::mutex m;
+  std::vector<Range> ranges;
+  std::vector<int> touched(40, 0);
+  parallel_for(pool, 40, [&](Range r) {
+    std::lock_guard<std::mutex> lock(m);
+    ranges.push_back(r);
+    for (std::size_t i = r.begin; i < r.end; ++i) ++touched[i];
+  });
+  // 40 items at the default grain of 32: one task, full coverage.
+  EXPECT_EQ(ranges.size(), 1u);
+  for (const int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ParallelFor, GrainStillUsesAllWorkersOnLargeInputs) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::size_t tasks = 0;
+  std::vector<int> touched(1000, 0);
+  parallel_for(pool, 1000, [&](Range r) {
+    std::lock_guard<std::mutex> lock(m);
+    ++tasks;
+    for (std::size_t i = r.begin; i < r.end; ++i) ++touched[i];
+  });
+  EXPECT_EQ(tasks, 4u);  // 1000/32 >= pool size: full fan-out
+  for (const int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ParallelFor, ExplicitGrainOverridesDefault) {
+  ThreadPool pool(8);
+  std::mutex m;
+  std::size_t tasks = 0;
+  std::atomic<int> count{0};
+  parallel_for(
+      pool, 12,
+      [&](Range r) {
+        std::lock_guard<std::mutex> lock(m);
+        ++tasks;
+        count.fetch_add(static_cast<int>(r.size()));
+      },
+      Schedule::kStatic, 1024, /*min_grain=*/2);
+  EXPECT_EQ(tasks, 6u);  // 12 items / grain 2 = 6 tasks
+  EXPECT_EQ(count.load(), 12);
 }
 
 TEST(ParallelReduce, SumsCorrectly) {

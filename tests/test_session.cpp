@@ -264,6 +264,93 @@ TEST(SessionExtensions, SecondaryUncertaintyReplacesEngine) {
   EXPECT_EQ(result.simulation.ylt.trial_count(), s.yet.trial_count());
 }
 
+// Session-level table caching: repeated requests against one
+// portfolio bind tables once, and cached-table runs stay bitwise
+// identical to cold runs for every engine kind.
+TEST(SessionTableCache, CachedRunsBitwiseIdenticalToColdRuns) {
+  const synth::Scenario s = synth::multi_layer_book(4, 150, 31);
+
+  for (const EngineKind kind : all_engine_kinds()) {
+    AnalysisSession session(ExecutionPolicy::with_engine(kind));
+    AnalysisRequest request;
+    request.portfolio = &s.portfolio;
+    request.yet = &s.yet;
+
+    const AnalysisResult cold = session.run(request);  // builds the cache
+    EXPECT_EQ(session.cached_table_portfolios(), 1u);
+    const AnalysisResult warm = session.run(request);  // served from it
+    expect_bitwise_equal_ylt(cold.simulation.ylt, warm.simulation.ylt);
+
+    // A fresh session (cold again) agrees too.
+    AnalysisSession fresh(ExecutionPolicy::with_engine(kind));
+    expect_bitwise_equal_ylt(fresh.run(request).simulation.ylt,
+                             cold.simulation.ylt);
+
+    session.invalidate_tables(s.portfolio);
+    EXPECT_EQ(session.cached_table_portfolios(), 0u);
+    expect_bitwise_equal_ylt(session.run(request).simulation.ylt,
+                             cold.simulation.ylt);
+  }
+}
+
+// One shared YET, several portfolios, cached tables per portfolio —
+// the batch shape the session exists for — with extension hooks riding
+// along.
+TEST(SessionBatch, SharedYetBatchWithExtensionsUsesTableCache) {
+  const synth::Scenario s = synth::multi_layer_book(4, 120, 53);
+
+  std::vector<Portfolio> books;
+  for (std::size_t l = 0; l < 3; ++l) {
+    books.emplace_back(s.portfolio.elts(),
+                       std::vector<Layer>{s.portfolio.layers()[l]});
+  }
+
+  ext::ReinstatementTerms terms;
+  terms.occ_retention = 500.0;
+  terms.occ_limit = 40000.0;
+  terms.reinstatements = 1;
+
+  std::vector<AnalysisRequest> requests;
+  for (std::size_t i = 0; i < books.size(); ++i) {
+    AnalysisRequest r;
+    r.label = "book_" + std::to_string(i);
+    r.portfolio = &books[i];
+    r.yet = &s.yet;
+    r.metrics = MetricsSelection::all();
+    r.reinstatement_terms.assign(books[i].layer_count(), terms);
+    requests.push_back(std::move(r));
+  }
+  // A secondary-uncertainty request against the full book rides in the
+  // same batch (it replaces the engine but shares the table cache).
+  AnalysisRequest su;
+  su.label = "secondary";
+  su.portfolio = &s.portfolio;
+  su.yet = &s.yet;
+  su.secondary_uncertainty = ext::SecondaryUncertaintyConfig{};
+  requests.push_back(std::move(su));
+
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kMultiCore));
+  const std::vector<AnalysisResult> batch = session.run_batch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  // One cache entry per distinct portfolio (3 books + the full book).
+  EXPECT_EQ(session.cached_table_portfolios(), 4u);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batch[i].label, requests[i].label);
+    ASSERT_TRUE(batch[i].reinstatements.has_value());
+    EXPECT_EQ(batch[i].reinstatements->trial_count(), s.yet.trial_count());
+    ASSERT_EQ(batch[i].layer_summaries.size(), 1u);
+    const AnalysisResult solo = session.run(requests[i]);
+    expect_bitwise_equal_ylt(batch[i].simulation.ylt, solo.simulation.ylt);
+    EXPECT_DOUBLE_EQ(batch[i].layer_summaries[0].aal,
+                     solo.layer_summaries[0].aal);
+  }
+  EXPECT_EQ(batch[3].simulation.engine_name, "secondary_uncertainty");
+  expect_bitwise_equal_ylt(batch[3].simulation.ylt,
+                           session.run(requests[3]).simulation.ylt);
+}
+
 TEST(SessionPolicy, FactoryRejectsAutoWithoutWorkload) {
   EXPECT_THROW(make_engine(ExecutionPolicy::auto_select()),
                std::invalid_argument);

@@ -128,5 +128,98 @@ TEST(TrialMath, TableStorePerLayerShapes) {
   EXPECT_EQ(store.per_layer[1].size(), 2u);
 }
 
+// Layers sharing an ELT must share one dense table, not build one per
+// (layer, ELT) pair — the per-run allocation churn the session cache
+// exists to amortise.
+TEST(TrialMath, TableStoreDeduplicatesSharedElts) {
+  std::vector<Elt> elts;
+  elts.emplace_back(std::vector<EventLoss>{{1, 1.0}},
+                    FinancialTerms::identity(), 10);
+  elts.emplace_back(std::vector<EventLoss>{{2, 2.0}},
+                    FinancialTerms::identity(), 10);
+  elts.emplace_back(std::vector<EventLoss>{{3, 3.0}},
+                    FinancialTerms::identity(), 10);
+  Portfolio p(std::move(elts),
+              {Layer{"a", {0, 1}, LayerTerms::identity()},
+               Layer{"b", {1, 0}, LayerTerms::identity()},
+               Layer{"c", {0, 1}, LayerTerms::identity()}});
+  const TableStore<double> store = build_tables<double>(p);
+  // ELT 2 is unreferenced; only two tables materialise for 6 views.
+  EXPECT_EQ(store.distinct_table_count(), 2u);
+  EXPECT_EQ(store.per_layer[0][0], store.per_layer[1][1]);  // both ELT 0
+  EXPECT_EQ(store.per_layer[0][1], store.per_layer[1][0]);  // both ELT 1
+  EXPECT_EQ(store.per_layer[0][0], store.per_layer[2][0]);
+  EXPECT_DOUBLE_EQ(store.per_layer[1][0]->at(2), 2.0);
+}
+
+// A moved-from-into store keeps its per_layer views valid (the session
+// cache moves stores into unique_ptr-held slots).
+TEST(TrialMath, TableStoreSurvivesMove) {
+  Fixture f(LayerTerms::identity());
+  TableStore<double> store = build_tables<double>(f.portfolio);
+  const TableStore<double> moved = std::move(store);
+  EXPECT_DOUBLE_EQ(moved.per_layer[0][0]->at(1), 100.0);
+  EXPECT_DOUBLE_EQ(moved.per_layer[0][1]->at(4), 400.0);
+}
+
+// The tentpole property: the trial-major multilayer sweep must be
+// bitwise identical, layer by layer, to running simulate_trial_fused
+// per layer — including shared ELTs, clamping terms, and both
+// precisions.
+template <typename Real>
+void expect_multilayer_matches_fused(const Portfolio& p,
+                                     const std::vector<EventOccurrence>& trial) {
+  const TableStore<Real> store = build_tables<Real>(p);
+  const std::vector<BoundLayer<Real>> layers = bind_all_layers(p, store);
+  std::vector<LayerTrialState<Real>> state(layers.size());
+  simulate_trial_multilayer<Real>(std::span<const EventOccurrence>(trial),
+                                  layers, state);
+  for (std::size_t a = 0; a < layers.size(); ++a) {
+    const TrialOutcome<Real> fused = simulate_trial_fused<Real>(
+        std::span<const EventOccurrence>(trial), layers[a]);
+    ASSERT_EQ(state[a].out.annual, fused.annual) << "layer " << a;
+    ASSERT_EQ(state[a].out.max_occurrence, fused.max_occurrence)
+        << "layer " << a;
+  }
+}
+
+TEST(TrialMath, MultilayerBitwiseMatchesPerLayerFused) {
+  std::vector<Elt> elts;
+  FinancialTerms ft;
+  ft.retention = 30.0;
+  ft.share = 0.8;
+  elts.emplace_back(
+      std::vector<EventLoss>{{1, 100.0}, {2, 200.0}, {3, 300.0}}, ft, 10);
+  elts.emplace_back(std::vector<EventLoss>{{2, 50.0}, {4, 400.0}}, ft, 10);
+  elts.emplace_back(std::vector<EventLoss>{{5, 750.0}, {1, 20.0}}, ft, 10);
+  LayerTerms occ_capped;
+  occ_capped.occ_limit = 260.0;
+  LayerTerms agg_capped;
+  agg_capped.agg_retention = 100.0;
+  agg_capped.agg_limit = 500.0;
+  Portfolio p(std::move(elts),
+              {Layer{"full", {0, 1, 2}, LayerTerms::identity()},
+               Layer{"occ", {1, 0}, occ_capped},
+               Layer{"agg", {2}, agg_capped}});
+  const std::vector<EventOccurrence> trial = {{1, 1}, {4, 2}, {2, 3},
+                                              {5, 4}, {9, 5}, {1, 6}};
+  expect_multilayer_matches_fused<double>(p, trial);
+  expect_multilayer_matches_fused<float>(p, trial);
+}
+
+TEST(TrialMath, MultilayerEmptyTrialAndStateReset) {
+  Fixture f(LayerTerms::identity());
+  const std::vector<BoundLayer<double>> layers =
+      bind_all_layers(f.portfolio, f.tables);
+  std::vector<LayerTrialState<double>> state(layers.size());
+  // Dirty state must be reset on entry.
+  state[0].cumulative = 123.0;
+  state[0].out.annual = 456.0;
+  simulate_trial_multilayer<double>(std::span<const EventOccurrence>{},
+                                    layers, state);
+  EXPECT_DOUBLE_EQ(state[0].out.annual, 0.0);
+  EXPECT_DOUBLE_EQ(state[0].out.max_occurrence, 0.0);
+}
+
 }  // namespace
 }  // namespace ara
