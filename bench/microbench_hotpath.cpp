@@ -301,6 +301,48 @@ int main(int argc, char** argv) {
     print_case(c);
   }
 
+  // Shape 4: sharded streaming vs monolithic execution of the same
+  // analysis (PR 4). "old" is the monolithic session run, "new" the
+  // trial-sharded one (8 shards through the shard scheduler); the
+  // speed-up column is therefore the sharding *overhead* (expected
+  // near 1.0 — reads/merges are disjoint block copies). The YLTs must
+  // still be bitwise identical, which the shared gate below enforces.
+  {
+    const synth::Scenario s =
+        synth::multi_layer_book(smoke ? 8 : 16, smoke ? 160 : 320, 99);
+
+    CaseResult c;
+    c.name = "sharded_vs_monolithic";
+    c.engine = engine_kind_name(EngineKind::kMultiCore);
+    c.layers = s.portfolio.layer_count();
+    c.trials = s.yet.trial_count();
+    c.reps = reps;
+
+    ExecutionPolicy mono_policy =
+        ExecutionPolicy::with_engine(EngineKind::kMultiCore);
+    mono_policy.config = mc_cfg;
+    ExecutionPolicy sharded_policy = mono_policy;
+    sharded_policy.shard_trials = s.yet.trial_count() / 8;
+
+    AnalysisSession session(mono_policy);
+    AnalysisRequest mono_request;
+    mono_request.portfolio = &s.portfolio;
+    mono_request.yet = &s.yet;
+    AnalysisRequest sharded_request = mono_request;
+    sharded_request.policy = sharded_policy;
+
+    Ylt mono_ylt = session.run(mono_request).simulation.ylt;  // warm caches
+    c.old_seconds = best_of(reps, [&] { (void)session.run(mono_request); });
+    Ylt sharded_ylt = session.run(sharded_request).simulation.ylt;
+    c.new_seconds =
+        best_of(reps, [&] { (void)session.run(sharded_request); });
+
+    c.identical = bitwise_equal(mono_ylt, sharded_ylt);
+    all_identical = all_identical && c.identical;
+    cases.push_back(c);
+    print_case(c);
+  }
+
   write_json(out_path, cases, smoke);
   std::cout << "\nwrote " << out_path << "\n";
 

@@ -14,20 +14,23 @@ namespace ara {
 
 namespace {
 
-// Runs the trial-major sweep for trials [range.begin, range.end),
-// writing each layer's slice of the YLT. Different ranges touch
-// disjoint YLT elements, and within one range every layer's writes are
-// contiguous — workers never share a cache line except at range
-// boundaries.
+// Runs the trial-major sweep for global trials [range.begin,
+// range.end), writing each layer's slice of the YLT at local row
+// (trial - out_base) — out_base is the global index of the YLT's first
+// row (0 for a full run, the shard begin for a partial one). Different
+// ranges touch disjoint YLT elements, and within one range every
+// layer's writes are contiguous — workers never share a cache line
+// except at range boundaries.
 void sweep_trials(const Yet& yet, std::span<const BoundLayer<double>> layers,
-                  parallel::Range range, Ylt& ylt) {
+                  parallel::Range range, std::size_t out_base, Ylt& ylt) {
   std::vector<LayerTrialState<double>> state(layers.size());
   for (std::size_t b = range.begin; b < range.end; ++b) {
     const auto t = static_cast<TrialId>(b);
+    const auto row = static_cast<TrialId>(b - out_base);
     simulate_trial_multilayer<double>(yet.trial(t), layers, state);
     for (std::size_t a = 0; a < layers.size(); ++a) {
-      ylt.annual_loss(a, t) = state[a].out.annual;
-      ylt.max_occurrence_loss(a, t) = state[a].out.max_occurrence;
+      ylt.annual_loss(a, row) = state[a].out.annual;
+      ylt.max_occurrence_loss(a, row) = state[a].out.max_occurrence;
     }
   }
 }
@@ -37,22 +40,28 @@ void sweep_trials(const Yet& yet, std::span<const BoundLayer<double>> layers,
 SimulationResult FusedSequentialEngine::run(const Portfolio& portfolio,
                                             const Yet& yet,
                                             const EngineContext& context) const {
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
-  result.ops = count_fused_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
   // The fused formulation keeps its scratch in registers; only the
   // YLT write remains.
   result.ops.global_updates = result.ops.occurrence_ops ? 1 : 0;
 
   perf::Stopwatch wall;
-  TableStore<double> local;
-  const TableStore<double>* tables =
-      select_tables(context.tables_f64, local, portfolio);
-  const std::vector<BoundLayer<double>> layers =
-      bind_all_layers(portfolio, *tables);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
-  sweep_trials(yet, layers, {0, yet.trial_count()}, result.ylt);
-  result.wall_seconds = wall.seconds();
+  if (!context.cost_only) {
+    TableStore<double> local;
+    const TableStore<double>* tables =
+        select_tables(context.tables_f64, local, portfolio);
+    const std::vector<BoundLayer<double>> layers =
+        bind_all_layers(portfolio, *tables);
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
+    sweep_trials(yet, layers, {range.begin, range.end}, range.begin,
+                 result.ylt);
+    result.wall_seconds = wall.seconds();
+  }
 
   const perf::CpuCostModel model(perf::intel_i7_2600());
   result.simulated_phases = model.estimate(result.ops, /*cores=*/1);
@@ -76,9 +85,12 @@ parallel::ThreadPool& MultiCoreEngine::cached_pool() const {
 SimulationResult MultiCoreEngine::run(const Portfolio& portfolio,
                                       const Yet& yet,
                                       const EngineContext& context) const {
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
-  result.ops = count_fused_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
   result.ops.global_updates =
       result.ops.occurrence_ops * kScratchTouchesPerEvent;
 
@@ -86,24 +98,27 @@ SimulationResult MultiCoreEngine::run(const Portfolio& portfolio,
   const unsigned oversub = std::max(1u, config_.threads_per_core);
 
   perf::Stopwatch wall;
-  TableStore<double> local;
-  const TableStore<double>* tables =
-      select_tables(context.tables_f64, local, portfolio);
-  const std::vector<BoundLayer<double>> layers =
-      bind_all_layers(portfolio, *tables);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  if (!context.cost_only) {
+    TableStore<double> local;
+    const TableStore<double>* tables =
+        select_tables(context.tables_f64, local, portfolio);
+    const std::vector<BoundLayer<double>> layers =
+        bind_all_layers(portfolio, *tables);
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
 
-  // One software thread per trial batch, as in the paper's
-  // oversubscribed OpenMP runs; a single trial-major wave replaces the
-  // old per-layer dispatch. (On this container the workers time-share
-  // one physical core; the simulated time below models the paper's
-  // machine.)
-  parallel::ThreadPool& pool =
-      context.pool != nullptr ? *context.pool : cached_pool();
-  parallel::parallel_for(pool, yet.trial_count(), [&](parallel::Range r) {
-    sweep_trials(yet, layers, r, result.ylt);
-  });
-  result.wall_seconds = wall.seconds();
+    // One software thread per trial batch, as in the paper's
+    // oversubscribed OpenMP runs; a single trial-major wave replaces
+    // the old per-layer dispatch. (On this container the workers
+    // time-share one physical core; the simulated time below models
+    // the paper's machine.)
+    parallel::ThreadPool& pool =
+        context.pool != nullptr ? *context.pool : cached_pool();
+    parallel::parallel_for(pool, range.size(), [&](parallel::Range r) {
+      sweep_trials(yet, layers, {range.begin + r.begin, range.begin + r.end},
+                   range.begin, result.ylt);
+    });
+    result.wall_seconds = wall.seconds();
+  }
 
   const perf::CpuCostModel model(perf::intel_i7_2600());
   result.simulated_phases = model.estimate(result.ops, cores, oversub);

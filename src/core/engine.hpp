@@ -27,6 +27,36 @@ class ThreadPool;
 template <typename Real>
 struct TableStore;
 
+/// Contiguous half-open range of YET trials an engine run covers. The
+/// default covers every trial, so existing call sites are untouched.
+/// A YLT row is produced independently per trial, which makes the
+/// trial dimension exactly concatenative: a run over [b, e) produces
+/// rows bitwise identical to the monolithic run's rows b..e-1 (see
+/// DESIGN.md §5).
+struct TrialRange {
+  static constexpr std::size_t kAll = static_cast<std::size_t>(-1);
+
+  std::size_t begin = 0;
+  std::size_t end = kAll;
+
+  /// True when the range is the whole-YET default.
+  bool whole() const noexcept { return begin == 0 && end == kAll; }
+
+  std::size_t size() const noexcept { return end - begin; }
+
+  /// Clamps the range to an actual trial count. An empty or inverted
+  /// range resolves to an empty range at `begin`.
+  TrialRange resolve(std::size_t trial_count) const noexcept {
+    TrialRange r;
+    r.begin = begin < trial_count ? begin : trial_count;
+    r.end = end < trial_count ? end : trial_count;
+    if (r.end < r.begin) r.end = r.begin;
+    return r;
+  }
+
+  friend bool operator==(const TrialRange&, const TrialRange&) = default;
+};
+
 /// Externally owned shared resources an engine run may draw on instead
 /// of rebuilding them per call (see DESIGN.md §4). Everything is
 /// optional: a null field means "build/own it yourself", so
@@ -43,6 +73,21 @@ struct EngineContext {
   /// must NOT be the pool the caller itself is executing on, or the
   /// barrier deadlocks.
   parallel::ThreadPool* pool = nullptr;
+
+  /// Trial shard this run covers. Defaults to the whole YET; a proper
+  /// sub-range makes the engine produce a *partial* SimulationResult:
+  /// a YLT of size() rows (indexed locally, placement recorded in
+  /// SimulationResult::trial_begin) with op counts and simulated time
+  /// charged for the range only.
+  TrialRange trials{};
+
+  /// Replay the run's cost accounting without executing the numeric
+  /// sweep: op counts, simulated phases and simulated seconds are
+  /// computed exactly as a real run would (the simulated timeline is a
+  /// pure function of the workload shape), but the YLT stays empty.
+  /// The session's shard merge uses this to reconstitute the
+  /// monolithic run's accounting bitwise (DESIGN.md §5).
+  bool cost_only = false;
 };
 
 /// Tunables shared by the engine family. Each engine reads the knobs
@@ -64,11 +109,18 @@ struct EngineConfig {
   bool profile_phases = false;    ///< measure per-phase wall time (slower)
 };
 
-/// Result of one aggregate risk analysis run.
+/// Result of one aggregate risk analysis run. May be *partial*: when
+/// the run's EngineContext named a trial sub-range, `ylt` holds only
+/// that range's rows (locally indexed from 0) and `trial_begin`
+/// records where they sit in the full YET, so partial results merge by
+/// block copy (core/shard.hpp).
 struct SimulationResult {
   std::string engine_name;
   Ylt ylt;
   OpCounts ops;
+
+  /// Global index of the first trial `ylt` covers (0 for full runs).
+  std::size_t trial_begin = 0;
 
   double wall_seconds = 0.0;             ///< measured host wall clock
   perf::PhaseBreakdown measured_phases;  ///< filled when profile_phases
@@ -112,6 +164,20 @@ OpCounts count_algorithm_ops(const Portfolio& portfolio, const Yet& yet);
 /// `event_fetches` is the occurrence count instead of occurrences x
 /// layers. Equal to `count_algorithm_ops` on single-layer portfolios.
 OpCounts count_fused_algorithm_ops(const Portfolio& portfolio, const Yet& yet);
+
+/// Operation counts of a contiguous trial range (one shard's or one
+/// device's share of the algorithm's work) in the layer-major
+/// formulation. Counts are integers derived from the YET's offset
+/// table, so contiguous ranges sum *exactly* to the whole-YET counts —
+/// the property the shard merge relies on.
+OpCounts range_ops(const Portfolio& p, const Yet& yet,
+                   std::size_t trial_begin, std::size_t trial_end);
+
+/// Trial-major variant of `range_ops`: the range's occurrences are
+/// fetched once for all layers (one fused multi-layer launch instead
+/// of one launch per layer); all other counts are unchanged.
+OpCounts range_fused_ops(const Portfolio& p, const Yet& yet,
+                         std::size_t trial_begin, std::size_t trial_end);
 
 /// Scratch traffic of Algorithm 1 per (layer, event) pair: write lx,
 /// read-modify-write lox in the financial step, then the occurrence

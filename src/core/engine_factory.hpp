@@ -60,6 +60,21 @@ struct ExecutionPolicy {
   simgpu::DeviceSpec multi_gpu_device = simgpu::tesla_m2090();
   std::size_t gpu_count = 4;
 
+  /// Trial-sharded streaming execution (DESIGN.md §5). `shard_trials`
+  /// fixes the shard size directly; when 0, a non-zero
+  /// `memory_budget_bytes` derives the largest shard whose resident
+  /// YET-slice + YLT-rows footprint fits the budget. Both 0 (the
+  /// default) keeps the monolithic single-shard execution. Sharding
+  /// never changes results: the merged YLT, op counts and simulated
+  /// seconds are bitwise identical to the monolithic run's.
+  std::size_t shard_trials = 0;
+  std::size_t memory_budget_bytes = 0;
+
+  /// True when this policy asks for the sharded execution path.
+  bool sharded() const noexcept {
+    return shard_trials > 0 || memory_budget_bytes > 0;
+  }
+
   /// Convenience constructors.
   static ExecutionPolicy with_engine(EngineKind kind) {
     ExecutionPolicy p;

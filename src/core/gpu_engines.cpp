@@ -34,46 +34,25 @@ std::uint64_t tables_device_bytes(const Portfolio& p, unsigned loss_bytes) {
   return total;
 }
 
-OpCounts range_ops(const Portfolio& p, const Yet& yet,
-                   std::size_t trial_begin, std::size_t trial_end) {
-  const std::uint64_t occurrences =
-      yet.offsets()[trial_end] - yet.offsets()[trial_begin];
-  OpCounts ops;
-  for (const Layer& layer : p.layers()) {
-    const auto elts = static_cast<std::uint64_t>(layer.elt_indices.size());
-    ops.event_fetches += occurrences;
-    ops.elt_lookups += elts * occurrences;
-    ops.financial_ops += elts * occurrences;
-    ops.occurrence_ops += occurrences;
-    ops.aggregate_ops += occurrences;
-  }
-  return ops;
-}
-
-OpCounts range_fused_ops(const Portfolio& p, const Yet& yet,
-                         std::size_t trial_begin, std::size_t trial_end) {
-  OpCounts ops = range_ops(p, yet, trial_begin, trial_end);
-  if (p.layer_count() > 0) {
-    ops.event_fetches =
-        yet.offsets()[trial_end] - yet.offsets()[trial_begin];
-  }
-  return ops;
-}
-
 namespace {
 
-// Runs the optimised kernel for trials [begin, end) on `dev`, writing
-// into the global YLT. One fused multi-layer launch per device: the
-// kernel stages chunk_size events at a time (the paper's chunking),
-// then performs the fused term math for *every* layer on the staged
-// events before loading the next chunk — the YET slice crosses the
-// memory system once instead of once per layer. Per-layer results are
-// identical to simulate_trial_fused (same operand order).
+// Runs the optimised kernel for global trials [begin, end) on `dev`,
+// writing into `out` at local rows (trial - out_base); out_base is the
+// global index of out's first row (0 for a full run). One fused
+// multi-layer launch per device: the kernel stages chunk_size events
+// at a time (the paper's chunking), then performs the fused term math
+// for *every* layer on the staged events before loading the next chunk
+// — the YET slice crosses the memory system once instead of once per
+// layer. Per-layer results are identical to simulate_trial_fused (same
+// operand order). With cost_only the same alloc/copy/launch sequence
+// is charged to the simulated timeline without executing the kernel
+// (tables may be an empty store).
 template <typename Real>
 void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
                              const Yet& yet, const TableStore<Real>& tables,
                              const EngineConfig& cfg, std::size_t begin,
-                             std::size_t end, Ylt& out) {
+                             std::size_t end, std::size_t out_base, Ylt& out,
+                             bool cost_only = false) {
   const std::size_t trials = end - begin;
   if (trials == 0) return;
 
@@ -114,46 +93,51 @@ void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
     ops.shared_accesses = scratch;
   }
 
-  const std::vector<BoundLayer<Real>> layers = bind_all_layers(p, tables);
-  // Per-layer running state; SimDevice executes the functor thread by
-  // thread on this host thread, so one buffer serves the whole launch.
-  std::vector<LayerTrialState<Real>> state(layers.size());
+  if (cost_only) {
+    dev.launch_cost_only("ara_optimized_multilayer", launch, traits, ops);
+  } else {
+    const std::vector<BoundLayer<Real>> layers = bind_all_layers(p, tables);
+    // Per-layer running state; SimDevice executes the functor thread by
+    // thread on this host thread, so one buffer serves the whole launch.
+    std::vector<LayerTrialState<Real>> state(layers.size());
 
-  // The functional staging buffer is 512 entries; clamp the chunk so a
-  // stage is always written before it is consumed.
-  const unsigned chunk = std::clamp(cfg.chunk_size, 1u, 512u);
-  dev.launch(
-      "ara_optimized_multilayer", launch, traits, ops,
-      [&](const simgpu::SimDevice::ThreadCtx& ctx) {
-        if (ctx.global_id() >= trials) return;  // guard threads past range
-        const TrialId t = static_cast<TrialId>(begin + ctx.global_id());
-        const auto trial = yet.trial(t);
+    // The functional staging buffer is 512 entries; clamp the chunk so
+    // a stage is always written before it is consumed.
+    const unsigned chunk = std::clamp(cfg.chunk_size, 1u, 512u);
+    dev.launch(
+        "ara_optimized_multilayer", launch, traits, ops,
+        [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+          if (ctx.global_id() >= trials) return;  // guard threads past range
+          const TrialId t = static_cast<TrialId>(begin + ctx.global_id());
+          const auto row = static_cast<TrialId>(t - out_base);
+          const auto trial = yet.trial(t);
 
-        // Chunked processing: stage `chunk` occurrences once, then
-        // apply the fused financial/occurrence/aggregate math for
-        // every layer. State that survives across chunks is exactly
-        // what the real kernel keeps in registers, per layer.
-        for (auto& s : state) s = LayerTrialState<Real>{};
-        std::array<EventId, 512> stage;  // shared-memory stand-in
-        const std::size_t k = trial.size();
-        for (std::size_t base = 0; base < k; base += chunk) {
-          const std::size_t n = std::min<std::size_t>(chunk, k - base);
-          for (std::size_t i = 0; i < n; ++i) {
-            stage[i % stage.size()] = trial[base + i].event;
-          }
-          for (std::size_t i = 0; i < n; ++i) {
-            const EventId ev = stage[i % stage.size()];
-            for (std::size_t a = 0; a < layers.size(); ++a) {
-              apply_event_to_layer(ev, layers[a], state[a]);
+          // Chunked processing: stage `chunk` occurrences once, then
+          // apply the fused financial/occurrence/aggregate math for
+          // every layer. State that survives across chunks is exactly
+          // what the real kernel keeps in registers, per layer.
+          for (auto& s : state) s = LayerTrialState<Real>{};
+          std::array<EventId, 512> stage;  // shared-memory stand-in
+          const std::size_t k = trial.size();
+          for (std::size_t base = 0; base < k; base += chunk) {
+            const std::size_t n = std::min<std::size_t>(chunk, k - base);
+            for (std::size_t i = 0; i < n; ++i) {
+              stage[i % stage.size()] = trial[base + i].event;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+              const EventId ev = stage[i % stage.size()];
+              for (std::size_t a = 0; a < layers.size(); ++a) {
+                apply_event_to_layer(ev, layers[a], state[a]);
+              }
             }
           }
-        }
-        for (std::size_t a = 0; a < layers.size(); ++a) {
-          out.annual_loss(a, t) = static_cast<double>(state[a].out.annual);
-          out.max_occurrence_loss(a, t) =
-              static_cast<double>(state[a].out.max_occurrence);
-        }
-      });
+          for (std::size_t a = 0; a < layers.size(); ++a) {
+            out.annual_loss(a, row) = static_cast<double>(state[a].out.annual);
+            out.max_occurrence_loss(a, row) =
+                static_cast<double>(state[a].out.max_occurrence);
+          }
+        });
+  }
 
   // Device -> host: the YLT slice.
   dev.copy(static_cast<std::uint64_t>(p.layer_count()) * trials * loss_bytes);
@@ -174,29 +158,28 @@ std::size_t optimized_shared_bytes(unsigned block_threads,
 SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
                                      const Yet& yet,
                                      const EngineContext& context) const {
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
-  result.ops = count_fused_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
   result.ops.global_updates =
       result.ops.occurrence_ops * kScratchTouchesPerEvent;
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
-  TableStore<double> local;
-  const TableStore<double>& tables =
-      *select_tables(context.tables_f64, local, portfolio);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
 
   dev.alloc(tables_device_bytes(portfolio, 8));
-  dev.alloc(yet_device_bytes(yet, 0, yet.trial_count()));
+  dev.alloc(yet_device_bytes(yet, range.begin, range.end));
   // Per-event scratch (lx, lox) lives in global memory, one slot per
   // resident thread's current event — the basic implementation keeps
   // whole trial arrays per thread.
   dev.alloc(static_cast<std::uint64_t>(portfolio.layer_count()) *
-            yet.trial_count() * 8);
+            range.size() * 8);
   dev.copy(tables_device_bytes(portfolio, 8));
-  dev.copy(yet_device_bytes(yet, 0, yet.trial_count()));
+  dev.copy(yet_device_bytes(yet, range.begin, range.end));
 
   simgpu::KernelTraits traits;  // double, mlp 1, global scratch
   traits.loss_bytes = 8;
@@ -205,32 +188,45 @@ SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
   simgpu::LaunchConfig launch;
   launch.block_threads = config_.block_threads;
   launch.grid_blocks = static_cast<unsigned>(
-      (yet.trial_count() + config_.block_threads - 1) /
+      (range.size() + config_.block_threads - 1) /
       config_.block_threads);
   launch.regs_per_thread = 20;
 
-  OpCounts launch_ops = range_fused_ops(portfolio, yet, 0, yet.trial_count());
+  OpCounts launch_ops =
+      range_fused_ops(portfolio, yet, range.begin, range.end);
   launch_ops.global_updates =
       launch_ops.occurrence_ops * kScratchTouchesPerEvent;
 
-  // One fused launch: each thread walks its trial once, updating every
-  // layer's accumulators from the single YET read.
-  const std::vector<BoundLayer<double>> layers =
-      bind_all_layers(portfolio, tables);
-  std::vector<LayerTrialState<double>> state(layers.size());
-  dev.launch("ara_basic_multilayer", launch, traits, launch_ops,
-             [&](const simgpu::SimDevice::ThreadCtx& ctx) {
-               if (ctx.global_id() >= yet.trial_count()) return;
-               const auto t = static_cast<TrialId>(ctx.global_id());
-               simulate_trial_multilayer<double>(yet.trial(t), layers, state);
-               for (std::size_t a = 0; a < layers.size(); ++a) {
-                 result.ylt.annual_loss(a, t) = state[a].out.annual;
-                 result.ylt.max_occurrence_loss(a, t) =
-                     state[a].out.max_occurrence;
-               }
-             });
+  if (context.cost_only) {
+    dev.launch_cost_only("ara_basic_multilayer", launch, traits, launch_ops);
+  } else {
+    TableStore<double> local;
+    const TableStore<double>& tables =
+        *select_tables(context.tables_f64, local, portfolio);
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
+
+    // One fused launch: each thread walks its trial once, updating
+    // every layer's accumulators from the single YET read.
+    const std::vector<BoundLayer<double>> layers =
+        bind_all_layers(portfolio, tables);
+    std::vector<LayerTrialState<double>> state(layers.size());
+    dev.launch("ara_basic_multilayer", launch, traits, launch_ops,
+               [&](const simgpu::SimDevice::ThreadCtx& ctx) {
+                 if (ctx.global_id() >= range.size()) return;
+                 const auto t =
+                     static_cast<TrialId>(range.begin + ctx.global_id());
+                 const auto row = static_cast<TrialId>(ctx.global_id());
+                 simulate_trial_multilayer<double>(yet.trial(t), layers,
+                                                  state);
+                 for (std::size_t a = 0; a < layers.size(); ++a) {
+                   result.ylt.annual_loss(a, row) = state[a].out.annual;
+                   result.ylt.max_occurrence_loss(a, row) =
+                       state[a].out.max_occurrence;
+                 }
+               });
+  }
   dev.copy(static_cast<std::uint64_t>(portfolio.layer_count()) *
-           yet.trial_count() * 8);
+           range.size() * 8);
 
   result.wall_seconds = wall.seconds();
   result.simulated_phases = dev.phase_seconds();
@@ -242,26 +238,37 @@ SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
 SimulationResult GpuOptimizedEngine::run(const Portfolio& portfolio,
                                          const Yet& yet,
                                          const EngineContext& context) const {
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
-  result.ops = count_fused_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  if (!context.cost_only) {
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
+  }
   if (config_.use_float) {
     TableStore<float> local;
     const TableStore<float>& tables =
-        *select_tables(context.tables_f32, local, portfolio);
-    run_optimized_on_device<float>(dev, portfolio, yet, tables, config_, 0,
-                                   yet.trial_count(), result.ylt);
+        context.cost_only ? local
+                          : *select_tables(context.tables_f32, local,
+                                           portfolio);
+    run_optimized_on_device<float>(dev, portfolio, yet, tables, config_,
+                                   range.begin, range.end, range.begin,
+                                   result.ylt, context.cost_only);
   } else {
     TableStore<double> local;
     const TableStore<double>& tables =
-        *select_tables(context.tables_f64, local, portfolio);
-    run_optimized_on_device<double>(dev, portfolio, yet, tables, config_, 0,
-                                    yet.trial_count(), result.ylt);
+        context.cost_only ? local
+                          : *select_tables(context.tables_f64, local,
+                                           portfolio);
+    run_optimized_on_device<double>(dev, portfolio, yet, tables, config_,
+                                    range.begin, range.end, range.begin,
+                                    result.ylt, context.cost_only);
   }
   result.wall_seconds = wall.seconds();
   result.simulated_phases = dev.phase_seconds();
@@ -272,16 +279,19 @@ SimulationResult GpuOptimizedEngine::run(const Portfolio& portfolio,
 
 SimulationResult GpuCombinedTableEngine::run(
     const Portfolio& portfolio, const Yet& yet,
-    const EngineContext& /*context*/) const {
+    const EngineContext& context) const {
   // Deliberately layer-major: this engine reproduces the paper's
   // *rejected* combined-table formulation, whose per-layer row tables
   // and cooperative loads are the point of comparison. It does not
   // take the trial-major fusion (or the session's per-ELT table
   // cache — it builds combined per-layer tables of its own).
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_ops(portfolio, yet, range.begin, range.end);
   // Coordination cost of the cooperative row loads: per (event, ELT)
   // each thread writes its requested event id to shared memory and
   // reads the delivered row back — two extra shared accesses per
@@ -292,12 +302,14 @@ SimulationResult GpuCombinedTableEngine::run(
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  if (!context.cost_only) {
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
+  }
 
   dev.alloc(tables_device_bytes(portfolio, 8));
-  dev.alloc(yet_device_bytes(yet, 0, yet.trial_count()));
+  dev.alloc(yet_device_bytes(yet, range.begin, range.end));
   dev.copy(tables_device_bytes(portfolio, 8));
-  dev.copy(yet_device_bytes(yet, 0, yet.trial_count()));
+  dev.copy(yet_device_bytes(yet, range.begin, range.end));
 
   simgpu::KernelTraits traits;
   traits.loss_bytes = 8;
@@ -316,7 +328,7 @@ SimulationResult GpuCombinedTableEngine::run(
   simgpu::LaunchConfig launch;
   launch.block_threads = config_.block_threads;
   launch.grid_blocks = static_cast<unsigned>(
-      (yet.trial_count() + config_.block_threads - 1) /
+      (range.size() + config_.block_threads - 1) /
       config_.block_threads);
   // One staged combined row per thread plus the request slots.
   launch.shared_bytes_per_block =
@@ -327,12 +339,17 @@ SimulationResult GpuCombinedTableEngine::run(
       static_cast<std::size_t>(config_.block_threads) * 4 + 256;
   launch.regs_per_thread = 24;
 
-  OpCounts launch_ops = range_ops(portfolio, yet, 0, yet.trial_count());
+  OpCounts launch_ops = range_ops(portfolio, yet, range.begin, range.end);
   launch_ops.shared_accesses = result.ops.shared_accesses;
 
   // Functionally: one combined table per layer; results are identical
   // to the per-ELT tables (property-tested).
   for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
+    if (context.cost_only) {
+      dev.launch_cost_only("ara_combined_layer" + std::to_string(a), launch,
+                           traits, launch_ops);
+      continue;
+    }
     const Layer& layer = portfolio.layers()[a];
     const std::vector<const Elt*> elts = portfolio.layer_elts(layer);
     const CombinedDirectTable<double> combined(elts);
@@ -344,8 +361,9 @@ SimulationResult GpuCombinedTableEngine::run(
     dev.launch(
         "ara_combined_layer" + std::to_string(a), launch, traits,
         launch_ops, [&](const simgpu::SimDevice::ThreadCtx& ctx) {
-          if (ctx.global_id() >= yet.trial_count()) return;
-          const auto t = static_cast<TrialId>(ctx.global_id());
+          if (ctx.global_id() >= range.size()) return;
+          const auto t = static_cast<TrialId>(range.begin + ctx.global_id());
+          const auto row = static_cast<TrialId>(ctx.global_id());
           double cumulative = 0.0, prev_capped = 0.0;
           double annual = 0.0, max_occ = 0.0;
           for (const EventOccurrence& occ : yet.trial(t)) {
@@ -363,12 +381,12 @@ SimulationResult GpuCombinedTableEngine::run(
             annual += capped - prev_capped;
             prev_capped = capped;
           }
-          result.ylt.annual_loss(a, t) = annual;
-          result.ylt.max_occurrence_loss(a, t) = max_occ;
+          result.ylt.annual_loss(a, row) = annual;
+          result.ylt.max_occurrence_loss(a, row) = max_occ;
         });
   }
   dev.copy(static_cast<std::uint64_t>(portfolio.layer_count()) *
-           yet.trial_count() * 8);
+           range.size() * 8);
 
   result.wall_seconds = wall.seconds();
   result.simulated_phases = dev.phase_seconds();
@@ -380,14 +398,19 @@ SimulationResult GpuCombinedTableEngine::run(
 SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
                                         const Yet& yet,
                                         const EngineContext& context) const {
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
   result.devices = 1;
-  result.ops = count_fused_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  if (!context.cost_only) {
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
+  }
 
   const unsigned loss_bytes = config_.use_float ? 4 : 8;
   const std::uint64_t tables = tables_device_bytes(portfolio, loss_bytes);
@@ -413,11 +436,13 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
   TableStore<float> local_f;
   TableStore<double> local_d;
   const TableStore<float>* tables_f =
-      config_.use_float ? select_tables(context.tables_f32, local_f, portfolio)
-                        : nullptr;
+      config_.use_float && !context.cost_only
+          ? select_tables(context.tables_f32, local_f, portfolio)
+          : nullptr;
   const TableStore<double>* tables_d =
-      config_.use_float ? nullptr
-                        : select_tables(context.tables_f64, local_d, portfolio);
+      config_.use_float || context.cost_only
+          ? nullptr
+          : select_tables(context.tables_f64, local_d, portfolio);
 
   const std::vector<BoundLayer<float>> layers_f =
       tables_f ? bind_all_layers(portfolio, *tables_f)
@@ -428,10 +453,9 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
   std::vector<LayerTrialState<float>> state_f(layers_f.size());
   std::vector<LayerTrialState<double>> state_d(layers_d.size());
 
-  for (std::size_t begin = 0; begin < yet.trial_count();
+  for (std::size_t begin = range.begin; begin < range.end;
        begin += batch_trials) {
-    const std::size_t end =
-        std::min(begin + batch_trials, yet.trial_count());
+    const std::size_t end = std::min(begin + batch_trials, range.end);
     const std::uint64_t yet_bytes = yet_device_bytes(yet, begin, end);
     const std::uint64_t ylt_bytes =
         static_cast<std::uint64_t>(portfolio.layer_count()) *
@@ -462,18 +486,21 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
     launch.regs_per_thread = config_.use_registers ? 63 : 32;
     const OpCounts ops = range_fused_ops(portfolio, yet, begin, end);
 
-    if (config_.use_float) {
+    if (context.cost_only) {
+      dev.launch_cost_only("ara_streamed_multilayer", launch, traits, ops);
+    } else if (config_.use_float) {
       dev.launch("ara_streamed_multilayer", launch, traits, ops,
                  [&](const simgpu::SimDevice::ThreadCtx& ctx) {
                    if (ctx.global_id() >= end - begin) return;
                    const auto t =
                        static_cast<TrialId>(begin + ctx.global_id());
+                   const auto row = static_cast<TrialId>(t - range.begin);
                    simulate_trial_multilayer<float>(yet.trial(t), layers_f,
                                                     state_f);
                    for (std::size_t a = 0; a < layers_f.size(); ++a) {
-                     result.ylt.annual_loss(a, t) =
+                     result.ylt.annual_loss(a, row) =
                          static_cast<double>(state_f[a].out.annual);
-                     result.ylt.max_occurrence_loss(a, t) =
+                     result.ylt.max_occurrence_loss(a, row) =
                          static_cast<double>(state_f[a].out.max_occurrence);
                    }
                  });
@@ -483,11 +510,12 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
                    if (ctx.global_id() >= end - begin) return;
                    const auto t =
                        static_cast<TrialId>(begin + ctx.global_id());
+                   const auto row = static_cast<TrialId>(t - range.begin);
                    simulate_trial_multilayer<double>(yet.trial(t), layers_d,
                                                      state_d);
                    for (std::size_t a = 0; a < layers_d.size(); ++a) {
-                     result.ylt.annual_loss(a, t) = state_d[a].out.annual;
-                     result.ylt.max_occurrence_loss(a, t) =
+                     result.ylt.annual_loss(a, row) = state_d[a].out.annual;
+                     result.ylt.max_occurrence_loss(a, row) =
                          state_d[a].out.max_occurrence;
                    }
                  });
@@ -547,25 +575,31 @@ HeterogeneousMultiGpuEngine::HeterogeneousMultiGpuEngine(
 SimulationResult HeterogeneousMultiGpuEngine::run(
     const Portfolio& portfolio, const Yet& yet,
     const EngineContext& context) const {
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
   result.devices = static_cast<unsigned>(devices_.size());
-  result.ops = count_fused_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
 
   perf::Stopwatch wall;
   simgpu::SimPlatform platform(devices_);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  if (!context.cost_only) {
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
+  }
 
-  // Weighted contiguous split of the trial range.
+  // Weighted contiguous split of this run's trial range.
   std::vector<parallel::Range> ranges(devices_.size());
-  std::size_t at = 0;
+  std::size_t at = range.begin;
   double carry = 0.0;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    carry += weights_[d] * static_cast<double>(yet.trial_count());
-    std::size_t end = d + 1 == devices_.size()
-                          ? yet.trial_count()
-                          : std::min(yet.trial_count(),
-                                     static_cast<std::size_t>(carry + 0.5));
+    carry += weights_[d] * static_cast<double>(range.size());
+    std::size_t end =
+        d + 1 == devices_.size()
+            ? range.end
+            : std::min(range.end,
+                       range.begin + static_cast<std::size_t>(carry + 0.5));
     end = std::max(end, at);
     ranges[d] = {at, end};
     at = end;
@@ -574,20 +608,26 @@ SimulationResult HeterogeneousMultiGpuEngine::run(
   if (config_.use_float) {
     TableStore<float> local;
     const TableStore<float>& tables =
-        *select_tables(context.tables_f32, local, portfolio);
+        context.cost_only
+            ? local
+            : *select_tables(context.tables_f32, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<float>(platform.device(d), portfolio, yet,
                                      tables, config_, ranges[d].begin,
-                                     ranges[d].end, result.ylt);
+                                     ranges[d].end, range.begin, result.ylt,
+                                     context.cost_only);
     });
   } else {
     TableStore<double> local;
     const TableStore<double>& tables =
-        *select_tables(context.tables_f64, local, portfolio);
+        context.cost_only
+            ? local
+            : *select_tables(context.tables_f64, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<double>(platform.device(d), portfolio, yet,
                                       tables, config_, ranges[d].begin,
-                                      ranges[d].end, result.ylt);
+                                      ranges[d].end, range.begin, result.ylt,
+                                      context.cost_only);
     });
   }
 
@@ -606,17 +646,27 @@ SimulationResult HeterogeneousMultiGpuEngine::run(
 SimulationResult MultiGpuEngine::run(const Portfolio& portfolio,
                                      const Yet& yet,
                                      const EngineContext& context) const {
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
   result.devices = static_cast<unsigned>(device_count_);
-  result.ops = count_fused_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
 
   perf::Stopwatch wall;
   simgpu::SimPlatform platform(device_, device_count_);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  if (!context.cost_only) {
+    result.ylt = Ylt(portfolio.layer_count(), range.size());
+  }
 
-  const auto ranges =
-      parallel::split_even(yet.trial_count(), device_count_);
+  // Even split of this run's trial range across the devices.
+  std::vector<parallel::Range> ranges =
+      parallel::split_even(range.size(), device_count_);
+  for (parallel::Range& r : ranges) {
+    r.begin += range.begin;
+    r.end += range.begin;
+  }
 
   // Tables are built once on the host (or borrowed from the session's
   // cache) and shipped to every device; the YET is sliced. One host
@@ -625,20 +675,26 @@ SimulationResult MultiGpuEngine::run(const Portfolio& portfolio,
   if (config_.use_float) {
     TableStore<float> local;
     const TableStore<float>& tables =
-        *select_tables(context.tables_f32, local, portfolio);
+        context.cost_only
+            ? local
+            : *select_tables(context.tables_f32, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<float>(platform.device(d), portfolio, yet,
                                      tables, config_, ranges[d].begin,
-                                     ranges[d].end, result.ylt);
+                                     ranges[d].end, range.begin, result.ylt,
+                                     context.cost_only);
     });
   } else {
     TableStore<double> local;
     const TableStore<double>& tables =
-        *select_tables(context.tables_f64, local, portfolio);
+        context.cost_only
+            ? local
+            : *select_tables(context.tables_f64, local, portfolio);
     platform.for_each_device([&](std::size_t d) {
       run_optimized_on_device<double>(platform.device(d), portfolio, yet,
                                       tables, config_, ranges[d].begin,
-                                      ranges[d].end, result.ylt);
+                                      ranges[d].end, range.begin, result.ylt,
+                                      context.cost_only);
     });
   }
 

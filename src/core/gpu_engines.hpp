@@ -177,15 +177,4 @@ std::uint64_t yet_device_bytes(const Yet& yet, std::size_t trial_begin,
 /// at the given precision (one table per (layer, ELT)).
 std::uint64_t tables_device_bytes(const Portfolio& p, unsigned loss_bytes);
 
-/// Operation counts of a contiguous trial range (one device's share of
-/// the algorithm's work) in the layer-major formulation.
-OpCounts range_ops(const Portfolio& p, const Yet& yet,
-                   std::size_t trial_begin, std::size_t trial_end);
-
-/// Trial-major variant of `range_ops`: the range's occurrences are
-/// fetched once for all layers (one fused multi-layer launch instead
-/// of one launch per layer); all other counts are unchanged.
-OpCounts range_fused_ops(const Portfolio& p, const Yet& yet,
-                         std::size_t trial_begin, std::size_t trial_end);
-
 }  // namespace ara

@@ -1,6 +1,7 @@
 #include "core/reference_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "core/trial_math.hpp"
@@ -13,24 +14,37 @@ namespace ara {
 SimulationResult ReferenceEngine::run(const Portfolio& portfolio,
                                       const Yet& yet,
                                       const EngineContext& context) const {
+  if (portfolio.catalogue_size() != yet.catalogue_size()) {
+    throw std::invalid_argument(
+        "ReferenceEngine: portfolio and YET index different catalogues");
+  }
+  const TrialRange range = context.trials.resolve(yet.trial_count());
+
   SimulationResult result;
   result.engine_name = name();
-  result.ops = count_algorithm_ops(portfolio, yet);
+  result.trial_begin = range.begin;
+  result.ops = range_ops(portfolio, yet, range.begin, range.end);
   result.ops.global_updates = result.ops.occurrence_ops *  // per (layer,event)
                               kScratchTouchesPerEvent;
 
   perf::Stopwatch wall;
+  if (context.cost_only) {
+    const perf::CpuCostModel model(perf::intel_i7_2600());
+    result.simulated_phases = model.estimate(result.ops, /*cores=*/1);
+    result.simulated_seconds = result.simulated_phases.total();
+    return result;
+  }
   TableStore<double> local;
   const TableStore<double>& tables =
       *select_tables(context.tables_f64, local, portfolio);
-  result.ylt = Ylt(portfolio.layer_count(), yet.trial_count());
+  result.ylt = Ylt(portfolio.layer_count(), range.size());
 
   // Per-trial scratch arrays, sized to the largest trial: x (ground-up
   // losses of one ELT), lx (after financial terms) and lox (combined
   // event losses) — the d-indexed arrays of Algorithm 1.
   std::size_t max_events = 0;
-  for (TrialId t = 0; t < yet.trial_count(); ++t) {
-    max_events = std::max(max_events, yet.trial_size(t));
+  for (std::size_t t = range.begin; t < range.end; ++t) {
+    max_events = std::max(max_events, yet.trial_size(static_cast<TrialId>(t)));
   }
   std::vector<double> x(max_events), lx(max_events), lox(max_events);
 
@@ -47,9 +61,9 @@ SimulationResult ReferenceEngine::run(const Portfolio& portfolio,
   for (std::size_t a = 0; a < portfolio.layer_count(); ++a) {
     const BoundLayer<double> layer = bind_layer(portfolio, tables, a);
     const auto& lt = layer.layer_terms;
-    // Line 3: for all b in YET
-    for (TrialId b = 0; b < yet.trial_count(); ++b) {
-      const auto trial = yet.trial(b);
+    // Line 3: for all b in YET (this run's trial range)
+    for (std::size_t b = range.begin; b < range.end; ++b) {
+      const auto trial = yet.trial(static_cast<TrialId>(b));
       const std::size_t k = trial.size();
       if (profiled) phase.reset();
       std::fill_n(lox.begin(), k, 0.0);
@@ -104,8 +118,9 @@ SimulationResult ReferenceEngine::run(const Portfolio& portfolio,
       }
       charge(perf::Phase::kAggregateTerms);
 
-      result.ylt.annual_loss(a, b) = lr;
-      result.ylt.max_occurrence_loss(a, b) = max_occ;
+      result.ylt.annual_loss(a, static_cast<TrialId>(b - range.begin)) = lr;
+      result.ylt.max_occurrence_loss(
+          a, static_cast<TrialId>(b - range.begin)) = max_occ;
     }
   }
   result.wall_seconds = wall.seconds();

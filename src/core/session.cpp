@@ -7,9 +7,11 @@
 #include <thread>
 
 #include "core/gpu_engines.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/partition.hpp"
 #include "perf/cpu_cost_model.hpp"
 #include "perf/machine_profile.hpp"
+#include "perf/stopwatch.hpp"
 #include "simgpu/gpu_cost_model.hpp"
 
 namespace ara {
@@ -231,6 +233,20 @@ parallel::ThreadPool& AnalysisSession::compute_pool() {
   return *compute_pool_;
 }
 
+parallel::ThreadPool& AnalysisSession::shard_pool() {
+  // Between the batch and compute pools in the layering: a request
+  // (possibly on a batch worker) barriers on this pool for its trial
+  // shards, and a shard task (on this pool) may barrier on the compute
+  // pool — the multi-core engine's parallel_for. Sharing either
+  // neighbour pool would let every worker block on work queued behind
+  // itself.
+  std::lock_guard<std::mutex> lock(shard_pool_mutex_);
+  if (!shard_pool_) {
+    shard_pool_ = std::make_unique<parallel::ThreadPool>(workers_);
+  }
+  return *shard_pool_;
+}
+
 EngineContext AnalysisSession::context_for(const Portfolio& portfolio,
                                            EngineKind kind,
                                            const EngineConfig& cfg,
@@ -373,6 +389,68 @@ EnginePrediction AnalysisSession::choose(const Portfolio& portfolio,
   return *best;
 }
 
+ShardPlan AnalysisSession::shard_plan(const Portfolio& portfolio,
+                                      const Yet& yet,
+                                      const ExecutionPolicy& policy) const {
+  if (!policy.sharded()) {
+    return ShardPlan{yet.trial_count(), yet.trial_count()};
+  }
+  return plan_shards(yet.trial_count(), policy.shard_trials,
+                     policy.memory_budget_bytes,
+                     shard_bytes_per_trial(portfolio.layer_count(),
+                                           yet.mean_events_per_trial()));
+}
+
+SimulationResult AnalysisSession::run_sharded(const Engine& engine,
+                                              const Portfolio& portfolio,
+                                              const Yet& yet, EngineKind kind,
+                                              const EngineConfig& cfg,
+                                              const ShardPlan& plan) {
+  perf::Stopwatch wall;
+  ShardMerger merger(portfolio.layer_count(), yet.trial_count());
+
+  // The context is shard-invariant (tables, compute pool); bind it
+  // once and pin the tables for the whole wave instead of paying the
+  // cache lock per shard.
+  TablePins pins;
+  const EngineContext base_ctx = context_for(portfolio, kind, cfg, pins);
+
+  // One task per shard, pulled dynamically so shards pipeline across
+  // the shard pool's workers; partial results stream into the merger
+  // in completion order (the merge algebra is order-independent —
+  // disjoint YLT blocks, integer op sums).
+  parallel::parallel_for(
+      shard_pool(), plan.shard_count(),
+      [&](parallel::Range shards) {
+        for (std::size_t i = shards.begin; i < shards.end; ++i) {
+          EngineContext ctx = base_ctx;
+          ctx.trials = plan.shard(i);
+          merger.add(engine.run(portfolio, yet, ctx));
+        }
+      },
+      parallel::Schedule::kDynamic, /*chunk=*/1);
+
+  SimulationResult merged = merger.finish();
+  const double elapsed = wall.seconds();
+
+  // Reconstitute the monolithic accounting bitwise: op counts and the
+  // simulated timeline are pure functions of the full workload, so a
+  // cost-only replay over the whole range computes exactly what the
+  // monolithic run would have reported (DESIGN.md §5). The per-shard
+  // simulated times (which include real per-shard launch overhead)
+  // stay available through ShardMerger::sharded_simulated_seconds.
+  EngineContext cost_ctx;
+  cost_ctx.cost_only = true;
+  const SimulationResult mono = engine.run(portfolio, yet, cost_ctx);
+  merged.ops = mono.ops;
+  merged.simulated_phases = mono.simulated_phases;
+  merged.simulated_seconds = mono.simulated_seconds;
+  merged.engine_name = mono.engine_name;
+  merged.devices = mono.devices;
+  merged.wall_seconds = elapsed;
+  return merged;
+}
+
 const Engine& AnalysisSession::engine_for(EngineKind kind,
                                           const ExecutionPolicy& policy) {
   const EngineConfig cfg = resolved_config(policy, kind);
@@ -411,18 +489,28 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
   AnalysisResult result;
   result.label = request.label;
 
+  const ShardPlan plan = shard_plan(portfolio, yet, policy);
+
   if (request.secondary_uncertainty) {
     // The extension is itself an Engine with a single implementation;
     // it replaces the policy's engine choice. It still draws the
-    // session's cached double-precision tables.
+    // session's cached double-precision tables, and shards like the
+    // core engines (its damage draws are keyed by global trial index,
+    // so shard boundaries do not move them).
     const ext::SecondaryUncertaintyEngine engine(*request.secondary_uncertainty);
-    TablePins pins;
-    result.simulation =
-        engine.run(portfolio, yet,
-                   context_for(portfolio, EngineKind::kSequentialFused,
-                               resolved_config(policy,
-                                               EngineKind::kSequentialFused),
-                               pins));
+    const EngineConfig cfg =
+        resolved_config(policy, EngineKind::kSequentialFused);
+    if (policy.sharded() && plan.shard_count() > 1) {
+      result.simulation = run_sharded(engine, portfolio, yet,
+                                      EngineKind::kSequentialFused, cfg, plan);
+      result.shard_count = plan.shard_count();
+    } else {
+      TablePins pins;
+      result.simulation =
+          engine.run(portfolio, yet,
+                     context_for(portfolio, EngineKind::kSequentialFused,
+                                 cfg, pins));
+    }
   } else if (request.core_simulation) {
     EngineKind kind;
     if (policy.engine) {
@@ -435,9 +523,17 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
     }
     result.engine = kind;
     const EngineConfig cfg = resolved_config(policy, kind);
-    TablePins pins;
-    result.simulation = engine_for(kind, policy).run(
-        portfolio, yet, context_for(portfolio, kind, cfg, pins));
+    // A plan that collapses to one shard IS the monolithic run; the
+    // merge copy and the cost-only replay would buy nothing.
+    if (policy.sharded() && plan.shard_count() > 1) {
+      result.simulation = run_sharded(engine_for(kind, policy), portfolio,
+                                      yet, kind, cfg, plan);
+      result.shard_count = plan.shard_count();
+    } else {
+      TablePins pins;
+      result.simulation = engine_for(kind, policy).run(
+          portfolio, yet, context_for(portfolio, kind, cfg, pins));
+    }
   }
 
   // Metric passes need a YLT, which only a simulation produces.
@@ -456,29 +552,69 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
     const ext::ReinstatementEngine engine(portfolio,
                                           request.reinstatement_terms);
     // The reinstatement pass draws the session's cached
-    // double-precision tables like the core engines do.
+    // double-precision tables like the core engines do, and shards the
+    // same way (each trial's outcome is independent, so partial blocks
+    // reassemble bitwise).
     TablePins pins;
-    result.reinstatements =
-        engine.run(yet,
-                   context_for(portfolio, EngineKind::kSequentialFused,
-                               resolved_config(policy,
-                                               EngineKind::kSequentialFused),
-                               pins)
-                       .tables_f64);
+    const TableStore<double>* tables =
+        context_for(portfolio, EngineKind::kSequentialFused,
+                    resolved_config(policy, EngineKind::kSequentialFused),
+                    pins)
+            .tables_f64;
+    if (policy.sharded() && plan.shard_count() > 1) {
+      ext::ReinstatementResult full(portfolio.layer_count(),
+                                    yet.trial_count());
+      parallel::parallel_for(
+          shard_pool(), plan.shard_count(),
+          [&](parallel::Range shards) {
+            for (std::size_t i = shards.begin; i < shards.end; ++i) {
+              const TrialRange r = plan.shard(i);
+              // Disjoint trial blocks: concurrent merges write
+              // non-overlapping rows.
+              full.merge_trial_block(engine.run(yet, tables, r), r.begin);
+            }
+          },
+          parallel::Schedule::kDynamic, /*chunk=*/1);
+      result.reinstatements = std::move(full);
+    } else {
+      result.reinstatements = engine.run(yet, tables);
+    }
   }
   return result;
 }
 
+std::vector<std::future<AnalysisResult>> AnalysisSession::run_batch_async(
+    std::span<const AnalysisRequest> requests) {
+  std::vector<std::future<AnalysisResult>> futures;
+  futures.reserve(requests.size());
+  parallel::ThreadPool& pool = batch_pool();
+  for (const AnalysisRequest& request : requests) {
+    // Each request owns a promise: a failure resolves only its own
+    // future, so concurrent batches on one session never observe each
+    // other's exceptions (wait_idle's pool-wide error capture would).
+    auto task = std::make_shared<std::packaged_task<AnalysisResult()>>(
+        [this, request] { return run(request); });
+    futures.push_back(task->get_future());
+    pool.submit([task] { (*task)(); });
+  }
+  return futures;
+}
+
 std::vector<AnalysisResult> AnalysisSession::run_batch(
     std::span<const AnalysisRequest> requests) {
-  std::vector<AnalysisResult> results(requests.size());
-  parallel::ThreadPool& pool = batch_pool();
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    pool.submit([this, &requests, &results, i] {
-      results[i] = run(requests[i]);
-    });
+  std::vector<std::future<AnalysisResult>> futures = run_batch_async(requests);
+  std::vector<AnalysisResult> results;
+  results.reserve(futures.size());
+  std::exception_ptr first_error;
+  for (std::future<AnalysisResult>& f : futures) {
+    try {
+      results.push_back(f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+      results.emplace_back();
+    }
   }
-  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

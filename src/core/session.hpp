@@ -24,6 +24,7 @@
 // layer; the session is a superset (metrics, extensions, batching).
 #pragma once
 
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -36,6 +37,7 @@
 #include "core/engine_factory.hpp"
 #include "core/metrics/portfolio_rollup.hpp"
 #include "core/metrics/risk_measures.hpp"
+#include "core/shard.hpp"
 #include "core/trial_math.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -52,6 +54,10 @@ struct AnalysisResult {
   std::optional<EngineKind> engine;
   bool auto_selected = false;     ///< engine came from kAuto
   double predicted_seconds = 0.0; ///< kAuto's cost-model prediction
+
+  /// Trial shards the simulation executed as (1 = monolithic). The
+  /// merged result is bitwise identical either way (DESIGN.md §5).
+  std::size_t shard_count = 1;
 
   SimulationResult simulation;
 
@@ -88,9 +94,25 @@ class AnalysisSession {
   /// Runs many analyses concurrently on the session's pool. Results
   /// are in request order and identical to running each request alone
   /// (engines are deterministic), so the output is independent of the
-  /// dispatch interleaving. The first request failure is rethrown
-  /// after the batch drains.
+  /// dispatch interleaving. The first request failure (in request
+  /// order) is rethrown after the batch drains.
   std::vector<AnalysisResult> run_batch(std::span<const AnalysisRequest> requests);
+
+  /// Asynchronous batch: enqueues every request on the dispatch pool
+  /// and returns immediately with one future per request (request
+  /// order). Each future carries its own result or exception, so
+  /// concurrent callers overlap on one session without blocking each
+  /// other and without cross-request exception wiring. Requests are
+  /// copied; the portfolios/YETs they point at must stay alive until
+  /// the futures resolve.
+  std::vector<std::future<AnalysisResult>> run_batch_async(
+      std::span<const AnalysisRequest> requests);
+
+  /// The shard plan `policy` yields for this workload: an explicit
+  /// shard size wins, else one is derived from the memory budget, else
+  /// a single monolithic shard (core/shard.hpp).
+  ShardPlan shard_plan(const Portfolio& portfolio, const Yet& yet,
+                       const ExecutionPolicy& policy) const;
 
   /// Simulated-cost predictions of every engine kind for a workload
   /// under `policy` (launch shapes and devices come from the policy).
@@ -164,6 +186,16 @@ class AnalysisSession {
                               const ExecutionPolicy& policy);
   parallel::ThreadPool& batch_pool();
   parallel::ThreadPool& compute_pool();
+  parallel::ThreadPool& shard_pool();
+
+  /// Sharded streaming execution of one engine run: shards dispatched
+  /// onto the shard pool, partial results merged as they complete, and
+  /// the monolithic simulated accounting reconstituted bitwise with a
+  /// cost-only replay (DESIGN.md §5).
+  SimulationResult run_sharded(const Engine& engine,
+                               const Portfolio& portfolio, const Yet& yet,
+                               EngineKind kind, const EngineConfig& cfg,
+                               const ShardPlan& plan);
 
   /// The cached EngineContext for running `kind` (with `cfg`) against
   /// `portfolio`: the right-precision TableStore (built on first use)
@@ -172,12 +204,19 @@ class AnalysisSession {
   EngineContext context_for(const Portfolio& portfolio, EngineKind kind,
                             const EngineConfig& cfg, TablePins& pins);
 
+  // Three pools, strictly layered so no pool ever barriers on itself:
+  // batch (request dispatch) -> shard (per-request trial shards) ->
+  // compute (engine-internal parallel_for). A request running on a
+  // batch worker may block on the shard pool, and a shard task may
+  // block on the compute pool, but never the other way around.
   ExecutionPolicy default_policy_;
   std::size_t workers_;
   std::mutex pool_mutex_;
   std::unique_ptr<parallel::ThreadPool> pool_;  ///< built on first run_batch
   std::mutex compute_pool_mutex_;
   std::unique_ptr<parallel::ThreadPool> compute_pool_;  ///< handed to engines
+  std::mutex shard_pool_mutex_;
+  std::unique_ptr<parallel::ThreadPool> shard_pool_;  ///< shard scheduler
   std::mutex cache_mutex_;
   std::unordered_map<std::string, std::unique_ptr<Engine>> engines_;
   mutable std::mutex tables_mutex_;

@@ -1,0 +1,104 @@
+#include "core/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ara {
+
+double shard_bytes_per_trial(std::size_t layer_count,
+                             double mean_events_per_trial) {
+  return mean_events_per_trial * sizeof(EventOccurrence) +
+         sizeof(std::size_t) +
+         static_cast<double>(layer_count) * 2 * sizeof(double);
+}
+
+ShardPlan plan_shards(std::size_t total_trials, std::size_t shard_trials,
+                      std::size_t memory_budget_bytes,
+                      double bytes_per_trial) {
+  ShardPlan plan;
+  plan.total_trials = total_trials;
+  if (shard_trials > 0) {
+    plan.shard_trials = shard_trials;
+  } else if (memory_budget_bytes > 0 && bytes_per_trial > 0.0) {
+    const auto fit = static_cast<std::size_t>(
+        static_cast<double>(memory_budget_bytes) / bytes_per_trial);
+    plan.shard_trials = std::max<std::size_t>(1, fit);
+  } else {
+    plan.shard_trials = total_trials;  // single monolithic shard
+  }
+  return plan;
+}
+
+ShardMerger::ShardMerger(std::size_t layer_count, std::size_t trial_count)
+    : trial_count_(trial_count) {
+  merged_.ylt = Ylt(layer_count, trial_count);
+}
+
+void ShardMerger::add(const SimulationResult& partial) {
+  const std::size_t begin = partial.trial_begin;
+  const std::size_t end = begin + partial.ylt.trial_count();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Validate shape, bounds and disjointness before recording, so
+    // the copy below cannot throw and overlapping shards (which would
+    // silently double-count ops) are rejected. blocks_ is ordered by
+    // begin, so only the two neighbours can overlap — O(log n) per
+    // add, which matters at one-trial-shard granularity.
+    if (partial.ylt.layer_count() != merged_.ylt.layer_count()) {
+      throw std::invalid_argument("ShardMerger::add: layer count mismatch");
+    }
+    if (end > trial_count_) {
+      throw std::invalid_argument("ShardMerger::add: range out of bounds");
+    }
+    const auto next = blocks_.lower_bound(begin);
+    if (next != blocks_.end() && next->first < end) {
+      throw std::logic_error("ShardMerger::add: overlapping shard");
+    }
+    if (next != blocks_.begin() && std::prev(next)->second > begin) {
+      throw std::logic_error("ShardMerger::add: overlapping shard");
+    }
+    blocks_.emplace(begin, end);
+    merged_.ops += partial.ops;
+    merged_.wall_seconds += partial.wall_seconds;
+    merged_.measured_phases += partial.measured_phases;
+    sharded_simulated_ += partial.simulated_seconds;
+    if (first_) {
+      merged_.engine_name = partial.engine_name;
+      merged_.devices = partial.devices;
+      first_ = false;
+    }
+  }
+  // The O(layers x rows) copy runs outside the lock: the range was
+  // reserved above, so concurrent adds write disjoint rows and shard
+  // completions do not serialise on each other.
+  merged_.ylt.merge_trial_block(partial.ylt, partial.trial_begin);
+  // Coverage advances only after the copy lands, so merged_trials()
+  // reaching trial_count (and finish() succeeding) implies every row
+  // is fully written — a poller can never move the result out from
+  // under an in-flight copy.
+  std::lock_guard<std::mutex> lock(mutex_);
+  covered_ += partial.ylt.trial_count();
+}
+
+std::size_t ShardMerger::merged_trials() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return covered_;
+}
+
+double ShardMerger::sharded_simulated_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sharded_simulated_;
+}
+
+SimulationResult ShardMerger::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (covered_ != trial_count_) {
+    throw std::logic_error(
+        "ShardMerger::finish: shards cover " + std::to_string(covered_) +
+        " of " + std::to_string(trial_count_) + " trials");
+  }
+  return std::move(merged_);
+}
+
+}  // namespace ara

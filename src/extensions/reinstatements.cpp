@@ -26,6 +26,22 @@ double ReinstatementResult::expected_reinstatement_premium(
   return sum / static_cast<double>(trials_);
 }
 
+void ReinstatementResult::merge_trial_block(const ReinstatementResult& other,
+                                            std::size_t trial_begin) {
+  if (other.layers_ != layers_) {
+    throw std::invalid_argument(
+        "ReinstatementResult::merge_trial_block: layer count mismatch");
+  }
+  if (trial_begin + other.trials_ > trials_) {
+    throw std::invalid_argument(
+        "ReinstatementResult::merge_trial_block: range out of bounds");
+  }
+  for (std::size_t l = 0; l < layers_; ++l) {
+    std::copy_n(other.outcomes_.begin() + l * other.trials_, other.trials_,
+                outcomes_.begin() + l * trials_ + trial_begin);
+  }
+}
+
 ReinstatementOutcome evaluate_reinstatement_trial(
     const std::vector<double>& occurrence_losses,
     const ReinstatementTerms& terms) {
@@ -76,12 +92,14 @@ ReinstatementEngine::ReinstatementEngine(
 }
 
 ReinstatementResult ReinstatementEngine::run(
-    const Yet& yet, const TableStore<double>* shared_tables) const {
+    const Yet& yet, const TableStore<double>* shared_tables,
+    TrialRange trials) const {
   if (portfolio_.catalogue_size() != yet.catalogue_size()) {
     throw std::invalid_argument(
         "ReinstatementEngine: portfolio and YET index different catalogues");
   }
-  ReinstatementResult result(portfolio_.layer_count(), yet.trial_count());
+  const TrialRange range = trials.resolve(yet.trial_count());
+  ReinstatementResult result(portfolio_.layer_count(), range.size());
   TableStore<double> local;
   const TableStore<double>& tables =
       *select_tables(shared_tables, local, portfolio_);
@@ -89,8 +107,8 @@ ReinstatementResult ReinstatementEngine::run(
   std::vector<double> occ_losses;
   for (std::size_t a = 0; a < portfolio_.layer_count(); ++a) {
     const BoundLayer<double> layer = bind_layer(portfolio_, tables, a);
-    for (TrialId b = 0; b < yet.trial_count(); ++b) {
-      const auto trial = yet.trial(b);
+    for (std::size_t b = range.begin; b < range.end; ++b) {
+      const auto trial = yet.trial(static_cast<TrialId>(b));
       occ_losses.clear();
       occ_losses.reserve(trial.size());
       for (const EventOccurrence& occ : trial) {
@@ -101,7 +119,8 @@ ReinstatementResult ReinstatementEngine::run(
         }
         occ_losses.push_back(combined);
       }
-      result.at(a, b) = evaluate_reinstatement_trial(occ_losses, terms_[a]);
+      result.at(a, static_cast<TrialId>(b - range.begin)) =
+          evaluate_reinstatement_trial(occ_losses, terms_[a]);
     }
   }
   return result;

@@ -75,6 +75,12 @@ class ReinstatementResult {
   /// Mean reinstatement premium income for a layer.
   double expected_reinstatement_premium(std::size_t layer) const;
 
+  /// Copies `other`'s trial rows (all layers) into this result at
+  /// [trial_begin, trial_begin + other.trial_count()) — the shard
+  /// merge of the reinstatement pass, mirroring Ylt::merge_trial_block.
+  void merge_trial_block(const ReinstatementResult& other,
+                         std::size_t trial_begin);
+
  private:
   std::size_t layers_ = 0;
   std::size_t trials_ = 0;
@@ -101,10 +107,15 @@ class ReinstatementEngine {
   /// `shared_tables` (optional) must have been built from the same
   /// portfolio; null means build locally (the one-shot API). The
   /// session passes its cached store so a batch of requests with
-  /// reinstatement terms binds tables once.
+  /// reinstatement terms binds tables once. `trials` restricts the run
+  /// to a trial shard: the result then holds only that range's rows
+  /// (locally indexed), placed into a full result with
+  /// ReinstatementResult::merge_trial_block. Each trial is evaluated
+  /// independently, so sharded results are bitwise identical to the
+  /// whole-YET run's rows.
   ReinstatementResult run(const Yet& yet,
-                          const TableStore<double>* shared_tables
-                              = nullptr) const;
+                          const TableStore<double>* shared_tables = nullptr,
+                          TrialRange trials = {}) const;
 
  private:
   const Portfolio& portfolio_;

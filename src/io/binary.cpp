@@ -8,26 +8,21 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/format.hpp"
+
 namespace ara::io {
 
 namespace {
 
-constexpr char kYetMagic[8] = {'A', 'R', 'A', 'Y', 'E', 'T', '0', '1'};
-constexpr char kEltMagic[8] = {'A', 'R', 'A', 'E', 'L', 'T', '0', '1'};
-constexpr char kPortMagic[8] = {'A', 'R', 'A', 'P', 'R', 'T', '0', '1'};
-constexpr char kYltMagic[8] = {'A', 'R', 'A', 'Y', 'L', 'T', '0', '1'};
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
+using format::kEltMagic;
+using format::kYetMagic;
+using format::kYltMagic;
+using format::write_pod;
+constexpr const char (&kPortMagic)[8] = format::kPortfolioMagic;
 
 template <typename T>
 T read_pod(std::istream& is) {
-  T v;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("binary read: truncated stream");
-  return v;
+  return format::read_pod<T>(is);
 }
 
 void write_magic(std::ostream& os, const char (&magic)[8]) {

@@ -14,10 +14,11 @@
 #include "core/layer.hpp"
 #include "core/yet.hpp"
 #include "core/ylt.hpp"
+#include "io/format.hpp"
 
 namespace ara::io {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = format::kFormatVersion;
 
 void write_yet(std::ostream& os, const Yet& yet);
 Yet read_yet(std::istream& is);

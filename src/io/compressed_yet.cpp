@@ -7,59 +7,26 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/format.hpp"
+
 namespace ara::io {
 
 namespace {
 
-constexpr char kMagic[8] = {'A', 'R', 'A', 'Y', 'E', 'T', 'C', '1'};
-constexpr std::uint32_t kVersion = 1;
+// The shared format definition (io/format.hpp) supplies the magic,
+// the varint codec and the fixed-width primitives, so this encoder
+// can never drift from the chunked reader's decoder.
+constexpr const char (&kMagic)[8] = format::kYetCompressedMagic;
+constexpr std::uint32_t kVersion = format::kFormatVersion;
 
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
+using format::read_varint;
+using format::varint_size;
+using format::write_pod;
+using format::write_varint;
 
 template <typename T>
 T read_pod(std::istream& is) {
-  T v;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("compressed YET: truncated stream");
-  return v;
-}
-
-void write_varint(std::ostream& os, std::uint64_t v) {
-  while (v >= 0x80) {
-    const char byte = static_cast<char>((v & 0x7F) | 0x80);
-    os.put(byte);
-    v >>= 7;
-  }
-  os.put(static_cast<char>(v));
-}
-
-std::uint64_t read_varint(std::istream& is) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    const int byte = is.get();
-    if (byte == std::char_traits<char>::eof()) {
-      throw std::runtime_error("compressed YET: truncated varint");
-    }
-    if (shift >= 63 && (byte & 0x7E) != 0) {
-      throw std::runtime_error("compressed YET: varint overflow");
-    }
-    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return v;
-    shift += 7;
-  }
-}
-
-std::size_t varint_size(std::uint64_t v) {
-  std::size_t n = 1;
-  while (v >= 0x80) {
-    v >>= 7;
-    ++n;
-  }
-  return n;
+  return format::read_pod<T>(is);
 }
 
 }  // namespace

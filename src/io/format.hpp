@@ -1,0 +1,92 @@
+// The single definition of the on-disk format shared by the whole io
+// layer: magic tags, the format version, header sizes, and the
+// fixed-width / varint primitives. io/binary.cpp, io/compressed_yet.cpp
+// and io/yet_chunk.cpp all encode and decode through this header, so a
+// format change (version bump, layout change) cannot leave one of them
+// silently speaking the old dialect.
+#pragma once
+
+#include <cstdint>
+#include <ios>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace ara::io::format {
+
+/// One version for every type tag; a bump here is the only way to
+/// change it anywhere in the io layer.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+inline constexpr char kYetMagic[8] = {'A', 'R', 'A', 'Y', 'E', 'T', '0', '1'};
+inline constexpr char kEltMagic[8] = {'A', 'R', 'A', 'E', 'L', 'T', '0', '1'};
+inline constexpr char kPortfolioMagic[8] = {'A', 'R', 'A', 'P', 'R', 'T',
+                                            '0', '1'};
+inline constexpr char kYltMagic[8] = {'A', 'R', 'A', 'Y', 'L', 'T', '0', '1'};
+inline constexpr char kYetCompressedMagic[8] = {'A', 'R', 'A', 'Y', 'E', 'T',
+                                                'C', '1'};
+
+/// Bytes before a binary YLT's annual-loss table: magic, u32 version,
+/// u64 layer count, u64 trial count (write_ylt's layout).
+inline constexpr std::streamoff kYltHeaderBytes = 8 + 4 + 8 + 8;
+
+/// Bytes before a binary YET's offset index: magic, u32 version,
+/// u32 catalogue, u64 trial count, u64 occurrence count.
+inline constexpr std::streamoff kYetHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+template <typename T>
+inline void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+inline T read_pod(std::istream& is, const char* what = "stream") {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) {
+    throw std::runtime_error(std::string("binary read: truncated ") + what);
+  }
+  return v;
+}
+
+inline void write_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+inline std::uint64_t read_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = is.get();
+    if (byte == std::char_traits<char>::eof()) {
+      throw std::runtime_error("binary read: truncated varint");
+    }
+    if (shift >= 63 && (byte & 0x7E) != 0) {
+      throw std::runtime_error("binary read: varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) {
+      // A continuation past the top bit would shift by >= 64 next
+      // iteration — undefined behaviour, not a decode.
+      throw std::runtime_error("binary read: varint overflow");
+    }
+  }
+}
+
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ara::io::format

@@ -1,0 +1,261 @@
+#include "io/yet_chunk.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/shard.hpp"
+#include "io/format.hpp"
+
+namespace ara::io {
+
+namespace {
+
+// The shared format definition (io/format.hpp) supplies the magics,
+// version and codecs; the reader only sniffs the leading magic to pick
+// the decoder.
+using format::kYetCompressedMagic;
+using format::kYetMagic;
+using format::read_varint;
+
+template <typename T>
+T read_pod(std::istream& is, const char* what) {
+  return format::read_pod<T>(is, what);
+}
+
+}  // namespace
+
+YetChunkReader::YetChunkReader(std::string path) : path_(std::move(path)) {
+  is_.open(path_, std::ios::binary);
+  if (!is_) {
+    throw std::runtime_error("YetChunkReader: cannot open " + path_);
+  }
+
+  char magic[8];
+  is_.read(magic, 8);
+  if (!is_) throw std::runtime_error("YetChunkReader: truncated header");
+  if (std::memcmp(magic, kYetMagic, 8) == 0) {
+    compressed_ = false;
+  } else if (std::memcmp(magic, kYetCompressedMagic, 8) == 0) {
+    compressed_ = true;
+  } else {
+    throw std::runtime_error("YetChunkReader: not a YET file: " + path_);
+  }
+
+  const auto version = read_pod<std::uint32_t>(is_, "version");
+  if (version != format::kFormatVersion) {
+    throw std::runtime_error("YetChunkReader: unsupported YET version " +
+                             std::to_string(version));
+  }
+  catalogue_ = read_pod<EventId>(is_, "catalogue size");
+  trial_count_ =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is_, "trial count"));
+
+  if (compressed_) {
+    data_start_ = is_.tellg();
+    return;
+  }
+
+  occurrences_ = read_pod<std::uint64_t>(is_, "occurrence count");
+  offsets_.resize(trial_count_ + 1);
+  is_.read(reinterpret_cast<char*>(offsets_.data()),
+           static_cast<std::streamsize>(offsets_.size() * 8));
+  if (!is_) throw std::runtime_error("YetChunkReader: truncated offsets");
+  if (offsets_.front() != 0 || offsets_.back() != occurrences_ ||
+      !std::is_sorted(offsets_.begin(), offsets_.end())) {
+    throw std::runtime_error("YetChunkReader: corrupt offset index");
+  }
+  data_start_ = is_.tellg();
+}
+
+std::size_t YetChunkReader::max_chunk_trials(std::size_t memory_budget_bytes,
+                                             std::size_t layer_count) const {
+  if (compressed_) {
+    throw std::logic_error(
+        "YetChunkReader::max_chunk_trials: compressed files do not record "
+        "the occurrence count; pick the chunk size explicitly");
+  }
+  // The same resident-footprint model the session's memory-budget
+  // sharding uses, so both paths derive the same chunk from a budget.
+  const double per_trial =
+      shard_bytes_per_trial(layer_count, mean_events_per_trial());
+  const auto fit = static_cast<std::size_t>(
+      static_cast<double>(memory_budget_bytes) / per_trial);
+  return std::max<std::size_t>(1, fit);
+}
+
+Yet YetChunkReader::read_chunk(std::size_t begin, std::size_t end) {
+  if (begin > end || end > trial_count_) {
+    throw std::invalid_argument("YetChunkReader::read_chunk: bad range");
+  }
+  return compressed_ ? read_chunk_compressed(begin, end)
+                     : read_chunk_binary(begin, end);
+}
+
+Yet YetChunkReader::read_chunk_binary(std::size_t begin, std::size_t end) {
+  const std::uint64_t first = offsets_[begin];
+  const std::uint64_t count = offsets_[end] - first;
+
+  // One seek + one bulk read per chunk: occurrence records are 8 bytes
+  // (u32 event, u32 time), matching EventOccurrence's layout, so the
+  // file bytes land directly in the vector the Yet takes over.
+  static_assert(sizeof(EventOccurrence) == 8);
+  std::vector<EventOccurrence> occ(static_cast<std::size_t>(count));
+  is_.clear();
+  is_.seekg(data_start_ + static_cast<std::streamoff>(first * 8));
+  is_.read(reinterpret_cast<char*>(occ.data()),
+           static_cast<std::streamsize>(count * 8));
+  if (!is_) {
+    throw std::runtime_error("YetChunkReader: truncated occurrence data");
+  }
+
+  std::vector<std::size_t> local(end - begin + 1);
+  for (std::size_t i = 0; i <= end - begin; ++i) {
+    local[i] = static_cast<std::size_t>(offsets_[begin + i] - first);
+  }
+
+  peak_bytes_ = std::max(
+      peak_bytes_, occ.size() * sizeof(EventOccurrence) +
+                       local.size() * sizeof(std::size_t));
+  // The Yet constructor re-validates event ids and timestamp order, so
+  // corrupted record bytes fail here instead of polluting results.
+  return Yet(std::move(occ), std::move(local), catalogue_);
+}
+
+void YetChunkReader::skip_compressed_trial() {
+  const std::uint64_t count = read_varint(is_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    read_varint(is_);  // event id
+    read_varint(is_);  // timestamp delta
+  }
+}
+
+Yet YetChunkReader::read_chunk_compressed(std::size_t begin,
+                                          std::size_t end) {
+  // Varints are not seekable: decoding is forward-only from the last
+  // cursor position, rewinding to the start of the data when a caller
+  // asks for an earlier range.
+  if (begin < cursor_) {
+    is_.clear();
+    is_.seekg(data_start_);
+    cursor_ = 0;
+  }
+  while (cursor_ < begin) {
+    skip_compressed_trial();
+    ++cursor_;
+  }
+
+  std::vector<EventOccurrence> occ;
+  std::vector<std::size_t> local;
+  local.reserve(end - begin + 1);
+  local.push_back(0);
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::uint64_t count = read_varint(is_);
+    Timestamp prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t event = read_varint(is_);
+      const std::uint64_t delta = read_varint(is_);
+      if (event == 0 || event > catalogue_) {
+        throw std::runtime_error(
+            "YetChunkReader: event id out of catalogue range");
+      }
+      EventOccurrence o;
+      o.event = static_cast<EventId>(event);
+      o.time = prev + static_cast<Timestamp>(delta);
+      prev = o.time;
+      occ.push_back(o);
+    }
+    local.push_back(occ.size());
+    ++cursor_;
+  }
+
+  peak_bytes_ = std::max(
+      peak_bytes_, occ.capacity() * sizeof(EventOccurrence) +
+                       local.capacity() * sizeof(std::size_t));
+  return Yet(std::move(occ), std::move(local), catalogue_);
+}
+
+// ---- YltChunkWriter --------------------------------------------------------
+
+using format::kYltHeaderBytes;
+
+YltChunkWriter::YltChunkWriter(const std::string& path,
+                               std::size_t layer_count,
+                               std::size_t trial_count)
+    : layer_count_(layer_count), trial_count_(trial_count) {
+  os_.open(path, std::ios::binary | std::ios::trunc);
+  if (!os_) throw std::runtime_error("YltChunkWriter: cannot open " + path);
+  os_.write(format::kYltMagic, 8);
+  format::write_pod(os_, format::kFormatVersion);
+  format::write_pod(os_, static_cast<std::uint64_t>(layer_count_));
+  format::write_pod(os_, static_cast<std::uint64_t>(trial_count_));
+
+  // Fix the file's full extent up front so block writes can seek
+  // anywhere within it regardless of append order.
+  const std::uint64_t body = static_cast<std::uint64_t>(layer_count_) *
+                             trial_count_ * 2 * sizeof(double);
+  if (body > 0) {
+    os_.seekp(kYltHeaderBytes + static_cast<std::streamoff>(body) - 1);
+    os_.put('\0');
+  }
+  if (!os_) throw std::runtime_error("YltChunkWriter: write failed");
+}
+
+YltChunkWriter::~YltChunkWriter() {
+  // Close without the coverage check (it throws); callers that care
+  // about completeness call close() themselves.
+  if (os_.is_open()) os_.close();
+}
+
+void YltChunkWriter::append(const Ylt& partial, std::size_t trial_begin) {
+  if (closed_) throw std::logic_error("YltChunkWriter::append after close");
+  if (partial.layer_count() != layer_count_) {
+    throw std::invalid_argument("YltChunkWriter::append: layer mismatch");
+  }
+  const std::size_t n = partial.trial_count();
+  if (trial_begin + n > trial_count_) {
+    throw std::invalid_argument("YltChunkWriter::append: range out of bounds");
+  }
+  // blocks_ is ordered by begin, so only the neighbours can overlap —
+  // O(log n) per append at one-trial-shard granularity.
+  const std::size_t end = trial_begin + n;
+  const auto next = blocks_.lower_bound(trial_begin);
+  if ((next != blocks_.end() && next->first < end) ||
+      (next != blocks_.begin() && std::prev(next)->second > trial_begin)) {
+    throw std::invalid_argument("YltChunkWriter::append: overlapping block");
+  }
+
+  // Seek each layer's rows into place in both tables (annual losses
+  // first, then max-occurrence — the save_ylt layout).
+  const auto table_bytes = static_cast<std::streamoff>(
+      static_cast<std::uint64_t>(layer_count_) * trial_count_ *
+      sizeof(double));
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    const auto row = static_cast<std::streamoff>(
+        (static_cast<std::uint64_t>(l) * trial_count_ + trial_begin) *
+        sizeof(double));
+    os_.seekp(kYltHeaderBytes + row);
+    os_.write(reinterpret_cast<const char*>(partial.layer_annual(l)),
+              static_cast<std::streamsize>(n * sizeof(double)));
+    os_.seekp(kYltHeaderBytes + table_bytes + row);
+    os_.write(reinterpret_cast<const char*>(partial.layer_max_occurrence(l)),
+              static_cast<std::streamsize>(n * sizeof(double)));
+  }
+  if (!os_) throw std::runtime_error("YltChunkWriter: write failed");
+  blocks_.emplace(trial_begin, end);
+  covered_ += n;
+}
+
+void YltChunkWriter::close() {
+  if (closed_) return;
+  if (covered_ != trial_count_) {
+    throw std::runtime_error(
+        "YltChunkWriter::close: blocks cover " + std::to_string(covered_) +
+        " of " + std::to_string(trial_count_) + " trials");
+  }
+  os_.close();
+  if (os_.fail()) throw std::runtime_error("YltChunkWriter: close failed");
+  closed_ = true;
+}
+
+}  // namespace ara::io

@@ -6,6 +6,7 @@
 
 #include "io/binary.hpp"
 #include "synth/scenarios.hpp"
+#include "testdata.hpp"
 
 namespace ara::io {
 namespace {
@@ -106,12 +107,13 @@ TEST(CompressedYet, RejectsOutOfRangeEvent) {
 
 TEST(CompressedYet, FileHelpersRoundTrip) {
   const synth::Scenario s = synth::tiny(8, 56);
-  const std::string path = ::testing::TempDir() + "/yet_compressed.bin";
+  const std::string path = testdata::scratch_path("yet_compressed.bin");
   save_yet_compressed(path, s.yet);
   const Yet loaded = load_yet_compressed(path);
   EXPECT_EQ(loaded.occurrences(), s.yet.occurrences());
-  EXPECT_THROW(load_yet_compressed(::testing::TempDir() + "/missing.bin"),
-               std::runtime_error);
+  EXPECT_THROW(
+      load_yet_compressed(testdata::scratch_path("missing_compressed.bin")),
+      std::runtime_error);
 }
 
 }  // namespace

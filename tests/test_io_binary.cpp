@@ -7,6 +7,7 @@
 
 #include "core/reference_engine.hpp"
 #include "synth/scenarios.hpp"
+#include "testdata.hpp"
 
 namespace ara::io {
 namespace {
@@ -92,14 +93,18 @@ TEST(BinaryIo, RejectsEmptyStream) {
 
 TEST(BinaryIo, FileHelpersRoundTrip) {
   const synth::Scenario s = synth::tiny(8, 5);
-  const std::string dir = ::testing::TempDir();
-  save_yet(dir + "/yet.bin", s.yet);
-  save_portfolio(dir + "/portfolio.bin", s.portfolio);
-  const Yet yet = load_yet(dir + "/yet.bin");
-  const Portfolio p = load_portfolio(dir + "/portfolio.bin");
+  // All fixture paths come from the shared helper, so the suite does
+  // not depend on the build/working directory (tests/testdata.hpp).
+  save_yet(testdata::scratch_path("binary_io_yet.bin"), s.yet);
+  save_portfolio(testdata::scratch_path("binary_io_portfolio.bin"),
+                 s.portfolio);
+  const Yet yet = load_yet(testdata::scratch_path("binary_io_yet.bin"));
+  const Portfolio p =
+      load_portfolio(testdata::scratch_path("binary_io_portfolio.bin"));
   EXPECT_EQ(yet.occurrences(), s.yet.occurrences());
   EXPECT_EQ(p.layer_count(), s.portfolio.layer_count());
-  EXPECT_THROW(load_yet(dir + "/does_not_exist.bin"), std::runtime_error);
+  EXPECT_THROW(load_yet(testdata::scratch_path("does_not_exist.bin")),
+               std::runtime_error);
 }
 
 TEST(BinaryIo, AnalysisReproducibleFromSavedInputs) {

@@ -1,0 +1,169 @@
+// Concurrency contract of the batched session APIs: N caller threads
+// issue overlapping batches against ONE session (shared table cache,
+// shared dispatch/shard/compute pools) and every request resolves to
+// exactly the result it would have produced alone — including when
+// some requests fail, whose exceptions must surface only through their
+// own future (no cross-request or cross-batch exception wiring, the
+// failure mode of a pool-wide error barrier). Run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+AnalysisRequest request_for(const synth::Scenario& s,
+                            const std::string& label) {
+  AnalysisRequest request;
+  request.label = label;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  request.metrics.layer_summaries = true;
+  return request;
+}
+
+TEST(SessionAsync, FuturesResolveInRequestOrderWithResults) {
+  const synth::Scenario s = synth::tiny(32, 3);
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+
+  const AnalysisResult reference = session.run(request_for(s, "ref"));
+
+  std::vector<AnalysisRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    requests.push_back(request_for(s, "r" + std::to_string(i)));
+  }
+  std::vector<std::future<AnalysisResult>> futures =
+      session.run_batch_async(requests);
+  ASSERT_EQ(futures.size(), requests.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const AnalysisResult result = futures[i].get();
+    EXPECT_EQ(result.label, "r" + std::to_string(i));
+    EXPECT_EQ(result.simulation.ylt.annual_raw(),
+              reference.simulation.ylt.annual_raw());
+  }
+}
+
+TEST(SessionAsync, OverlappingBatchesFromManyThreads) {
+  const synth::Scenario shared = synth::tiny(40, 5);
+  const synth::Scenario other = synth::tiny(24, 6);
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kMultiCore), 4);
+
+  const AnalysisResult ref_shared = session.run(request_for(shared, "a"));
+  const AnalysisResult ref_other = session.run(request_for(other, "b"));
+
+  constexpr int kThreads = 6;
+  constexpr int kPerBatch = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kThreads);
+  for (int c = 0; c < kThreads; ++c) {
+    callers.emplace_back([&, c] {
+      // Alternate workloads so the shared table cache serves two
+      // portfolios concurrently; half the threads shard their runs so
+      // the shard pool is contended too.
+      const synth::Scenario& s = c % 2 == 0 ? shared : other;
+      const AnalysisResult& ref = c % 2 == 0 ? ref_shared : ref_other;
+      std::vector<AnalysisRequest> requests;
+      for (int i = 0; i < kPerBatch; ++i) {
+        AnalysisRequest r = request_for(s, std::to_string(c));
+        if (c % 3 == 0) {
+          ExecutionPolicy policy =
+              ExecutionPolicy::with_engine(EngineKind::kMultiCore);
+          policy.shard_trials = 9;
+          r.policy = policy;
+        }
+        requests.push_back(std::move(r));
+      }
+      try {
+        const std::vector<AnalysisResult> results =
+            session.run_batch(requests);
+        for (const AnalysisResult& result : results) {
+          if (result.simulation.ylt.annual_raw() !=
+              ref.simulation.ylt.annual_raw()) {
+            ++failures;
+          }
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SessionAsync, ExceptionsStayWithTheirOwnFuture) {
+  const synth::Scenario s = synth::tiny(16, 7);
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+
+  std::vector<AnalysisRequest> requests;
+  requests.push_back(request_for(s, "good0"));
+  requests.push_back(AnalysisRequest{});  // no portfolio/yet: throws
+  requests.push_back(request_for(s, "good1"));
+
+  std::vector<std::future<AnalysisResult>> futures =
+      session.run_batch_async(requests);
+  EXPECT_NO_THROW(futures[0].get());
+  EXPECT_THROW(futures[1].get(), std::invalid_argument);
+  EXPECT_NO_THROW(futures[2].get());
+}
+
+TEST(SessionAsync, FailingBatchDoesNotPoisonConcurrentBatch) {
+  const synth::Scenario s = synth::tiny(24, 9);
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused), 2);
+
+  std::atomic<bool> good_batch_ok{false};
+  std::atomic<bool> bad_batch_threw{false};
+
+  std::thread bad([&] {
+    std::vector<AnalysisRequest> requests(4);  // all invalid
+    try {
+      session.run_batch(requests);
+    } catch (const std::invalid_argument&) {
+      bad_batch_threw = true;
+    }
+  });
+  std::thread good([&] {
+    std::vector<AnalysisRequest> requests;
+    for (int i = 0; i < 4; ++i) requests.push_back(request_for(s, "ok"));
+    try {
+      const auto results = session.run_batch(requests);
+      good_batch_ok = results.size() == 4;
+    } catch (...) {
+      good_batch_ok = false;
+    }
+  });
+  bad.join();
+  good.join();
+  EXPECT_TRUE(bad_batch_threw.load());
+  EXPECT_TRUE(good_batch_ok.load());
+}
+
+// run_batch keeps its synchronous contract on top of the async core:
+// results in request order, first failure (in request order) rethrown
+// only after the whole batch drained.
+TEST(SessionAsync, RunBatchRethrowsAfterDrain) {
+  const synth::Scenario s = synth::tiny(16, 11);
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+
+  std::vector<AnalysisRequest> requests;
+  requests.push_back(request_for(s, "ok"));
+  requests.push_back(AnalysisRequest{});
+  EXPECT_THROW(session.run_batch(requests), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,258 @@
+// YetChunkReader / YltChunkWriter: chunked reads reassemble the exact
+// YET (binary and compressed formats), the chunked YLT file is byte-
+// identical to save_ylt's, resident memory stays bounded by the chunk,
+// and truncated/corrupted files fail loudly on every path.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/reference_engine.hpp"
+#include "io/binary.hpp"
+#include "io/compressed_yet.hpp"
+#include "io/yet_chunk.hpp"
+#include "synth/scenarios.hpp"
+#include "testdata.hpp"
+
+namespace ara::io {
+namespace {
+
+using testdata::scratch_path;
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_chunks_reassemble(YetChunkReader& reader, const Yet& expected,
+                              std::size_t chunk) {
+  std::size_t occ_at = 0;
+  for (std::size_t begin = 0; begin < expected.trial_count();
+       begin += chunk) {
+    const std::size_t end =
+        std::min(begin + chunk, expected.trial_count());
+    const Yet slice = reader.read_chunk(begin, end);
+    ASSERT_EQ(slice.trial_count(), end - begin);
+    ASSERT_EQ(slice.catalogue_size(), expected.catalogue_size());
+    for (std::size_t t = begin; t < end; ++t) {
+      const auto got = slice.trial(static_cast<TrialId>(t - begin));
+      const auto want = expected.trial(static_cast<TrialId>(t));
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t k = 0; k < want.size(); ++k) {
+        EXPECT_EQ(got[k], want[k]);
+      }
+      occ_at += want.size();
+    }
+  }
+  EXPECT_EQ(occ_at, expected.occurrence_count());
+}
+
+TEST(YetChunkReader, BinaryChunksReassembleTheYet) {
+  const synth::Scenario s = synth::tiny(30, 3);
+  const std::string path = scratch_path("yet_chunk_binary.bin");
+  save_yet(path, s.yet);
+
+  YetChunkReader reader(path);
+  EXPECT_FALSE(reader.compressed());
+  EXPECT_EQ(reader.trial_count(), s.yet.trial_count());
+  EXPECT_EQ(reader.catalogue_size(), s.yet.catalogue_size());
+  EXPECT_EQ(reader.occurrence_count(), s.yet.occurrence_count());
+  for (const std::size_t chunk : {1u, 7u, 15u, 30u, 31u}) {
+    expect_chunks_reassemble(reader, s.yet, chunk);
+  }
+}
+
+TEST(YetChunkReader, BinaryRandomAccessAndBoundedBuffer) {
+  const synth::Scenario s = synth::tiny(40, 5);
+  const std::string path = scratch_path("yet_chunk_random.bin");
+  save_yet(path, s.yet);
+
+  YetChunkReader reader(path);
+  // Out-of-order reads are fine in the binary format.
+  const Yet tail = reader.read_chunk(30, 40);
+  const Yet head = reader.read_chunk(0, 10);
+  EXPECT_EQ(head.trial(0).size(), s.yet.trial(0).size());
+  EXPECT_EQ(tail.trial(0).size(), s.yet.trial(30).size());
+
+  // The peak resident buffer tracks the largest chunk, not the file.
+  const std::size_t whole = s.yet.memory_bytes();
+  EXPECT_LT(reader.peak_resident_bytes(), whole);
+  EXPECT_GT(reader.peak_resident_bytes(), 0u);
+}
+
+TEST(YetChunkReader, CompressedChunksReassembleTheYet) {
+  const synth::Scenario s = synth::tiny(26, 7);
+  const std::string path = scratch_path("yet_chunk_compressed.bin");
+  save_yet_compressed(path, s.yet);
+
+  YetChunkReader reader(path);
+  EXPECT_TRUE(reader.compressed());
+  EXPECT_EQ(reader.trial_count(), s.yet.trial_count());
+  for (const std::size_t chunk : {1u, 9u, 26u, 27u}) {
+    // Sequential forward reads; each loop iteration rewinds to 0.
+    expect_chunks_reassemble(reader, s.yet, chunk);
+  }
+  // Rewinding explicitly after a tail read also works.
+  reader.read_chunk(20, 26);
+  const Yet head = reader.read_chunk(0, 4);
+  EXPECT_EQ(head.trial(1).size(), s.yet.trial(1).size());
+}
+
+TEST(YetChunkReader, MaxChunkTrialsRespectsBudget) {
+  const synth::Scenario s = synth::tiny(32, 9);
+  const std::string path = scratch_path("yet_chunk_budget.bin");
+  save_yet(path, s.yet);
+
+  YetChunkReader reader(path);
+  const std::size_t chunk = reader.max_chunk_trials(4096, 2);
+  EXPECT_GE(chunk, 1u);
+  EXPECT_LT(chunk, s.yet.trial_count());
+  // A tiny budget still makes progress one trial at a time.
+  EXPECT_EQ(reader.max_chunk_trials(1, 2), 1u);
+
+  const std::string cpath = scratch_path("yet_chunk_budget_c.bin");
+  save_yet_compressed(cpath, s.yet);
+  YetChunkReader creader(cpath);
+  EXPECT_THROW(creader.max_chunk_trials(4096, 2), std::logic_error);
+}
+
+TEST(YetChunkReader, RejectsMissingBadMagicAndVersion) {
+  EXPECT_THROW(YetChunkReader(scratch_path("yet_chunk_missing.bin")),
+               std::runtime_error);
+
+  const std::string bad = scratch_path("yet_chunk_bad_magic.bin");
+  write_bytes(bad, "DEFINITELY NOT A YET FILE");
+  EXPECT_THROW(YetChunkReader{bad}, std::runtime_error);
+
+  // A valid file with a bumped version byte is refused, not guessed.
+  const synth::Scenario s = synth::tiny(8, 11);
+  const std::string vpath = scratch_path("yet_chunk_bad_version.bin");
+  save_yet(vpath, s.yet);
+  std::string bytes = file_bytes(vpath);
+  bytes[8] = 99;  // version is the u32 after the 8-byte magic
+  write_bytes(vpath, bytes);
+  EXPECT_THROW(YetChunkReader{vpath}, std::runtime_error);
+}
+
+TEST(YetChunkReader, TruncatedFilesFailLoudly) {
+  const synth::Scenario s = synth::tiny(24, 13);
+
+  // Binary, cut mid-occurrence-data: the header and offsets parse, so
+  // construction succeeds, but reading the missing trials throws.
+  const std::string bpath = scratch_path("yet_chunk_trunc.bin");
+  save_yet(bpath, s.yet);
+  const std::string full = file_bytes(bpath);
+  write_bytes(bpath, full.substr(0, full.size() - full.size() / 4));
+  YetChunkReader reader(bpath);
+  EXPECT_THROW(reader.read_chunk(0, reader.trial_count()),
+               std::runtime_error);
+
+  // Binary, cut inside the offset index: construction itself throws.
+  const std::string hpath = scratch_path("yet_chunk_trunc_header.bin");
+  write_bytes(hpath, full.substr(0, 40));
+  EXPECT_THROW(YetChunkReader{hpath}, std::runtime_error);
+
+  // Compressed, cut mid-varint.
+  const std::string cpath = scratch_path("yet_chunk_trunc_c.bin");
+  save_yet_compressed(cpath, s.yet);
+  const std::string cfull = file_bytes(cpath);
+  write_bytes(cpath, cfull.substr(0, cfull.size() / 2));
+  YetChunkReader creader(cpath);
+  EXPECT_THROW(creader.read_chunk(0, creader.trial_count()),
+               std::runtime_error);
+}
+
+TEST(YetChunkReader, CompressedVarintOverflowIsRejectedNotUndefined) {
+  // A compressed header followed by 11 continuation bytes: decoding
+  // must throw (varint overflow), never shift past 64 bits.
+  std::string bytes = "ARAYETC1";
+  const std::uint32_t version = 1;
+  const std::uint32_t catalogue = 10;
+  const std::uint64_t trials = 1;
+  bytes.append(reinterpret_cast<const char*>(&version), 4);
+  bytes.append(reinterpret_cast<const char*>(&catalogue), 4);
+  bytes.append(reinterpret_cast<const char*>(&trials), 8);
+  bytes.append(11, '\xff');
+  const std::string path = scratch_path("yet_chunk_varint_overflow.bin");
+  write_bytes(path, bytes);
+  YetChunkReader reader(path);
+  EXPECT_THROW(reader.read_chunk(0, 1), std::runtime_error);
+}
+
+TEST(YetChunkReader, CorruptRecordsAreRejectedByValidation) {
+  const synth::Scenario s = synth::tiny(12, 17);
+  const std::string path = scratch_path("yet_chunk_corrupt.bin");
+  save_yet(path, s.yet);
+  std::string bytes = file_bytes(path);
+  // Stomp an event id in the occurrence region with an id far beyond
+  // the 100-event catalogue (offset index: 32-byte header + (trials+1)
+  // offsets of 8 bytes).
+  const std::size_t data_start = 32 + (s.yet.trial_count() + 1) * 8;
+  bytes[data_start] = '\xff';
+  bytes[data_start + 1] = '\xff';
+  write_bytes(path, bytes);
+  YetChunkReader reader(path);
+  EXPECT_THROW(reader.read_chunk(0, 4), std::invalid_argument);
+
+  // Bad range arguments are caught before any IO.
+  EXPECT_THROW(reader.read_chunk(8, 4), std::invalid_argument);
+  EXPECT_THROW(reader.read_chunk(0, reader.trial_count() + 1),
+               std::invalid_argument);
+}
+
+TEST(YltChunkWriter, ChunkedFileIsByteIdenticalToSaveYlt) {
+  const synth::Scenario s = synth::tiny(22, 19);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+
+  const std::string whole_path = scratch_path("ylt_whole.bin");
+  save_ylt(whole_path, ylt);
+
+  // Append out of order in uneven blocks.
+  const std::string chunked_path = scratch_path("ylt_chunked.bin");
+  YltChunkWriter writer(chunked_path, ylt.layer_count(), ylt.trial_count());
+  const auto block = [&](std::size_t begin, std::size_t end) {
+    Ylt part(ylt.layer_count(), end - begin);
+    for (std::size_t a = 0; a < ylt.layer_count(); ++a) {
+      for (std::size_t t = begin; t < end; ++t) {
+        part.annual_loss(a, static_cast<TrialId>(t - begin)) =
+            ylt.annual_loss(a, static_cast<TrialId>(t));
+        part.max_occurrence_loss(a, static_cast<TrialId>(t - begin)) =
+            ylt.max_occurrence_loss(a, static_cast<TrialId>(t));
+      }
+    }
+    return part;
+  };
+  writer.append(block(15, 22), 15);
+  writer.append(block(0, 7), 0);
+  writer.append(block(7, 15), 7);
+  EXPECT_EQ(writer.trials_written(), 22u);
+  writer.close();
+
+  EXPECT_EQ(file_bytes(chunked_path), file_bytes(whole_path));
+  const Ylt loaded = load_ylt(chunked_path);
+  EXPECT_EQ(loaded.annual_raw(), ylt.annual_raw());
+}
+
+TEST(YltChunkWriter, RejectsOverlapGapsAndShapeMismatch) {
+  const std::string path = scratch_path("ylt_writer_errors.bin");
+  YltChunkWriter writer(path, 2, 10);
+  writer.append(Ylt(2, 4), 0);
+  EXPECT_THROW(writer.append(Ylt(2, 4), 2), std::invalid_argument);  // overlap
+  EXPECT_THROW(writer.append(Ylt(3, 2), 4), std::invalid_argument);  // layers
+  EXPECT_THROW(writer.append(Ylt(2, 8), 4), std::invalid_argument);  // bounds
+  EXPECT_THROW(writer.close(), std::runtime_error);  // 6 trials missing
+  writer.append(Ylt(2, 6), 4);
+  writer.close();
+  EXPECT_NO_THROW(writer.close());  // idempotent
+}
+
+}  // namespace
+}  // namespace ara::io

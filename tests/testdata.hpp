@@ -1,0 +1,23 @@
+// Single source of truth for test fixture paths. Every test that
+// touches the filesystem routes its paths through `scratch_path`, so
+// the suite behaves identically from any build or working directory —
+// no test may construct a cwd-relative data path of its own.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ara::testdata {
+
+/// Absolute path for a fixture file inside the per-run scratch
+/// directory (gtest's TempDir — never the current working directory).
+/// Prefix file names with the test suite name to keep concurrently
+/// running test binaries from colliding.
+inline std::string scratch_path(const std::string& name) {
+  std::string dir = ::testing::TempDir();
+  if (dir.empty() || dir.back() != '/') dir += '/';
+  return dir + name;
+}
+
+}  // namespace ara::testdata

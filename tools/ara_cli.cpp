@@ -8,12 +8,19 @@
 //   ara_cli run      --in DIR --out YLT.bin [--engine NAME|auto]
 //                    [--gpus N] [--cores N] [--threads-per-core T]
 //                    [--block-threads B] [--chunk-size C]
+//                    [--shard-trials N] [--memory-budget MIB]
 //   ara_cli run      --list-engines
 //   ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]
 //
 // Engine names: sequential_reference, sequential_fused, multicore_cpu,
 // gpu_basic, gpu_optimized, multi_gpu_optimized — or "auto", which
 // prices every engine with the cost models and runs the cheapest.
+//
+// --shard-trials / --memory-budget turn on trial-sharded streaming
+// execution: the run is split into trial shards (an explicit size, or
+// the largest size whose resident footprint fits the budget), computed
+// across the session's shard scheduler and merged — bitwise identical
+// to the monolithic run (DESIGN.md §5).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -42,6 +49,7 @@ using namespace ara;
       "  ara_cli run      --in DIR --out YLT.bin [--engine NAME|auto]\n"
       "                   [--gpus N] [--cores N] [--threads-per-core T]\n"
       "                   [--block-threads B] [--chunk-size C]\n"
+      "                   [--shard-trials N] [--memory-budget MIB]\n"
       "  ara_cli run      --list-engines\n"
       "  ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]\n";
   std::exit(2);
@@ -172,6 +180,11 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
 
   ExecutionPolicy policy;
   policy.gpu_count = static_cast<std::size_t>(get_long(flags, "gpus", 4));
+  policy.shard_trials =
+      static_cast<std::size_t>(get_long(flags, "shard-trials", 0));
+  policy.memory_budget_bytes =
+      static_cast<std::size_t>(get_long(flags, "memory-budget", 0)) *
+      (1ULL << 20);  // flag is in MiB
 
   const Yet yet = io::load_yet(in + "/yet.bin");
   const Portfolio portfolio = io::load_portfolio(in + "/portfolio.bin");
@@ -249,7 +262,13 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   std::cout << "engine    : " << result.engine_name
             << (auto_selected ? " (auto-selected)" : "") << '\n'
             << "trials    : " << result.ylt.trial_count() << " x "
-            << result.ylt.layer_count() << " layer(s)\n"
+            << result.ylt.layer_count() << " layer(s)\n";
+  if (analysis.shard_count > 1) {
+    const ShardPlan plan = session.shard_plan(portfolio, yet, resolved);
+    std::cout << "shards    : " << analysis.shard_count << " x "
+              << plan.shard_trials << " trials (streaming merge)\n";
+  }
+  std::cout
             << "lookups   : " << result.ops.elt_lookups << '\n'
             << "wall      : " << perf::format_seconds(result.wall_seconds)
             << " (this host)\n"
