@@ -113,6 +113,36 @@ Ylt legacy_multicore(const Portfolio& p, const Yet& yet,
   return ylt;
 }
 
+// A pricing-service workload: many small trial years against a wide
+// shared-ELT book, so the YLT (layers x trials) dominates the cost of
+// a run rather than the event maths — the regime the metric-only
+// retention mode exists for.
+synth::Scenario metric_service_scenario(std::size_t layers,
+                                        std::size_t trials,
+                                        std::uint64_t seed) {
+  synth::Catalogue catalogue = synth::Catalogue::make(20000, 6, 800.0);
+
+  synth::YetGeneratorConfig yc;
+  yc.trials = trials;
+  yc.target_events_per_trial = 4.0;
+  yc.seed = seed;
+  Yet yet = synth::generate_yet(catalogue, yc);
+
+  synth::PortfolioGeneratorConfig pc;
+  pc.elt_count = 40;
+  pc.layer_count = layers;
+  pc.min_elts_per_layer = 3;
+  pc.max_elts_per_layer = 30;
+  pc.elt.record_count = 500;
+  pc.elt.mean_loss = 5.0e5;
+  pc.elt.terms.retention = 2.0e4;
+  pc.elt.terms.limit = 1.0e8;
+  pc.seed = seed + 1;
+  Portfolio portfolio = synth::generate_portfolio(catalogue, pc);
+
+  return {std::move(catalogue), std::move(yet), std::move(portfolio)};
+}
+
 // ---- Harness ---------------------------------------------------------------
 
 bool bitwise_equal(const Ylt& a, const Ylt& b) {
@@ -133,6 +163,11 @@ struct CaseResult {
   double old_seconds = 0.0;
   double new_seconds = 0.0;
   bool identical = false;
+
+  // Resident bytes of each path, when the case measures memory too
+  // (metric_only_discard: full YLT vs reducer reservoirs). 0 = n/a.
+  std::size_t old_bytes = 0;
+  std::size_t new_bytes = 0;
 
   double speedup() const {
     return new_seconds > 0.0 ? old_seconds / new_seconds : 0.0;
@@ -172,8 +207,12 @@ void write_json(const std::string& path, const std::vector<CaseResult>& cases,
        << ", \"reps\": " << c.reps << ", \"old_seconds\": " << c.old_seconds
        << ", \"new_seconds\": " << c.new_seconds
        << ", \"speedup\": " << c.speedup()
-       << ", \"bitwise_identical\": " << (c.identical ? "true" : "false")
-       << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+       << ", \"bitwise_identical\": " << (c.identical ? "true" : "false");
+    if (c.old_bytes > 0 || c.new_bytes > 0) {
+      os << ", \"old_resident_bytes\": " << c.old_bytes
+         << ", \"new_resident_bytes\": " << c.new_bytes;
+    }
+    os << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -341,6 +380,83 @@ int main(int argc, char** argv) {
     all_identical = all_identical && c.identical;
     cases.push_back(c);
     print_case(c);
+  }
+
+  // Shape 5: metric-only pricing (PR 5). Both paths run the same
+  // sharded plan and the same reducer formulas; "old" additionally
+  // materializes the full YLT (zero-filled allocation + one merge copy
+  // per shard + the metric pass re-reading the merged table), "new"
+  // runs YltRetention::kDiscard — shard blocks stream through the tail
+  // reservoirs and the layers x trials table is never allocated. The
+  // workload is deliberately trial-heavy and event-light (a long YET
+  // of small years over a wide book), the regime where the table, not
+  // the simulation, is the cost — the ROADMAP's pricing-service shape.
+  // The case also records resident bytes of each path (YLT cells vs
+  // reservoir entries).
+  {
+    const synth::Scenario s = metric_service_scenario(
+        /*layers=*/24, /*trials=*/smoke ? 20000 : 60000, /*seed=*/123);
+
+    CaseResult c;
+    c.name = "metric_only_discard";
+    c.engine = engine_kind_name(EngineKind::kMultiCore);
+    c.layers = s.portfolio.layer_count();
+    c.trials = s.yet.trial_count();
+    c.reps = reps;
+
+    MetricsSpec spec = MetricsSpec::all();
+    spec.quantiles = {0.95, 0.99, 0.995};
+    spec.return_periods = {50.0, 100.0, 250.0};
+
+    ExecutionPolicy policy = ExecutionPolicy::with_engine(EngineKind::kMultiCore);
+    policy.config = mc_cfg;
+    AnalysisSession session(policy);
+
+    ExecutionPolicy sharded = policy;
+    sharded.shard_trials = s.yet.trial_count() / 8;
+
+    AnalysisRequest keep;
+    keep.portfolio = &s.portfolio;
+    keep.yet = &s.yet;
+    keep.metrics = spec;
+    keep.policy = sharded;
+
+    AnalysisRequest discard = keep;
+    discard.ylt_retention = YltRetention::kDiscard;
+
+    const AnalysisResult keep_run = session.run(keep);        // warm caches
+    const AnalysisResult discard_run = session.run(discard);
+
+    // The order-statistic family must agree bitwise between the two
+    // paths (the wall in tests/test_metrics_streaming.cpp; this is the
+    // bench-side regression tripwire).
+    bool metrics_equal =
+        discard_run.simulation.ylt.trial_count() == 0 &&
+        discard_run.metrics.layers.size() == keep_run.metrics.layers.size();
+    if (metrics_equal) {
+      for (std::size_t l = 0; l < keep_run.metrics.layers.size(); ++l) {
+        metrics_equal =
+            metrics_equal &&
+            discard_run.metrics.layers[l].var_at(0.99) ==
+                keep_run.metrics.layers[l].var_at(0.99) &&
+            discard_run.metrics.layers[l].tvar_at(0.995) ==
+                keep_run.metrics.layers[l].tvar_at(0.995) &&
+            discard_run.metrics.layers[l].oep_at(100.0) ==
+                keep_run.metrics.layers[l].oep_at(100.0);
+      }
+    }
+    c.identical = metrics_equal;
+
+    c.old_seconds = best_of(reps, [&] { (void)session.run(keep); });
+    c.new_seconds = best_of(reps, [&] { (void)session.run(discard); });
+    c.old_bytes = c.layers * c.trials * 2 * sizeof(double);
+    c.new_bytes = discard_run.metrics.reservoir_entries * sizeof(double);
+
+    all_identical = all_identical && c.identical;
+    cases.push_back(c);
+    print_case(c);
+    std::cout << "    resident: full YLT " << c.old_bytes / 1024
+              << " KiB vs reservoirs " << c.new_bytes / 1024 << " KiB\n";
   }
 
   write_json(out_path, cases, smoke);

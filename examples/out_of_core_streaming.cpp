@@ -71,7 +71,9 @@ int main() {
   AnalysisRequest full;
   full.portfolio = &s.portfolio;
   full.yet = &s.yet;
-  const Ylt in_core = session.run(full).simulation.ylt;
+  full.metrics = MetricsSpec::all();
+  const AnalysisResult in_core_run = session.run(full);
+  const Ylt& in_core = in_core_run.simulation.ylt;
   const Ylt streamed = io::load_ylt(ylt_path);
 
   const bool identical =
@@ -87,7 +89,52 @@ int main() {
             << (identical ? "identical" : "MISMATCH")
             << "\nwithin budget: " << (within_budget ? "yes" : "NO") << "\n";
 
+  // --- Session-native retention: the whole story in one request ----------
+  // YltRetention::kSpillToFile + a memory budget makes the session do
+  // the above itself: shards stream through the metric reducers and
+  // YltChunkWriter, and the layers x trials table is never allocated.
+  // (kDiscard is the same minus the file — metric-only pricing.)
+  const std::string spill_path = dir + "/ara_ooc_spill.bin";
+  AnalysisRequest spill;
+  spill.portfolio = &s.portfolio;
+  spill.yet = &s.yet;
+  spill.metrics = MetricsSpec::all();
+  spill.ylt_retention = YltRetention::kSpillToFile;
+  spill.ylt_path = spill_path;
+  ExecutionPolicy budgeted =
+      ExecutionPolicy::with_engine(EngineKind::kMultiCore);
+  budgeted.memory_budget_bytes = budget;
+  spill.policy = budgeted;
+  const AnalysisResult spilled_run = session.run(spill);
+
+  const Ylt spilled = io::load_ylt(spill_path);
+  const bool spill_identical =
+      spilled.annual_raw() == in_core.annual_raw() &&
+      spilled.max_occurrence_raw() == in_core.max_occurrence_raw();
+  const bool never_materialized =
+      spilled_run.simulation.ylt.trial_count() == 0 &&
+      spilled_run.metrics.blocks_consumed == spilled_run.shard_count;
+  const double streamed_var =
+      spilled_run.metrics.layers[0].var_at(0.99);
+  const double in_core_var = in_core_run.metrics.layers[0].var_at(0.99);
+  std::cout << "spill run   : " << spilled_run.shard_count
+            << " shards -> " << spilled_run.ylt_path << " ("
+            << (spill_identical ? "byte-identical" : "MISMATCH")
+            << "), YLT in RAM: "
+            << (never_materialized ? "never built" : "BUILT?!")
+            << "\nstreamed VaR: " << streamed_var << " vs in-core "
+            << in_core_var
+            << (streamed_var == in_core_var ? " (bitwise)" : " (MISMATCH)")
+            << "\nreservoirs  : " << spilled_run.metrics.reservoir_entries
+            << " resident tail entries vs "
+            << in_core.layer_count() * in_core.trial_count() * 2
+            << " YLT cells\n";
+
   std::remove(yet_path.c_str());
   std::remove(ylt_path.c_str());
-  return identical && within_budget ? 0 : 1;
+  std::remove(spill_path.c_str());
+  return identical && within_budget && spill_identical &&
+                 never_materialized && streamed_var == in_core_var
+             ? 0
+             : 1;
 }

@@ -30,7 +30,10 @@ int main() {
   AnalysisRequest request;
   request.portfolio = &scenario.portfolio;
   request.yet = &scenario.yet;
-  request.metrics.layer_summaries = true;
+  // The declarative metric plan: the legacy per-layer preset (VaR/TVaR
+  // at 99%, PML at 100/250 years, OEP at 100 years). Any quantile or
+  // return-period set works — see risk_metrics_report.
+  request.metrics = MetricsSpec::layer_summaries();
   const AnalysisResult result = session.run(request);
 
   std::cout << "engine:   " << result.simulation.engine_name << " ("
@@ -40,16 +43,17 @@ int main() {
             << "simulated " << result.simulation.simulated_seconds
             << " s on the paper's hardware\n";
 
-  // 3. Portfolio risk metrics, computed by the session from the YLT.
-  const metrics::LayerRiskSummary& summary = result.layer_summaries[0];
-  std::cout << "\nrisk metrics for layer 0 ("
-            << scenario.portfolio.layers()[0].name << "):\n"
+  // 3. Portfolio risk metrics, computed by the session from the YLT —
+  //    looked up by layer name, not by parallel-vector index.
+  const std::string& layer0 = scenario.portfolio.layers()[0].name;
+  const metrics::LayerMetrics& summary = *result.metrics_for(layer0);
+  std::cout << "\nrisk metrics for layer 0 (" << layer0 << "):\n"
             << "  average annual loss : " << summary.aal << '\n'
             << "  std deviation       : " << summary.std_dev << '\n'
-            << "  VaR  99%            : " << summary.var_99 << '\n'
-            << "  TVaR 99%            : " << summary.tvar_99 << '\n'
-            << "  PML (100-year)      : " << summary.pml_100yr << '\n'
-            << "  PML (250-year)      : " << summary.pml_250yr << '\n'
-            << "  OEP (100-year)      : " << summary.oep_100yr << '\n';
+            << "  VaR  99%            : " << summary.var_at(0.99) << '\n'
+            << "  TVaR 99%            : " << summary.tvar_at(0.99) << '\n'
+            << "  PML (100-year)      : " << summary.pml_at(100.0) << '\n'
+            << "  PML (250-year)      : " << summary.pml_at(250.0) << '\n'
+            << "  OEP (100-year)      : " << summary.oep_at(100.0) << '\n';
   return 0;
 }

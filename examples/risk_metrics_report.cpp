@@ -22,62 +22,71 @@ int main(int argc, char** argv) {
   // A 12-contract book over 40 shared ELTs with clustered event years.
   const synth::Scenario s = synth::multi_layer_book(/*layers=*/12,
                                                     /*trials=*/5000);
-  // One session call produces the YLT, the per-layer summaries and the
-  // portfolio rollup together.
+  // One session call produces the YLT and every requested metric
+  // together, driven by a declarative MetricsSpec: arbitrary quantile
+  // and return-period sets, per-layer and portfolio scope, capital
+  // allocation.
   AnalysisSession session(
       ExecutionPolicy::with_engine(EngineKind::kMultiGpu));
   AnalysisRequest request;
   request.portfolio = &s.portfolio;
   request.yet = &s.yet;
-  request.metrics = MetricsSelection::all();
+  MetricsSpec spec;
+  spec.per_layer = true;
+  spec.portfolio = true;
+  spec.quantiles = {0.9, 0.99, 0.995};
+  spec.return_periods = {5, 10, 25, 50, 100, 250, 500, 1000};
+  spec.capital_allocation = true;  // diversification + marginal TVaR99
+  request.metrics = spec;
   const AnalysisResult analysis = session.run(request);
   const SimulationResult& result = analysis.simulation;
 
-  const std::vector<double> return_periods = {2,  5,   10,  25,  50,
-                                              100, 250, 500, 1000};
-
-  // Per-layer summary table (computed by the session).
-  perf::Table summary({"layer", "AAL", "VaR99", "TVaR99", "PML100",
-                       "PML250", "OEP100"});
-  for (std::size_t l = 0; l < s.portfolio.layer_count(); ++l) {
-    const metrics::LayerRiskSummary& m = analysis.layer_summaries[l];
-    summary.add_row({s.portfolio.layers()[l].name,
+  // Per-layer summary table, straight off the metric report.
+  perf::Table summary({"layer", "AAL", "VaR99", "TVaR99", "TVaR99.5",
+                       "PML100", "PML250", "OEP100"});
+  for (const metrics::LayerMetrics& m : analysis.metrics.layers) {
+    summary.add_row({m.label,
                      perf::format_fixed(m.aal, 0),
-                     perf::format_fixed(m.var_99, 0),
-                     perf::format_fixed(m.tvar_99, 0),
-                     perf::format_fixed(m.pml_100yr, 0),
-                     perf::format_fixed(m.pml_250yr, 0),
-                     perf::format_fixed(m.oep_100yr, 0)});
+                     perf::format_fixed(m.var_at(0.99), 0),
+                     perf::format_fixed(m.tvar_at(0.99), 0),
+                     perf::format_fixed(m.tvar_at(0.995), 0),
+                     perf::format_fixed(m.pml_at(100.0), 0),
+                     perf::format_fixed(m.pml_at(250.0), 0),
+                     perf::format_fixed(m.oep_at(100.0), 0)});
   }
   summary.print(std::cout);
 
-  // EP curves for the first layer at the standard return periods.
-  const metrics::EpCurve aep(result.ylt.layer_annual_vector(0));
-  const metrics::EpCurve oep(result.ylt.layer_max_occurrence_vector(0));
-  std::cout << "\nEP curves, layer 0:\n";
-  perf::Table curves({"return period (yr)", "AEP loss", "OEP loss"});
-  for (const double rp : return_periods) {
-    curves.add_row({perf::format_fixed(rp, 0),
-                    perf::format_fixed(aep.loss_at_return_period(rp), 0),
-                    perf::format_fixed(oep.loss_at_return_period(rp), 0)});
+  // EP points for the first layer: every return period in the spec is
+  // answered in the same report. The aggregate column is the PML
+  // convention (interpolated quantile at p = 1 - 1/T); the CSV export
+  // below writes the rank-based empirical AEP curve, which differs
+  // slightly by construction.
+  const metrics::LayerMetrics& layer0 =
+      *analysis.metrics_for(s.portfolio.layers()[0].name);
+  std::cout << "\nEP points, layer 0:\n";
+  perf::Table curves({"return period (yr)", "PML (AEP)", "OEP loss"});
+  for (std::size_t i = 0; i < layer0.pml.size(); ++i) {
+    curves.add_row({perf::format_fixed(layer0.pml[i].years, 0),
+                    perf::format_fixed(layer0.pml[i].loss, 0),
+                    perf::format_fixed(layer0.oep[i].loss, 0)});
   }
   curves.print(std::cout);
 
   // Portfolio rollup: the whole book's tail plus capital allocation.
-  const metrics::PortfolioRollup& rollup = *analysis.rollup;
+  const metrics::PortfolioMetrics& rollup = *analysis.metrics.portfolio;
   std::cout << "\nportfolio rollup:\n";
   perf::Table roll({"metric", "value"});
-  roll.add_row({"portfolio AAL", perf::format_fixed(rollup.aal, 0)});
-  roll.add_row({"portfolio VaR 99%", perf::format_fixed(rollup.var_99, 0)});
-  roll.add_row(
-      {"portfolio TVaR 99%", perf::format_fixed(rollup.tvar_99, 0)});
+  roll.add_row({"portfolio AAL", perf::format_fixed(rollup.totals.aal, 0)});
+  roll.add_row({"portfolio VaR 99%",
+                perf::format_fixed(rollup.totals.var_at(0.99), 0)});
+  roll.add_row({"portfolio TVaR 99%",
+                perf::format_fixed(rollup.totals.tvar_at(0.99), 0)});
   roll.add_row({"diversification benefit (TVaR99)",
-                perf::format_fixed(rollup.diversification_benefit_tvar99,
-                                   0)});
+                perf::format_fixed(rollup.diversification_benefit_tvar, 0)});
   roll.print(std::cout);
   std::cout << "marginal TVaR99 by layer:";
-  for (std::size_t l = 0; l < rollup.marginal_tvar99.size(); ++l) {
-    std::cout << ' ' << perf::format_fixed(rollup.marginal_tvar99[l], 0);
+  for (std::size_t l = 0; l < rollup.marginal_tvar.size(); ++l) {
+    std::cout << ' ' << perf::format_fixed(rollup.marginal_tvar[l], 0);
   }
   std::cout << '\n';
 
@@ -100,14 +109,19 @@ int main(int argc, char** argv) {
   std::cout << "trials for 1% AAL error at 95% confidence: "
             << metrics::required_trials_for_aal(losses0, 0.01) << '\n';
 
-  // CSV exports.
+  // CSV exports (full curves come from the retained YLT; a metric-only
+  // kDiscard run would use spec.ep_curve_points instead).
   {
+    const std::vector<double> csv_periods = {2,  5,   10,  25,  50,
+                                             100, 250, 500, 1000};
+    const metrics::EpCurve aep(result.ylt.layer_annual_vector(0));
+    const metrics::EpCurve oep(result.ylt.layer_max_occurrence_vector(0));
     std::ofstream ylt_csv(out_dir + "/ylt.csv");
     io::write_ylt_csv(ylt_csv, result.ylt);
     std::ofstream aep_csv(out_dir + "/aep_layer0.csv");
-    io::write_ep_curve_csv(aep_csv, aep, return_periods);
+    io::write_ep_curve_csv(aep_csv, aep, csv_periods);
     std::ofstream oep_csv(out_dir + "/oep_layer0.csv");
-    io::write_ep_curve_csv(oep_csv, oep, return_periods);
+    io::write_ep_curve_csv(oep_csv, oep, csv_periods);
   }
   std::cout << "\nwrote " << out_dir << "/ylt.csv, aep_layer0.csv, "
             << "oep_layer0.csv (" << result.ylt.trial_count()

@@ -78,12 +78,12 @@ int main() {
   AnalysisRequest request;
   request.portfolio = &portfolio;
   request.yet = &yet;
-  request.metrics.layer_summaries = true;
+  request.metrics = MetricsSpec::layer_summaries();
   const AnalysisResult result = session.run(request);
   std::cout << "analysis of the healthy YET via "
             << result.simulation.engine_name << " (auto-selected, predicted "
             << perf::format_seconds(result.predicted_seconds)
             << " on paper hardware): layer-0 AAL "
-            << perf::format_fixed(result.layer_summaries[0].aal, 0) << '\n';
+            << perf::format_fixed(result.metrics.layers[0].aal, 0) << '\n';
   return 0;
 }

@@ -18,21 +18,38 @@
 
 #include "core/engine_factory.hpp"
 #include "core/layer.hpp"
+#include "core/metrics/metrics_spec.hpp"
 #include "core/yet.hpp"
 #include "extensions/reinstatements.hpp"
 #include "extensions/secondary_uncertainty.hpp"
 
 namespace ara {
 
-/// Which derived risk metrics the session computes from the YLT.
-/// Everything defaults off: the YLT itself is always produced, and
-/// metric passes cost extra sorts per layer.
-struct MetricsSelection {
-  bool layer_summaries = false;   ///< AAL/VaR/TVaR/PML/OEP per layer
-  bool portfolio_rollup = false;  ///< book-level tail + capital allocation
+/// Declarative metric query plan (core/metrics/metrics_spec.hpp):
+/// caller-chosen quantile and return-period sets per scope. The legacy
+/// two-boolean MetricsSelection survives as a shim —
+/// `MetricsSpec::from_selection(...)` / `MetricsSpec::layer_summaries()`
+/// / `MetricsSpec::all()` migrate old call sites mechanically.
+using MetricsSpec = metrics::MetricsSpec;
+using MetricsSelection = metrics::MetricsSelection;
 
-  static MetricsSelection none() { return {}; }
-  static MetricsSelection all() { return {true, true}; }
+/// What happens to the simulated YLT itself. Metrics are computed
+/// either way; the policy decides whether the table outlives the run.
+enum class YltRetention {
+  /// Materialize the full YLT in AnalysisResult::simulation (today's
+  /// behavior, and the default).
+  kKeep,
+  /// Metric-only run: the YLT is never materialized. A sharded run
+  /// streams each shard block through the metric reducers and drops
+  /// it, holding O(shard + reservoir) memory instead of
+  /// O(layers x trials); a monolithic run computes metrics and frees
+  /// the table before returning.
+  kDiscard,
+  /// Stream the YLT to `AnalysisRequest::ylt_path` through
+  /// io::YltChunkWriter (byte-identical to io::save_ylt of the
+  /// monolithic table) and return only the path; in-memory behavior
+  /// is as kDiscard.
+  kSpillToFile,
 };
 
 /// One analysis to run. Only `portfolio` and `yet` are required; both
@@ -45,7 +62,14 @@ struct AnalysisRequest {
   const Portfolio* portfolio = nullptr;
   const Yet* yet = nullptr;
 
-  MetricsSelection metrics;
+  /// Which derived risk metrics to compute, and at which points.
+  /// Defaults to none: the metric passes cost extra per-layer work.
+  MetricsSpec metrics;
+
+  /// Whether the YLT is kept, discarded after metrics, or spilled to
+  /// `ylt_path`. kSpillToFile requires a non-empty `ylt_path`.
+  YltRetention ylt_retention = YltRetention::kKeep;
+  std::string ylt_path;
 
   /// When false, the core engine run (and its YLT) is skipped and only
   /// the requested extensions execute — e.g. a pure reinstatement

@@ -1,0 +1,37 @@
+// Ordered set of disjoint half-open [begin, end) ranges — the single
+// definition of the "reserve a trial block exactly once" check shared
+// by ShardMerger, YltChunkWriter and StreamingMetricsReducer, so the
+// subtle neighbour-overlap logic cannot drift between copies.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+namespace ara {
+
+/// Not thread-safe; callers hold their own lock around try_reserve.
+class DisjointRangeSet {
+ public:
+  /// Reserves [begin, end) if it overlaps nothing reserved so far;
+  /// returns false (reserving nothing) on overlap. The map is ordered
+  /// by begin, so only the two neighbours can overlap — O(log n) per
+  /// call, which matters at one-trial-block granularity. Zero-length
+  /// ranges cover nothing, always succeed, and are not recorded (an
+  /// empty block must not make a later real block at the same begin
+  /// look like a duplicate).
+  bool try_reserve(std::size_t begin, std::size_t end) {
+    if (begin >= end) return true;
+    const auto next = ranges_.lower_bound(begin);
+    if (next != ranges_.end() && next->first < end) return false;
+    if (next != ranges_.begin() && std::prev(next)->second > begin) {
+      return false;
+    }
+    ranges_.emplace(begin, end);
+    return true;
+  }
+
+ private:
+  std::map<std::size_t, std::size_t> ranges_;  ///< begin -> end
+};
+
+}  // namespace ara

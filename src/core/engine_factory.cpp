@@ -69,19 +69,6 @@ std::unique_ptr<Engine> make_engine(const ExecutionPolicy& policy) {
   throw std::invalid_argument("make_engine: unknown kind");
 }
 
-std::unique_ptr<Engine> make_engine(EngineKind kind,
-                                    const EngineConfig& config,
-                                    const simgpu::DeviceSpec& device,
-                                    std::size_t gpu_count,
-                                    const simgpu::DeviceSpec& multi_gpu_device) {
-  ExecutionPolicy policy = ExecutionPolicy::with_engine(kind);
-  policy.config = config;
-  policy.gpu_device = device;
-  policy.gpu_count = gpu_count;
-  policy.multi_gpu_device = multi_gpu_device;
-  return make_engine(policy);
-}
-
 EngineConfig paper_config(EngineKind kind) {
   EngineConfig cfg;
   switch (kind) {

@@ -95,18 +95,10 @@ EngineConfig resolved_config(const ExecutionPolicy& policy, EngineKind kind);
 /// Builds the engine a policy describes. The policy must name a
 /// concrete engine kind; kAuto needs a workload to price and is
 /// resolved by AnalysisSession. Throws std::invalid_argument on kAuto.
+/// (The old positional overload — make_engine(kind, cfg, device, ...)
+/// — is gone: its trailing defaults were exactly the footgun
+/// ExecutionPolicy exists to kill. Build a policy instead.)
 std::unique_ptr<Engine> make_engine(const ExecutionPolicy& policy);
-
-/// DEPRECATED positional overload, kept as a compatibility layer: the
-/// trailing defaults (device, count, multi-GPU device) are exactly the
-/// footgun ExecutionPolicy exists to kill — `make_engine(kind, cfg,
-/// dev, 2)` silently runs 2 *M2090s*, not 2 of `dev`. New code should
-/// build an ExecutionPolicy (or use AnalysisSession) instead.
-std::unique_ptr<Engine> make_engine(
-    EngineKind kind, const EngineConfig& config,
-    const simgpu::DeviceSpec& device = simgpu::tesla_c2075(),
-    std::size_t gpu_count = 4,
-    const simgpu::DeviceSpec& multi_gpu_device = simgpu::tesla_m2090());
 
 /// The paper's configuration for each implementation (8 cores with 256
 /// threads/core for the multi-core engine, 256 threads/block basic,

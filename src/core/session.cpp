@@ -1,12 +1,15 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "core/gpu_engines.hpp"
+#include "core/metrics/streaming.hpp"
+#include "io/yet_chunk.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/partition.hpp"
 #include "perf/cpu_cost_model.hpp"
@@ -17,6 +20,41 @@
 namespace ara {
 
 namespace {
+
+// Serialises shard blocks into the spill writer (YltChunkWriter seeks,
+// so concurrent appends must not interleave).
+class SpillSink : public YltBlockSink {
+ public:
+  explicit SpillSink(io::YltChunkWriter& writer) : writer_(writer) {}
+  void consume(const Ylt& block, std::size_t trial_begin) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    writer_.append(block, trial_begin);
+  }
+
+ private:
+  std::mutex mutex_;
+  io::YltChunkWriter& writer_;
+};
+
+// Forwards each block to every attached sink (metric reducers + spill
+// writer); the attached sinks serialise themselves.
+class FanoutSink : public YltBlockSink {
+ public:
+  void attach(YltBlockSink* sink) { sinks_.push_back(sink); }
+  void consume(const Ylt& block, std::size_t trial_begin) override {
+    for (YltBlockSink* sink : sinks_) sink->consume(block, trial_begin);
+  }
+
+ private:
+  std::vector<YltBlockSink*> sinks_;
+};
+
+std::vector<std::string> layer_labels(const Portfolio& portfolio) {
+  std::vector<std::string> labels;
+  labels.reserve(portfolio.layer_count());
+  for (const Layer& layer : portfolio.layers()) labels.push_back(layer.name);
+  return labels;
+}
 
 // An engine is reusable whenever kind + tunables + devices match; the
 // key serialises exactly the fields make_engine consumes.
@@ -405,9 +443,12 @@ SimulationResult AnalysisSession::run_sharded(const Engine& engine,
                                               const Portfolio& portfolio,
                                               const Yet& yet, EngineKind kind,
                                               const EngineConfig& cfg,
-                                              const ShardPlan& plan) {
+                                              const ShardPlan& plan,
+                                              YltBlockSink* sink,
+                                              bool materialize) {
   perf::Stopwatch wall;
-  ShardMerger merger(portfolio.layer_count(), yet.trial_count());
+  ShardMerger merger(portfolio.layer_count(), yet.trial_count(), sink,
+                     materialize);
 
   // The context is shard-invariant (tables, compute pool); bind it
   // once and pin the tables for the whole wave instead of paying the
@@ -489,7 +530,89 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
   AnalysisResult result;
   result.label = request.label;
 
+  // Validate the metric plan and retention before any work runs.
+  request.metrics.validate();
+  if (request.ylt_retention == YltRetention::kSpillToFile &&
+      request.ylt_path.empty()) {
+    throw std::invalid_argument(
+        "AnalysisSession: YltRetention::kSpillToFile requires "
+        "AnalysisRequest::ylt_path");
+  }
+
   const ShardPlan plan = shard_plan(portfolio, yet, policy);
+  const bool sharded_run = policy.sharded() && plan.shard_count() > 1;
+  const bool will_simulate =
+      request.core_simulation || request.secondary_uncertainty.has_value();
+  if (request.ylt_retention == YltRetention::kSpillToFile && !will_simulate) {
+    // An extension-only run produces no YLT; silently writing nothing
+    // would surface as a confusing open-failure at the caller's reload.
+    throw std::invalid_argument(
+        "AnalysisSession: YltRetention::kSpillToFile needs the core "
+        "simulation (or secondary uncertainty) — an extension-only "
+        "request produces no YLT to spill");
+  }
+  const bool metrics_feasible = will_simulate && request.metrics.any() &&
+                                portfolio.layer_count() > 0 &&
+                                yet.trial_count() > 0;
+
+  // A sharded run that does not keep its YLT streams every shard block
+  // straight into the metric reducers and/or the spill writer and
+  // drops it — the layers x trials table is never allocated
+  // (DESIGN.md §6). Monolithic runs (and kKeep) compute metrics and
+  // spill from the full table after the fact; either way the numbers
+  // agree (bitwise on the order-statistic family, <= 1e-12 relative on
+  // the mean family).
+  const bool stream_blocks =
+      sharded_run && will_simulate &&
+      request.ylt_retention != YltRetention::kKeep;
+
+  // A failed spill must not leave its file behind: the chunk writer
+  // pre-extends the file to full size under a valid header before any
+  // shard completes, so a leftover from an aborted run would reload as
+  // silently-zero losses. Armed only once a writer has truncated the
+  // path (a failure before that must not delete a pre-existing file
+  // this run never touched); disarmed after a successful close.
+  struct SpillCleanup {
+    const char* path = nullptr;
+    ~SpillCleanup() {
+      if (path != nullptr) std::remove(path);
+    }
+  } spill_cleanup;
+
+  std::optional<metrics::StreamingMetricsReducer> reducer;
+  std::unique_ptr<io::YltChunkWriter> spill_writer;
+  std::optional<SpillSink> spill_sink;
+  FanoutSink fanout;
+  if (stream_blocks) {
+    if (metrics_feasible) {
+      reducer.emplace(layer_labels(portfolio), yet.trial_count(),
+                      request.metrics);
+      fanout.attach(&*reducer);
+    }
+    if (request.ylt_retention == YltRetention::kSpillToFile) {
+      spill_writer = std::make_unique<io::YltChunkWriter>(
+          request.ylt_path, portfolio.layer_count(), yet.trial_count());
+      spill_cleanup.path = request.ylt_path.c_str();
+      spill_sink.emplace(*spill_writer);
+      fanout.attach(&*spill_sink);
+    }
+  }
+  YltBlockSink* const sink = stream_blocks ? &fanout : nullptr;
+
+  const auto execute = [&](const Engine& engine, EngineKind ctx_kind,
+                           const EngineConfig& cfg) {
+    // A plan that collapses to one shard IS the monolithic run; the
+    // merge copy and the cost-only replay would buy nothing.
+    if (sharded_run) {
+      result.simulation = run_sharded(engine, portfolio, yet, ctx_kind, cfg,
+                                      plan, sink, /*materialize=*/!stream_blocks);
+      result.shard_count = plan.shard_count();
+    } else {
+      TablePins pins;
+      result.simulation = engine.run(
+          portfolio, yet, context_for(portfolio, ctx_kind, cfg, pins));
+    }
+  };
 
   if (request.secondary_uncertainty) {
     // The extension is itself an Engine with a single implementation;
@@ -498,19 +621,8 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
     // core engines (its damage draws are keyed by global trial index,
     // so shard boundaries do not move them).
     const ext::SecondaryUncertaintyEngine engine(*request.secondary_uncertainty);
-    const EngineConfig cfg =
-        resolved_config(policy, EngineKind::kSequentialFused);
-    if (policy.sharded() && plan.shard_count() > 1) {
-      result.simulation = run_sharded(engine, portfolio, yet,
-                                      EngineKind::kSequentialFused, cfg, plan);
-      result.shard_count = plan.shard_count();
-    } else {
-      TablePins pins;
-      result.simulation =
-          engine.run(portfolio, yet,
-                     context_for(portfolio, EngineKind::kSequentialFused,
-                                 cfg, pins));
-    }
+    execute(engine, EngineKind::kSequentialFused,
+            resolved_config(policy, EngineKind::kSequentialFused));
   } else if (request.core_simulation) {
     EngineKind kind;
     if (policy.engine) {
@@ -522,32 +634,41 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
       result.predicted_seconds = best.seconds;
     }
     result.engine = kind;
-    const EngineConfig cfg = resolved_config(policy, kind);
-    // A plan that collapses to one shard IS the monolithic run; the
-    // merge copy and the cost-only replay would buy nothing.
-    if (policy.sharded() && plan.shard_count() > 1) {
-      result.simulation = run_sharded(engine_for(kind, policy), portfolio,
-                                      yet, kind, cfg, plan);
-      result.shard_count = plan.shard_count();
-    } else {
-      TablePins pins;
-      result.simulation = engine_for(kind, policy).run(
-          portfolio, yet, context_for(portfolio, kind, cfg, pins));
-    }
+    execute(engine_for(kind, policy), kind, resolved_config(policy, kind));
   }
 
-  // Metric passes need a YLT, which only a simulation produces.
-  const bool have_ylt = result.simulation.ylt.layer_count() > 0;
-  if (request.metrics.layer_summaries && have_ylt) {
-    result.layer_summaries.reserve(result.simulation.ylt.layer_count());
-    for (std::size_t l = 0; l < result.simulation.ylt.layer_count(); ++l) {
-      result.layer_summaries.push_back(
-          metrics::summarize_layer(result.simulation.ylt, l));
+  if (metrics_feasible) {
+    result.metrics =
+        stream_blocks
+            ? reducer->finish()
+            : metrics::compute_metrics(result.simulation.ylt,
+                                       layer_labels(portfolio),
+                                       request.metrics);
+  }
+
+  if (will_simulate &&
+      request.ylt_retention == YltRetention::kSpillToFile) {
+    if (stream_blocks) {
+      spill_writer->close();
+    } else {
+      // Monolithic table resident: spill it as one block. Same writer,
+      // same bytes as the streamed path.
+      io::YltChunkWriter writer(request.ylt_path,
+                                result.simulation.ylt.layer_count(),
+                                result.simulation.ylt.trial_count());
+      spill_cleanup.path = request.ylt_path.c_str();
+      writer.append(result.simulation.ylt, 0);
+      writer.close();
     }
+    spill_cleanup.path = nullptr;  // complete and coverage-checked
+    result.ylt_path = request.ylt_path;
   }
-  if (request.metrics.portfolio_rollup && have_ylt) {
-    result.rollup = metrics::rollup_portfolio(result.simulation.ylt);
+  if (will_simulate && request.ylt_retention != YltRetention::kKeep) {
+    // Metric-only / spilled runs hand back an empty table; with the
+    // streamed path above it was never allocated in the first place.
+    result.simulation.ylt = Ylt();
   }
+
   if (!request.reinstatement_terms.empty()) {
     const ext::ReinstatementEngine engine(portfolio,
                                           request.reinstatement_terms);

@@ -30,13 +30,13 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/analysis_request.hpp"
 #include "core/engine_factory.hpp"
-#include "core/metrics/portfolio_rollup.hpp"
-#include "core/metrics/risk_measures.hpp"
+#include "core/metrics/metrics_spec.hpp"
 #include "core/shard.hpp"
 #include "core/trial_math.hpp"
 #include "parallel/thread_pool.hpp"
@@ -59,14 +59,30 @@ struct AnalysisResult {
   /// merged result is bitwise identical either way (DESIGN.md §5).
   std::size_t shard_count = 1;
 
+  /// The raw simulation output. `simulation.ylt` is empty for
+  /// YltRetention::kDiscard / kSpillToFile runs — the metrics below
+  /// are then the run's product (DESIGN.md §6).
   SimulationResult simulation;
 
-  /// Filled when the request's MetricsSelection asked for them.
-  std::vector<metrics::LayerRiskSummary> layer_summaries;
-  std::optional<metrics::PortfolioRollup> rollup;
+  /// Everything the request's MetricsSpec asked for. Empty when the
+  /// spec was none() or no simulation ran.
+  metrics::MetricsReport metrics;
+
+  /// Where the YLT was spilled (kSpillToFile only; the io::load_ylt /
+  /// io::YltChunkReader format, byte-identical to saving the
+  /// monolithic table).
+  std::string ylt_path;
 
   /// Filled when the request carried reinstatement terms.
   std::optional<ext::ReinstatementResult> reinstatements;
+
+  /// Metrics of the layer named `label`, or nullptr when per-layer
+  /// metrics were not requested / no such layer exists — so batch
+  /// consumers look results up by name instead of indexing parallel
+  /// vectors by hand.
+  const metrics::LayerMetrics* metrics_for(std::string_view label) const {
+    return metrics.layer(label);
+  }
 };
 
 /// Cost-model prediction for one engine kind on one workload.
@@ -91,20 +107,24 @@ class AnalysisSession {
   /// Runs one analysis. Thread-safe.
   AnalysisResult run(const AnalysisRequest& request);
 
-  /// Runs many analyses concurrently on the session's pool. Results
-  /// are in request order and identical to running each request alone
-  /// (engines are deterministic), so the output is independent of the
-  /// dispatch interleaving. The first request failure (in request
-  /// order) is rethrown after the batch drains.
+  /// Synchronous wrapper over run_batch_async (which see for the
+  /// ordering contract): waits for every future, returns the results,
+  /// and rethrows the first request failure (in request order) after
+  /// the batch drains.
   std::vector<AnalysisResult> run_batch(std::span<const AnalysisRequest> requests);
 
   /// Asynchronous batch: enqueues every request on the dispatch pool
-  /// and returns immediately with one future per request (request
-  /// order). Each future carries its own result or exception, so
-  /// concurrent callers overlap on one session without blocking each
-  /// other and without cross-request exception wiring. Requests are
-  /// copied; the portfolios/YETs they point at must stay alive until
-  /// the futures resolve.
+  /// and returns immediately with one future per request.
+  ///
+  /// Ordering contract (the single definition — run_batch inherits
+  /// it): futures[i] corresponds to requests[i], always. Execution
+  /// *completion* order is unspecified, but every result is identical
+  /// to running its request alone (engines are deterministic), so the
+  /// output is independent of the dispatch interleaving and of any
+  /// other batch in flight. Each future carries its own result or
+  /// exception; a failing request never surfaces through another
+  /// request's future. Requests are copied; the portfolios/YETs they
+  /// point at must stay alive until the futures resolve.
   std::vector<std::future<AnalysisResult>> run_batch_async(
       std::span<const AnalysisRequest> requests);
 
@@ -191,11 +211,16 @@ class AnalysisSession {
   /// Sharded streaming execution of one engine run: shards dispatched
   /// onto the shard pool, partial results merged as they complete, and
   /// the monolithic simulated accounting reconstituted bitwise with a
-  /// cost-only replay (DESIGN.md §5).
+  /// cost-only replay (DESIGN.md §5). `sink` (optional) receives every
+  /// shard block; `materialize` = false skips assembling the
+  /// monolithic YLT — the metric-only / spill retention modes
+  /// (DESIGN.md §6).
   SimulationResult run_sharded(const Engine& engine,
                                const Portfolio& portfolio, const Yet& yet,
                                EngineKind kind, const EngineConfig& cfg,
-                               const ShardPlan& plan);
+                               const ShardPlan& plan,
+                               YltBlockSink* sink = nullptr,
+                               bool materialize = true);
 
   /// The cached EngineContext for running `kind` (with `cfg`) against
   /// `portfolio`: the right-precision TableStore (built on first use)

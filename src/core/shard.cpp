@@ -30,9 +30,15 @@ ShardPlan plan_shards(std::size_t total_trials, std::size_t shard_trials,
   return plan;
 }
 
-ShardMerger::ShardMerger(std::size_t layer_count, std::size_t trial_count)
-    : trial_count_(trial_count) {
-  merged_.ylt = Ylt(layer_count, trial_count);
+ShardMerger::ShardMerger(std::size_t layer_count, std::size_t trial_count,
+                         YltBlockSink* sink, bool materialize)
+    : layer_count_(layer_count),
+      trial_count_(trial_count),
+      sink_(sink),
+      materialize_(materialize) {
+  // A non-materializing merger is the whole point of the streaming
+  // retention modes: the layers x trials table is never allocated.
+  if (materialize_) merged_.ylt = Ylt(layer_count, trial_count);
 }
 
 void ShardMerger::add(const SimulationResult& partial) {
@@ -42,23 +48,16 @@ void ShardMerger::add(const SimulationResult& partial) {
     std::lock_guard<std::mutex> lock(mutex_);
     // Validate shape, bounds and disjointness before recording, so
     // the copy below cannot throw and overlapping shards (which would
-    // silently double-count ops) are rejected. blocks_ is ordered by
-    // begin, so only the two neighbours can overlap — O(log n) per
-    // add, which matters at one-trial-shard granularity.
-    if (partial.ylt.layer_count() != merged_.ylt.layer_count()) {
+    // silently double-count ops) are rejected.
+    if (partial.ylt.layer_count() != layer_count_) {
       throw std::invalid_argument("ShardMerger::add: layer count mismatch");
     }
     if (end > trial_count_) {
       throw std::invalid_argument("ShardMerger::add: range out of bounds");
     }
-    const auto next = blocks_.lower_bound(begin);
-    if (next != blocks_.end() && next->first < end) {
+    if (!blocks_.try_reserve(begin, end)) {
       throw std::logic_error("ShardMerger::add: overlapping shard");
     }
-    if (next != blocks_.begin() && std::prev(next)->second > begin) {
-      throw std::logic_error("ShardMerger::add: overlapping shard");
-    }
-    blocks_.emplace(begin, end);
     merged_.ops += partial.ops;
     merged_.wall_seconds += partial.wall_seconds;
     merged_.measured_phases += partial.measured_phases;
@@ -69,14 +68,19 @@ void ShardMerger::add(const SimulationResult& partial) {
       first_ = false;
     }
   }
-  // The O(layers x rows) copy runs outside the lock: the range was
-  // reserved above, so concurrent adds write disjoint rows and shard
-  // completions do not serialise on each other.
-  merged_.ylt.merge_trial_block(partial.ylt, partial.trial_begin);
-  // Coverage advances only after the copy lands, so merged_trials()
-  // reaching trial_count (and finish() succeeding) implies every row
-  // is fully written — a poller can never move the result out from
-  // under an in-flight copy.
+  // The O(layers x rows) copy and the sink call run outside the lock:
+  // the range was reserved above, so concurrent adds handle disjoint
+  // rows and shard completions do not serialise on each other (the
+  // sink serialises itself if it must).
+  if (materialize_) {
+    merged_.ylt.merge_trial_block(partial.ylt, partial.trial_begin);
+  }
+  if (sink_ != nullptr) sink_->consume(partial.ylt, partial.trial_begin);
+  // Coverage advances only after the copy/sink lands, so
+  // merged_trials() reaching trial_count (and finish() succeeding)
+  // implies every row is fully written and every block fully consumed
+  // — a poller can never move the result out from under an in-flight
+  // copy.
   std::lock_guard<std::mutex> lock(mutex_);
   covered_ += partial.ylt.trial_count();
 }

@@ -12,9 +12,9 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <mutex>
 
+#include "core/disjoint_ranges.hpp"
 #include "core/engine.hpp"
 
 namespace ara {
@@ -66,6 +66,19 @@ ShardPlan plan_shards(std::size_t total_trials, std::size_t shard_trials,
 /// op counts are summed integers, so the merged result is independent
 /// of the interleaving (property-tested).
 ///
+/// Two orthogonal outputs per accepted shard, chosen at construction:
+/// *materializing* the rows into the monolithic YLT (the default), and
+/// *forwarding* the partial's YLT block to a YltBlockSink (streaming
+/// metric reducers, a spill writer — core/metrics/streaming.hpp,
+/// io/yet_chunk.hpp). A non-materializing merger never allocates the
+/// layers x trials table: finish() still validates exact coverage and
+/// returns the merged accounting, but with an empty YLT — the shape
+/// metric-only (YltRetention::kDiscard / kSpillToFile) runs use. The
+/// sink is invoked outside the merger's lock, once per accepted shard,
+/// after the block's range has been reserved (so sinks only ever see
+/// disjoint blocks); coverage advances only after both the copy and
+/// the sink call complete.
+///
 /// The merge covers the concatenative state: YLT rows, op counts, and
 /// the additive measurement bookkeeping (wall seconds, measured
 /// phases). Simulated-time accounting is *not* summed here — per-shard
@@ -76,8 +89,12 @@ ShardPlan plan_shards(std::size_t total_trials, std::size_t shard_trials,
 /// run over the full range (AnalysisSession does; DESIGN.md §5).
 class ShardMerger {
  public:
-  /// Shape of the full result being assembled.
-  ShardMerger(std::size_t layer_count, std::size_t trial_count);
+  /// Shape of the full result being assembled. `sink`, when non-null,
+  /// receives every accepted block (it must tolerate concurrent calls;
+  /// the caller keeps it alive until finish()). `materialize` = false
+  /// skips the monolithic YLT entirely.
+  ShardMerger(std::size_t layer_count, std::size_t trial_count,
+              YltBlockSink* sink = nullptr, bool materialize = true);
 
   /// Merges one partial result at its recorded trial_begin. The
   /// partial's rows must not overlap rows already merged.
@@ -97,11 +114,14 @@ class ShardMerger {
  private:
   mutable std::mutex mutex_;
   SimulationResult merged_;
-  std::map<std::size_t, std::size_t> blocks_;  ///< begin -> end, disjoint
+  DisjointRangeSet blocks_;
+  std::size_t layer_count_ = 0;
   std::size_t trial_count_ = 0;
   std::size_t covered_ = 0;
   double sharded_simulated_ = 0.0;
   bool first_ = true;
+  YltBlockSink* sink_ = nullptr;
+  bool materialize_ = true;
 };
 
 }  // namespace ara

@@ -73,4 +73,18 @@ class Ylt {
   std::vector<double> max_occurrence_;
 };
 
+/// Consumer of partial YLT trial blocks — the streaming counterpart of
+/// holding the whole table. A producer (ShardMerger in non-materializing
+/// mode, or an out-of-core reader) hands each disjoint block exactly
+/// once, in arbitrary completion order; `block` covers global trials
+/// [trial_begin, trial_begin + block.trial_count()) with all layers and
+/// local trial indexing. Implementations must tolerate concurrent
+/// calls (the metric reducers and the session's spill sink serialize
+/// internally).
+class YltBlockSink {
+ public:
+  virtual ~YltBlockSink() = default;
+  virtual void consume(const Ylt& block, std::size_t trial_begin) = 0;
+};
+
 }  // namespace ara

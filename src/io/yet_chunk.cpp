@@ -1,6 +1,7 @@
 #include "io/yet_chunk.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -175,9 +176,65 @@ Yet YetChunkReader::read_chunk_compressed(std::size_t begin,
   return Yet(std::move(occ), std::move(local), catalogue_);
 }
 
-// ---- YltChunkWriter --------------------------------------------------------
+// ---- YltChunkReader --------------------------------------------------------
 
 using format::kYltHeaderBytes;
+
+YltChunkReader::YltChunkReader(std::string path) : path_(std::move(path)) {
+  is_.open(path_, std::ios::binary);
+  if (!is_) {
+    throw std::runtime_error("YltChunkReader: cannot open " + path_);
+  }
+  char magic[8];
+  is_.read(magic, 8);
+  if (!is_) throw std::runtime_error("YltChunkReader: truncated header");
+  if (std::memcmp(magic, format::kYltMagic, 8) != 0) {
+    throw std::runtime_error("YltChunkReader: not a YLT file: " + path_);
+  }
+  const auto version = read_pod<std::uint32_t>(is_, "version");
+  if (version != format::kFormatVersion) {
+    throw std::runtime_error("YltChunkReader: unsupported YLT version " +
+                             std::to_string(version));
+  }
+  layer_count_ =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is_, "layer count"));
+  trial_count_ =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is_, "trial count"));
+}
+
+Ylt YltChunkReader::read_block(std::size_t begin, std::size_t end) {
+  if (begin > end || end > trial_count_) {
+    throw std::invalid_argument("YltChunkReader::read_block: bad range");
+  }
+  const std::size_t n = end - begin;
+  Ylt block(layer_count_, n);
+  if (n == 0 || layer_count_ == 0) return block;
+  const auto table_bytes = static_cast<std::streamoff>(
+      static_cast<std::uint64_t>(layer_count_) * trial_count_ *
+      sizeof(double));
+  // One seek + one bulk read per (layer, table) row slice — the same
+  // save_ylt layout YltChunkWriter::append seeks into.
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    const auto row = static_cast<std::streamoff>(
+        (static_cast<std::uint64_t>(l) * trial_count_ + begin) *
+        sizeof(double));
+    is_.clear();
+    is_.seekg(kYltHeaderBytes + row);
+    is_.read(reinterpret_cast<char*>(&block.annual_loss(l, 0)),
+             static_cast<std::streamsize>(n * sizeof(double)));
+    is_.seekg(kYltHeaderBytes + table_bytes + row);
+    is_.read(reinterpret_cast<char*>(&block.max_occurrence_loss(l, 0)),
+             static_cast<std::streamsize>(n * sizeof(double)));
+    if (!is_) {
+      throw std::runtime_error("YltChunkReader: truncated loss data");
+    }
+  }
+  peak_bytes_ = std::max(
+      peak_bytes_, layer_count_ * n * 2 * sizeof(double));
+  return block;
+}
+
+// ---- YltChunkWriter --------------------------------------------------------
 
 YltChunkWriter::YltChunkWriter(const std::string& path,
                                std::size_t layer_count,
@@ -198,7 +255,14 @@ YltChunkWriter::YltChunkWriter(const std::string& path,
     os_.seekp(kYltHeaderBytes + static_cast<std::streamoff>(body) - 1);
     os_.put('\0');
   }
-  if (!os_) throw std::runtime_error("YltChunkWriter: write failed");
+  if (!os_) {
+    // The open above already truncated whatever lived at `path`; a
+    // constructor failure must not leave that half-written husk behind
+    // (it would carry a valid-looking header over garbage extent).
+    os_.close();
+    std::remove(path.c_str());
+    throw std::runtime_error("YltChunkWriter: write failed");
+  }
 }
 
 YltChunkWriter::~YltChunkWriter() {
@@ -216,12 +280,7 @@ void YltChunkWriter::append(const Ylt& partial, std::size_t trial_begin) {
   if (trial_begin + n > trial_count_) {
     throw std::invalid_argument("YltChunkWriter::append: range out of bounds");
   }
-  // blocks_ is ordered by begin, so only the neighbours can overlap —
-  // O(log n) per append at one-trial-shard granularity.
-  const std::size_t end = trial_begin + n;
-  const auto next = blocks_.lower_bound(trial_begin);
-  if ((next != blocks_.end() && next->first < end) ||
-      (next != blocks_.begin() && std::prev(next)->second > trial_begin)) {
+  if (!blocks_.try_reserve(trial_begin, trial_begin + n)) {
     throw std::invalid_argument("YltChunkWriter::append: overlapping block");
   }
 
@@ -242,7 +301,6 @@ void YltChunkWriter::append(const Ylt& partial, std::size_t trial_begin) {
               static_cast<std::streamsize>(n * sizeof(double)));
   }
   if (!os_) throw std::runtime_error("YltChunkWriter: write failed");
-  blocks_.emplace(trial_begin, end);
   covered_ += n;
 }
 

@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <fstream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "core/disjoint_ranges.hpp"
 #include "core/yet.hpp"
 #include "core/ylt.hpp"
 
@@ -89,6 +89,37 @@ class YetChunkReader {
   std::size_t peak_bytes_ = 0;
 };
 
+/// Streams trial blocks back out of an on-disk binary YLT (the
+/// `save_ylt` / YltChunkWriter format) — the read side of the
+/// YltRetention::kSpillToFile round trip. `read_block` materialises a
+/// trial range of every layer with bounded memory (one block's rows,
+/// never the whole table), so a spilled YLT can be re-reduced into
+/// metrics, re-sharded, or verified without ever loading it whole.
+/// Loud failure like YetChunkReader: bad magic/version throws at
+/// construction, truncated data throws from read_block.
+class YltChunkReader {
+ public:
+  explicit YltChunkReader(std::string path);
+
+  std::size_t layer_count() const noexcept { return layer_count_; }
+  std::size_t trial_count() const noexcept { return trial_count_; }
+
+  /// Materialises trials [begin, end) of every layer as a Ylt whose
+  /// local trial 0 is global trial `begin`.
+  Ylt read_block(std::size_t begin, std::size_t end);
+
+  /// High-water mark of bytes resident in a block across all
+  /// `read_block` calls so far.
+  std::size_t peak_resident_bytes() const noexcept { return peak_bytes_; }
+
+ private:
+  std::string path_;
+  std::ifstream is_;
+  std::size_t layer_count_ = 0;
+  std::size_t trial_count_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
 /// Writes a binary YLT file (the `save_ylt` format, byte for byte)
 /// from partial trial blocks appended in any order. The file's shape
 /// is fixed up front; `append` seeks each layer's rows into place, so
@@ -122,7 +153,7 @@ class YltChunkWriter {
   std::size_t layer_count_ = 0;
   std::size_t trial_count_ = 0;
   std::size_t covered_ = 0;
-  std::map<std::size_t, std::size_t> blocks_;  ///< begin -> end, disjoint
+  DisjointRangeSet blocks_;
   bool closed_ = false;
 };
 

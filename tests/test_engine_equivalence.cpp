@@ -19,6 +19,17 @@ struct EquivCase {
   bool use_float;
 };
 
+// Policy-built engine with the test's tunables: single-GPU kinds on a
+// Tesla C2075, kMultiGpu on `gpu_count` of its default M2090s.
+std::unique_ptr<Engine> engine_with(EngineKind kind, const EngineConfig& cfg,
+                                    std::size_t gpu_count) {
+  ExecutionPolicy policy = ExecutionPolicy::with_engine(kind);
+  policy.config = cfg;
+  policy.gpu_device = simgpu::tesla_c2075();
+  policy.gpu_count = gpu_count;
+  return make_engine(policy);
+}
+
 class EngineEquivalence
     : public ::testing::TestWithParam<std::tuple<EquivCase, int>> {};
 
@@ -51,7 +62,7 @@ TEST_P(EngineEquivalence, MatchesReferenceYlt) {
   cfg.use_float = c.use_float;
   cfg.cores = 4;           // keep host thread counts sane in CI
   cfg.threads_per_core = 2;
-  const auto engine = make_engine(c.kind, cfg, simgpu::tesla_c2075(), 3);
+  const auto engine = engine_with(c.kind, cfg, 3);
   const SimulationResult got = engine->run(s.portfolio, s.yet);
 
   ASSERT_EQ(got.ylt.layer_count(), expect.ylt.layer_count());
@@ -101,7 +112,7 @@ TEST_P(BitwiseEquivalence, DoubleEnginesBitwiseEqual) {
   EngineConfig cfg = paper_config(GetParam());
   cfg.use_float = false;
   cfg.cores = 4;
-  const auto engine = make_engine(GetParam(), cfg, simgpu::tesla_c2075(), 2);
+  const auto engine = engine_with(GetParam(), cfg, 2);
   const SimulationResult got = engine->run(s.portfolio, s.yet);
 
   for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
@@ -137,7 +148,7 @@ TEST(TrialMajorFusion, BitwiseEqualOnManyLayerBook) {
     EngineConfig cfg = paper_config(kind);
     cfg.use_float = false;
     cfg.cores = 4;
-    const auto engine = make_engine(kind, cfg, simgpu::tesla_c2075(), 2);
+    const auto engine = engine_with(kind, cfg, 2);
     const SimulationResult got = engine->run(s.portfolio, s.yet);
     for (std::size_t l = 0; l < expect.ylt.layer_count(); ++l) {
       for (TrialId t = 0; t < expect.ylt.trial_count(); ++t) {
@@ -171,7 +182,7 @@ TEST(TrialMajorFusion, FusedEnginesChargeSingleYetPass) {
         EngineKind::kMultiGpu}) {
     EngineConfig cfg = paper_config(kind);
     cfg.cores = 2;
-    const auto engine = make_engine(kind, cfg, simgpu::tesla_c2075(), 2);
+    const auto engine = engine_with(kind, cfg, 2);
     const SimulationResult got = engine->run(s.portfolio, s.yet);
     EXPECT_EQ(got.ops.event_fetches, occurrences) << engine_kind_name(kind);
     EXPECT_EQ(got.ops.elt_lookups, ref.ops.elt_lookups)
@@ -185,7 +196,7 @@ TEST(TrialMajorFusion, FusedEnginesChargeSingleYetPass) {
 
 TEST(EngineFactory, AllKindsConstruct) {
   for (const EngineKind kind : all_engine_kinds()) {
-    const auto engine = make_engine(kind, paper_config(kind));
+    const auto engine = make_engine(ExecutionPolicy::with_engine(kind));
     ASSERT_NE(engine, nullptr);
     EXPECT_EQ(engine->name(), engine_kind_name(kind));
   }

@@ -30,7 +30,7 @@ TEST(Integration, FullPipelinePaperShapedWorkload) {
   // Run all engines; collect YLTs.
   std::vector<SimulationResult> results;
   for (const EngineKind kind : all_engine_kinds()) {
-    const auto engine = make_engine(kind, paper_config(kind));
+    const auto engine = make_engine(ExecutionPolicy::with_engine(kind));
     results.push_back(engine->run(s.portfolio, s.yet));
   }
 
@@ -127,7 +127,7 @@ TEST(Integration, EngineRunsAreRepeatable) {
   const synth::Scenario s = synth::paper_scaled(50000, 1);
   for (const EngineKind kind :
        {EngineKind::kSequentialFused, EngineKind::kMultiGpu}) {
-    const auto engine = make_engine(kind, paper_config(kind));
+    const auto engine = make_engine(ExecutionPolicy::with_engine(kind));
     const auto a = engine->run(s.portfolio, s.yet);
     const auto b = engine->run(s.portfolio, s.yet);
     EXPECT_EQ(a.ylt.annual_raw(), b.ylt.annual_raw()) << a.engine_name;

@@ -34,7 +34,7 @@ TEST_P(SessionVsLegacy, BitwiseIdenticalToDirectEngineRun) {
   const EngineKind kind = GetParam();
   const synth::Scenario s = synth::multi_layer_book(4, 200, 22);
 
-  const auto legacy = make_engine(kind, paper_config(kind));
+  const auto legacy = make_engine(ExecutionPolicy::with_engine(kind));
   const SimulationResult direct = legacy->run(s.portfolio, s.yet);
 
   AnalysisSession session(ExecutionPolicy::with_engine(kind));
@@ -79,7 +79,7 @@ TEST(SessionBatch, DeterministicAndOrderIndependent) {
     r.label = "book_" + std::to_string(i);
     r.portfolio = &books[i];
     r.yet = &s.yet;
-    r.metrics.layer_summaries = true;
+    r.metrics = MetricsSpec::layer_summaries();
     requests.push_back(std::move(r));
   }
 
@@ -92,9 +92,14 @@ TEST(SessionBatch, DeterministicAndOrderIndependent) {
     EXPECT_EQ(batch[i].label, requests[i].label);
     const AnalysisResult solo = session.run(requests[i]);
     expect_bitwise_equal_ylt(batch[i].simulation.ylt, solo.simulation.ylt);
-    ASSERT_EQ(batch[i].layer_summaries.size(), 1u);
-    EXPECT_DOUBLE_EQ(batch[i].layer_summaries[0].aal,
-                     solo.layer_summaries[0].aal);
+    ASSERT_EQ(batch[i].metrics.layers.size(), 1u);
+    EXPECT_DOUBLE_EQ(batch[i].metrics.layers[0].aal,
+                     solo.metrics.layers[0].aal);
+    // The by-name lookup resolves to the same entry as the index.
+    const metrics::LayerMetrics* by_name =
+        batch[i].metrics_for(books[i].layers()[0].name);
+    ASSERT_NE(by_name, nullptr);
+    EXPECT_EQ(by_name->aal, batch[i].metrics.layers[0].aal);
   }
 
   // Reversed submission order: per-label results unchanged.
@@ -316,7 +321,8 @@ TEST(SessionBatch, SharedYetBatchWithExtensionsUsesTableCache) {
     r.label = "book_" + std::to_string(i);
     r.portfolio = &books[i];
     r.yet = &s.yet;
-    r.metrics = MetricsSelection::all();
+    // Exercises the legacy-selection shim deliberately.
+    r.metrics = MetricsSpec::from_selection(MetricsSelection::all());
     r.reinstatement_terms.assign(books[i].layer_count(), terms);
     requests.push_back(std::move(r));
   }
@@ -340,11 +346,11 @@ TEST(SessionBatch, SharedYetBatchWithExtensionsUsesTableCache) {
     EXPECT_EQ(batch[i].label, requests[i].label);
     ASSERT_TRUE(batch[i].reinstatements.has_value());
     EXPECT_EQ(batch[i].reinstatements->trial_count(), s.yet.trial_count());
-    ASSERT_EQ(batch[i].layer_summaries.size(), 1u);
+    ASSERT_EQ(batch[i].metrics.layers.size(), 1u);
     const AnalysisResult solo = session.run(requests[i]);
     expect_bitwise_equal_ylt(batch[i].simulation.ylt, solo.simulation.ylt);
-    EXPECT_DOUBLE_EQ(batch[i].layer_summaries[0].aal,
-                     solo.layer_summaries[0].aal);
+    EXPECT_DOUBLE_EQ(batch[i].metrics.layers[0].aal,
+                     solo.metrics.layers[0].aal);
   }
   EXPECT_EQ(batch[3].simulation.engine_name, "secondary_uncertainty");
   expect_bitwise_equal_ylt(batch[3].simulation.ylt,

@@ -26,7 +26,7 @@ AnalysisRequest request_for(const synth::Scenario& s,
   request.label = label;
   request.portfolio = &s.portfolio;
   request.yet = &s.yet;
-  request.metrics.layer_summaries = true;
+  request.metrics = MetricsSpec::layer_summaries();
   return request;
 }
 

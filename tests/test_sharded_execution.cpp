@@ -194,7 +194,7 @@ TEST(ShardedExecution, DerivedMetricsMatchOneShot) {
   const synth::Scenario s = synth::tiny(kTrials, 19);
 
   AnalysisRequest request = request_for(s.portfolio, s.yet);
-  request.metrics = MetricsSelection::all();
+  request.metrics = MetricsSpec::all();
   request.policy = ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
 
   AnalysisSession session;
@@ -204,20 +204,22 @@ TEST(ShardedExecution, DerivedMetricsMatchOneShot) {
   sharded_request.policy = sharded_policy(EngineKind::kSequentialFused, 7);
   const AnalysisResult sharded = session.run(sharded_request);
 
-  ASSERT_EQ(sharded.layer_summaries.size(), mono.layer_summaries.size());
-  for (std::size_t a = 0; a < mono.layer_summaries.size(); ++a) {
-    EXPECT_EQ(sharded.layer_summaries[a].aal, mono.layer_summaries[a].aal);
-    EXPECT_EQ(sharded.layer_summaries[a].var_99,
-              mono.layer_summaries[a].var_99);
-    EXPECT_EQ(sharded.layer_summaries[a].tvar_99,
-              mono.layer_summaries[a].tvar_99);
-    EXPECT_EQ(sharded.layer_summaries[a].oep_100yr,
-              mono.layer_summaries[a].oep_100yr);
+  ASSERT_EQ(sharded.metrics.layers.size(), mono.metrics.layers.size());
+  for (std::size_t a = 0; a < mono.metrics.layers.size(); ++a) {
+    EXPECT_EQ(sharded.metrics.layers[a].aal, mono.metrics.layers[a].aal);
+    EXPECT_EQ(sharded.metrics.layers[a].var_at(0.99),
+              mono.metrics.layers[a].var_at(0.99));
+    EXPECT_EQ(sharded.metrics.layers[a].tvar_at(0.99),
+              mono.metrics.layers[a].tvar_at(0.99));
+    EXPECT_EQ(sharded.metrics.layers[a].oep_at(100.0),
+              mono.metrics.layers[a].oep_at(100.0));
   }
-  ASSERT_TRUE(sharded.rollup.has_value());
-  ASSERT_TRUE(mono.rollup.has_value());
-  EXPECT_EQ(sharded.rollup->aal, mono.rollup->aal);
-  EXPECT_EQ(sharded.rollup->tvar_99, mono.rollup->tvar_99);
+  ASSERT_TRUE(sharded.metrics.portfolio.has_value());
+  ASSERT_TRUE(mono.metrics.portfolio.has_value());
+  EXPECT_EQ(sharded.metrics.portfolio->totals.aal,
+            mono.metrics.portfolio->totals.aal);
+  EXPECT_EQ(sharded.metrics.portfolio->totals.tvar_at(0.99),
+            mono.metrics.portfolio->totals.tvar_at(0.99));
 }
 
 // Engines also honour a trial range directly (the layer below the

@@ -5,10 +5,13 @@
 //
 //   ara_cli generate --out DIR [--trials N] [--events-per-trial E]
 //                    [--catalogue C] [--elts K] [--layers L] [--seed S]
-//   ara_cli run      --in DIR --out YLT.bin [--engine NAME|auto]
+//   ara_cli run      --in DIR (--out YLT.bin | --ylt-out YLT.bin | --no-ylt)
+//                    [--engine NAME|auto]
 //                    [--gpus N] [--cores N] [--threads-per-core T]
 //                    [--block-threads B] [--chunk-size C]
 //                    [--shard-trials N] [--memory-budget MIB]
+//                    [--metrics none|layer|portfolio|all]
+//                    [--quantiles P1,P2,..] [--return-periods T1,T2,..]
 //   ara_cli run      --list-engines
 //   ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]
 //
@@ -21,11 +24,23 @@
 // the largest size whose resident footprint fits the budget), computed
 // across the session's shard scheduler and merged — bitwise identical
 // to the monolithic run (DESIGN.md §5).
+//
+// --metrics asks the session for the declarative metric report
+// (per-layer and/or portfolio scope), refined by --quantiles (VaR/TVaR
+// probability levels) and --return-periods (PML/OEP years). The YLT
+// itself is governed by the retention flags: --out keeps it in memory
+// and saves it, --ylt-out writes it to disk instead of returning it,
+// --no-ylt discards it. Combined with a shard plan (--shard-trials /
+// --memory-budget) the non-keep modes stream shard blocks through the
+// reducers and chunk writer and never build the layers x trials table;
+// without one the run is monolithic and builds it once (DESIGN.md §6).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/engine_factory.hpp"
 #include "core/metrics/convergence.hpp"
@@ -46,17 +61,30 @@ using namespace ara;
       "usage:\n"
       "  ara_cli generate --out DIR [--trials N] [--events-per-trial E]\n"
       "                   [--catalogue C] [--elts K] [--layers L] [--seed S]\n"
-      "  ara_cli run      --in DIR --out YLT.bin [--engine NAME|auto]\n"
+      "  ara_cli run      --in DIR (--out YLT.bin | --ylt-out YLT.bin |\n"
+      "                   --no-ylt) [--engine NAME|auto]\n"
       "                   [--gpus N] [--cores N] [--threads-per-core T]\n"
       "                   [--block-threads B] [--chunk-size C]\n"
       "                   [--shard-trials N] [--memory-budget MIB]\n"
+      "                   [--metrics none|layer|portfolio|all]\n"
+      "                   [--quantiles P1,P2,..] [--return-periods T1,T2,..]\n"
       "  ara_cli run      --list-engines\n"
-      "  ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]\n";
+      "  ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]\n"
+      "\n"
+      "YLT retention: --out keeps the table in memory and saves it;\n"
+      "--ylt-out writes it to disk instead of returning it; --no-ylt\n"
+      "computes metrics only. Resident memory is bounded only when a\n"
+      "shard plan is in force (--shard-trials / --memory-budget): then\n"
+      "shard blocks stream through the reducers/writer and the full\n"
+      "layers x trials table is never built. Without one the run is\n"
+      "monolithic and still builds the table once before dropping it.\n";
   std::exit(2);
 }
 
 // Flags that take no value.
-bool is_switch(const std::string& name) { return name == "list-engines"; }
+bool is_switch(const std::string& name) {
+  return name == "list-engines" || name == "no-ylt";
+}
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
@@ -90,6 +118,30 @@ long get_long(const std::map<std::string, std::string>& flags,
   } catch (const std::exception&) {
     usage("bad integer for --" + key + ": " + it->second);
   }
+}
+
+std::vector<double> parse_doubles(const std::string& csv,
+                                  const std::string& flag) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(token, &consumed);
+      // stod stops at the first non-numeric character; a typo like
+      // "0.99x" must fail loudly, not silently shift the metric point.
+      if (consumed != token.size()) {
+        usage("bad number in --" + flag + ": " + token);
+      }
+      out.push_back(value);
+    } catch (const std::exception&) {
+      usage("bad number in --" + flag + ": " + token);
+    }
+  }
+  if (out.empty()) usage("--" + flag + " needs a comma-separated list");
+  return out;
 }
 
 int cmd_generate(const std::map<std::string, std::string>& flags) {
@@ -175,8 +227,47 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
 
   const std::string in = get(flags, "in", "");
   const std::string out = get(flags, "out", "");
-  if (in.empty() || out.empty()) usage("run requires --in DIR and --out FILE");
+  const std::string ylt_out = get(flags, "ylt-out", "");
+  const bool no_ylt = flags.count("no-ylt") > 0;
+  if (in.empty()) usage("run requires --in DIR");
+  if (out.empty() && ylt_out.empty() && !no_ylt) {
+    usage("run requires --out FILE, --ylt-out FILE, or --no-ylt");
+  }
+  if (!out.empty() && (no_ylt || !ylt_out.empty())) {
+    usage("--out keeps the YLT in memory; it cannot combine with "
+          "--no-ylt / --ylt-out");
+  }
+  if (no_ylt && !ylt_out.empty()) usage("--no-ylt contradicts --ylt-out");
   const std::string engine_name = get(flags, "engine", "multi_gpu_optimized");
+
+  // Declarative metric plan.
+  MetricsSpec spec;
+  const std::string scope = get(flags, "metrics", "none");
+  if (scope == "layer") {
+    spec = MetricsSpec::layer_summaries();
+  } else if (scope == "portfolio") {
+    spec = MetricsSpec::portfolio_rollup();
+  } else if (scope == "all") {
+    spec = MetricsSpec::all();
+  } else if (scope != "none") {
+    usage("--metrics must be none, layer, portfolio, or all");
+  }
+  if (flags.count("quantiles") || flags.count("return-periods")) {
+    if (scope == "none") {
+      usage("--quantiles / --return-periods need --metrics "
+            "layer|portfolio|all");
+    }
+    if (flags.count("quantiles")) {
+      spec.quantiles = parse_doubles(flags.at("quantiles"), "quantiles");
+    }
+    if (flags.count("return-periods")) {
+      spec.return_periods =
+          parse_doubles(flags.at("return-periods"), "return-periods");
+    }
+  }
+  if (no_ylt && scope == "none") {
+    usage("--no-ylt without --metrics would compute nothing");
+  }
 
   ExecutionPolicy policy;
   policy.gpu_count = static_cast<std::size_t>(get_long(flags, "gpus", 4));
@@ -250,6 +341,13 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   AnalysisRequest request;
   request.portfolio = &portfolio;
   request.yet = &yet;
+  request.metrics = spec;
+  if (!ylt_out.empty()) {
+    request.ylt_retention = YltRetention::kSpillToFile;
+    request.ylt_path = ylt_out;
+  } else if (no_ylt) {
+    request.ylt_retention = YltRetention::kDiscard;
+  }
   ExecutionPolicy resolved = policy;
   resolved.engine = kind;
   resolved.config = cfg;
@@ -257,12 +355,12 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
 
   const AnalysisResult analysis = session.run(request);
   const SimulationResult& result = analysis.simulation;
-  io::save_ylt(out, result.ylt);
+  if (!out.empty()) io::save_ylt(out, result.ylt);
 
   std::cout << "engine    : " << result.engine_name
             << (auto_selected ? " (auto-selected)" : "") << '\n'
-            << "trials    : " << result.ylt.trial_count() << " x "
-            << result.ylt.layer_count() << " layer(s)\n";
+            << "trials    : " << yet.trial_count() << " x "
+            << portfolio.layer_count() << " layer(s)\n";
   if (analysis.shard_count > 1) {
     const ShardPlan plan = session.shard_plan(portfolio, yet, resolved);
     std::cout << "shards    : " << analysis.shard_count << " x "
@@ -279,7 +377,69 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     std::cout << "predicted : " << perf::format_seconds(predicted_seconds)
               << " (cost model, drove the selection)\n";
   }
-  std::cout << "wrote     : " << out << '\n';
+
+  // The metric report, when requested: one row per scope entry, the
+  // requested quantile / return-period columns.
+  if (spec.any()) {
+    std::vector<std::string> header = {"scope", "AAL", "std dev"};
+    for (const double p : spec.quantiles) {
+      header.push_back("VaR " + perf::format_percent(p));
+      header.push_back("TVaR " + perf::format_percent(p));
+    }
+    for (const double t : spec.return_periods) {
+      header.push_back("PML " + perf::format_fixed(t, 0) + "yr");
+    }
+    for (const double t : spec.return_periods) {
+      header.push_back("OEP " + perf::format_fixed(t, 0) + "yr");
+    }
+    perf::Table table(header);
+    const auto add_row = [&table, &spec](const metrics::LayerMetrics& m,
+                                         bool occurrence) {
+      std::vector<std::string> row = {m.label, perf::format_fixed(m.aal, 2),
+                                      perf::format_fixed(m.std_dev, 2)};
+      for (const metrics::QuantileMetric& q : m.quantiles) {
+        row.push_back(perf::format_fixed(q.var, 2));
+        row.push_back(perf::format_fixed(q.tvar, 2));
+      }
+      for (const metrics::ReturnPeriodMetric& r : m.pml) {
+        row.push_back(perf::format_fixed(r.loss, 2));
+      }
+      for (std::size_t i = 0; i < spec.return_periods.size(); ++i) {
+        row.push_back(occurrence ? perf::format_fixed(m.oep[i].loss, 2)
+                                 : "-");
+      }
+      table.add_row(row);
+    };
+    for (const metrics::LayerMetrics& m : analysis.metrics.layers) {
+      add_row(m, /*occurrence=*/true);
+    }
+    if (analysis.metrics.portfolio) {
+      add_row(analysis.metrics.portfolio->totals, /*occurrence=*/false);
+    }
+    std::cout << '\n';
+    table.print(std::cout);
+    if (analysis.metrics.portfolio &&
+        analysis.metrics.portfolio->capital_allocation) {
+      std::cout << "diversification benefit (TVaR "
+                << perf::format_percent(analysis.metrics.portfolio->capital_p)
+                << "): "
+                << perf::format_fixed(
+                       analysis.metrics.portfolio
+                           ->diversification_benefit_tvar, 2)
+                << '\n';
+    }
+  }
+
+  if (!out.empty()) std::cout << "wrote     : " << out << '\n';
+  if (!analysis.ylt_path.empty()) {
+    // Only a sharded spill actually streams; a monolithic run built
+    // the table in RAM and spilled it as one block.
+    std::cout << "wrote     : " << analysis.ylt_path
+              << (analysis.shard_count > 1
+                      ? " (streamed shard blocks, never resident)\n"
+                      : " (spilled whole table)\n");
+  }
+  if (no_ylt) std::cout << "ylt       : discarded (metric-only run)\n";
   return 0;
 }
 
