@@ -12,7 +12,9 @@
 // the run.
 #pragma once
 
+#include <chrono>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,17 @@ enum class YltRetention {
   kSpillToFile,
 };
 
+/// Thrown (through the request's own future, for batch submissions)
+/// when a request's deadline passed before its simulation started.
+/// Distinct from other failures so queue-level callers — the
+/// ara_serve scheduler above all — can turn it into an explicit
+/// "shed, retry later" answer instead of a generic error.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// One analysis to run. Only `portfolio` and `yet` are required; both
 /// must index the same event catalogue.
 struct AnalysisRequest {
@@ -79,6 +92,12 @@ struct AnalysisRequest {
 
   /// Overrides the session's default policy for this request only.
   std::optional<ExecutionPolicy> policy;
+
+  /// Absolute expiry instant. A request whose deadline has passed when
+  /// it reaches the front of the dispatch queue is shed *before* any
+  /// engine work: its future resolves to DeadlineExceeded and no
+  /// tables are built or trials run for it. nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 
   /// Reinstatement extension: when non-empty (one entry per portfolio
   /// layer), the session additionally prices the layers as XL treaties

@@ -375,6 +375,26 @@ std::size_t AnalysisSession::cached_table_portfolios() const {
   return tables_.size();
 }
 
+std::size_t AnalysisSession::pending_requests() {
+  // Dispatch-queue depth (batch requests queued or executing) plus
+  // shard-queue depth (trial shards of in-flight sharded runs). An
+  // admission controller in front of the session reads this instead of
+  // guessing from its own submit counts — a request it never submitted
+  // (another front-end, a direct run_batch_async caller) still shows
+  // up here. Pools are built lazily; a pool that never existed has no
+  // queue to count.
+  std::size_t pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (pool_) pending += pool_->pending();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_pool_mutex_);
+    if (shard_pool_) pending += shard_pool_->pending();
+  }
+  return pending;
+}
+
 std::vector<EnginePrediction> AnalysisSession::predict(
     const Portfolio& portfolio, const Yet& yet,
     const ExecutionPolicy& policy) const {
@@ -508,6 +528,18 @@ const Engine& AnalysisSession::engine_for(EngineKind kind,
 }
 
 AnalysisResult AnalysisSession::run(const AnalysisRequest& request) {
+  // Deadline first, before any validation or table work: an expired
+  // request must be shed with zero compute spent on it. For batch
+  // submissions this runs when the dispatch pool picks the request up,
+  // so a deadline that passes while the request queues surfaces as
+  // DeadlineExceeded through its own future and the engines never see
+  // the work.
+  if (request.deadline &&
+      std::chrono::steady_clock::now() >= *request.deadline) {
+    throw DeadlineExceeded("AnalysisSession: deadline expired before "
+                           "dispatch for request \"" +
+                           request.label + "\"");
+  }
   if (request.portfolio == nullptr || request.yet == nullptr) {
     throw std::invalid_argument(
         "AnalysisSession::run: request needs a portfolio and a yet");

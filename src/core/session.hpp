@@ -177,6 +177,16 @@ class AnalysisSession {
   /// Number of portfolios with cached tables (diagnostics/tests).
   std::size_t cached_table_portfolios() const;
 
+  /// Requests queued or executing on the dispatch pool plus trial
+  /// shards queued or executing on the shard pool — the session's
+  /// backlog as an admission controller should see it (ara_serve reads
+  /// this instead of guessing from its own submit counts). Exact at
+  /// the instant each pool is sampled; the two pools are sampled in
+  /// sequence, so a request finishing between samples can be counted
+  /// zero or twice transiently — callers treat it as a depth gauge,
+  /// not an invariant.
+  std::size_t pending_requests();
+
  private:
   /// Both-precision table bundle of one portfolio; entries built on
   /// first use per precision. shared_ptr so an in-flight run keeps its

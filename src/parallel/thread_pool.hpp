@@ -43,12 +43,20 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Tasks queued plus tasks currently executing — the pool's backlog
+  /// at the instant of the call (naturally stale by the time the
+  /// caller acts on it).
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size() + active_;
+  }
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;

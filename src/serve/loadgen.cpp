@@ -1,0 +1,269 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <utility>
+
+namespace ara::serve {
+
+LatencySummary summarize_latencies(std::vector<double> latencies_ms) {
+  LatencySummary summary;
+  summary.samples = latencies_ms.size();
+  if (latencies_ms.empty()) return summary;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto rank = [&](double p) {
+    // Nearest-rank: ceil(p * n), 1-based, clamped.
+    const std::size_t n = latencies_ms.size();
+    std::size_t r = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(n)));
+    if (r == 0) r = 1;
+    if (r > n) r = n;
+    return latencies_ms[r - 1];
+  };
+  summary.p50 = rank(0.50);
+  summary.p95 = rank(0.95);
+  summary.p99 = rank(0.99);
+  summary.max = latencies_ms.back();
+  double sum = 0.0;
+  for (const double v : latencies_ms) sum += v;
+  summary.mean = sum / static_cast<double>(latencies_ms.size());
+  return summary;
+}
+
+namespace {
+
+/// Shared per-tenant measurement sink; callbacks may fire from
+/// scheduler/dispatch/receiver threads.
+struct TenantSink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t submitted = 0;
+  std::size_t replies = 0;
+  TenantLoadReport report;
+  std::vector<double> latencies_ms;
+
+  void record(const ServeReply& reply, double latency_ms,
+              std::uint64_t trials) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++replies;
+    switch (reply.status) {
+      case Status::kOk:
+        ++report.ok;
+        report.ok_trials += trials;
+        latencies_ms.push_back(latency_ms);
+        break;
+      case Status::kRejectedQueueFull:
+        ++report.rejected_queue_full;
+        break;
+      case Status::kRejectedBytes:
+        ++report.rejected_bytes;
+        break;
+      case Status::kShedEarly:
+        ++report.shed_early;
+        break;
+      case Status::kShedDeadline:
+        ++report.shed_deadline;
+        break;
+      case Status::kShutdown:
+        ++report.shutdown;
+        break;
+      case Status::kError:
+        ++report.errors;
+        break;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace
+
+LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::unique_ptr<TenantSink>> sinks;
+  sinks.reserve(config.tenants.size());
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    sinks.push_back(std::make_unique<TenantSink>());
+  }
+
+  // One driver thread per tenant: open-loop Poisson arrivals pinned to
+  // an absolute schedule (sleep_until, not sleep_for — queueing delay
+  // in submit() must not slow the offered rate).
+  std::vector<std::thread> drivers;
+  drivers.reserve(config.tenants.size());
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    drivers.emplace_back([&, i] {
+      const LoadTenantSpec& spec = config.tenants[i];
+      TenantSink& sink = *sinks[i];
+      std::mt19937_64 rng(config.seed + 0x9e3779b97f4a7c15ull * (i + 1));
+      std::exponential_distribution<double> inter_arrival(
+          spec.rate_hz > 0.0 ? spec.rate_hz : 1.0);
+      auto next_arrival = std::chrono::steady_clock::now();
+      for (std::size_t n = 0; n < spec.requests; ++n) {
+        if (spec.rate_hz > 0.0) {
+          next_arrival += std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(inter_arrival(rng)));
+          std::this_thread::sleep_until(next_arrival);
+        }
+        ServeRequest request;
+        request.tenant = spec.name;
+        request.request_id = (static_cast<std::uint64_t>(i) << 32) | n;
+        request.deadline_ms = spec.deadline_ms;
+        if (!spec.dataset.empty()) {
+          request.workload = WorkloadRef::kDataset;
+          request.dataset = spec.dataset;
+        } else {
+          request.workload = WorkloadRef::kSynth;
+          request.synth = spec.synth;
+        }
+        const std::uint64_t trials = request.cost_trials();
+        const auto sent = std::chrono::steady_clock::now();
+        {
+          std::lock_guard<std::mutex> lock(sink.mutex);
+          ++sink.submitted;
+        }
+        submit(std::move(request), [&sink, sent, trials](const ServeReply& r) {
+          const double latency_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sent)
+                  .count();
+          sink.record(r, latency_ms, trials);
+        });
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  // All arrivals are in; wait (bounded) for the reply tail.
+  const auto deadline = std::chrono::steady_clock::now() + config.reply_timeout;
+  for (auto& sink : sinks) {
+    std::unique_lock<std::mutex> lock(sink->mutex);
+    sink->cv.wait_until(lock, deadline,
+                        [&] { return sink->replies >= sink->submitted; });
+  }
+
+  LoadReport out;
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    TenantSink& sink = *sinks[i];
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    TenantLoadReport report = sink.report;
+    report.name = config.tenants[i].name;
+    report.weight = config.tenants[i].weight;
+    report.submitted = sink.submitted;
+    report.lost = sink.submitted - sink.replies;
+    report.latency = summarize_latencies(sink.latencies_ms);
+    report.throughput_rps =
+        out.wall_seconds > 0.0
+            ? static_cast<double>(report.ok) / out.wall_seconds
+            : 0.0;
+    out.total_submitted += report.submitted;
+    out.total_ok += report.ok;
+    out.total_backpressure += report.rejected_queue_full +
+                              report.rejected_bytes + report.shed_early;
+    out.total_shed_deadline += report.shed_deadline;
+    out.total_lost += report.lost;
+    out.tenants.push_back(std::move(report));
+  }
+  return out;
+}
+
+// ---- ClientTransport ----
+
+ClientTransport::ClientTransport(const Endpoint& endpoint)
+    : client_(endpoint) {
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+ClientTransport::~ClientTransport() {
+  finish(std::chrono::milliseconds(0));
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void ClientTransport::submit(ServeRequest&& request,
+                             std::function<void(const ServeReply&)> done) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      ServeReply reply;
+      reply.request_id = request.request_id;
+      reply.status = Status::kError;
+      reply.message = "transport closed";
+      done(reply);
+      return;
+    }
+    pending_.emplace(request.request_id, std::move(done));
+  }
+  try {
+    client_.send(request);
+  } catch (const std::exception& e) {
+    std::function<void(const ServeReply&)> cb;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = pending_.find(request.request_id);
+      if (it != pending_.end()) {
+        cb = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (cb) {
+      ServeReply reply;
+      reply.request_id = request.request_id;
+      reply.status = Status::kError;
+      reply.message = std::string("send failed: ") + e.what();
+      cb(reply);
+    }
+  }
+}
+
+void ClientTransport::receive_loop() {
+  for (;;) {
+    std::optional<ServeReply> reply;
+    try {
+      reply = client_.receive();
+    } catch (const std::exception&) {
+      reply.reset();
+    }
+    if (!reply) break;
+    std::function<void(const ServeReply&)> cb;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = pending_.find(reply->request_id);
+      if (it != pending_.end()) {
+        cb = std::move(it->second);
+        pending_.erase(it);
+      }
+      cv_.notify_all();
+    }
+    if (cb) cb(*reply);
+  }
+  // Stream over: flush whatever is still pending as explicit errors so
+  // no caller waits forever on a torn connection.
+  std::map<std::uint64_t, std::function<void(const ServeReply&)>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    orphans.swap(pending_);
+    cv_.notify_all();
+  }
+  for (auto& [id, cb] : orphans) {
+    ServeReply reply;
+    reply.request_id = id;
+    reply.status = Status::kError;
+    reply.message = "connection closed before reply";
+    cb(reply);
+  }
+}
+
+void ClientTransport::finish(std::chrono::milliseconds timeout) {
+  client_.finish_sending();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_until(lock, std::chrono::steady_clock::now() + timeout,
+                 [this] { return pending_.empty() || closed_; });
+}
+
+}  // namespace ara::serve

@@ -1,0 +1,135 @@
+// Open-loop load generator for the analysis service. Arrivals per
+// tenant follow a Poisson process (exponential inter-arrival times,
+// seeded and reproducible); arrivals do NOT wait for completions —
+// open-loop, so the generator keeps the offered rate up while the
+// server backs up, which is exactly the regime where admission
+// control, WRED and DWRR earn their keep. A closed-loop generator
+// would self-throttle and hide the overload behaviour the bench is
+// trying to measure.
+//
+// The generator is transport-agnostic: it drives a SubmitFn with the
+// same shape as AnalysisService::submit. The in-process bench passes
+// the service directly; ara_loadgen passes a socket adapter
+// (ClientTransport) so the same measurement code exercises the full
+// wire path.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace ara::serve {
+
+/// One synthetic tenant's traffic description.
+struct LoadTenantSpec {
+  std::string name;
+  std::uint32_t weight = 1;  ///< reported only; configure the service too
+  double rate_hz = 50.0;     ///< mean arrival rate (Poisson)
+  std::size_t requests = 100;
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+  SynthSpec synth;                ///< workload every request names
+  std::string dataset;            ///< non-empty: reference this instead
+};
+
+struct LoadConfig {
+  std::vector<LoadTenantSpec> tenants;
+  std::uint64_t seed = 2013;
+  /// Extra patience for the tail after the last arrival, before
+  /// missing replies are declared lost.
+  std::chrono::milliseconds reply_timeout{30000};
+};
+
+/// Latency summary in milliseconds (nearest-rank percentiles over the
+/// kOk replies).
+struct LatencySummary {
+  std::size_t samples = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+struct TenantLoadReport {
+  std::string name;
+  std::uint32_t weight = 1;
+  std::size_t submitted = 0;
+  std::size_t ok = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_bytes = 0;
+  std::size_t shed_early = 0;
+  std::size_t shed_deadline = 0;
+  std::size_t shutdown = 0;
+  std::size_t errors = 0;
+  /// submitted minus replies received — the invariant the smoke gate
+  /// asserts is exactly zero.
+  std::size_t lost = 0;
+  std::uint64_t ok_trials = 0;  ///< trial-cost of the kOk replies
+  double throughput_rps = 0.0;  ///< kOk replies per wall second
+  LatencySummary latency;       ///< submit -> reply, kOk only
+};
+
+struct LoadReport {
+  double wall_seconds = 0.0;
+  std::vector<TenantLoadReport> tenants;
+  std::size_t total_submitted = 0;
+  std::size_t total_ok = 0;
+  std::size_t total_backpressure = 0;  ///< rejects + early sheds
+  std::size_t total_shed_deadline = 0;
+  std::size_t total_lost = 0;
+};
+
+/// The transport the generator drives: same contract as
+/// AnalysisService::submit — the callback fires exactly once per
+/// request.
+using SubmitFn =
+    std::function<void(ServeRequest&&, std::function<void(const ServeReply&)>)>;
+
+/// Runs the configured load to completion (all arrivals sent, all
+/// replies received or timed out) and returns the measurements.
+LoadReport run_load(const LoadConfig& config, const SubmitFn& submit);
+
+/// Nearest-rank percentile over an unsorted sample set (sorts a copy).
+LatencySummary summarize_latencies(std::vector<double> latencies_ms);
+
+/// Socket adapter giving one connection the SubmitFn shape: a writer
+/// path (caller thread) plus one receiver thread correlating replies
+/// by request_id. Submit-side request_ids must be unique per adapter.
+class ClientTransport {
+ public:
+  explicit ClientTransport(const Endpoint& endpoint);
+  ~ClientTransport();
+
+  ClientTransport(const ClientTransport&) = delete;
+  ClientTransport& operator=(const ClientTransport&) = delete;
+
+  void submit(ServeRequest&& request,
+              std::function<void(const ServeReply&)> done);
+
+  /// Half-closes the send side and waits (bounded) for every pending
+  /// reply; outstanding callbacks after the timeout fire with a
+  /// synthetic kError reply so the exactly-once contract holds.
+  void finish(std::chrono::milliseconds timeout);
+
+ private:
+  void receive_loop();
+
+  ServeClient client_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::function<void(const ServeReply&)>> pending_;
+  bool closed_ = false;
+  std::thread receiver_;
+};
+
+}  // namespace ara::serve

@@ -1,0 +1,433 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "io/format.hpp"
+
+namespace ara::serve {
+
+namespace {
+
+namespace fmt = ara::io::format;
+
+// Decode-side sanity caps: a corrupt length prefix must fail the
+// decode, not allocate gigabytes.
+constexpr std::uint64_t kMaxString = 1ull << 16;
+constexpr std::uint64_t kMaxVectorEntries = 1ull << 20;
+
+void write_string(std::ostream& os, const std::string& s) {
+  fmt::write_varint(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is, const char* what) {
+  const std::uint64_t n = fmt::read_varint(is);
+  if (n > kMaxString) {
+    throw std::runtime_error(std::string("serve protocol: oversized string (") +
+                             what + ")");
+  }
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) {
+    throw std::runtime_error(std::string("serve protocol: truncated ") + what);
+  }
+  return s;
+}
+
+void write_doubles(std::ostream& os, const std::vector<double>& v) {
+  fmt::write_varint(os, v.size());
+  for (const double d : v) fmt::write_pod(os, d);
+}
+
+std::vector<double> read_doubles(std::istream& is, const char* what) {
+  const std::uint64_t n = fmt::read_varint(is);
+  if (n > kMaxVectorEntries) {
+    throw std::runtime_error(std::string("serve protocol: oversized vector (") +
+                             what + ")");
+  }
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(fmt::read_pod<double>(is, what));
+  }
+  return v;
+}
+
+void write_bool(std::ostream& os, bool b) {
+  fmt::write_pod<std::uint8_t>(os, b ? 1 : 0);
+}
+
+bool read_bool(std::istream& is, const char* what) {
+  return fmt::read_pod<std::uint8_t>(is, what) != 0;
+}
+
+void write_metrics_spec(std::ostream& os, const metrics::MetricsSpec& spec) {
+  write_bool(os, spec.per_layer);
+  write_bool(os, spec.portfolio);
+  write_doubles(os, spec.quantiles);
+  write_doubles(os, spec.return_periods);
+  fmt::write_varint(os, spec.ep_curve_points);
+  write_bool(os, spec.capital_allocation);
+  fmt::write_pod(os, spec.capital_p);
+}
+
+metrics::MetricsSpec read_metrics_spec(std::istream& is) {
+  metrics::MetricsSpec spec;
+  spec.per_layer = read_bool(is, "metrics.per_layer");
+  spec.portfolio = read_bool(is, "metrics.portfolio");
+  spec.quantiles = read_doubles(is, "metrics.quantiles");
+  spec.return_periods = read_doubles(is, "metrics.return_periods");
+  spec.ep_curve_points =
+      static_cast<std::size_t>(fmt::read_varint(is));
+  spec.capital_allocation = read_bool(is, "metrics.capital_allocation");
+  spec.capital_p = fmt::read_pod<double>(is, "metrics.capital_p");
+  return spec;
+}
+
+void write_layer_metrics(std::ostream& os, const metrics::LayerMetrics& m) {
+  write_string(os, m.label);
+  fmt::write_varint(os, m.trials);
+  fmt::write_pod(os, m.aal);
+  fmt::write_pod(os, m.std_dev);
+  fmt::write_pod(os, m.max_annual);
+  fmt::write_varint(os, m.quantiles.size());
+  for (const metrics::QuantileMetric& q : m.quantiles) {
+    fmt::write_pod(os, q.p);
+    fmt::write_pod(os, q.var);
+    fmt::write_pod(os, q.tvar);
+  }
+  fmt::write_varint(os, m.pml.size());
+  for (const metrics::ReturnPeriodMetric& r : m.pml) {
+    fmt::write_pod(os, r.years);
+    fmt::write_pod(os, r.loss);
+  }
+  fmt::write_varint(os, m.oep.size());
+  for (const metrics::ReturnPeriodMetric& r : m.oep) {
+    fmt::write_pod(os, r.years);
+    fmt::write_pod(os, r.loss);
+  }
+  write_doubles(os, m.aep_curve);
+  write_doubles(os, m.oep_curve);
+}
+
+metrics::LayerMetrics read_layer_metrics(std::istream& is) {
+  metrics::LayerMetrics m;
+  m.label = read_string(is, "layer.label");
+  m.trials = static_cast<std::size_t>(fmt::read_varint(is));
+  m.aal = fmt::read_pod<double>(is, "layer.aal");
+  m.std_dev = fmt::read_pod<double>(is, "layer.std_dev");
+  m.max_annual = fmt::read_pod<double>(is, "layer.max_annual");
+  std::uint64_t n = fmt::read_varint(is);
+  if (n > kMaxVectorEntries) {
+    throw std::runtime_error("serve protocol: oversized quantile set");
+  }
+  m.quantiles.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    metrics::QuantileMetric q;
+    q.p = fmt::read_pod<double>(is, "quantile.p");
+    q.var = fmt::read_pod<double>(is, "quantile.var");
+    q.tvar = fmt::read_pod<double>(is, "quantile.tvar");
+    m.quantiles.push_back(q);
+  }
+  const auto read_periods = [&is](const char* what) {
+    const std::uint64_t count = fmt::read_varint(is);
+    if (count > kMaxVectorEntries) {
+      throw std::runtime_error(
+          std::string("serve protocol: oversized period set (") + what + ")");
+    }
+    std::vector<metrics::ReturnPeriodMetric> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      metrics::ReturnPeriodMetric r;
+      r.years = fmt::read_pod<double>(is, what);
+      r.loss = fmt::read_pod<double>(is, what);
+      out.push_back(r);
+    }
+    return out;
+  };
+  m.pml = read_periods("layer.pml");
+  m.oep = read_periods("layer.oep");
+  m.aep_curve = read_doubles(is, "layer.aep_curve");
+  m.oep_curve = read_doubles(is, "layer.oep_curve");
+  return m;
+}
+
+void write_report(std::ostream& os, const metrics::MetricsReport& report) {
+  fmt::write_varint(os, report.layers.size());
+  for (const metrics::LayerMetrics& m : report.layers) {
+    write_layer_metrics(os, m);
+  }
+  write_bool(os, report.portfolio.has_value());
+  if (report.portfolio) {
+    const metrics::PortfolioMetrics& p = *report.portfolio;
+    write_layer_metrics(os, p.totals);
+    fmt::write_pod(os, p.diversification_benefit_tvar);
+    write_doubles(os, p.marginal_tvar);
+    fmt::write_pod(os, p.capital_p);
+    write_bool(os, p.capital_allocation);
+  }
+  fmt::write_varint(os, report.blocks_consumed);
+  fmt::write_varint(os, report.max_block_trials);
+  fmt::write_varint(os, report.reservoir_entries);
+}
+
+metrics::MetricsReport read_report(std::istream& is) {
+  metrics::MetricsReport report;
+  const std::uint64_t n = fmt::read_varint(is);
+  if (n > kMaxVectorEntries) {
+    throw std::runtime_error("serve protocol: oversized layer report");
+  }
+  report.layers.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    report.layers.push_back(read_layer_metrics(is));
+  }
+  if (read_bool(is, "report.portfolio")) {
+    metrics::PortfolioMetrics p;
+    p.totals = read_layer_metrics(is);
+    p.diversification_benefit_tvar =
+        fmt::read_pod<double>(is, "portfolio.diversification");
+    p.marginal_tvar = read_doubles(is, "portfolio.marginal_tvar");
+    p.capital_p = fmt::read_pod<double>(is, "portfolio.capital_p");
+    p.capital_allocation = read_bool(is, "portfolio.capital_allocation");
+    report.portfolio = std::move(p);
+  }
+  report.blocks_consumed = static_cast<std::size_t>(fmt::read_varint(is));
+  report.max_block_trials = static_cast<std::size_t>(fmt::read_varint(is));
+  report.reservoir_entries = static_cast<std::size_t>(fmt::read_varint(is));
+  return report;
+}
+
+// Everything decoded must consume the payload exactly: trailing bytes
+// mean the peer speaks a newer dialect under the same version — fail
+// loudly instead of silently ignoring fields.
+void expect_exhausted(std::istream& is, const char* what) {
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error(
+        std::string("serve protocol: trailing bytes after ") + what);
+  }
+}
+
+}  // namespace
+
+std::string SynthSpec::cache_key() const {
+  std::ostringstream key;
+  key << trials << '|' << events_per_trial << '|' << catalogue << '|' << elts
+      << '|' << layers << '|' << seed;
+  return key.str();
+}
+
+std::string_view status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejectedQueueFull: return "rejected_queue_full";
+    case Status::kRejectedBytes: return "rejected_bytes";
+    case Status::kShedEarly: return "shed_early";
+    case Status::kShedDeadline: return "shed_deadline";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const ServeRequest& request) {
+  std::ostringstream os;
+  write_string(os, request.tenant);
+  fmt::write_varint(os, request.request_id);
+  fmt::write_varint(os, request.deadline_ms);
+  fmt::write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(request.workload));
+  write_string(os, request.dataset);
+  fmt::write_varint(os, request.synth.trials);
+  fmt::write_pod(os, request.synth.events_per_trial);
+  fmt::write_pod(os, request.synth.catalogue);
+  fmt::write_varint(os, request.synth.elts);
+  fmt::write_varint(os, request.synth.layers);
+  fmt::write_varint(os, request.synth.seed);
+  write_metrics_spec(os, request.metrics);
+  fmt::write_pod<std::uint8_t>(os,
+                               static_cast<std::uint8_t>(request.retention));
+  write_string(os, request.ylt_path);
+  fmt::write_varint(os, request.shard_trials);
+  fmt::write_varint(os, request.memory_budget_bytes);
+  return std::move(os).str();
+}
+
+ServeRequest decode_request(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  ServeRequest r;
+  r.tenant = read_string(is, "request.tenant");
+  r.request_id = fmt::read_varint(is);
+  r.deadline_ms = fmt::read_varint(is);
+  const auto workload = fmt::read_pod<std::uint8_t>(is, "request.workload");
+  if (workload > static_cast<std::uint8_t>(WorkloadRef::kSynth)) {
+    throw std::runtime_error("serve protocol: unknown workload ref");
+  }
+  r.workload = static_cast<WorkloadRef>(workload);
+  r.dataset = read_string(is, "request.dataset");
+  r.synth.trials = fmt::read_varint(is);
+  r.synth.events_per_trial =
+      fmt::read_pod<double>(is, "synth.events_per_trial");
+  r.synth.catalogue = fmt::read_pod<std::uint32_t>(is, "synth.catalogue");
+  r.synth.elts = fmt::read_varint(is);
+  r.synth.layers = fmt::read_varint(is);
+  r.synth.seed = fmt::read_varint(is);
+  r.metrics = read_metrics_spec(is);
+  const auto retention = fmt::read_pod<std::uint8_t>(is, "request.retention");
+  if (retention > static_cast<std::uint8_t>(WireRetention::kSpillToFile)) {
+    throw std::runtime_error("serve protocol: unknown retention");
+  }
+  r.retention = static_cast<WireRetention>(retention);
+  r.ylt_path = read_string(is, "request.ylt_path");
+  r.shard_trials = fmt::read_varint(is);
+  r.memory_budget_bytes = fmt::read_varint(is);
+  expect_exhausted(is, "request");
+  return r;
+}
+
+std::string encode_reply(const ServeReply& reply) {
+  std::ostringstream os;
+  fmt::write_varint(os, reply.request_id);
+  fmt::write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(reply.status));
+  fmt::write_varint(os, reply.retry_after_ms);
+  write_string(os, reply.message);
+  write_string(os, reply.engine);
+  fmt::write_varint(os, reply.shard_count);
+  fmt::write_pod(os, reply.wall_seconds);
+  fmt::write_pod(os, reply.simulated_seconds);
+  fmt::write_pod(os, reply.queue_ms);
+  write_report(os, reply.report);
+  return std::move(os).str();
+}
+
+ServeReply decode_reply(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  ServeReply r;
+  r.request_id = fmt::read_varint(is);
+  const auto status = fmt::read_pod<std::uint8_t>(is, "reply.status");
+  if (status > static_cast<std::uint8_t>(Status::kError)) {
+    throw std::runtime_error("serve protocol: unknown status");
+  }
+  r.status = static_cast<Status>(status);
+  r.retry_after_ms = fmt::read_varint(is);
+  r.message = read_string(is, "reply.message");
+  r.engine = read_string(is, "reply.engine");
+  r.shard_count = fmt::read_varint(is);
+  r.wall_seconds = fmt::read_pod<double>(is, "reply.wall_seconds");
+  r.simulated_seconds = fmt::read_pod<double>(is, "reply.simulated_seconds");
+  r.queue_ms = fmt::read_pod<double>(is, "reply.queue_ms");
+  r.report = read_report(is);
+  expect_exhausted(is, "reply");
+  return r;
+}
+
+std::string encode_frame(MessageType type, std::string_view payload) {
+  std::ostringstream os;
+  os.write(kFrameMagic, sizeof kFrameMagic);
+  fmt::write_pod(os, kProtocolVersion);
+  fmt::write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(type));
+  fmt::write_varint(os, payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return std::move(os).str();
+}
+
+namespace {
+
+// Reads exactly `n` bytes. Returns false on EOF at offset 0 with
+// `eof_ok` (a peer closing between frames); throws on a short read
+// mid-buffer or an I/O error.
+bool read_exact(int fd, char* buf, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "serve protocol: read");
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw std::runtime_error("serve protocol: truncated frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::uint64_t read_varint_fd(int fd) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    char byte = 0;
+    if (!read_exact(fd, &byte, 1, /*eof_ok=*/false)) {
+      throw std::runtime_error("serve protocol: truncated frame length");
+    }
+    const auto u = static_cast<std::uint8_t>(byte);
+    if (shift >= 63 && (u & 0x7E) != 0) {
+      throw std::runtime_error("serve protocol: frame length overflow");
+    }
+    v |= static_cast<std::uint64_t>(u & 0x7F) << shift;
+    if ((u & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) {
+      throw std::runtime_error("serve protocol: frame length overflow");
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Frame> read_frame(int fd) {
+  char magic[sizeof kFrameMagic];
+  if (!read_exact(fd, magic, sizeof magic, /*eof_ok=*/true)) {
+    return std::nullopt;
+  }
+  if (std::memcmp(magic, kFrameMagic, sizeof magic) != 0) {
+    throw std::runtime_error("serve protocol: bad frame magic");
+  }
+  char header[sizeof(std::uint32_t) + 1];
+  read_exact(fd, header, sizeof header, /*eof_ok=*/false);
+  std::uint32_t version;
+  std::memcpy(&version, header, sizeof version);
+  if (version != kProtocolVersion) {
+    throw std::runtime_error("serve protocol: version mismatch (peer v" +
+                             std::to_string(version) + ", this v" +
+                             std::to_string(kProtocolVersion) + ")");
+  }
+  const auto type = static_cast<std::uint8_t>(header[sizeof version]);
+  if (type != static_cast<std::uint8_t>(MessageType::kRequest) &&
+      type != static_cast<std::uint8_t>(MessageType::kReply)) {
+    throw std::runtime_error("serve protocol: unknown message type");
+  }
+  const std::uint64_t len = read_varint_fd(fd);
+  if (len > kMaxFramePayload) {
+    throw std::runtime_error("serve protocol: oversized frame");
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(type);
+  frame.payload.resize(len);
+  if (len > 0) {
+    read_exact(fd, frame.payload.data(), len, /*eof_ok=*/false);
+  }
+  return frame;
+}
+
+void write_frame(int fd, MessageType type, std::string_view payload) {
+  const std::string buf = encode_frame(type, payload);
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ssize_t w = ::write(fd, buf.data() + sent, buf.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "serve protocol: write");
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace ara::serve

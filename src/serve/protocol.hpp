@@ -1,0 +1,177 @@
+// ara_serve wire protocol: framed request/response messages over a
+// byte stream (TCP or Unix socket), carrying an AnalysisRequest-shaped
+// payload in and a metrics report back (DESIGN.md §7).
+//
+// Framing: every message is one frame —
+//
+//   magic "ARASRV01" (8) | u32 version | u8 type | varint payload len |
+//   payload bytes
+//
+// encoded with the same pod/varint primitives the on-disk formats use
+// (io/format.hpp), so the wire dialect and the file dialect cannot
+// drift apart silently. Payloads are versioned by the frame header:
+// a peer speaking a different version is refused loudly at the first
+// frame, never half-decoded.
+//
+// The request names its workload instead of shipping it: either a
+// dataset the server registered at startup (--dataset name=DIR) or an
+// inline synthetic spec the server materialises once and caches by
+// value — so a million requests against one workload share one YET,
+// one portfolio, and one warm TableStore inside the shared
+// AnalysisSession. What does cross the wire is small: the metric plan,
+// retention, shard policy, deadline, and the reply's metric report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/metrics/metrics_spec.hpp"
+
+namespace ara::serve {
+
+inline constexpr char kFrameMagic[8] = {'A', 'R', 'A', 'S', 'R', 'V',
+                                        '0', '1'};
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frames larger than this are treated as stream corruption, not
+/// messages (a metrics report over a few thousand layers stays far
+/// below it).
+inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
+
+enum class MessageType : std::uint8_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+/// Inline synthetic workload description (the server materialises it
+/// through synth:: and caches the result by value, shared across
+/// tenants and requests).
+struct SynthSpec {
+  std::uint64_t trials = 1000;
+  double events_per_trial = 50.0;
+  std::uint32_t catalogue = 10000;
+  std::uint64_t elts = 4;
+  std::uint64_t layers = 1;
+  std::uint64_t seed = 2013;
+
+  /// Value identity, used as the server's workload-cache key.
+  std::string cache_key() const;
+
+  bool operator==(const SynthSpec&) const = default;
+};
+
+enum class WorkloadRef : std::uint8_t {
+  kDataset = 0,  ///< a (portfolio, yet) pair registered on the server
+  kSynth = 1,    ///< materialise SynthSpec server-side (cached by value)
+};
+
+/// What happens to the YLT server-side. The reply always carries the
+/// metric report; the table itself never crosses the wire.
+enum class WireRetention : std::uint8_t {
+  kDiscard = 0,      ///< metric-only run (the default)
+  kSpillToFile = 1,  ///< stream the YLT to `ylt_path` on the server
+};
+
+/// One analysis request as it crosses the wire.
+struct ServeRequest {
+  std::string tenant = "default";
+  std::uint64_t request_id = 0;
+
+  /// Milliseconds the client is willing to wait, measured from server
+  /// receipt; 0 = no deadline. Expired requests are shed before they
+  /// reach an engine (Status::kShedDeadline).
+  std::uint64_t deadline_ms = 0;
+
+  WorkloadRef workload = WorkloadRef::kSynth;
+  std::string dataset;  ///< when workload == kDataset
+  SynthSpec synth;      ///< when workload == kSynth
+
+  /// Which metrics to compute (the session's declarative plan,
+  /// serialised field for field).
+  metrics::MetricsSpec metrics = metrics::MetricsSpec::layer_summaries();
+
+  WireRetention retention = WireRetention::kDiscard;
+  std::string ylt_path;  ///< server-side path, kSpillToFile only
+
+  /// Per-request shard policy overrides (0 = the server's default).
+  std::uint64_t shard_trials = 0;
+  std::uint64_t memory_budget_bytes = 0;
+
+  /// The scheduler's cost of this request, in trials (the DWRR
+  /// accounting unit). Dataset trial counts are resolved server-side
+  /// at admission.
+  std::uint64_t cost_trials() const {
+    return workload == WorkloadRef::kSynth ? synth.trials : 0;
+  }
+};
+
+/// Reply status. Everything except kOk is an explicit non-answer:
+/// the client always learns what happened to its request.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kRejectedQueueFull = 1,  ///< tenant queue at its depth cap
+  kRejectedBytes = 2,      ///< global byte budget exhausted
+  kShedEarly = 3,          ///< WRED probabilistic drop under rising load
+  kShedDeadline = 4,       ///< deadline expired before compute
+  kShutdown = 5,           ///< server draining / stopping
+  kError = 6,              ///< request malformed or run failed
+};
+
+std::string_view status_name(Status status);
+
+/// True for the statuses a client should retry after backing off.
+inline bool is_backpressure(Status s) {
+  return s == Status::kRejectedQueueFull || s == Status::kRejectedBytes ||
+         s == Status::kShedEarly;
+}
+
+struct ServeReply {
+  std::uint64_t request_id = 0;
+  Status status = Status::kError;
+
+  /// Suggested client backoff for the backpressure statuses, ms.
+  std::uint64_t retry_after_ms = 0;
+  std::string message;  ///< human-readable detail (kError and sheds)
+
+  // ---- kOk payload ----
+  std::string engine;  ///< the engine that ran (SimulationResult name)
+  std::uint64_t shard_count = 1;
+  double wall_seconds = 0.0;       ///< service time on the server
+  double simulated_seconds = 0.0;  ///< paper-hardware simulated time
+  double queue_ms = 0.0;           ///< time spent queued before dispatch
+  metrics::MetricsReport report;   ///< everything the MetricsSpec asked
+};
+
+// ---- payload codecs (pod/varint via io/format.hpp) ----
+
+std::string encode_request(const ServeRequest& request);
+ServeRequest decode_request(std::string_view payload);
+
+std::string encode_reply(const ServeReply& reply);
+ServeReply decode_reply(std::string_view payload);
+
+// ---- frame layer ----
+
+/// One decoded frame.
+struct Frame {
+  MessageType type = MessageType::kRequest;
+  std::string payload;
+};
+
+/// Serialises a frame (header + payload) into one contiguous buffer,
+/// ready for a single write.
+std::string encode_frame(MessageType type, std::string_view payload);
+
+/// Reads exactly one frame from `fd`. Returns nullopt on clean EOF
+/// (peer closed before a new frame began); throws std::runtime_error
+/// on a short read mid-frame, bad magic, version mismatch, or an
+/// oversized payload.
+std::optional<Frame> read_frame(int fd);
+
+/// Writes one frame to `fd` (retrying short writes). The caller
+/// serialises concurrent writers on one fd. Throws on I/O error.
+void write_frame(int fd, MessageType type, std::string_view payload);
+
+}  // namespace ara::serve

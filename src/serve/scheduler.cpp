@@ -1,0 +1,200 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ara::serve {
+
+namespace {
+constexpr std::chrono::steady_clock::time_point kNoDeadline{};
+}
+
+DwrrScheduler::DwrrScheduler(std::uint64_t quantum_trials,
+                             std::size_t global_byte_budget, WredConfig wred,
+                             std::uint64_t seed)
+    : quantum_trials_(std::max<std::uint64_t>(1, quantum_trials)),
+      global_byte_budget_(global_byte_budget),
+      wred_(wred),
+      rng_(seed) {
+  if (!(wred_.min_occupancy >= 0.0 && wred_.min_occupancy <= 1.0) ||
+      !(wred_.max_occupancy >= 0.0 && wred_.max_occupancy <= 1.0) ||
+      wred_.min_occupancy > wred_.max_occupancy) {
+    throw std::invalid_argument(
+        "DwrrScheduler: WRED thresholds must satisfy 0 <= min <= max <= 1");
+  }
+  if (!(wred_.max_drop_probability >= 0.0 &&
+        wred_.max_drop_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "DwrrScheduler: WRED max drop probability must be in [0, 1]");
+  }
+  default_config_.name.clear();
+}
+
+DwrrScheduler::Tenant& DwrrScheduler::tenant_for(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return tenants_[it->second];
+  Tenant t;
+  t.cfg = default_config_;
+  t.cfg.name = name;
+  if (t.cfg.weight == 0) t.cfg.weight = 1;
+  const std::size_t idx = tenants_.size();
+  tenants_.push_back(std::move(t));
+  index_.emplace(name, idx);
+  order_.push_back(idx);
+  return tenants_[idx];
+}
+
+void DwrrScheduler::configure_tenant(TenantConfig cfg) {
+  if (cfg.name.empty()) {
+    throw std::invalid_argument("DwrrScheduler: tenant name must not be empty");
+  }
+  if (cfg.weight == 0) {
+    throw std::invalid_argument("DwrrScheduler: tenant weight must be >= 1");
+  }
+  Tenant& t = tenant_for(cfg.name);
+  t.cfg = std::move(cfg);
+}
+
+const TenantConfig* DwrrScheduler::tenant_config(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : &tenants_[it->second].cfg;
+}
+
+void DwrrScheduler::activate(std::size_t index) {
+  Tenant& t = tenants_[index];
+  if (t.active) return;
+  t.active = true;
+  t.credited = false;
+  ring_.push_back(index);
+}
+
+void DwrrScheduler::deactivate_front() {
+  Tenant& t = tenants_[ring_.front()];
+  t.active = false;
+  t.credited = false;
+  t.deficit = 0;  // an idle tenant must not hoard credit
+  ring_.pop_front();
+}
+
+double DwrrScheduler::occupancy() const noexcept {
+  if (global_byte_budget_ == 0) return 0.0;
+  return static_cast<double>(queued_bytes_) /
+         static_cast<double>(global_byte_budget_);
+}
+
+Admission DwrrScheduler::offer(const std::string& tenant, Item item) {
+  Tenant& t = tenant_for(tenant);
+  ++t.counters.offered;
+
+  // Hard caps first: they are deterministic and cheap, and a full
+  // queue must reject regardless of what the WRED coin says.
+  if (t.queue.size() >= t.cfg.max_queue_depth) {
+    ++t.counters.rejected_queue_full;
+    return Admission::kRejectQueueFull;
+  }
+  if (global_byte_budget_ > 0) {
+    if (queued_bytes_ + item.bytes > global_byte_budget_) {
+      ++t.counters.rejected_bytes;
+      return Admission::kRejectBytes;
+    }
+    // WRED: probabilistic early shedding as occupancy rises, so
+    // backpressure arrives gradually instead of as a cliff at the cap.
+    const double occ = static_cast<double>(queued_bytes_ + item.bytes) /
+                       static_cast<double>(global_byte_budget_);
+    if (occ >= wred_.max_occupancy) {
+      ++t.counters.shed_early;
+      return Admission::kShedEarly;
+    }
+    if (occ > wred_.min_occupancy && wred_.max_drop_probability > 0.0) {
+      const double ramp = (occ - wred_.min_occupancy) /
+                          (wred_.max_occupancy - wred_.min_occupancy);
+      if (uniform_(rng_) < wred_.max_drop_probability * ramp) {
+        ++t.counters.shed_early;
+        return Admission::kShedEarly;
+      }
+    }
+  }
+
+  if (item.cost_trials == 0) item.cost_trials = 1;
+  ++t.counters.admitted;
+  t.counters.admitted_bytes += item.bytes;
+  queued_bytes_ += item.bytes;
+  ++queued_items_;
+  t.queue.push_back(std::move(item));
+  activate(index_.at(tenant));
+  return Admission::kAdmit;
+}
+
+std::optional<DwrrScheduler::Dequeued> DwrrScheduler::poll(
+    std::chrono::steady_clock::time_point now) {
+  while (!ring_.empty()) {
+    Tenant& t = tenants_[ring_.front()];
+    if (t.queue.empty()) {
+      // Defensive: an active tenant always has queued work, but an
+      // empty ring entry must not wedge the scheduler.
+      deactivate_front();
+      continue;
+    }
+
+    // Deadline shedding happens at dequeue, before any deficit is
+    // charged: expired work receives no service, so it must not eat
+    // the tenant's share.
+    if (t.queue.front().deadline != kNoDeadline &&
+        now >= t.queue.front().deadline) {
+      Dequeued d;
+      d.tenant = t.cfg.name;
+      d.item = std::move(t.queue.front());
+      d.expired = true;
+      t.queue.pop_front();
+      ++t.counters.shed_deadline;
+      --queued_items_;
+      queued_bytes_ -= d.item.bytes;
+      if (t.queue.empty()) deactivate_front();
+      return d;
+    }
+
+    if (!t.credited) {
+      t.deficit += quantum_trials_ * t.cfg.weight;
+      t.credited = true;
+    }
+    const std::uint64_t cost = std::max<std::uint64_t>(
+        1, t.queue.front().cost_trials);
+    if (t.deficit >= cost) {
+      Dequeued d;
+      d.tenant = t.cfg.name;
+      d.item = std::move(t.queue.front());
+      d.expired = false;
+      t.queue.pop_front();
+      t.deficit -= cost;
+      ++t.counters.served;
+      t.counters.served_trials += cost;
+      --queued_items_;
+      queued_bytes_ -= d.item.bytes;
+      if (t.queue.empty()) deactivate_front();
+      return d;
+    }
+
+    // Quantum exhausted: carry the remainder, move to the back, and
+    // let the next visit credit again. The deficit grows by
+    // quantum x weight per full rotation, so any finite cost is
+    // eventually covered.
+    t.credited = false;
+    ring_.push_back(ring_.front());
+    ring_.pop_front();
+  }
+  return std::nullopt;
+}
+
+TenantCounters DwrrScheduler::counters(std::string_view tenant) const {
+  const auto it = index_.find(std::string(tenant));
+  return it == index_.end() ? TenantCounters{} : tenants_[it->second].counters;
+}
+
+std::vector<std::string> DwrrScheduler::tenant_names() const {
+  std::vector<std::string> names;
+  names.reserve(order_.size());
+  for (const std::size_t idx : order_) names.push_back(tenants_[idx].cfg.name);
+  return names;
+}
+
+}  // namespace ara::serve

@@ -1,0 +1,178 @@
+// Multi-tenant fair queueing for the analysis service: per-tenant
+// bounded FIFO queues with byte/trial accounting, admission control
+// (hard caps) plus WRED-style probabilistic early shedding as
+// occupancy rises, and a deficit-weighted-round-robin dequeue across
+// tenants (DESIGN.md §7).
+//
+// The class is the *policy core* only — single-threaded, deterministic
+// given its seed, with no knowledge of sockets, sessions, or replies.
+// AnalysisService wraps it in one lock and turns its decisions into
+// wire replies; tests drive it directly and assert exact fairness
+// arithmetic.
+//
+// DWRR recap (the dual-queue scheduler idiom from the qs_1_0
+// exemplar): each tenant carries a deficit counter in cost units
+// (trials here, bytes there). The scheduler visits active tenants in a
+// ring; on arriving at a tenant it credits `quantum x weight`, then
+// serves head requests while the deficit covers their cost, debiting
+// each. When the deficit no longer covers the head, the tenant moves
+// to the back with its remainder; when its queue empties the deficit
+// resets (an idle tenant must not hoard credit). Over any saturated
+// interval each tenant's served cost is proportional to its weight,
+// within one quantum.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <random>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ara::serve {
+
+struct TenantConfig {
+  std::string name;
+
+  /// DWRR weight: relative share of service capacity under contention.
+  std::uint32_t weight = 1;
+
+  /// Admission cap: queued requests beyond this are rejected with
+  /// kRejectedQueueFull (bounded queues — overload never grows memory).
+  std::size_t max_queue_depth = 64;
+};
+
+/// WRED-style early-shedding policy. Occupancy is the global queued
+/// byte fraction of the byte budget. Below `min_occupancy` nothing is
+/// shed; between the thresholds the drop probability ramps linearly to
+/// `max_drop_probability`; at or above `max_occupancy` every offer is
+/// shed (the hard byte cap usually triggers first).
+struct WredConfig {
+  double min_occupancy = 0.5;
+  double max_occupancy = 0.95;
+  double max_drop_probability = 0.5;
+};
+
+/// Per-tenant accounting, snapshot via DwrrScheduler::counters().
+struct TenantCounters {
+  std::uint64_t offered = 0;              ///< submit attempts
+  std::uint64_t admitted = 0;             ///< entered the queue
+  std::uint64_t rejected_queue_full = 0;  ///< depth cap hit
+  std::uint64_t rejected_bytes = 0;       ///< global byte budget hit
+  std::uint64_t shed_early = 0;           ///< WRED probabilistic drop
+  std::uint64_t shed_deadline = 0;        ///< expired before dispatch
+  std::uint64_t served = 0;               ///< dequeued for dispatch
+  std::uint64_t served_trials = 0;        ///< trial-cost of served
+  std::uint64_t admitted_bytes = 0;       ///< wire bytes admitted
+};
+
+/// Admission verdict for one offered request.
+enum class Admission : std::uint8_t {
+  kAdmit,
+  kRejectQueueFull,
+  kRejectBytes,
+  kShedEarly,
+};
+
+class DwrrScheduler {
+ public:
+  /// One queued unit of work. `token` is the caller's opaque handle to
+  /// its side of the request (the service maps it to payload + reply
+  /// callback); the scheduler never looks inside.
+  struct Item {
+    std::uint64_t token = 0;
+    std::uint64_t cost_trials = 1;  ///< DWRR cost (floored to 1)
+    std::size_t bytes = 0;          ///< byte-budget accounting
+    /// Expiry instant; time_point{} (epoch) = no deadline.
+    std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  /// What poll() handed back.
+  struct Dequeued {
+    std::string tenant;
+    Item item;
+    /// True when the item's deadline passed while it queued: it was
+    /// removed *without* consuming deficit (it will receive no
+    /// service) and the caller owes it an explicit shed reply.
+    bool expired = false;
+  };
+
+  /// `quantum_trials` is the per-visit deficit credit of a weight-1
+  /// tenant; `global_byte_budget` caps queued wire bytes across all
+  /// tenants (0 = unbounded, which also disables WRED — occupancy is
+  /// undefined without a budget). `seed` fixes the WRED draw sequence.
+  DwrrScheduler(std::uint64_t quantum_trials, std::size_t global_byte_budget,
+                WredConfig wred = {}, std::uint64_t seed = 2013);
+
+  /// Upserts a tenant's configuration. Weight/depth changes apply to
+  /// subsequent decisions; queued items stay queued.
+  void configure_tenant(TenantConfig cfg);
+
+  /// The config offer()/poll() will use for `name` (auto-registered
+  /// tenants get `default_config`).
+  const TenantConfig* tenant_config(std::string_view name) const;
+
+  /// Template applied to tenants first seen at offer() time.
+  void set_default_config(TenantConfig cfg) { default_config_ = std::move(cfg); }
+
+  /// Admission decision + enqueue in one step (the only mutation
+  /// point, so the decision can never race its own bookkeeping).
+  /// kAdmit means the item is queued and will eventually come back out
+  /// of poll(); anything else means it was never queued.
+  Admission offer(const std::string& tenant, Item item);
+
+  /// Dequeues the next item by deficit-weighted round-robin, or an
+  /// expired item (flagged, free of deficit charge), or nullopt when
+  /// every queue is empty.
+  std::optional<Dequeued> poll(std::chrono::steady_clock::time_point now);
+
+  /// Queue state.
+  std::size_t queued() const noexcept { return queued_items_; }
+  std::size_t queued_bytes() const noexcept { return queued_bytes_; }
+  bool empty() const noexcept { return queued_items_ == 0; }
+
+  /// Global byte occupancy in [0, 1]; 0 when no budget is set.
+  double occupancy() const noexcept;
+
+  /// Accounting snapshot of one tenant (zeros for unknown names).
+  TenantCounters counters(std::string_view tenant) const;
+
+  /// Names of every tenant the scheduler has seen, in first-seen order.
+  std::vector<std::string> tenant_names() const;
+
+ private:
+  struct Tenant {
+    TenantConfig cfg;
+    std::deque<Item> queue;
+    std::uint64_t deficit = 0;
+    /// Whether the current head-of-ring visit already credited the
+    /// quantum (poll() may leave a tenant at the head between calls).
+    bool credited = false;
+    bool active = false;  ///< in the round-robin ring
+    TenantCounters counters;
+  };
+
+  Tenant& tenant_for(const std::string& name);
+  void activate(std::size_t index);
+  void deactivate_front();
+
+  std::uint64_t quantum_trials_;
+  std::size_t global_byte_budget_;
+  WredConfig wred_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+
+  TenantConfig default_config_;
+  std::vector<Tenant> tenants_;                        ///< stable indices
+  std::unordered_map<std::string, std::size_t> index_; ///< name -> index
+  std::vector<std::size_t> order_;                     ///< first-seen order
+  std::deque<std::size_t> ring_;                       ///< active tenants
+  std::size_t queued_items_ = 0;
+  std::size_t queued_bytes_ = 0;
+};
+
+}  // namespace ara::serve

@@ -1,0 +1,135 @@
+// Socket front-end of AnalysisService: a poll()-driven accept loop
+// over a TCP or Unix listener, one reader thread per connection, and
+// replies written back on the requesting connection as they complete
+// (completion order, correlated by request_id — the protocol is fully
+// pipelined, a slow analysis never head-of-line blocks a fast one).
+//
+// Connection lifetime: the reader owns the receive side; every
+// in-flight reply holds a shared_ptr to the connection, so the fd
+// stays open until the last reply is written even if the client
+// half-closes after sending (send N, shutdown(WR), read N replies is
+// a supported client pattern). A full close with replies pending
+// makes the writes fail silently — the client walked away from them.
+//
+// ServeClient is the matching blocking client used by ara_loadgen and
+// the tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace ara::serve {
+
+/// A listen/connect address: "unix:PATH" or "HOST:PORT" (numeric IPv4
+/// or "localhost"; bare ":PORT" binds 127.0.0.1). TCP port 0 lets the
+/// kernel pick — ServeServer::port() reports the bound port.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string path;  ///< kUnix
+
+  static Endpoint parse(const std::string& spec);
+  std::string describe() const;
+};
+
+class ServeServer {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on bind
+  /// failure); the accept loop starts on start(). `service` must
+  /// outlive the server.
+  ServeServer(AnalysisService& service, const Endpoint& endpoint);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Starts the accept loop (also ignores SIGPIPE process-wide: reply
+  /// writes to vanished clients must fail with EPIPE, not kill the
+  /// daemon).
+  void start();
+
+  /// Stops accepting, wakes every connection reader, joins them, and
+  /// closes the listener. Queued/in-flight analysis work is untouched —
+  /// callers sequence service.drain()/stop() around this for graceful
+  /// vs immediate shutdown.
+  void stop();
+
+  /// The bound TCP port (after construction; 0 for Unix endpoints).
+  std::uint16_t port() const noexcept { return port_; }
+  const Endpoint& endpoint() const noexcept { return endpoint_; }
+
+  /// Connections accepted over the server's lifetime.
+  std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load();
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    /// Encodes and writes one reply frame; serialised by write_mutex,
+    /// dropped silently if the socket already failed.
+    void send(const ServeReply& reply);
+
+    int fd;
+    std::mutex write_mutex;
+    bool broken = false;  ///< guarded by write_mutex
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+
+  AnalysisService& service_;
+  Endpoint endpoint_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  ///< self-pipe: wakes poll() in stop()
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  std::mutex connections_mutex_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  std::thread accept_thread_;
+};
+
+/// Blocking client for one connection. send()/receive() may run on
+/// two different threads concurrently (socket reads and writes are
+/// independent); neither is safe to call from two threads at once.
+class ServeClient {
+ public:
+  explicit ServeClient(const Endpoint& endpoint);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  void send(const ServeRequest& request);
+
+  /// Blocks for the next reply frame; nullopt on clean server close.
+  std::optional<ServeReply> receive();
+
+  /// send + receive — only valid when nothing else is pipelined.
+  ServeReply call(const ServeRequest& request);
+
+  /// Half-closes the send side (server reader sees EOF and stops
+  /// reading; pending replies still arrive).
+  void finish_sending();
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ara::serve

@@ -1,0 +1,447 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "synth/catalogue.hpp"
+#include "synth/portfolio_generator.hpp"
+#include "synth/yet_generator.hpp"
+
+namespace ara::serve {
+
+namespace {
+
+constexpr std::chrono::steady_clock::time_point kNoDeadline{};
+
+// Inline-synth sanity caps: a request is a few hundred wire bytes but
+// names a workload the *server* materialises — unbounded specs would
+// let one tenant allocate the box. Generous for a service workload,
+// tiny next to the paper-scale offline runs.
+constexpr std::uint64_t kMaxSynthTrials = 1ull << 22;
+constexpr std::uint64_t kMaxSynthLayers = 256;
+constexpr std::uint64_t kMaxSynthElts = 64;
+constexpr std::uint32_t kMaxSynthCatalogue = 1u << 24;
+constexpr double kMaxSynthEventsPerTrial = 1.0e5;
+
+std::string validate_synth(const SynthSpec& spec) {
+  if (spec.trials == 0 || spec.trials > kMaxSynthTrials) {
+    return "synth.trials must be in [1, " + std::to_string(kMaxSynthTrials) +
+           "]";
+  }
+  if (spec.layers == 0 || spec.layers > kMaxSynthLayers) {
+    return "synth.layers must be in [1, " + std::to_string(kMaxSynthLayers) +
+           "]";
+  }
+  if (spec.elts == 0 || spec.elts > kMaxSynthElts) {
+    return "synth.elts must be in [1, " + std::to_string(kMaxSynthElts) + "]";
+  }
+  if (spec.catalogue == 0 || spec.catalogue > kMaxSynthCatalogue) {
+    return "synth.catalogue must be in [1, " +
+           std::to_string(kMaxSynthCatalogue) + "]";
+  }
+  if (!(spec.events_per_trial > 0.0 &&
+        spec.events_per_trial <= kMaxSynthEventsPerTrial)) {
+    return "synth.events_per_trial must be in (0, " +
+           std::to_string(kMaxSynthEventsPerTrial) + "]";
+  }
+  return {};
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService() : AnalysisService(Options{}) {}
+
+AnalysisService::AnalysisService(Options options)
+    : options_(options),
+      session_(options.policy, options.session_workers),
+      dwrr_(options.quantum_trials, options.global_byte_budget, options.wred,
+            options.wred_seed),
+      workers_(std::max<std::size_t>(1, options.max_inflight)) {
+  TenantConfig default_tenant = options_.default_tenant;
+  if (default_tenant.weight == 0) default_tenant.weight = 1;
+  dwrr_.set_default_config(std::move(default_tenant));
+  // The scheduler thread starts only after the scheduler state above
+  // is fully initialised.
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+AnalysisService::~AnalysisService() { stop(); }
+
+void AnalysisService::configure_tenant(TenantConfig cfg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dwrr_.configure_tenant(std::move(cfg));
+}
+
+void AnalysisService::register_dataset(
+    std::string name, std::shared_ptr<const ServedWorkload> workload) {
+  if (!workload) {
+    throw std::invalid_argument("AnalysisService: null dataset workload");
+  }
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  datasets_[std::move(name)] = std::move(workload);
+}
+
+ServeReply AnalysisService::immediate_reply(const ServeRequest& request,
+                                            Status status, std::string message,
+                                            std::uint64_t retry_ms) {
+  ServeReply reply;
+  reply.request_id = request.request_id;
+  reply.status = status;
+  reply.message = std::move(message);
+  reply.retry_after_ms = retry_ms;
+  return reply;
+}
+
+std::uint64_t AnalysisService::retry_after_ms_locked() const {
+  // Backoff hint grows with occupancy: a nearly-full service asks
+  // clients to stay away longer. Coarse by design — it is a hint.
+  const double occupancy = dwrr_.occupancy();
+  return options_.base_retry_after_ms +
+         static_cast<std::uint64_t>(
+             static_cast<double>(options_.base_retry_after_ms) * 4.0 *
+             occupancy);
+}
+
+void AnalysisService::submit(ServeRequest request, ReplyFn done,
+                             std::size_t wire_bytes) {
+  if (!done) {
+    throw std::invalid_argument("AnalysisService::submit: null reply callback");
+  }
+
+  // Resolve cost and validate before touching the scheduler, so an
+  // invalid request never occupies queue space.
+  std::uint64_t cost_trials = 0;
+  std::shared_ptr<const ServedWorkload> workload;
+  std::string error;
+  if (request.workload == WorkloadRef::kDataset) {
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    const auto it = datasets_.find(request.dataset);
+    if (it == datasets_.end()) {
+      error = "unknown dataset \"" + request.dataset + "\"";
+    } else {
+      workload = it->second;
+      cost_trials = workload->yet.trial_count();
+    }
+  } else {
+    error = validate_synth(request.synth);
+    cost_trials = request.synth.trials;
+  }
+  if (error.empty() && request.retention == WireRetention::kSpillToFile &&
+      request.ylt_path.empty()) {
+    error = "kSpillToFile retention requires ylt_path";
+  }
+  if (error.empty()) {
+    try {
+      request.metrics.validate();
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  }
+  if (!error.empty()) {
+    done(immediate_reply(request, Status::kError, std::move(error), 0));
+    return;
+  }
+  if (wire_bytes == 0) wire_bytes = encode_request(request).size();
+
+  const auto now = std::chrono::steady_clock::now();
+  auto pending = std::make_shared<Pending>();
+  pending->tenant = request.tenant;
+  pending->done = std::move(done);
+  pending->enqueued = now;
+  pending->deadline =
+      request.deadline_ms > 0
+          ? now + std::chrono::milliseconds(request.deadline_ms)
+          : kNoDeadline;
+  pending->workload = std::move(workload);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_ || stop_) {
+    lock.unlock();
+    pending->done(immediate_reply(request, Status::kShutdown,
+                                  "service is draining",
+                                  options_.base_retry_after_ms));
+    return;
+  }
+  const std::uint64_t token = next_token_++;
+  DwrrScheduler::Item item;
+  item.token = token;
+  item.cost_trials = cost_trials;
+  item.bytes = wire_bytes;
+  item.deadline = pending->deadline;
+  item.enqueued = now;
+  const Admission verdict = dwrr_.offer(request.tenant, item);
+  if (verdict != Admission::kAdmit) {
+    const std::uint64_t retry = retry_after_ms_locked();
+    lock.unlock();
+    Status status = Status::kError;
+    std::string message;
+    switch (verdict) {
+      case Admission::kRejectQueueFull:
+        status = Status::kRejectedQueueFull;
+        message = "tenant queue full";
+        break;
+      case Admission::kRejectBytes:
+        status = Status::kRejectedBytes;
+        message = "global byte budget exhausted";
+        break;
+      case Admission::kShedEarly:
+        status = Status::kShedEarly;
+        message = "early-shed under rising load";
+        break;
+      case Admission::kAdmit:
+        break;
+    }
+    pending->done(immediate_reply(request, status, std::move(message), retry));
+    return;
+  }
+  pending->request = std::move(request);
+  pending_.emplace(token, std::move(pending));
+  lock.unlock();
+  cv_.notify_one();
+}
+
+void AnalysisService::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return stop_ || (!dwrr_.empty() && inflight_ < options_.max_inflight);
+    });
+    if (stop_) break;
+    const auto now = std::chrono::steady_clock::now();
+    std::optional<DwrrScheduler::Dequeued> next = dwrr_.poll(now);
+    if (!next) continue;
+    const auto it = pending_.find(next->item.token);
+    if (it == pending_.end()) continue;  // cannot happen; stay robust
+    std::shared_ptr<Pending> pending = std::move(it->second);
+    pending_.erase(it);
+
+    if (next->expired) {
+      // Shed before compute: the deadline passed while the request
+      // queued. Explicit reply, no dispatch slot consumed.
+      const std::uint64_t retry = retry_after_ms_locked();
+      lock.unlock();
+      ServeReply reply = immediate_reply(pending->request,
+                                         Status::kShedDeadline,
+                                         "deadline expired while queued",
+                                         retry);
+      reply.queue_ms =
+          std::chrono::duration<double, std::milli>(now - pending->enqueued)
+              .count();
+      pending->done(std::move(reply));
+      lock.lock();
+      drain_cv_.notify_all();
+      continue;
+    }
+
+    ++inflight_;
+    lock.unlock();
+    dispatch(std::move(pending));
+    lock.lock();
+  }
+
+  // Shutdown flush: every request still queued gets an explicit
+  // reply — zero lost replies, even on stop().
+  const auto now = std::chrono::steady_clock::now();
+  while (std::optional<DwrrScheduler::Dequeued> next = dwrr_.poll(now)) {
+    const auto it = pending_.find(next->item.token);
+    if (it == pending_.end()) continue;
+    std::shared_ptr<Pending> pending = std::move(it->second);
+    pending_.erase(it);
+    lock.unlock();
+    pending->done(immediate_reply(
+        pending->request,
+        next->expired ? Status::kShedDeadline : Status::kShutdown,
+        next->expired ? "deadline expired while queued"
+                      : "service stopped before dispatch",
+        0));
+    lock.lock();
+  }
+  drain_cv_.notify_all();
+}
+
+void AnalysisService::dispatch(std::shared_ptr<Pending> pending) {
+  workers_.submit([this, pending] {
+    ServeReply reply = execute(*pending);
+    const Status status = reply.status;
+    const std::uint64_t trials = pending->request.cost_trials() > 0
+                                     ? pending->request.cost_trials()
+                                     : (pending->workload
+                                            ? pending->workload->yet
+                                                  .trial_count()
+                                            : 0);
+    // Counters before the reply callback: a caller who has seen the
+    // last reply must see matching accounting in stats(). The inflight
+    // decrement stays after the callback so drain()/stop() returning
+    // implies every reply was delivered.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      DispatchCounters& c = dispatch_counters_[pending->tenant];
+      switch (status) {
+        case Status::kOk:
+          ++c.completed;
+          c.completed_trials += trials;
+          break;
+        case Status::kShedDeadline:
+          ++c.shed_deadline;
+          break;
+        default:
+          ++c.failed;
+          break;
+      }
+    }
+    pending->done(std::move(reply));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inflight_;
+    }
+    cv_.notify_all();
+    drain_cv_.notify_all();
+  });
+}
+
+ServeReply AnalysisService::execute(Pending& pending) {
+  ServeReply reply;
+  reply.request_id = pending.request.request_id;
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  reply.queue_ms = std::chrono::duration<double, std::milli>(
+                       dispatch_start - pending.enqueued)
+                       .count();
+  try {
+    const std::shared_ptr<const ServedWorkload> workload =
+        pending.workload ? pending.workload
+                         : workload_for_synth(pending.request.synth);
+
+    AnalysisRequest request;
+    request.label = pending.tenant + "#" +
+                    std::to_string(pending.request.request_id);
+    request.portfolio = &workload->portfolio;
+    request.yet = &workload->yet;
+    request.metrics = pending.request.metrics;
+    request.ylt_retention =
+        pending.request.retention == WireRetention::kSpillToFile
+            ? YltRetention::kSpillToFile
+            : YltRetention::kDiscard;
+    request.ylt_path = pending.request.ylt_path;
+    if (pending.deadline != kNoDeadline) request.deadline = pending.deadline;
+    if (pending.request.shard_trials > 0 ||
+        pending.request.memory_budget_bytes > 0) {
+      ExecutionPolicy policy = options_.policy;
+      policy.shard_trials =
+          static_cast<std::size_t>(pending.request.shard_trials);
+      policy.memory_budget_bytes =
+          static_cast<std::size_t>(pending.request.memory_budget_bytes);
+      request.policy = policy;
+    }
+
+    AnalysisResult result = session_.run(request);
+    reply.status = Status::kOk;
+    reply.engine = result.simulation.engine_name;
+    reply.shard_count = result.shard_count;
+    reply.wall_seconds = result.simulation.wall_seconds;
+    reply.simulated_seconds = result.simulation.simulated_seconds;
+    reply.report = std::move(result.metrics);
+  } catch (const DeadlineExceeded& e) {
+    // The backstop shed: the deadline expired between dequeue and the
+    // session's own pre-compute check.
+    reply.status = Status::kShedDeadline;
+    reply.message = e.what();
+  } catch (const std::exception& e) {
+    reply.status = Status::kError;
+    reply.message = e.what();
+  }
+  return reply;
+}
+
+std::shared_ptr<const ServedWorkload> AnalysisService::workload_for_synth(
+    const SynthSpec& spec) {
+  const std::string key = spec.cache_key();
+  {
+    std::lock_guard<std::mutex> lock(synth_mutex_);
+    const auto it = synth_cache_.find(key);
+    if (it != synth_cache_.end()) return it->second;
+  }
+  // Materialise outside the lock: concurrent requests against
+  // *different* specs must not serialise behind one generation. A
+  // same-spec race builds twice; the first insert wins and the loser's
+  // copy is dropped (generation is deterministic, so both are equal).
+  synth::Catalogue catalogue =
+      synth::Catalogue::make(spec.catalogue, 6, 1000.0);
+  synth::YetGeneratorConfig yet_cfg;
+  yet_cfg.trials = static_cast<std::size_t>(spec.trials);
+  yet_cfg.target_events_per_trial = spec.events_per_trial;
+  yet_cfg.seed = spec.seed;
+
+  auto workload = std::make_shared<ServedWorkload>();
+  workload->yet = synth::generate_yet(catalogue, yet_cfg);
+
+  synth::PortfolioGeneratorConfig portfolio_cfg;
+  portfolio_cfg.elt_count = std::max<std::size_t>(spec.elts, 2);
+  portfolio_cfg.layer_count = static_cast<std::size_t>(spec.layers);
+  portfolio_cfg.min_elts_per_layer =
+      std::min<std::size_t>(spec.elts, portfolio_cfg.elt_count);
+  portfolio_cfg.max_elts_per_layer = portfolio_cfg.min_elts_per_layer;
+  portfolio_cfg.elt.record_count = std::max<std::size_t>(
+      1, std::min<std::size_t>(20000,
+                               static_cast<std::size_t>(spec.catalogue) / 10));
+  portfolio_cfg.elt.mean_loss = 2.0e6;
+  portfolio_cfg.elt.terms.retention = 1.0e5;
+  portfolio_cfg.elt.terms.limit = 5.0e8;
+  portfolio_cfg.elt.terms.share = 0.8;
+  portfolio_cfg.seed = spec.seed + 1;
+  workload->portfolio = synth::generate_portfolio(catalogue, portfolio_cfg);
+
+  std::lock_guard<std::mutex> lock(synth_mutex_);
+  const auto [it, inserted] = synth_cache_.emplace(key, workload);
+  return it->second;
+}
+
+void AnalysisService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  cv_.notify_all();
+  drain_cv_.wait(lock, [this] {
+    return dwrr_.empty() && pending_.empty() && inflight_ == 0;
+  });
+}
+
+void AnalysisService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+std::vector<TenantStats> AnalysisService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantStats> out;
+  for (const std::string& name : dwrr_.tenant_names()) {
+    TenantStats stats;
+    stats.name = name;
+    if (const TenantConfig* cfg = dwrr_.tenant_config(name)) {
+      stats.weight = cfg->weight;
+    }
+    stats.queueing = dwrr_.counters(name);
+    const auto it = dispatch_counters_.find(name);
+    if (it != dispatch_counters_.end()) stats.dispatch = it->second;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::size_t AnalysisService::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dwrr_.queued();
+}
+
+std::size_t AnalysisService::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+}  // namespace ara::serve

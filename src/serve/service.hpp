@@ -1,0 +1,195 @@
+// AnalysisService: the multi-tenant front of AnalysisSession
+// (DESIGN.md §7). Transport-agnostic — the socket server, the
+// in-process load generator, and the tests all speak to the same
+// submit(request, reply-callback) surface.
+//
+// The pipeline per request:
+//
+//   submit() ── admission (DwrrScheduler::offer: depth cap, byte
+//   budget, WRED early shed; a verdict other than admit replies
+//   immediately) ──> per-tenant bounded queue ──> scheduler thread
+//   (DWRR poll when a dispatch slot frees; expired requests shed here
+//   with an explicit reply, free of deficit charge) ──> dispatch
+//   worker (resolves the workload from the dataset registry or the
+//   synth cache, runs the shared AnalysisSession — warm TableStores
+//   and pools shared across tenants — and sends the kOk/kError reply).
+//
+// Invariant: every submitted request receives exactly one reply —
+// rejected at admission, shed at dequeue (deadline) or shutdown,
+// errored at dispatch, or answered with its metric report. The
+// fairness smoke gate counts on it ("zero lost replies").
+//
+// Drain (SIGTERM): admission closes (kShutdown replies), queued work
+// is served to completion, drain() returns when queues and dispatch
+// slots are empty. stop() is the impatient variant: queued work is
+// flushed with kShutdown replies, in-flight dispatches finish.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/yet.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+namespace ara::serve {
+
+/// An owning workload the service prices requests against. Datasets
+/// are registered at startup; synthetic workloads are materialised on
+/// first use and cached by spec value — either way one instance is
+/// shared by every tenant and request that names it, so the session's
+/// table cache stays warm across tenants.
+struct ServedWorkload {
+  Yet yet;
+  Portfolio portfolio;
+};
+
+/// Post-dispatch outcome counters (the queueing-side counters live in
+/// serve::TenantCounters).
+struct DispatchCounters {
+  std::uint64_t completed = 0;         ///< kOk replies
+  std::uint64_t failed = 0;            ///< kError after dispatch
+  std::uint64_t shed_deadline = 0;     ///< expired inside the session
+  std::uint64_t completed_trials = 0;  ///< trial-cost of kOk replies
+};
+
+/// One tenant's full accounting snapshot.
+struct TenantStats {
+  std::string name;
+  std::uint32_t weight = 1;
+  TenantCounters queueing;
+  DispatchCounters dispatch;
+};
+
+class AnalysisService {
+ public:
+  struct Options {
+    /// Session default policy (engine choice, devices, default shard
+    /// policy). Per-request shard overrides layer on top.
+    ExecutionPolicy policy = ExecutionPolicy::with_engine(
+        EngineKind::kSequentialFused);
+
+    /// AnalysisSession worker width (0 = hardware concurrency).
+    std::size_t session_workers = 0;
+
+    /// Dispatch slots: how many requests run on the session
+    /// concurrently. Small values make DWRR ordering dominate (strict
+    /// fairness); larger values trade ordering strictness for
+    /// throughput.
+    std::size_t max_inflight = 2;
+
+    /// DWRR quantum in trials per weight unit per visit.
+    std::uint64_t quantum_trials = 1024;
+
+    /// Global cap on queued wire bytes (0 = unbounded, disables WRED).
+    std::size_t global_byte_budget = 4u << 20;
+
+    WredConfig wred{};
+
+    /// Config template for tenants first seen at submit() time.
+    TenantConfig default_tenant{};
+
+    /// Seed of the WRED drop draw (deterministic shedding in tests).
+    std::uint64_t wred_seed = 2013;
+
+    /// Base of the retry-after hint; scaled by occupancy.
+    std::uint64_t base_retry_after_ms = 50;
+  };
+
+  using ReplyFn = std::function<void(ServeReply&&)>;
+
+  AnalysisService();
+  explicit AnalysisService(Options options);
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Upserts a tenant's weight/depth before or during traffic.
+  void configure_tenant(TenantConfig cfg);
+
+  /// Registers a named workload requests can reference
+  /// (WorkloadRef::kDataset).
+  void register_dataset(std::string name,
+                        std::shared_ptr<const ServedWorkload> workload);
+
+  /// Submits one request. `done` is invoked exactly once, possibly
+  /// synchronously (admission rejects) and possibly from a scheduler
+  /// or dispatch thread. `wire_bytes` is the encoded payload size for
+  /// byte-budget accounting; 0 = let the service compute it.
+  void submit(ServeRequest request, ReplyFn done, std::size_t wire_bytes = 0);
+
+  /// Closes admission and serves every queued request to completion;
+  /// returns when queues and dispatch slots are empty.
+  void drain();
+
+  /// Stops the scheduler: queued requests are flushed with kShutdown
+  /// replies, in-flight dispatches finish. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  /// Accounting snapshot of every tenant seen so far.
+  std::vector<TenantStats> stats() const;
+
+  std::size_t queued() const;
+  std::size_t inflight() const;
+
+  /// The shared session (diagnostics: pending_requests, table cache).
+  AnalysisSession& session() { return session_; }
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    ReplyFn done;
+    std::string tenant;
+    std::chrono::steady_clock::time_point enqueued{};
+    std::chrono::steady_clock::time_point deadline{};  ///< epoch = none
+    std::shared_ptr<const ServedWorkload> workload;    ///< datasets only
+  };
+
+  void scheduler_loop();
+  void dispatch(std::shared_ptr<Pending> pending);
+  ServeReply execute(Pending& pending);
+  std::shared_ptr<const ServedWorkload> workload_for_synth(
+      const SynthSpec& spec);
+  std::uint64_t retry_after_ms_locked() const;
+  ServeReply immediate_reply(const ServeRequest& request, Status status,
+                             std::string message, std::uint64_t retry_ms);
+
+  Options options_;
+  AnalysisSession session_;
+
+  mutable std::mutex mutex_;  ///< scheduler + pending map + counters
+  std::condition_variable cv_;        ///< scheduler wake-up
+  std::condition_variable drain_cv_;  ///< drain()/stop() completion
+  DwrrScheduler dwrr_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  std::uint64_t next_token_ = 1;
+  std::size_t inflight_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+  std::unordered_map<std::string, DispatchCounters> dispatch_counters_;
+
+  std::mutex datasets_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ServedWorkload>>
+      datasets_;
+  std::mutex synth_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ServedWorkload>>
+      synth_cache_;
+
+  parallel::ThreadPool workers_;  ///< dispatch slots (declared after
+                                  ///< session_: destroyed first)
+  std::thread scheduler_;
+};
+
+}  // namespace ara::serve

@@ -1,0 +1,256 @@
+// Wire protocol round-trips and corruption handling: every field of
+// the request/reply payloads survives encode -> decode bit-for-bit,
+// frames survive a real fd (socketpair), and torn/corrupt/oversized
+// streams fail loudly instead of half-decoding.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+
+namespace ara::serve {
+namespace {
+
+ServeRequest full_request() {
+  ServeRequest r;
+  r.tenant = "gold";
+  r.request_id = 0x1234567890abcdefull;
+  r.deadline_ms = 2500;
+  r.workload = WorkloadRef::kSynth;
+  r.synth.trials = 4096;
+  r.synth.events_per_trial = 37.5;
+  r.synth.catalogue = 54321;
+  r.synth.elts = 7;
+  r.synth.layers = 3;
+  r.synth.seed = 99;
+  r.metrics.per_layer = true;
+  r.metrics.portfolio = true;
+  r.metrics.quantiles = {0.95, 0.99};
+  r.metrics.return_periods = {100.0, 250.0};
+  r.metrics.ep_curve_points = 64;
+  r.metrics.capital_allocation = true;
+  r.metrics.capital_p = 0.995;
+  r.retention = WireRetention::kSpillToFile;
+  r.ylt_path = "/tmp/out.ylt";
+  r.shard_trials = 512;
+  r.memory_budget_bytes = 1u << 20;
+  return r;
+}
+
+ServeReply full_reply() {
+  ServeReply r;
+  r.request_id = 77;
+  r.status = Status::kOk;
+  r.retry_after_ms = 0;
+  r.message = "";
+  r.engine = "sequential_fused";
+  r.shard_count = 4;
+  r.wall_seconds = 0.125;
+  r.simulated_seconds = 42.5;
+  r.queue_ms = 3.25;
+
+  metrics::LayerMetrics layer;
+  layer.label = "layer-0";
+  layer.trials = 4096;
+  layer.aal = 1.5e6;
+  layer.std_dev = 2.5e5;
+  layer.max_annual = 9.9e6;
+  layer.quantiles = {{0.99, 5.0e6, 6.0e6}};
+  layer.pml = {{100.0, 4.5e6}};
+  layer.oep = {{100.0, 4.0e6}};
+  layer.aep_curve = {1.0, 2.0, 3.0};
+  layer.oep_curve = {0.5, 1.5};
+  r.report.layers.push_back(layer);
+
+  metrics::PortfolioMetrics portfolio;
+  portfolio.totals = layer;
+  portfolio.totals.label = "portfolio";
+  portfolio.diversification_benefit_tvar = 0.25;
+  portfolio.marginal_tvar = {0.5, 0.5};
+  portfolio.capital_p = 0.995;
+  portfolio.capital_allocation = true;
+  r.report.portfolio = portfolio;
+  r.report.blocks_consumed = 8;
+  r.report.max_block_trials = 512;
+  r.report.reservoir_entries = 4096;
+  return r;
+}
+
+TEST(ServeProtocol, RequestRoundTripPreservesEveryField) {
+  const ServeRequest before = full_request();
+  const ServeRequest after = decode_request(encode_request(before));
+
+  EXPECT_EQ(after.tenant, before.tenant);
+  EXPECT_EQ(after.request_id, before.request_id);
+  EXPECT_EQ(after.deadline_ms, before.deadline_ms);
+  EXPECT_EQ(after.workload, before.workload);
+  EXPECT_EQ(after.dataset, before.dataset);
+  EXPECT_EQ(after.synth, before.synth);
+  EXPECT_EQ(after.metrics.per_layer, before.metrics.per_layer);
+  EXPECT_EQ(after.metrics.portfolio, before.metrics.portfolio);
+  EXPECT_EQ(after.metrics.quantiles, before.metrics.quantiles);
+  EXPECT_EQ(after.metrics.return_periods, before.metrics.return_periods);
+  EXPECT_EQ(after.metrics.ep_curve_points, before.metrics.ep_curve_points);
+  EXPECT_EQ(after.metrics.capital_allocation,
+            before.metrics.capital_allocation);
+  EXPECT_EQ(after.metrics.capital_p, before.metrics.capital_p);
+  EXPECT_EQ(after.retention, before.retention);
+  EXPECT_EQ(after.ylt_path, before.ylt_path);
+  EXPECT_EQ(after.shard_trials, before.shard_trials);
+  EXPECT_EQ(after.memory_budget_bytes, before.memory_budget_bytes);
+}
+
+TEST(ServeProtocol, DatasetRequestRoundTrip) {
+  ServeRequest before;
+  before.workload = WorkloadRef::kDataset;
+  before.dataset = "paper-1m";
+  const ServeRequest after = decode_request(encode_request(before));
+  EXPECT_EQ(after.workload, WorkloadRef::kDataset);
+  EXPECT_EQ(after.dataset, "paper-1m");
+}
+
+TEST(ServeProtocol, ReplyRoundTripPreservesReport) {
+  const ServeReply before = full_reply();
+  const ServeReply after = decode_reply(encode_reply(before));
+
+  EXPECT_EQ(after.request_id, before.request_id);
+  EXPECT_EQ(after.status, before.status);
+  EXPECT_EQ(after.engine, before.engine);
+  EXPECT_EQ(after.shard_count, before.shard_count);
+  EXPECT_EQ(after.wall_seconds, before.wall_seconds);
+  EXPECT_EQ(after.simulated_seconds, before.simulated_seconds);
+  EXPECT_EQ(after.queue_ms, before.queue_ms);
+  ASSERT_EQ(after.report.layers.size(), 1u);
+  const metrics::LayerMetrics& layer = after.report.layers[0];
+  EXPECT_EQ(layer.label, "layer-0");
+  EXPECT_EQ(layer.trials, 4096u);
+  EXPECT_EQ(layer.aal, 1.5e6);
+  ASSERT_EQ(layer.quantiles.size(), 1u);
+  EXPECT_EQ(layer.quantiles[0].tvar, 6.0e6);
+  ASSERT_EQ(layer.pml.size(), 1u);
+  EXPECT_EQ(layer.pml[0].loss, 4.5e6);
+  EXPECT_EQ(layer.aep_curve, before.report.layers[0].aep_curve);
+  ASSERT_TRUE(after.report.portfolio.has_value());
+  EXPECT_EQ(after.report.portfolio->totals.label, "portfolio");
+  EXPECT_EQ(after.report.portfolio->diversification_benefit_tvar, 0.25);
+  EXPECT_EQ(after.report.portfolio->marginal_tvar,
+            before.report.portfolio->marginal_tvar);
+  EXPECT_EQ(after.report.blocks_consumed, 8u);
+  EXPECT_EQ(after.report.reservoir_entries, 4096u);
+}
+
+TEST(ServeProtocol, ErrorReplyRoundTrip) {
+  ServeReply before;
+  before.request_id = 5;
+  before.status = Status::kRejectedQueueFull;
+  before.retry_after_ms = 125;
+  before.message = "tenant queue full";
+  const ServeReply after = decode_reply(encode_reply(before));
+  EXPECT_EQ(after.status, Status::kRejectedQueueFull);
+  EXPECT_EQ(after.retry_after_ms, 125u);
+  EXPECT_EQ(after.message, "tenant queue full");
+  EXPECT_TRUE(is_backpressure(after.status));
+}
+
+TEST(ServeProtocol, TrailingBytesRejected) {
+  std::string payload = encode_request(full_request());
+  payload.push_back('\x00');
+  EXPECT_THROW(decode_request(payload), std::runtime_error);
+}
+
+TEST(ServeProtocol, TruncatedPayloadRejected) {
+  const std::string payload = encode_request(full_request());
+  EXPECT_THROW(decode_request(payload.substr(0, payload.size() / 2)),
+               std::exception);
+}
+
+TEST(ServeProtocol, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  const std::string payload = encode_request(full_request());
+  std::thread writer([&] {
+    write_frame(fds[0], MessageType::kRequest, payload);
+    ::close(fds[0]);
+  });
+  std::optional<Frame> frame = read_frame(fds[1]);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MessageType::kRequest);
+  EXPECT_EQ(frame->payload, payload);
+
+  // Peer closed between frames: clean EOF, not an error.
+  EXPECT_FALSE(read_frame(fds[1]).has_value());
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, BadMagicAndMidFrameEofThrow) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string junk = "NOTAFRAME-------";
+  ASSERT_EQ(::write(fds[0], junk.data(), junk.size()),
+            static_cast<ssize_t>(junk.size()));
+  EXPECT_THROW(read_frame(fds[1]), std::runtime_error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string frame = encode_frame(MessageType::kReply, "payload");
+  // Cut the frame mid-payload: the reader must throw, not return a
+  // short frame.
+  ASSERT_EQ(::write(fds[0], frame.data(), frame.size() - 3),
+            static_cast<ssize_t>(frame.size() - 3));
+  ::close(fds[0]);
+  EXPECT_THROW(read_frame(fds[1]), std::runtime_error);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, VersionMismatchRefused) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string frame = encode_frame(MessageType::kRequest, "x");
+  frame[8] = static_cast<char>(0xEE);  // corrupt the version word
+  ASSERT_EQ(::write(fds[0], frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  ::close(fds[0]);
+  EXPECT_THROW(read_frame(fds[1]), std::runtime_error);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, OversizedFrameRefusedBeforeAllocation) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Hand-build a header claiming a payload far over the cap.
+  std::string header(kFrameMagic, sizeof kFrameMagic);
+  const std::uint32_t version = kProtocolVersion;
+  header.append(reinterpret_cast<const char*>(&version), sizeof version);
+  header.push_back(static_cast<char>(MessageType::kRequest));
+  // varint for 1 << 40
+  std::uint64_t len = 1ull << 40;
+  while (len >= 0x80) {
+    header.push_back(static_cast<char>((len & 0x7F) | 0x80));
+    len >>= 7;
+  }
+  header.push_back(static_cast<char>(len));
+  ASSERT_EQ(::write(fds[0], header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  EXPECT_THROW(read_frame(fds[1]), std::runtime_error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, StatusNamesCoverEveryStatus) {
+  EXPECT_EQ(status_name(Status::kOk), "ok");
+  EXPECT_EQ(status_name(Status::kShedDeadline), "shed_deadline");
+  EXPECT_EQ(status_name(Status::kShutdown), "shutdown");
+  EXPECT_FALSE(is_backpressure(Status::kOk));
+  EXPECT_FALSE(is_backpressure(Status::kShedDeadline));
+  EXPECT_TRUE(is_backpressure(Status::kShedEarly));
+}
+
+}  // namespace
+}  // namespace ara::serve

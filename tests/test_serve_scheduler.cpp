@@ -1,0 +1,246 @@
+// DwrrScheduler policy arithmetic, driven single-threaded and
+// deterministically: weighted fairness over saturated queues, hard
+// admission caps, WRED shed thresholds, deadline expiry at dequeue,
+// and the no-credit-hoarding rule.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "serve/scheduler.hpp"
+
+namespace ara::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+DwrrScheduler::Item item(std::uint64_t token, std::uint64_t cost,
+                         std::size_t bytes = 100) {
+  DwrrScheduler::Item it;
+  it.token = token;
+  it.cost_trials = cost;
+  it.bytes = bytes;
+  return it;
+}
+
+TEST(DwrrScheduler, ServedTrialsProportionalToWeightWhenSaturated) {
+  DwrrScheduler dwrr(/*quantum_trials=*/256, /*global_byte_budget=*/0);
+  dwrr.configure_tenant({"a", 1, 1000});
+  dwrr.configure_tenant({"b", 2, 1000});
+  dwrr.configure_tenant({"c", 4, 1000});
+
+  // Saturate: 200 equal-cost requests per tenant.
+  std::uint64_t token = 1;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(dwrr.offer("a", item(token++, 256)), Admission::kAdmit);
+    ASSERT_EQ(dwrr.offer("b", item(token++, 256)), Admission::kAdmit);
+    ASSERT_EQ(dwrr.offer("c", item(token++, 256)), Admission::kAdmit);
+  }
+
+  // Serve 140 requests = 20 full ring cycles (1 + 2 + 4 per cycle):
+  // still saturated for every tenant afterwards.
+  std::map<std::string, std::uint64_t> served;
+  const auto now = Clock::now();
+  for (int i = 0; i < 140; ++i) {
+    const auto next = dwrr.poll(now);
+    ASSERT_TRUE(next.has_value());
+    ASSERT_FALSE(next->expired);
+    served[next->tenant] += next->item.cost_trials;
+  }
+
+  // Weighted shares are exact over whole cycles: 20/40/80 requests.
+  EXPECT_EQ(served["a"], 20u * 256u);
+  EXPECT_EQ(served["b"], 40u * 256u);
+  EXPECT_EQ(served["c"], 80u * 256u);
+  EXPECT_EQ(dwrr.counters("a").served, 20u);
+  EXPECT_EQ(dwrr.counters("c").served_trials, 80u * 256u);
+}
+
+TEST(DwrrScheduler, LargeRequestsAccumulateDeficitAcrossVisits) {
+  DwrrScheduler dwrr(/*quantum_trials=*/100, /*global_byte_budget=*/0);
+  dwrr.configure_tenant({"big", 1, 10});
+  dwrr.configure_tenant({"small", 1, 10});
+  // big's head costs 3 quanta; small's cost 1 each.
+  ASSERT_EQ(dwrr.offer("big", item(1, 300)), Admission::kAdmit);
+  for (std::uint64_t t = 2; t <= 7; ++t) {
+    ASSERT_EQ(dwrr.offer("small", item(t, 100)), Admission::kAdmit);
+  }
+  const auto now = Clock::now();
+  std::vector<std::string> order;
+  while (const auto next = dwrr.poll(now)) order.push_back(next->tenant);
+  // big is served exactly once, after accumulating 3 visits of credit,
+  // and small is never starved while big waits.
+  ASSERT_EQ(order.size(), 7u);
+  int smalls_before_big = 0;
+  for (const std::string& t : order) {
+    if (t == "big") break;
+    ++smalls_before_big;
+  }
+  EXPECT_GE(smalls_before_big, 2);
+  EXPECT_EQ(dwrr.counters("big").served, 1u);
+  EXPECT_EQ(dwrr.counters("small").served, 6u);
+}
+
+TEST(DwrrScheduler, DepthCapRejects) {
+  DwrrScheduler dwrr(256, /*global_byte_budget=*/0);
+  dwrr.configure_tenant({"t", 1, /*max_queue_depth=*/3});
+  EXPECT_EQ(dwrr.offer("t", item(1, 1)), Admission::kAdmit);
+  EXPECT_EQ(dwrr.offer("t", item(2, 1)), Admission::kAdmit);
+  EXPECT_EQ(dwrr.offer("t", item(3, 1)), Admission::kAdmit);
+  EXPECT_EQ(dwrr.offer("t", item(4, 1)), Admission::kRejectQueueFull);
+  EXPECT_EQ(dwrr.counters("t").rejected_queue_full, 1u);
+  EXPECT_EQ(dwrr.counters("t").offered, 4u);
+  EXPECT_EQ(dwrr.counters("t").admitted, 3u);
+  // Serving one frees a slot.
+  ASSERT_TRUE(dwrr.poll(Clock::now()).has_value());
+  EXPECT_EQ(dwrr.offer("t", item(5, 1)), Admission::kAdmit);
+}
+
+TEST(DwrrScheduler, ByteBudgetRejectsBeforeWred) {
+  WredConfig wred;
+  wred.min_occupancy = 1.0;  // degenerate ramp: WRED never fires below
+  wred.max_occupancy = 1.0;  // the hard byte cap
+  wred.max_drop_probability = 0.0;
+  DwrrScheduler dwrr(256, /*global_byte_budget=*/1000, wred);
+  dwrr.configure_tenant({"t", 1, 100});
+  EXPECT_EQ(dwrr.offer("t", item(1, 1, 600)), Admission::kAdmit);
+  EXPECT_EQ(dwrr.offer("t", item(2, 1, 600)), Admission::kRejectBytes);
+  EXPECT_EQ(dwrr.counters("t").rejected_bytes, 1u);
+  EXPECT_EQ(dwrr.queued_bytes(), 600u);
+  // Draining the queue releases the bytes.
+  ASSERT_TRUE(dwrr.poll(Clock::now()).has_value());
+  EXPECT_EQ(dwrr.queued_bytes(), 0u);
+  EXPECT_EQ(dwrr.offer("t", item(3, 1, 600)), Admission::kAdmit);
+}
+
+TEST(DwrrScheduler, WredShedsNothingBelowMinAndEverythingAtMax) {
+  WredConfig wred;
+  wred.min_occupancy = 0.5;
+  wred.max_occupancy = 0.9;
+  wred.max_drop_probability = 1.0;
+  DwrrScheduler dwrr(256, /*global_byte_budget=*/1000, wred, /*seed=*/7);
+  dwrr.configure_tenant({"t", 1, 1000});
+
+  // Occupancy at or below min (incoming item included): every offer
+  // admitted, no WRED draw at all.
+  std::uint64_t token = 1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dwrr.offer("t", item(token++, 1, 100)), Admission::kAdmit);
+  }
+  EXPECT_EQ(dwrr.counters("t").shed_early, 0u);
+
+  // Climb through the ramp band to 800 queued bytes (shed verdicts are
+  // probabilistic there; admits eventually land with probability 1).
+  while (dwrr.queued_bytes() < 800) {
+    const Admission verdict = dwrr.offer("t", item(token++, 1, 100));
+    ASSERT_TRUE(verdict == Admission::kAdmit ||
+                verdict == Admission::kShedEarly);
+  }
+  // From 800, a 100-byte offer lands exactly at max occupancy: the
+  // always-shed band, deterministically.
+  EXPECT_EQ(dwrr.offer("t", item(token++, 1, 100)), Admission::kShedEarly);
+  EXPECT_EQ(dwrr.offer("t", item(token++, 1, 150)), Admission::kShedEarly);
+  EXPECT_GE(dwrr.counters("t").shed_early, 2u);
+}
+
+TEST(DwrrScheduler, WredDrawsAreSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    WredConfig wred;
+    wred.min_occupancy = 0.1;
+    wred.max_occupancy = 1.0;  // the 50 10-byte offers stay in the ramp
+    wred.max_drop_probability = 0.9;
+    DwrrScheduler dwrr(256, /*global_byte_budget=*/1000, wred, seed);
+    dwrr.configure_tenant({"t", 1, 10000});
+    std::vector<Admission> verdicts;
+    for (std::uint64_t tok = 1; tok <= 50; ++tok) {
+      verdicts.push_back(dwrr.offer("t", item(tok, 1, 10)));
+    }
+    return verdicts;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // astronomically unlikely to collide
+}
+
+TEST(DwrrScheduler, ExpiredHeadIsFlaggedAndCostsNoDeficit) {
+  DwrrScheduler dwrr(/*quantum_trials=*/100, /*global_byte_budget=*/0);
+  dwrr.configure_tenant({"t", 1, 10});
+  const auto now = Clock::now();
+
+  DwrrScheduler::Item expired = item(1, 100);
+  expired.deadline = now - std::chrono::milliseconds(1);
+  ASSERT_EQ(dwrr.offer("t", expired), Admission::kAdmit);
+  ASSERT_EQ(dwrr.offer("t", item(2, 100)), Admission::kAdmit);
+
+  const auto first = dwrr.poll(now);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->expired);
+  EXPECT_EQ(first->item.token, 1u);
+  EXPECT_EQ(dwrr.counters("t").shed_deadline, 1u);
+  EXPECT_EQ(dwrr.counters("t").served, 0u);
+
+  // The live request behind it is served normally — the expired one
+  // consumed no deficit, so this dequeues on the same visit.
+  const auto second = dwrr.poll(now);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->expired);
+  EXPECT_EQ(second->item.token, 2u);
+  EXPECT_EQ(dwrr.counters("t").served_trials, 100u);
+}
+
+TEST(DwrrScheduler, IdleTenantDoesNotHoardDeficit) {
+  DwrrScheduler dwrr(/*quantum_trials=*/100, /*global_byte_budget=*/0);
+  dwrr.configure_tenant({"t", 1, 10});
+  const auto now = Clock::now();
+
+  // Serve a cheap request: the visit credited 100, the serve debits 10,
+  // and the queue empties — the 90 remainder must be forfeited.
+  ASSERT_EQ(dwrr.offer("t", item(1, 10)), Admission::kAdmit);
+  ASSERT_TRUE(dwrr.poll(now).has_value());
+  EXPECT_TRUE(dwrr.empty());
+
+  // A 150-cost head now needs TWO fresh visits (100, then +100); if the
+  // stale 90 had been hoarded one visit would cover it.
+  ASSERT_EQ(dwrr.offer("t", item(2, 150)), Admission::kAdmit);
+  ASSERT_EQ(dwrr.offer("t", item(3, 10)), Admission::kAdmit);
+  const auto next = dwrr.poll(now);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->item.token, 2u);
+  // served_trials reflects both visits' arithmetic: 150 debited.
+  EXPECT_EQ(dwrr.counters("t").served_trials, 10u + 150u);
+}
+
+TEST(DwrrScheduler, AutoRegistersTenantsWithDefaultConfig) {
+  DwrrScheduler dwrr(256, 0);
+  TenantConfig def;
+  def.weight = 3;
+  def.max_queue_depth = 2;
+  dwrr.set_default_config(def);
+  EXPECT_EQ(dwrr.offer("new-tenant", item(1, 1)), Admission::kAdmit);
+  const TenantConfig* cfg = dwrr.tenant_config("new-tenant");
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->weight, 3u);
+  EXPECT_EQ(cfg->max_queue_depth, 2u);
+  EXPECT_EQ(dwrr.tenant_names(),
+            (std::vector<std::string>{"new-tenant"}));
+}
+
+TEST(DwrrScheduler, PollOnEmptyReturnsNullopt) {
+  DwrrScheduler dwrr(256, 0);
+  EXPECT_FALSE(dwrr.poll(Clock::now()).has_value());
+  EXPECT_TRUE(dwrr.empty());
+  EXPECT_EQ(dwrr.occupancy(), 0.0);
+}
+
+TEST(DwrrScheduler, InvalidWredConfigRejected) {
+  WredConfig bad;
+  bad.min_occupancy = 0.9;
+  bad.max_occupancy = 0.5;  // min > max
+  EXPECT_THROW(DwrrScheduler(256, 1000, bad), std::invalid_argument);
+  WredConfig negative;
+  negative.max_drop_probability = -0.5;
+  EXPECT_THROW(DwrrScheduler(256, 1000, negative), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara::serve

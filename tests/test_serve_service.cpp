@@ -1,0 +1,458 @@
+// AnalysisService end-to-end: the fairness smoke gate (weighted
+// throughput proportional to DWRR weights under saturation, zero lost
+// replies, explicit rejection statuses), deadline shedding before
+// compute, drain/stop semantics, and the socket path (ServeServer +
+// ServeClient + ClientTransport) over Unix and TCP endpoints. Run
+// under ASan and TSan in CI.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "synth/portfolio_generator.hpp"
+#include "synth/yet_generator.hpp"
+
+namespace ara::serve {
+namespace {
+
+/// Spins until the plug request occupies the (single) dispatch slot,
+/// so everything submitted afterwards queues deterministically behind
+/// it. Without this the plug's large trial cost would make DWRR serve
+/// the cheap requests first and the plug would not plug.
+void wait_for_inflight(AnalysisService& service, std::size_t count) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.inflight() < count) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "dispatch slot never filled";
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+// The workload every fast request names: tiny, shared (one cache
+// entry) and equal-cost so DWRR arithmetic is exact.
+SynthSpec fast_spec() {
+  SynthSpec s;
+  s.trials = 256;
+  s.events_per_trial = 5.0;
+  s.catalogue = 200;
+  s.elts = 2;
+  s.layers = 1;
+  s.seed = 11;
+  return s;
+}
+
+// A deliberately slower workload used to plug the single dispatch
+// slot while a test queues traffic behind it.
+SynthSpec plug_spec() {
+  SynthSpec s;
+  s.trials = 50000;
+  s.events_per_trial = 10.0;
+  s.catalogue = 200;
+  s.elts = 2;
+  s.layers = 1;
+  s.seed = 12;
+  return s;
+}
+
+AnalysisService::Options serial_options() {
+  AnalysisService::Options options;
+  options.policy = ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
+  options.session_workers = 2;
+  options.max_inflight = 1;  // DWRR order == completion order
+  options.quantum_trials = 256;
+  options.global_byte_budget = 0;  // no byte cap / WRED in these tests
+  return options;
+}
+
+ServeRequest synth_request(const std::string& tenant, std::uint64_t id,
+                           const SynthSpec& spec) {
+  ServeRequest request;
+  request.tenant = tenant;
+  request.request_id = id;
+  request.synth = spec;
+  request.metrics = metrics::MetricsSpec::layer_summaries();
+  return request;
+}
+
+/// Collects replies and wakes waiters when a target count arrives.
+struct ReplyLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<ServeReply> replies;
+  std::vector<std::string> ok_tenants;  ///< completion order, kOk only
+
+  AnalysisService::ReplyFn sink(std::string tenant = "") {
+    return [this, tenant](ServeReply&& reply) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (reply.status == Status::kOk) ok_tenants.push_back(tenant);
+      replies.push_back(std::move(reply));
+      cv.notify_all();
+    };
+  }
+
+  bool wait_for_replies(std::size_t count, std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout,
+                       [&] { return replies.size() >= count; });
+  }
+
+  std::size_t count_status(Status status) {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t n = 0;
+    for (const ServeReply& r : replies) n += r.status == status ? 1 : 0;
+    return n;
+  }
+};
+
+TEST(ServeService, SingleSynthRequestAnswersWithMetricsDeterministically) {
+  AnalysisService service(serial_options());
+  ReplyLog log;
+  service.submit(synth_request("t", 1, fast_spec()), log.sink(),
+                 /*wire_bytes=*/100);
+  service.submit(synth_request("t", 2, fast_spec()), log.sink(),
+                 /*wire_bytes=*/100);
+  ASSERT_TRUE(log.wait_for_replies(2, std::chrono::seconds(30)));
+
+  std::lock_guard<std::mutex> lock(log.mutex);
+  ASSERT_EQ(log.replies.size(), 2u);
+  for (const ServeReply& reply : log.replies) {
+    ASSERT_EQ(reply.status, Status::kOk) << reply.message;
+    EXPECT_EQ(reply.engine, "sequential_fused");
+    ASSERT_EQ(reply.report.layers.size(), 1u);
+    EXPECT_EQ(reply.report.layers[0].trials, 256u);
+    EXPECT_GT(reply.report.layers[0].aal, 0.0);
+  }
+  // Same spec -> same cached workload -> identical metrics.
+  EXPECT_EQ(log.replies[0].report.layers[0].aal,
+            log.replies[1].report.layers[0].aal);
+  // Both requests shared one synth workload and one table cache entry.
+  EXPECT_EQ(service.session().cached_table_portfolios(), 1u);
+}
+
+TEST(ServeService, InvalidRequestsGetImmediateErrorReplies) {
+  AnalysisService service(serial_options());
+  ReplyLog log;
+
+  ServeRequest unknown_dataset;
+  unknown_dataset.tenant = "t";
+  unknown_dataset.request_id = 1;
+  unknown_dataset.workload = WorkloadRef::kDataset;
+  unknown_dataset.dataset = "no-such-dataset";
+  service.submit(std::move(unknown_dataset), log.sink(), 100);
+
+  ServeRequest zero_trials = synth_request("t", 2, fast_spec());
+  zero_trials.synth.trials = 0;
+  service.submit(std::move(zero_trials), log.sink(), 100);
+
+  ServeRequest spill_without_path = synth_request("t", 3, fast_spec());
+  spill_without_path.retention = WireRetention::kSpillToFile;
+  service.submit(std::move(spill_without_path), log.sink(), 100);
+
+  ASSERT_TRUE(log.wait_for_replies(3, std::chrono::seconds(5)));
+  EXPECT_EQ(log.count_status(Status::kError), 3u);
+  for (const ServeReply& r : log.replies) EXPECT_FALSE(r.message.empty());
+}
+
+TEST(ServeService, RegisteredDatasetServesByName) {
+  AnalysisService service(serial_options());
+  // Materialise a small workload directly and register it by name.
+  auto workload = std::make_shared<ServedWorkload>();
+  {
+    synth::Catalogue cat = synth::Catalogue::make(200, 6, 1000.0);
+    synth::YetGeneratorConfig yc;
+    yc.trials = 128;
+    yc.target_events_per_trial = 5.0;
+    yc.seed = 3;
+    workload->yet = synth::generate_yet(cat, yc);
+    synth::PortfolioGeneratorConfig pc;
+    pc.elt_count = 2;
+    pc.layer_count = 1;
+    pc.min_elts_per_layer = 2;
+    pc.max_elts_per_layer = 2;
+    pc.elt.record_count = 20;
+    pc.seed = 4;
+    workload->portfolio = synth::generate_portfolio(cat, pc);
+  }
+  service.register_dataset("book", workload);
+
+  ServeRequest via_dataset;
+  via_dataset.tenant = "t";
+  via_dataset.request_id = 9;
+  via_dataset.workload = WorkloadRef::kDataset;
+  via_dataset.dataset = "book";
+  ReplyLog log;
+  service.submit(std::move(via_dataset), log.sink(), 100);
+  ASSERT_TRUE(log.wait_for_replies(1, std::chrono::seconds(30)));
+  std::lock_guard<std::mutex> lock(log.mutex);
+  ASSERT_EQ(log.replies[0].status, Status::kOk) << log.replies[0].message;
+  EXPECT_EQ(log.replies[0].report.layers[0].trials, 128u);
+}
+
+// The smoke gate of ISSUE record: saturate three tenants with weights
+// 1:2:4 behind a plugged dispatch slot, then assert the completion
+// order respects DWRR shares and that every submission was answered.
+TEST(ServeService, FairnessRatioUnderSaturationAndZeroLostReplies) {
+  AnalysisService::Options options = serial_options();
+  options.default_tenant.max_queue_depth = 128;
+  AnalysisService service(options);
+  service.configure_tenant({"bronze", 1, 128});
+  service.configure_tenant({"silver", 2, 128});
+  service.configure_tenant({"gold", 4, 128});
+
+  ReplyLog log;
+  // Plug the single dispatch slot so the tenant queues build up while
+  // the scheduler is busy.
+  service.submit(synth_request("plug", 1, plug_spec()), log.sink("plug"),
+                 100);
+  wait_for_inflight(service, 1);
+
+  constexpr std::size_t kPerTenant = 70;
+  std::uint64_t id = 2;
+  for (std::size_t i = 0; i < kPerTenant; ++i) {
+    service.submit(synth_request("bronze", id++, fast_spec()),
+                   log.sink("bronze"), 100);
+    service.submit(synth_request("silver", id++, fast_spec()),
+                   log.sink("silver"), 100);
+    service.submit(synth_request("gold", id++, fast_spec()),
+                   log.sink("gold"), 100);
+  }
+  const std::size_t submitted = 1 + 3 * kPerTenant;
+  ASSERT_TRUE(log.wait_for_replies(submitted, std::chrono::seconds(120)));
+
+  std::unique_lock<std::mutex> lock(log.mutex);
+  // Zero lost replies: exactly one reply per submission, all kOk.
+  ASSERT_EQ(log.replies.size(), submitted);
+  for (const ServeReply& r : log.replies) {
+    EXPECT_EQ(r.status, Status::kOk) << r.message;
+  }
+
+  // Completion order after the plug is the DWRR dispatch order
+  // (max_inflight = 1). Over the first 5 full cycles — 35 requests —
+  // the weighted shares are 5/10/20 exactly; allow +-2 for the ring
+  // join boundary.
+  ASSERT_GE(log.ok_tenants.size(), 36u);
+  std::map<std::string, int> window;
+  std::size_t start = 0;
+  while (start < log.ok_tenants.size() && log.ok_tenants[start] == "plug") {
+    ++start;
+  }
+  for (std::size_t i = start; i < start + 35; ++i) {
+    ++window[log.ok_tenants[i]];
+  }
+  lock.unlock();
+  EXPECT_NEAR(window["bronze"], 5, 2);
+  EXPECT_NEAR(window["silver"], 10, 2);
+  EXPECT_NEAR(window["gold"], 20, 2);
+
+  // The scheduler's own accounting agrees with the weights over the
+  // full saturated run.
+  for (const TenantStats& t : service.stats()) {
+    if (t.name == "plug") continue;
+    EXPECT_EQ(t.queueing.admitted, kPerTenant);
+    EXPECT_EQ(t.dispatch.completed, kPerTenant);
+  }
+}
+
+TEST(ServeService, DeadlineExpiredWhileQueuedGetsExplicitShedReply) {
+  AnalysisService service(serial_options());
+  ReplyLog log;
+  // Plug the slot, then queue a request that can only expire behind it.
+  service.submit(synth_request("plug", 1, plug_spec()), log.sink("plug"),
+                 100);
+  wait_for_inflight(service, 1);
+  ServeRequest doomed = synth_request("t", 2, fast_spec());
+  doomed.deadline_ms = 1;
+  service.submit(std::move(doomed), log.sink("t"), 100);
+  ServeRequest fine = synth_request("t", 3, fast_spec());
+  service.submit(std::move(fine), log.sink("t"), 100);
+
+  ASSERT_TRUE(log.wait_for_replies(3, std::chrono::seconds(60)));
+  std::lock_guard<std::mutex> lock(log.mutex);
+  std::size_t shed = 0;
+  for (const ServeReply& r : log.replies) {
+    if (r.request_id == 2) {
+      EXPECT_EQ(r.status, Status::kShedDeadline);
+      EXPECT_GT(r.queue_ms, 0.0);
+      ++shed;
+    }
+    if (r.request_id == 3) EXPECT_EQ(r.status, Status::kOk) << r.message;
+  }
+  EXPECT_EQ(shed, 1u);
+  // The shed is charged to queueing accounting, not dispatch: it never
+  // occupied the dispatch slot.
+  for (const TenantStats& t : service.stats()) {
+    if (t.name != "t") continue;
+    EXPECT_EQ(t.queueing.shed_deadline, 1u);
+    EXPECT_EQ(t.dispatch.shed_deadline, 0u);
+  }
+}
+
+TEST(ServeService, QueueDepthCapRejectsWithRetryAfter) {
+  AnalysisService::Options options = serial_options();
+  options.default_tenant.max_queue_depth = 2;
+  AnalysisService service(options);
+  ReplyLog log;
+  service.submit(synth_request("plug", 1, plug_spec()), log.sink("plug"),
+                 100);
+  wait_for_inflight(service, 1);
+  for (std::uint64_t id = 2; id <= 5; ++id) {
+    service.submit(synth_request("t", id, fast_spec()), log.sink("t"), 100);
+  }
+  // Two fit the queue; two are rejected synchronously.
+  EXPECT_EQ(log.count_status(Status::kRejectedQueueFull), 2u);
+  {
+    std::lock_guard<std::mutex> lock(log.mutex);
+    for (const ServeReply& r : log.replies) {
+      if (r.status != Status::kRejectedQueueFull) continue;
+      EXPECT_GT(r.retry_after_ms, 0u);
+      EXPECT_TRUE(is_backpressure(r.status));
+    }
+  }
+  ASSERT_TRUE(log.wait_for_replies(5, std::chrono::seconds(60)));
+  EXPECT_EQ(log.count_status(Status::kOk), 3u);  // plug + the two queued
+}
+
+TEST(ServeService, StopFlushesQueueWithShutdownReplies) {
+  AnalysisService service(serial_options());
+  ReplyLog log;
+  service.submit(synth_request("plug", 1, plug_spec()), log.sink("plug"),
+                 100);
+  wait_for_inflight(service, 1);
+  for (std::uint64_t id = 2; id <= 9; ++id) {
+    service.submit(synth_request("t", id, fast_spec()), log.sink("t"), 100);
+  }
+  service.stop();
+  // stop() returns only after the queue flush and the in-flight plug:
+  // every submission has its reply, none were lost.
+  ASSERT_TRUE(log.wait_for_replies(9, std::chrono::seconds(10)));
+  EXPECT_EQ(log.count_status(Status::kShutdown) +
+                log.count_status(Status::kShedDeadline),
+            8u);
+  EXPECT_EQ(log.count_status(Status::kOk), 1u);
+
+  // Submissions after stop are refused immediately.
+  service.submit(synth_request("t", 10, fast_spec()), log.sink("t"), 100);
+  ASSERT_TRUE(log.wait_for_replies(10, std::chrono::seconds(5)));
+  EXPECT_EQ(log.count_status(Status::kShutdown) +
+                log.count_status(Status::kShedDeadline),
+            9u);
+}
+
+TEST(ServeService, DrainServesEverythingThenRefusesNewWork) {
+  AnalysisService service(serial_options());
+  ReplyLog log;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    service.submit(synth_request("t", id, fast_spec()), log.sink("t"), 100);
+  }
+  service.drain();
+  EXPECT_EQ(log.count_status(Status::kOk), 6u);
+  service.submit(synth_request("t", 7, fast_spec()), log.sink("t"), 100);
+  ASSERT_TRUE(log.wait_for_replies(7, std::chrono::seconds(5)));
+  EXPECT_EQ(log.count_status(Status::kShutdown), 1u);
+}
+
+TEST(ServeService, InProcessLoadgenReportsZeroLost) {
+  AnalysisService::Options options = serial_options();
+  options.max_inflight = 2;
+  options.default_tenant.max_queue_depth = 256;
+  AnalysisService service(options);
+
+  LoadConfig config;
+  for (const auto& [name, weight] : std::vector<std::pair<std::string, int>>{
+           {"a", 1}, {"b", 2}}) {
+    LoadTenantSpec spec;
+    spec.name = name;
+    spec.weight = static_cast<std::uint32_t>(weight);
+    spec.rate_hz = 500.0;
+    spec.requests = 40;
+    spec.synth = fast_spec();
+    config.tenants.push_back(std::move(spec));
+    service.configure_tenant({name, static_cast<std::uint32_t>(weight), 256});
+  }
+  const LoadReport report = run_load(
+      config, [&](ServeRequest&& request,
+                  std::function<void(const ServeReply&)> done) {
+        service.submit(std::move(request),
+                       [done = std::move(done)](ServeReply&& reply) {
+                         done(reply);
+                       },
+                       100);
+      });
+  EXPECT_EQ(report.total_lost, 0u);
+  EXPECT_EQ(report.total_submitted, 80u);
+  EXPECT_EQ(report.total_ok + report.total_backpressure +
+                report.total_shed_deadline,
+            80u);
+  ASSERT_EQ(report.tenants.size(), 2u);
+  for (const TenantLoadReport& t : report.tenants) {
+    EXPECT_EQ(t.lost, 0u);
+    if (t.ok > 0) {
+      EXPECT_GT(t.latency.p50, 0.0);
+      EXPECT_GE(t.latency.p99, t.latency.p50);
+    }
+  }
+}
+
+TEST(ServeService, UnixSocketRoundTripThroughServer) {
+  const std::string path =
+      "/tmp/ara_serve_test_" + std::to_string(::getpid()) + ".sock";
+  AnalysisService service(serial_options());
+  ServeServer server(service, Endpoint::parse("unix:" + path));
+  server.start();
+
+  ServeClient client(server.endpoint());
+  const ServeReply reply = client.call(synth_request("t", 42, fast_spec()));
+  EXPECT_EQ(reply.request_id, 42u);
+  ASSERT_EQ(reply.status, Status::kOk) << reply.message;
+  EXPECT_EQ(reply.engine, "sequential_fused");
+  ASSERT_EQ(reply.report.layers.size(), 1u);
+  EXPECT_GT(reply.report.layers[0].aal, 0.0);
+
+  server.stop();
+  EXPECT_EQ(server.connections_accepted(), 1u);
+}
+
+TEST(ServeService, TcpPipelinedTransportLosesNothing) {
+  AnalysisService::Options options = serial_options();
+  options.max_inflight = 2;
+  AnalysisService service(options);
+  ServeServer server(service, Endpoint::parse("127.0.0.1:0"));
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  LoadConfig config;
+  LoadTenantSpec spec;
+  spec.name = "wire";
+  spec.rate_hz = 0.0;  // as fast as possible
+  spec.requests = 25;
+  spec.synth = fast_spec();
+  config.tenants.push_back(spec);
+
+  {
+    ClientTransport transport(server.endpoint());
+    const LoadReport report = run_load(
+        config, [&](ServeRequest&& request,
+                    std::function<void(const ServeReply&)> done) {
+          transport.submit(std::move(request), std::move(done));
+        });
+    transport.finish(std::chrono::milliseconds(10000));
+    EXPECT_EQ(report.total_lost, 0u);
+    EXPECT_EQ(report.total_ok, 25u);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ara::serve

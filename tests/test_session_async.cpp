@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <stdexcept>
 #include <string>
@@ -149,6 +150,99 @@ TEST(SessionAsync, FailingBatchDoesNotPoisonConcurrentBatch) {
   good.join();
   EXPECT_TRUE(bad_batch_threw.load());
   EXPECT_TRUE(good_batch_ok.load());
+}
+
+// pending_requests() is the backlog gauge admission control reads: it
+// must be non-zero while a batch is queued/executing and return to
+// zero once every future resolved. With one dispatch worker and a
+// batch wider than the pool, the backlog is guaranteed to be visible
+// right after run_batch_async returns (the pool can't have drained 8
+// requests synchronously).
+TEST(SessionAsync, PendingRequestsTracksAsyncBacklog) {
+  const synth::Scenario s = synth::tiny(48, 13);
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused), 1);
+  EXPECT_EQ(session.pending_requests(), 0u);
+
+  std::vector<AnalysisRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(request_for(s, "p" + std::to_string(i)));
+  }
+  std::vector<std::future<AnalysisResult>> futures =
+      session.run_batch_async(requests);
+  EXPECT_GT(session.pending_requests(), 0u);
+
+  // Sample the gauge concurrently with the drain: it must only ever
+  // move within [0, batch size] — never a garbage value — while the
+  // dispatch pool works the batch down.
+  std::atomic<bool> stop{false};
+  std::atomic<int> out_of_range{0};
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      const std::size_t pending = session.pending_requests();
+      if (pending > requests.size()) ++out_of_range;
+      std::this_thread::yield();
+    }
+  });
+  for (std::future<AnalysisResult>& f : futures) {
+    EXPECT_NO_THROW(f.get());
+  }
+  stop = true;
+  sampler.join();
+  EXPECT_EQ(out_of_range.load(), 0);
+
+  // All futures resolved; the dispatch worker may still be inside its
+  // post-resolve bookkeeping for an instant, so allow a bounded settle.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (session.pending_requests() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(session.pending_requests(), 0u);
+}
+
+// A request whose deadline already passed is shed before dispatch: its
+// future fails with DeadlineExceeded (not a generic error), no tables
+// are built for it, and live requests in the same batch are untouched.
+TEST(SessionAsync, ExpiredDeadlineShedsBeforeEngineWork) {
+  const synth::Scenario s = synth::tiny(32, 17);
+  AnalysisSession session(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+
+  AnalysisRequest expired = request_for(s, "expired");
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  std::vector<AnalysisRequest> requests;
+  requests.push_back(std::move(expired));
+
+  std::vector<std::future<AnalysisResult>> futures =
+      session.run_batch_async(requests);
+  EXPECT_THROW(futures[0].get(), DeadlineExceeded);
+  // The shed happened before any engine work: no table cache entry was
+  // built for the portfolio.
+  EXPECT_EQ(session.cached_table_portfolios(), 0u);
+
+  // Mixed batch: the expired request fails alone, the live one runs.
+  AnalysisRequest doomed = request_for(s, "doomed");
+  doomed.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  std::vector<AnalysisRequest> mixed;
+  mixed.push_back(std::move(doomed));
+  mixed.push_back(request_for(s, "live"));
+  std::vector<std::future<AnalysisResult>> mixed_futures =
+      session.run_batch_async(mixed);
+  EXPECT_THROW(mixed_futures[0].get(), DeadlineExceeded);
+  const AnalysisResult live = mixed_futures[1].get();
+  EXPECT_EQ(live.label, "live");
+  EXPECT_EQ(session.cached_table_portfolios(), 1u);
+
+  // DeadlineExceeded is a distinct type, so callers can map it to an
+  // explicit shed answer; it still is-a runtime_error for generic
+  // handlers.
+  AnalysisRequest direct = request_for(s, "direct");
+  direct.deadline = std::chrono::steady_clock::now();
+  EXPECT_THROW(session.run(direct), std::runtime_error);
 }
 
 // run_batch keeps its synchronous contract on top of the async core:

@@ -38,6 +38,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -86,13 +87,39 @@ bool is_switch(const std::string& name) {
   return name == "list-engines" || name == "no-ylt";
 }
 
+// Per-subcommand flag allowlists. A flag outside its subcommand's set
+// is a usage error — a typo like --trails or a run-only flag passed to
+// generate must fail loudly, not be silently swallowed into the map
+// and fall back to the default value.
+const std::set<std::string>& allowed_flags(const std::string& cmd) {
+  static const std::set<std::string> generate = {
+      "out", "trials", "events-per-trial", "catalogue",
+      "elts", "layers", "seed"};
+  static const std::set<std::string> run = {
+      "in",           "out",           "ylt-out",       "no-ylt",
+      "engine",       "gpus",          "cores",         "threads-per-core",
+      "block-threads", "chunk-size",   "shard-trials",  "memory-budget",
+      "metrics",      "quantiles",     "return-periods", "list-engines"};
+  static const std::set<std::string> report = {"ylt", "layer", "csv"};
+  static const std::set<std::string> none = {};
+  if (cmd == "generate") return generate;
+  if (cmd == "run") return run;
+  if (cmd == "report") return report;
+  return none;
+}
+
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
+                                               int first,
+                                               const std::set<std::string>&
+                                                   allowed) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) usage("unexpected argument: " + arg);
     const std::string name = arg.substr(2);
+    if (allowed.find(name) == allowed.end()) {
+      usage("unknown flag for this subcommand: " + arg);
+    }
     if (is_switch(name)) {
       flags[name] = "1";
       continue;
@@ -492,12 +519,14 @@ int cmd_report(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  if (cmd != "generate" && cmd != "run" && cmd != "report") {
+    usage("unknown command: " + cmd);
+  }
   try {
-    const auto flags = parse_flags(argc, argv, 2);
+    const auto flags = parse_flags(argc, argv, 2, allowed_flags(cmd));
     if (cmd == "generate") return cmd_generate(flags);
     if (cmd == "run") return cmd_run(flags);
-    if (cmd == "report") return cmd_report(flags);
-    usage("unknown command: " + cmd);
+    return cmd_report(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
