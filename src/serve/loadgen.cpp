@@ -1,5 +1,7 @@
 #include "serve/loadgen.hpp"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <cmath>
 #include <random>
@@ -34,7 +36,11 @@ LatencySummary summarize_latencies(std::vector<double> latencies_ms) {
 namespace {
 
 /// Shared per-tenant measurement sink; callbacks may fire from
-/// scheduler/dispatch/receiver threads.
+/// scheduler/dispatch/receiver threads. Held by shared_ptr: run_load
+/// returns after a bounded reply timeout, but late replies (and the
+/// transport's orphan-flush kError callbacks) can still fire afterwards
+/// — each callback keeps its sink alive, so a straggler records into
+/// heap memory nobody reads instead of a dead stack frame.
 struct TenantSink {
   std::mutex mutex;
   std::condition_variable cv;
@@ -81,10 +87,10 @@ struct TenantSink {
 LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
   const auto start = std::chrono::steady_clock::now();
 
-  std::vector<std::unique_ptr<TenantSink>> sinks;
+  std::vector<std::shared_ptr<TenantSink>> sinks;
   sinks.reserve(config.tenants.size());
   for (std::size_t i = 0; i < config.tenants.size(); ++i) {
-    sinks.push_back(std::make_unique<TenantSink>());
+    sinks.push_back(std::make_shared<TenantSink>());
   }
 
   // One driver thread per tenant: open-loop Poisson arrivals pinned to
@@ -95,7 +101,7 @@ LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
   for (std::size_t i = 0; i < config.tenants.size(); ++i) {
     drivers.emplace_back([&, i] {
       const LoadTenantSpec& spec = config.tenants[i];
-      TenantSink& sink = *sinks[i];
+      const std::shared_ptr<TenantSink> sink = sinks[i];
       std::mt19937_64 rng(config.seed + 0x9e3779b97f4a7c15ull * (i + 1));
       std::exponential_distribution<double> inter_arrival(
           spec.rate_hz > 0.0 ? spec.rate_hz : 1.0);
@@ -121,15 +127,15 @@ LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
         const std::uint64_t trials = request.cost_trials();
         const auto sent = std::chrono::steady_clock::now();
         {
-          std::lock_guard<std::mutex> lock(sink.mutex);
-          ++sink.submitted;
+          std::lock_guard<std::mutex> lock(sink->mutex);
+          ++sink->submitted;
         }
-        submit(std::move(request), [&sink, sent, trials](const ServeReply& r) {
+        submit(std::move(request), [sink, sent, trials](const ServeReply& r) {
           const double latency_ms =
               std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - sent)
                   .count();
-          sink.record(r, latency_ms, trials);
+          sink->record(r, latency_ms, trials);
         });
       }
     });
@@ -264,6 +270,13 @@ void ClientTransport::finish(std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait_until(lock, std::chrono::steady_clock::now() + timeout,
                  [this] { return pending_.empty() || closed_; });
+  if (!pending_.empty() && !closed_) {
+    // The server kept the connection open past our patience: force the
+    // receiver off its blocking read so the orphan flush fires the
+    // synthetic kError replies now — exactly-once holds, and the
+    // destructor's join cannot hang on a stalled server.
+    ::shutdown(client_.fd(), SHUT_RDWR);
+  }
 }
 
 }  // namespace ara::serve

@@ -4,6 +4,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
@@ -217,8 +219,13 @@ void expect_exhausted(std::istream& is, const char* what) {
 
 std::string SynthSpec::cache_key() const {
   std::ostringstream key;
-  key << trials << '|' << events_per_trial << '|' << catalogue << '|' << elts
-      << '|' << layers << '|' << seed;
+  // max_digits10 keeps the key injective on the double: default
+  // precision (6 digits) would alias specs differing further out and
+  // hand one of them the other's cached workload.
+  key << trials << '|'
+      << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << events_per_trial << '|' << catalogue << '|' << elts << '|' << layers
+      << '|' << seed;
   return key.str();
 }
 

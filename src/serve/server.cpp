@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -28,6 +29,13 @@ void close_quiet(int& fd) {
     fd = -1;
   }
 }
+
+/// Upper bound on one blocking reply write. A peer that stops reading
+/// (zero receive window) makes write_frame fail with EWOULDBLOCK after
+/// this long; Connection::send then marks the socket broken, so the
+/// stalled client forfeits its replies instead of wedging one of the
+/// few dispatch slots and blocking drain()/stop() forever.
+constexpr timeval kSendTimeout{10, 0};
 
 }  // namespace
 
@@ -121,8 +129,9 @@ void ServeServer::Connection::send(const ServeReply& reply) {
   try {
     write_frame(fd, MessageType::kReply, payload);
   } catch (const std::exception&) {
-    // The client vanished mid-reply; it forfeited this answer. Mark
-    // the socket so later replies stop trying.
+    // The client vanished mid-reply or stalled past the send timeout;
+    // it forfeited this answer. Mark the socket so later replies stop
+    // trying.
     broken = true;
   }
 }
@@ -204,8 +213,8 @@ void ServeServer::stop() {
       if (const auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RD);
     }
   }
-  for (std::thread& reader : readers_) {
-    if (reader.joinable()) reader.join();
+  for (Reader& reader : readers_) {
+    if (reader.thread.joinable()) reader.thread.join();
   }
   readers_.clear();
 }
@@ -229,13 +238,35 @@ void ServeServer::accept_loop() {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &kSendTimeout,
+                 sizeof kSendTimeout);
     connections_accepted_.fetch_add(1);
     auto conn = std::make_shared<Connection>(fd);
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
     connections_.push_back(conn);
-    readers_.emplace_back(
-        [this, conn = std::move(conn)]() mutable { reader_loop(conn); });
+    readers_.push_back(Reader{
+        std::thread([this, conn = std::move(conn), done]() mutable {
+          reader_loop(std::move(conn));
+          done->store(true);
+        }),
+        done});
   }
+}
+
+void ServeServer::reap_finished_locked() {
+  for (auto it = readers_.begin(); it != readers_.end();) {
+    if (it->done->load()) {
+      it->thread.join();
+      it = readers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(connections_, [](const std::weak_ptr<Connection>& weak) {
+    return weak.expired();
+  });
 }
 
 void ServeServer::reader_loop(std::shared_ptr<Connection> conn) {

@@ -10,6 +10,9 @@
 // half-closes after sending (send N, shutdown(WR), read N replies is
 // a supported client pattern). A full close with replies pending
 // makes the writes fail silently — the client walked away from them.
+// Reply writes are bounded by a send timeout (SO_SNDTIMEO): a
+// live-but-stalled peer (zero receive window) forfeits its replies
+// instead of wedging a dispatch worker indefinitely.
 //
 // ServeClient is the matching blocking client used by ara_loadgen and
 // the tests.
@@ -78,7 +81,8 @@ class ServeServer {
     explicit Connection(int fd) : fd(fd) {}
     ~Connection();
     /// Encodes and writes one reply frame; serialised by write_mutex,
-    /// dropped silently if the socket already failed.
+    /// dropped silently if the socket already failed or the bounded
+    /// write timed out (stalled peer).
     void send(const ServeReply& reply);
 
     int fd;
@@ -86,8 +90,19 @@ class ServeServer {
     bool broken = false;  ///< guarded by write_mutex
   };
 
+  /// One reader thread plus its completion flag, so finished readers
+  /// can be joined from the accept loop instead of piling up until
+  /// stop().
+  struct Reader {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
+  /// Joins readers whose loop has exited and drops expired connection
+  /// entries; caller holds connections_mutex_.
+  void reap_finished_locked();
 
   AnalysisService& service_;
   Endpoint endpoint_;
@@ -99,7 +114,7 @@ class ServeServer {
 
   std::mutex connections_mutex_;
   std::vector<std::weak_ptr<Connection>> connections_;
-  std::vector<std::thread> readers_;
+  std::vector<Reader> readers_;
   std::thread accept_thread_;
 };
 

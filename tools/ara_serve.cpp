@@ -17,11 +17,13 @@
 // closes (new requests get kShutdown + retry-after), queued requests
 // are served to completion, then the process exits. A second signal
 // flushes the queue with kShutdown replies instead of serving it.
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <poll.h>
@@ -54,7 +56,7 @@ volatile std::sig_atomic_t g_signal_count = 0;
 int g_signal_pipe[2] = {-1, -1};
 
 void on_signal(int) {
-  ++g_signal_count;
+  g_signal_count = g_signal_count + 1;
   const char byte = 1;
   [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
 }
@@ -179,7 +181,32 @@ int main(int argc, char** argv) {
     if (g_signal_count > 1) {
       service.stop();  // impatient: flush queue with kShutdown replies
     } else {
-      service.drain();  // graceful: serve queued work to completion
+      // Graceful drain on a worker thread, while this thread keeps
+      // watching the signal pipe: a second signal arriving mid-drain
+      // (long backlog, stalled reply write) must still escalate.
+      // service.stop() flushes the queues, which releases the blocked
+      // drain(); stop() is idempotent, so the unconditional call after
+      // the join is safe on both paths.
+      std::atomic<bool> drained{false};
+      std::thread drainer([&] {
+        service.drain();
+        drained.store(true);
+      });
+      while (!drained.load()) {
+        pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+          char buf[16];
+          [[maybe_unused]] const auto n =
+              ::read(g_signal_pipe[0], buf, sizeof buf);
+        }
+        if (g_signal_count > 1) {
+          std::cerr << "ara_serve: second signal, flushing queue\n";
+          service.stop();
+          break;
+        }
+      }
+      drainer.join();
       service.stop();
     }
 
