@@ -144,7 +144,13 @@ CaseResult run_case(const WeightConfig& config, bool smoke) {
   options.max_inflight = 1;
   options.quantum_trials = synth.trials;
   options.global_byte_budget = 0;  // depth caps only; no WRED noise
-  options.default_tenant.max_queue_depth = 64;
+  // Smoke admits each tenant's whole burst (no rejects — the gate
+  // judges fairness over the drain, and request counts scale with
+  // weight so every queue drains at the same instant no matter how
+  // fast the engine is). Full mode keeps the shallow production-like
+  // caps so the committed bench exercises depth-cap rejects.
+  const std::uint32_t depth_cap = smoke ? 512 : 64;
+  options.default_tenant.max_queue_depth = depth_cap;
   AnalysisService service(options);
 
   LoadConfig load;
@@ -159,8 +165,12 @@ CaseResult run_case(const WeightConfig& config, bool smoke) {
     // stays backlogged while arrivals last (the DWRR regime). Request
     // counts scale with weight so the heavy tenants' arrival phases —
     // and with them the all-backlogged fairness window — last as long
-    // as the light tenants' queues do.
-    spec.rate_hz = smoke ? 800.0 : 400.0;
+    // as the light tenants' queues do. The rates must beat the heavy
+    // tenant's service share with headroom: the SoA hot path serves a
+    // smoke request in well under a millisecond and a full one in
+    // about one, so the old 800/400 Hz let the weight-8 tenant drain
+    // between arrivals and punched holes in the backlogged window.
+    spec.rate_hz = smoke ? 3200.0 : 1600.0;
     spec.requests = (smoke ? 40 : 150) * config.weights[i];
     spec.deadline_ms = config.deadline_ms;
     spec.synth = synth;
@@ -168,7 +178,7 @@ CaseResult run_case(const WeightConfig& config, bool smoke) {
     TenantConfig tenant;
     tenant.name = spec.name;
     tenant.weight = spec.weight;
-    tenant.max_queue_depth = 64;
+    tenant.max_queue_depth = depth_cap;
     service.configure_tenant(tenant);
     load.tenants.push_back(std::move(spec));
   }
@@ -286,8 +296,11 @@ int run(int argc, char** argv) {
       {"equal_1_1_1", {1, 1, 1}, 0},
       {"weighted_1_2_4", {1, 2, 4}, 0},
       // The skewed config also carries a deadline in full mode so the
-      // committed bench shows deadline shedding under starvation.
-      {"skewed_1_1_8", {1, 1, 8}, smoke ? 0u : 1000u},
+      // committed bench shows deadline shedding under starvation (the
+      // light tenants' 64-deep queues drain at ~a tenth of capacity,
+      // so their tail waits cross 500 ms while the weight-8 tenant's
+      // never do).
+      {"skewed_1_1_8", {1, 1, 8}, smoke ? 0u : 500u},
   };
 
   std::vector<CaseResult> cases;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/simd/bound_portfolio.hpp"
+#include "core/simd/kernels.hpp"
 #include "core/trial_math.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -20,17 +22,20 @@ namespace {
 // row (0 for a full run, the shard begin for a partial one). Different
 // ranges touch disjoint YLT elements, and within one range every
 // layer's writes are contiguous — workers never share a cache line
-// except at range boundaries.
-void sweep_trials(const Yet& yet, std::span<const BoundLayer<double>> layers,
+// except at range boundaries. The per-trial work is the dispatched
+// SoA kernel (core/simd/): scalar in the default bitwise-reference
+// mode, vectorized under SimdPolicy::kAuto/kForceWidth.
+void sweep_trials(const Yet& yet, const simd::BoundPortfolio<double>& bp,
+                  const simd::SweepKernel<double>& kernel,
                   parallel::Range range, std::size_t out_base, Ylt& ylt) {
-  std::vector<LayerTrialState<double>> state(layers.size());
+  simd::PortfolioTrialState<double> state(bp);
   for (std::size_t b = range.begin; b < range.end; ++b) {
     const auto t = static_cast<TrialId>(b);
     const auto row = static_cast<TrialId>(b - out_base);
-    simulate_trial_multilayer<double>(yet.trial(t), layers, state);
-    for (std::size_t a = 0; a < layers.size(); ++a) {
-      ylt.annual_loss(a, row) = state[a].out.annual;
-      ylt.max_occurrence_loss(a, row) = state[a].out.max_occurrence;
+    kernel.sweep(bp, yet.trial(t), state);
+    for (std::size_t a = 0; a < bp.layers; ++a) {
+      ylt.annual_loss(a, row) = state.annual[a];
+      ylt.max_occurrence_loss(a, row) = state.max_occurrence[a];
     }
   }
 }
@@ -50,15 +55,22 @@ SimulationResult FusedSequentialEngine::run(const Portfolio& portfolio,
   // YLT write remains.
   result.ops.global_updates = result.ops.occurrence_ops ? 1 : 0;
 
+  // Kernel selection happens even for cost-only replays: the choice is
+  // a pure function of config + host, it records the active ISA, and a
+  // kForceWidth the host can't satisfy should fail loudly either way.
+  const simd::SweepKernel<double> kernel =
+      simd::select_kernel<double>(config_.simd, config_.simd_width);
+  result.simd_isa = simd::isa_name(kernel.isa);
+
   perf::Stopwatch wall;
   if (!context.cost_only) {
     TableStore<double> local;
     const TableStore<double>* tables =
         select_tables(context.tables_f64, local, portfolio);
-    const std::vector<BoundLayer<double>> layers =
-        bind_all_layers(portfolio, *tables);
+    const simd::BoundPortfolio<double> bp =
+        simd::bind_portfolio(portfolio, *tables);
     result.ylt = Ylt(portfolio.layer_count(), range.size());
-    sweep_trials(yet, layers, {range.begin, range.end}, range.begin,
+    sweep_trials(yet, bp, kernel, {range.begin, range.end}, range.begin,
                  result.ylt);
     result.wall_seconds = wall.seconds();
   }
@@ -97,25 +109,31 @@ SimulationResult MultiCoreEngine::run(const Portfolio& portfolio,
   const unsigned cores = std::max(1u, config_.cores);
   const unsigned oversub = std::max(1u, config_.threads_per_core);
 
+  const simd::SweepKernel<double> kernel =
+      simd::select_kernel<double>(config_.simd, config_.simd_width);
+  result.simd_isa = simd::isa_name(kernel.isa);
+
   perf::Stopwatch wall;
   if (!context.cost_only) {
     TableStore<double> local;
     const TableStore<double>* tables =
         select_tables(context.tables_f64, local, portfolio);
-    const std::vector<BoundLayer<double>> layers =
-        bind_all_layers(portfolio, *tables);
+    const simd::BoundPortfolio<double> bp =
+        simd::bind_portfolio(portfolio, *tables);
     result.ylt = Ylt(portfolio.layer_count(), range.size());
 
     // One software thread per trial batch, as in the paper's
     // oversubscribed OpenMP runs; a single trial-major wave replaces
     // the old per-layer dispatch. (On this container the workers
     // time-share one physical core; the simulated time below models
-    // the paper's machine.)
+    // the paper's machine.) Each range worker owns its trial state;
+    // the shared binding is read-only.
     parallel::ThreadPool& pool =
         context.pool != nullptr ? *context.pool : cached_pool();
     parallel::parallel_for(pool, range.size(), [&](parallel::Range r) {
-      sweep_trials(yet, layers, {range.begin + r.begin, range.begin + r.end},
-                   range.begin, result.ylt);
+      sweep_trials(yet, bp, kernel,
+                   {range.begin + r.begin, range.begin + r.end}, range.begin,
+                   result.ylt);
     });
     result.wall_seconds = wall.seconds();
   }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/layer.hpp"
+#include "core/simd/policy.hpp"
 #include "core/types.hpp"
 #include "core/yet.hpp"
 #include "core/ylt.hpp"
@@ -105,6 +106,14 @@ struct EngineConfig {
   bool use_registers = true;      ///< optimised kernel: register scratch
   bool chunking = true;           ///< optimised kernel: shared-mem chunking
 
+  // Hot-path vectorization (core/simd/, DESIGN.md §8). kScalar is the
+  // bitwise-reference mode — results identical to the pre-SIMD
+  // engines — and the default; kAuto dispatches the widest kernel the
+  // build + host support. ExecutionPolicy carries the authoritative
+  // copy; resolved_config() writes it through to here.
+  simd::SimdPolicy simd = simd::SimdPolicy::kScalar;
+  unsigned simd_width = 0;        ///< kForceWidth: required lanes (0 = widest)
+
   // Profiling.
   bool profile_phases = false;    ///< measure per-phase wall time (slower)
 };
@@ -129,6 +138,12 @@ struct SimulationResult {
 
   /// Devices used (1 for single-GPU engines, 0 for CPU engines).
   unsigned devices = 0;
+
+  /// ISA of the dispatched hot-path kernel ("scalar" / "avx2" /
+  /// "neon"); empty for engines that don't run the fused sweep (the
+  /// reference and combined-table formulations). Recorded in the
+  /// bench JSON so perf numbers are attributable to a kernel.
+  std::string simd_isa;
 };
 
 class Engine {

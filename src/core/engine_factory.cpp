@@ -40,7 +40,13 @@ std::optional<EngineKind> engine_kind_from_name(const std::string& name) {
 }
 
 EngineConfig resolved_config(const ExecutionPolicy& policy, EngineKind kind) {
-  return policy.config ? *policy.config : paper_config(kind);
+  EngineConfig cfg = policy.config ? *policy.config : paper_config(kind);
+  // The policy's SIMD knob is authoritative over the embedded config's
+  // copy (the config field exists only because engines are constructed
+  // from EngineConfig alone).
+  cfg.simd = policy.simd;
+  cfg.simd_width = policy.simd_width;
+  return cfg;
 }
 
 std::unique_ptr<Engine> make_engine(const ExecutionPolicy& policy) {

@@ -70,6 +70,15 @@ struct ExecutionPolicy {
   std::size_t shard_trials = 0;
   std::size_t memory_budget_bytes = 0;
 
+  /// Hot-path SIMD mode (DESIGN.md §8). Authoritative: resolved_config
+  /// copies these over whatever `config` holds, so one policy field
+  /// controls every engine kind the policy may resolve to. kScalar
+  /// (the default) is guaranteed bit-identical to the pre-SIMD
+  /// engines; kAuto opts into the vector kernels' own determinism
+  /// contract (reproducible run-to-run, last-ulp vs scalar).
+  simd::SimdPolicy simd = simd::SimdPolicy::kScalar;
+  unsigned simd_width = 0;  ///< kForceWidth: required lanes (0 = widest)
+
   /// True when this policy asks for the sharded execution path.
   bool sharded() const noexcept {
     return shard_trials > 0 || memory_budget_bytes > 0;

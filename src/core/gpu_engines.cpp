@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "core/simd/bound_portfolio.hpp"
+#include "core/simd/kernels.hpp"
 #include "core/trial_math.hpp"
 #include "parallel/partition.hpp"
 #include "perf/stopwatch.hpp"
@@ -96,10 +98,15 @@ void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
   if (cost_only) {
     dev.launch_cost_only("ara_optimized_multilayer", launch, traits, ops);
   } else {
-    const std::vector<BoundLayer<Real>> layers = bind_all_layers(p, tables);
-    // Per-layer running state; SimDevice executes the functor thread by
-    // thread on this host thread, so one buffer serves the whole launch.
-    std::vector<LayerTrialState<Real>> state(layers.size());
+    // The per-event work is the dispatched SoA kernel's `apply` entry
+    // (no reset, no trial loop — the chunk staging below owns those):
+    // scalar in the bitwise-reference mode, vectorized under kAuto.
+    const simd::SweepKernel<Real> kernel =
+        simd::select_kernel<Real>(cfg.simd, cfg.simd_width);
+    const simd::BoundPortfolio<Real> bp = simd::bind_portfolio(p, tables);
+    // Running state; SimDevice executes the functor thread by thread
+    // on this host thread, so one buffer serves the whole launch.
+    simd::PortfolioTrialState<Real> state(bp);
 
     // The functional staging buffer is 512 entries; clamp the chunk so
     // a stage is always written before it is consumed.
@@ -116,7 +123,7 @@ void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
           // apply the fused financial/occurrence/aggregate math for
           // every layer. State that survives across chunks is exactly
           // what the real kernel keeps in registers, per layer.
-          for (auto& s : state) s = LayerTrialState<Real>{};
+          state.reset();
           std::array<EventId, 512> stage;  // shared-memory stand-in
           const std::size_t k = trial.size();
           for (std::size_t base = 0; base < k; base += chunk) {
@@ -125,16 +132,13 @@ void run_optimized_on_device(simgpu::SimDevice& dev, const Portfolio& p,
               stage[i % stage.size()] = trial[base + i].event;
             }
             for (std::size_t i = 0; i < n; ++i) {
-              const EventId ev = stage[i % stage.size()];
-              for (std::size_t a = 0; a < layers.size(); ++a) {
-                apply_event_to_layer(ev, layers[a], state[a]);
-              }
+              kernel.apply(bp, stage[i % stage.size()], state);
             }
           }
-          for (std::size_t a = 0; a < layers.size(); ++a) {
-            out.annual_loss(a, row) = static_cast<double>(state[a].out.annual);
+          for (std::size_t a = 0; a < bp.layers; ++a) {
+            out.annual_loss(a, row) = static_cast<double>(state.annual[a]);
             out.max_occurrence_loss(a, row) =
-                static_cast<double>(state[a].out.max_occurrence);
+                static_cast<double>(state.max_occurrence[a]);
           }
         });
   }
@@ -197,6 +201,10 @@ SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
   launch_ops.global_updates =
       launch_ops.occurrence_ops * kScratchTouchesPerEvent;
 
+  const simd::SweepKernel<double> kernel =
+      simd::select_kernel<double>(config_.simd, config_.simd_width);
+  result.simd_isa = simd::isa_name(kernel.isa);
+
   if (context.cost_only) {
     dev.launch_cost_only("ara_basic_multilayer", launch, traits, launch_ops);
   } else {
@@ -207,21 +215,20 @@ SimulationResult GpuBasicEngine::run(const Portfolio& portfolio,
 
     // One fused launch: each thread walks its trial once, updating
     // every layer's accumulators from the single YET read.
-    const std::vector<BoundLayer<double>> layers =
-        bind_all_layers(portfolio, tables);
-    std::vector<LayerTrialState<double>> state(layers.size());
+    const simd::BoundPortfolio<double> bp =
+        simd::bind_portfolio(portfolio, tables);
+    simd::PortfolioTrialState<double> state(bp);
     dev.launch("ara_basic_multilayer", launch, traits, launch_ops,
                [&](const simgpu::SimDevice::ThreadCtx& ctx) {
                  if (ctx.global_id() >= range.size()) return;
                  const auto t =
                      static_cast<TrialId>(range.begin + ctx.global_id());
                  const auto row = static_cast<TrialId>(ctx.global_id());
-                 simulate_trial_multilayer<double>(yet.trial(t), layers,
-                                                  state);
-                 for (std::size_t a = 0; a < layers.size(); ++a) {
-                   result.ylt.annual_loss(a, row) = state[a].out.annual;
+                 kernel.sweep(bp, yet.trial(t), state);
+                 for (std::size_t a = 0; a < bp.layers; ++a) {
+                   result.ylt.annual_loss(a, row) = state.annual[a];
                    result.ylt.max_occurrence_loss(a, row) =
-                       state[a].out.max_occurrence;
+                       state.max_occurrence[a];
                  }
                });
   }
@@ -245,6 +252,12 @@ SimulationResult GpuOptimizedEngine::run(const Portfolio& portfolio,
   result.devices = 1;
   result.trial_begin = range.begin;
   result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
+
+  result.simd_isa = simd::isa_name(
+      config_.use_float
+          ? simd::select_kernel<float>(config_.simd, config_.simd_width).isa
+          : simd::select_kernel<double>(config_.simd, config_.simd_width)
+                .isa);
 
   perf::Stopwatch wall;
   simgpu::SimDevice dev(device_);
@@ -444,14 +457,21 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
           ? nullptr
           : select_tables(context.tables_f64, local_d, portfolio);
 
-  const std::vector<BoundLayer<float>> layers_f =
-      tables_f ? bind_all_layers(portfolio, *tables_f)
-               : std::vector<BoundLayer<float>>{};
-  const std::vector<BoundLayer<double>> layers_d =
-      tables_d ? bind_all_layers(portfolio, *tables_d)
-               : std::vector<BoundLayer<double>>{};
-  std::vector<LayerTrialState<float>> state_f(layers_f.size());
-  std::vector<LayerTrialState<double>> state_d(layers_d.size());
+  const simd::SweepKernel<float> kernel_f =
+      simd::select_kernel<float>(config_.simd, config_.simd_width);
+  const simd::SweepKernel<double> kernel_d =
+      simd::select_kernel<double>(config_.simd, config_.simd_width);
+  result.simd_isa =
+      simd::isa_name(config_.use_float ? kernel_f.isa : kernel_d.isa);
+
+  const simd::BoundPortfolio<float> bp_f =
+      tables_f ? simd::bind_portfolio(portfolio, *tables_f)
+               : simd::BoundPortfolio<float>{};
+  const simd::BoundPortfolio<double> bp_d =
+      tables_d ? simd::bind_portfolio(portfolio, *tables_d)
+               : simd::BoundPortfolio<double>{};
+  simd::PortfolioTrialState<float> state_f(bp_f);
+  simd::PortfolioTrialState<double> state_d(bp_d);
 
   for (std::size_t begin = range.begin; begin < range.end;
        begin += batch_trials) {
@@ -495,13 +515,12 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
                    const auto t =
                        static_cast<TrialId>(begin + ctx.global_id());
                    const auto row = static_cast<TrialId>(t - range.begin);
-                   simulate_trial_multilayer<float>(yet.trial(t), layers_f,
-                                                    state_f);
-                   for (std::size_t a = 0; a < layers_f.size(); ++a) {
+                   kernel_f.sweep(bp_f, yet.trial(t), state_f);
+                   for (std::size_t a = 0; a < bp_f.layers; ++a) {
                      result.ylt.annual_loss(a, row) =
-                         static_cast<double>(state_f[a].out.annual);
+                         static_cast<double>(state_f.annual[a]);
                      result.ylt.max_occurrence_loss(a, row) =
-                         static_cast<double>(state_f[a].out.max_occurrence);
+                         static_cast<double>(state_f.max_occurrence[a]);
                    }
                  });
     } else {
@@ -511,12 +530,11 @@ SimulationResult StreamedGpuEngine::run(const Portfolio& portfolio,
                    const auto t =
                        static_cast<TrialId>(begin + ctx.global_id());
                    const auto row = static_cast<TrialId>(t - range.begin);
-                   simulate_trial_multilayer<double>(yet.trial(t), layers_d,
-                                                     state_d);
-                   for (std::size_t a = 0; a < layers_d.size(); ++a) {
-                     result.ylt.annual_loss(a, row) = state_d[a].out.annual;
+                   kernel_d.sweep(bp_d, yet.trial(t), state_d);
+                   for (std::size_t a = 0; a < bp_d.layers; ++a) {
+                     result.ylt.annual_loss(a, row) = state_d.annual[a];
                      result.ylt.max_occurrence_loss(a, row) =
-                         state_d[a].out.max_occurrence;
+                         state_d.max_occurrence[a];
                    }
                  });
     }
@@ -582,6 +600,11 @@ SimulationResult HeterogeneousMultiGpuEngine::run(
   result.devices = static_cast<unsigned>(devices_.size());
   result.trial_begin = range.begin;
   result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
+  result.simd_isa = simd::isa_name(
+      config_.use_float
+          ? simd::select_kernel<float>(config_.simd, config_.simd_width).isa
+          : simd::select_kernel<double>(config_.simd, config_.simd_width)
+                .isa);
 
   perf::Stopwatch wall;
   simgpu::SimPlatform platform(devices_);
@@ -653,6 +676,11 @@ SimulationResult MultiGpuEngine::run(const Portfolio& portfolio,
   result.devices = static_cast<unsigned>(device_count_);
   result.trial_begin = range.begin;
   result.ops = range_fused_ops(portfolio, yet, range.begin, range.end);
+  result.simd_isa = simd::isa_name(
+      config_.use_float
+          ? simd::select_kernel<float>(config_.simd, config_.simd_width).isa
+          : simd::select_kernel<double>(config_.simd, config_.simd_width)
+                .isa);
 
   perf::Stopwatch wall;
   simgpu::SimPlatform platform(device_, device_count_);

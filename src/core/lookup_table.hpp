@@ -21,10 +21,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/elt.hpp"
+#include "core/simd/aligned.hpp"
 #include "core/types.hpp"
 
 namespace ara {
@@ -51,6 +53,10 @@ class LossLookup {
 
 /// Dense array over the full event catalogue; slot e holds the loss of
 /// event e (0 when absent). One random memory access per lookup.
+/// Storage is 64-byte aligned (simd::AlignedVector): the vector
+/// kernels and the next-occurrence prefetch in core/simd/ address the
+/// table as raw cache lines via data(), which must not depend on the
+/// default allocator's alignment luck.
 template <typename Real>
 class DirectAccessTable final : public LossLookup {
  public:
@@ -77,10 +83,15 @@ class DirectAccessTable final : public LossLookup {
   }
 
   std::size_t slots() const noexcept { return losses_.size(); }
-  const std::vector<Real>& raw() const noexcept { return losses_; }
+
+  /// The dense slot array, 64-byte aligned, indexable by event id.
+  /// (Replaces the old `raw()` vector accessor.)
+  std::span<const Real> data() const noexcept {
+    return {losses_.data(), losses_.size()};
+  }
 
  private:
-  std::vector<Real> losses_;
+  simd::AlignedVector<Real> losses_;
 };
 
 /// Sorted compact table; binary-search lookup (O(log n) accesses).

@@ -64,6 +64,7 @@ std::string engine_cache_key(EngineKind kind, const EngineConfig& c,
   key << engine_kind_name(kind) << '|' << c.cores << '|' << c.threads_per_core
       << '|' << c.block_threads << '|' << c.chunk_size << '|' << c.use_float
       << c.unroll << c.use_registers << c.chunking << c.profile_phases << '|'
+      << static_cast<int>(c.simd) << ':' << c.simd_width << '|'
       << p.gpu_device.name << '|' << p.multi_gpu_device.name << '|'
       << p.gpu_count;
   return key.str();
@@ -508,6 +509,7 @@ SimulationResult AnalysisSession::run_sharded(const Engine& engine,
   merged.simulated_seconds = mono.simulated_seconds;
   merged.engine_name = mono.engine_name;
   merged.devices = mono.devices;
+  merged.simd_isa = mono.simd_isa;
   merged.wall_seconds = elapsed;
   return merged;
 }

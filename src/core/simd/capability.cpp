@@ -1,0 +1,50 @@
+#include "core/simd/capability.hpp"
+
+namespace ara::simd {
+
+IsaLevel detect_best_isa() noexcept {
+#if defined(ARA_SIMD_HAVE_AVX2)
+  // Runtime check: the binary may carry the AVX2 TU (the build host's
+  // compiler accepted -mavx2) yet land on an older core.
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+#endif
+#if defined(ARA_SIMD_HAVE_NEON)
+  // NEON is architecturally baseline on aarch64 — no runtime probe.
+  return IsaLevel::kNeon;
+#endif
+  return IsaLevel::kScalar;
+}
+
+const char* isa_name(IsaLevel isa) noexcept {
+  switch (isa) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool simd_compiled() noexcept {
+#if defined(ARA_SIMD_HAVE_AVX2) || defined(ARA_SIMD_HAVE_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+unsigned isa_lanes(IsaLevel isa, unsigned real_bytes) noexcept {
+  switch (isa) {
+    case IsaLevel::kScalar:
+      return 1;
+    case IsaLevel::kAvx2:
+      return real_bytes == 4 ? 8u : 4u;  // 256-bit registers
+    case IsaLevel::kNeon:
+      return real_bytes == 4 ? 4u : 2u;  // 128-bit registers
+  }
+  return 1;
+}
+
+}  // namespace ara::simd

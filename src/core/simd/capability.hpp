@@ -1,0 +1,33 @@
+// ISA capability detection for the kernel dispatch. Which kernels
+// exist is a build-time fact (per-TU ISA flags in CMakeLists.txt,
+// ARA_SIMD_HAVE_* definitions); whether the host can run them is a
+// runtime fact (CPUID). detect_best_isa() intersects the two.
+#pragma once
+
+#include <cstdint>
+
+namespace ara::simd {
+
+enum class IsaLevel : std::uint8_t {
+  kScalar = 0,  ///< always available; the bitwise-reference sequence
+  kAvx2 = 1,    ///< x86-64: 4 x f64 / 8 x f32 lanes
+  kNeon = 2,    ///< aarch64: 2 x f64 / 4 x f32 lanes
+};
+
+/// Widest ISA both compiled into this binary and supported by the
+/// host CPU. kScalar when SIMD was disabled (-DARA_DISABLE_SIMD=ON),
+/// not compiled for this architecture, or not supported at runtime.
+IsaLevel detect_best_isa() noexcept;
+
+/// "scalar" / "avx2" / "neon" — recorded in SimulationResult::simd_isa
+/// and the bench JSON.
+const char* isa_name(IsaLevel isa) noexcept;
+
+/// True when at least one vector-kernel TU is part of this build.
+bool simd_compiled() noexcept;
+
+/// Vector lane count of `isa` for an element of `real_bytes` (4 or 8).
+/// 1 for kScalar.
+unsigned isa_lanes(IsaLevel isa, unsigned real_bytes) noexcept;
+
+}  // namespace ara::simd

@@ -1,0 +1,54 @@
+// Internal: the per-ISA kernel entry points the dispatcher wires into
+// SweepKernel. Each overload set is defined in exactly one TU
+// (kernels_scalar.cpp / kernels_avx2.cpp / kernels_neon.cpp); the ISA
+// TUs are compiled with per-file vector flags and keep everything but
+// these uniquely-named entries in anonymous namespaces, so no inline
+// symbol ever has two differently-compiled definitions.
+#pragma once
+
+#include <span>
+
+#include "core/simd/bound_portfolio.hpp"
+#include "core/types.hpp"
+
+namespace ara::simd::detail {
+
+// Scalar (bitwise-reference) kernels — always compiled.
+void sweep_scalar(const BoundPortfolio<double>& bp,
+                  std::span<const EventOccurrence> trial,
+                  PortfolioTrialState<double>& st);
+void sweep_scalar(const BoundPortfolio<float>& bp,
+                  std::span<const EventOccurrence> trial,
+                  PortfolioTrialState<float>& st);
+void apply_scalar(const BoundPortfolio<double>& bp, EventId ev,
+                  PortfolioTrialState<double>& st);
+void apply_scalar(const BoundPortfolio<float>& bp, EventId ev,
+                  PortfolioTrialState<float>& st);
+
+#if defined(ARA_SIMD_HAVE_AVX2)
+void sweep_avx2(const BoundPortfolio<double>& bp,
+                std::span<const EventOccurrence> trial,
+                PortfolioTrialState<double>& st);
+void sweep_avx2(const BoundPortfolio<float>& bp,
+                std::span<const EventOccurrence> trial,
+                PortfolioTrialState<float>& st);
+void apply_avx2(const BoundPortfolio<double>& bp, EventId ev,
+                PortfolioTrialState<double>& st);
+void apply_avx2(const BoundPortfolio<float>& bp, EventId ev,
+                PortfolioTrialState<float>& st);
+#endif
+
+#if defined(ARA_SIMD_HAVE_NEON)
+void sweep_neon(const BoundPortfolio<double>& bp,
+                std::span<const EventOccurrence> trial,
+                PortfolioTrialState<double>& st);
+void sweep_neon(const BoundPortfolio<float>& bp,
+                std::span<const EventOccurrence> trial,
+                PortfolioTrialState<float>& st);
+void apply_neon(const BoundPortfolio<double>& bp, EventId ev,
+                PortfolioTrialState<double>& st);
+void apply_neon(const BoundPortfolio<float>& bp, EventId ev,
+                PortfolioTrialState<float>& st);
+#endif
+
+}  // namespace ara::simd::detail

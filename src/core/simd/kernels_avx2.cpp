@@ -1,0 +1,261 @@
+// AVX2 kernels (x86-64): 4 x f64 / 8 x f32 lanes.
+//
+// Compiled with per-file flags (-mavx2 -ffp-contract=off — see
+// CMakeLists.txt): AVX2 gives the 256-bit ALUs, and disabling FP
+// contraction keeps the lane math exactly the documented mul/sub/
+// clamp/add sequence (an FMA-contracted variant would produce yet a
+// third result set and break the fixed-lane-order reproducibility
+// contract). Everything except the dispatch entry points lives in an
+// anonymous namespace so no symbol compiled with vector flags can be
+// picked over a default-flag duplicate at link time.
+//
+// Shape of the work, per occurrence (kernels.hpp's SIMD contract):
+//   phase 1 — per layer, the ELT slots are combined with aligned
+//     vector loads of the folded SoA term arrays (share multiplied
+//     through at bind time — one fewer load and multiply per slot)
+//     and scalar loads of the table values (indices are the same
+//     event on different base pointers; a gather buys nothing on
+//     dense tables and is opaque to the sanitizers). The layer's slot
+//     run is padded to kEltPad with zero-term slots, so the loop has
+//     no scalar remainder; the 4/8 partial sums are reduced
+//     low-lane-first — the fixed order that makes runs reproducible.
+//   phase 2 — the across-layer occurrence/aggregate update runs as an
+//     elementwise aligned vector loop over the padded layer arrays.
+//     Elementwise ops match scalar bit for bit, so all cross-scalar
+//     divergence is confined to phase 1's reassociated ELT sums.
+#if defined(ARA_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "core/simd/kernel_entries.hpp"
+
+namespace ara::simd {
+namespace {
+
+inline void prefetch_next_f64(const BoundPortfolio<double>& bp,
+                              EventId next_ev) {
+  for (const double* base : bp.prefetch_tables) {
+    _mm_prefetch(reinterpret_cast<const char*>(base + next_ev), _MM_HINT_T1);
+  }
+}
+inline void prefetch_next_f32(const BoundPortfolio<float>& bp,
+                              EventId next_ev) {
+  for (const float* base : bp.prefetch_tables) {
+    _mm_prefetch(reinterpret_cast<const char*>(base + next_ev), _MM_HINT_T1);
+  }
+}
+
+// ---- f64: 4 lanes ----------------------------------------------------------
+
+// `jb`/`je` delimit the padded slot run (both multiples of kEltPad),
+// so every iteration is a full vector and the term loads are aligned.
+inline double combine_elts_f64(const BoundPortfolio<double>& bp, EventId ev,
+                               std::uint32_t jb, std::uint32_t je) {
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc = zero;
+  for (std::uint32_t j = jb; j < je; j += 4) {
+    const __m256d loss =
+        _mm256_set_pd(bp.table_base[j + 3][ev], bp.table_base[j + 2][ev],
+                      bp.table_base[j + 1][ev], bp.table_base[j][ev]);
+    __m256d x =
+        _mm256_sub_pd(_mm256_mul_pd(loss, _mm256_load_pd(&bp.fx_share[j])),
+                      _mm256_load_pd(&bp.retention_share[j]));
+    x = _mm256_max_pd(x, zero);
+    x = _mm256_min_pd(x, _mm256_load_pd(&bp.limit_share[j]));
+    acc = _mm256_add_pd(acc, x);
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+}
+
+void apply_event_f64(const BoundPortfolio<double>& bp, EventId ev,
+                     PortfolioTrialState<double>& st) {
+  for (std::size_t a = 0; a < bp.layers; ++a) {
+    st.combined[a] =
+        combine_elts_f64(bp, ev, bp.elt_begin[a], bp.elt_begin[a + 1]);
+  }
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t a = 0; a < bp.padded_layers; a += 4) {
+    __m256d y = _mm256_sub_pd(_mm256_load_pd(&st.combined[a]),
+                              _mm256_load_pd(&bp.occ_retention[a]));
+    y = _mm256_max_pd(y, zero);
+    y = _mm256_min_pd(y, _mm256_load_pd(&bp.occ_limit[a]));
+    _mm256_store_pd(&st.max_occurrence[a],
+                    _mm256_max_pd(_mm256_load_pd(&st.max_occurrence[a]), y));
+    const __m256d cum = _mm256_add_pd(_mm256_load_pd(&st.cumulative[a]), y);
+    _mm256_store_pd(&st.cumulative[a], cum);
+    __m256d capped =
+        _mm256_sub_pd(cum, _mm256_load_pd(&bp.agg_retention[a]));
+    capped = _mm256_max_pd(capped, zero);
+    capped = _mm256_min_pd(capped, _mm256_load_pd(&bp.agg_limit[a]));
+    const __m256d prev = _mm256_load_pd(&st.prev_capped[a]);
+    _mm256_store_pd(&st.annual[a],
+                    _mm256_add_pd(_mm256_load_pd(&st.annual[a]),
+                                  _mm256_sub_pd(capped, prev)));
+    _mm256_store_pd(&st.prev_capped[a], capped);
+  }
+}
+
+void sweep_f64(const BoundPortfolio<double>& bp,
+               std::span<const EventOccurrence> trial,
+               PortfolioTrialState<double>& st) {
+  st.reset();
+  const std::size_t n = trial.size();
+  if (bp.layers == 1) {
+    // Single-layer fast path: vector ELT combine, scalar running state
+    // in locals (the across-layer phase would be 1 live lane of 4).
+    const std::uint32_t je = bp.elt_begin[1];
+    const double occ_ret = bp.occ_retention[0];
+    const double occ_lim = bp.occ_limit[0];
+    const double agg_ret = bp.agg_retention[0];
+    const double agg_lim = bp.agg_limit[0];
+    double cumulative = 0.0, prev_capped = 0.0, annual = 0.0, max_occ = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 1 < n) prefetch_next_f64(bp, trial[i + 1].event);
+      const double combined = combine_elts_f64(bp, trial[i].event, 0, je);
+      double y = combined - occ_ret;
+      if (y < 0.0) y = 0.0;
+      if (y > occ_lim) y = occ_lim;
+      if (y > max_occ) max_occ = y;
+      cumulative += y;
+      double capped = cumulative - agg_ret;
+      if (capped < 0.0) capped = 0.0;
+      if (capped > agg_lim) capped = agg_lim;
+      annual += capped - prev_capped;
+      prev_capped = capped;
+    }
+    st.cumulative[0] = cumulative;
+    st.prev_capped[0] = prev_capped;
+    st.annual[0] = annual;
+    st.max_occurrence[0] = max_occ;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) prefetch_next_f64(bp, trial[i + 1].event);
+    apply_event_f64(bp, trial[i].event, st);
+  }
+}
+
+// ---- f32: 8 lanes ----------------------------------------------------------
+
+inline float combine_elts_f32(const BoundPortfolio<float>& bp, EventId ev,
+                              std::uint32_t jb, std::uint32_t je) {
+  const __m256 zero = _mm256_setzero_ps();
+  __m256 acc = zero;
+  for (std::uint32_t j = jb; j < je; j += 8) {
+    const __m256 loss = _mm256_set_ps(
+        bp.table_base[j + 7][ev], bp.table_base[j + 6][ev],
+        bp.table_base[j + 5][ev], bp.table_base[j + 4][ev],
+        bp.table_base[j + 3][ev], bp.table_base[j + 2][ev],
+        bp.table_base[j + 1][ev], bp.table_base[j][ev]);
+    __m256 x =
+        _mm256_sub_ps(_mm256_mul_ps(loss, _mm256_load_ps(&bp.fx_share[j])),
+                      _mm256_load_ps(&bp.retention_share[j]));
+    x = _mm256_max_ps(x, zero);
+    x = _mm256_min_ps(x, _mm256_load_ps(&bp.limit_share[j]));
+    acc = _mm256_add_ps(acc, x);
+  }
+  alignas(32) float lane[8];
+  _mm256_store_ps(lane, acc);
+  return ((((((lane[0] + lane[1]) + lane[2]) + lane[3]) + lane[4]) +
+           lane[5]) +
+          lane[6]) +
+         lane[7];
+}
+
+void apply_event_f32(const BoundPortfolio<float>& bp, EventId ev,
+                     PortfolioTrialState<float>& st) {
+  for (std::size_t a = 0; a < bp.layers; ++a) {
+    st.combined[a] =
+        combine_elts_f32(bp, ev, bp.elt_begin[a], bp.elt_begin[a + 1]);
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  for (std::size_t a = 0; a < bp.padded_layers; a += 8) {
+    __m256 y = _mm256_sub_ps(_mm256_load_ps(&st.combined[a]),
+                             _mm256_load_ps(&bp.occ_retention[a]));
+    y = _mm256_max_ps(y, zero);
+    y = _mm256_min_ps(y, _mm256_load_ps(&bp.occ_limit[a]));
+    _mm256_store_ps(&st.max_occurrence[a],
+                    _mm256_max_ps(_mm256_load_ps(&st.max_occurrence[a]), y));
+    const __m256 cum = _mm256_add_ps(_mm256_load_ps(&st.cumulative[a]), y);
+    _mm256_store_ps(&st.cumulative[a], cum);
+    __m256 capped = _mm256_sub_ps(cum, _mm256_load_ps(&bp.agg_retention[a]));
+    capped = _mm256_max_ps(capped, zero);
+    capped = _mm256_min_ps(capped, _mm256_load_ps(&bp.agg_limit[a]));
+    const __m256 prev = _mm256_load_ps(&st.prev_capped[a]);
+    _mm256_store_ps(&st.annual[a],
+                    _mm256_add_ps(_mm256_load_ps(&st.annual[a]),
+                                  _mm256_sub_ps(capped, prev)));
+    _mm256_store_ps(&st.prev_capped[a], capped);
+  }
+}
+
+void sweep_f32(const BoundPortfolio<float>& bp,
+               std::span<const EventOccurrence> trial,
+               PortfolioTrialState<float>& st) {
+  st.reset();
+  const std::size_t n = trial.size();
+  if (bp.layers == 1) {
+    const std::uint32_t je = bp.elt_begin[1];
+    const float occ_ret = bp.occ_retention[0];
+    const float occ_lim = bp.occ_limit[0];
+    const float agg_ret = bp.agg_retention[0];
+    const float agg_lim = bp.agg_limit[0];
+    float cumulative = 0.0f, prev_capped = 0.0f, annual = 0.0f,
+          max_occ = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 1 < n) prefetch_next_f32(bp, trial[i + 1].event);
+      const float combined = combine_elts_f32(bp, trial[i].event, 0, je);
+      float y = combined - occ_ret;
+      if (y < 0.0f) y = 0.0f;
+      if (y > occ_lim) y = occ_lim;
+      if (y > max_occ) max_occ = y;
+      cumulative += y;
+      float capped = cumulative - agg_ret;
+      if (capped < 0.0f) capped = 0.0f;
+      if (capped > agg_lim) capped = agg_lim;
+      annual += capped - prev_capped;
+      prev_capped = capped;
+    }
+    st.cumulative[0] = cumulative;
+    st.prev_capped[0] = prev_capped;
+    st.annual[0] = annual;
+    st.max_occurrence[0] = max_occ;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) prefetch_next_f32(bp, trial[i + 1].event);
+    apply_event_f32(bp, trial[i].event, st);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void sweep_avx2(const BoundPortfolio<double>& bp,
+                std::span<const EventOccurrence> trial,
+                PortfolioTrialState<double>& st) {
+  sweep_f64(bp, trial, st);
+}
+void sweep_avx2(const BoundPortfolio<float>& bp,
+                std::span<const EventOccurrence> trial,
+                PortfolioTrialState<float>& st) {
+  sweep_f32(bp, trial, st);
+}
+void apply_avx2(const BoundPortfolio<double>& bp, EventId ev,
+                PortfolioTrialState<double>& st) {
+  apply_event_f64(bp, ev, st);
+}
+void apply_avx2(const BoundPortfolio<float>& bp, EventId ev,
+                PortfolioTrialState<float>& st) {
+  apply_event_f32(bp, ev, st);
+}
+
+}  // namespace detail
+}  // namespace ara::simd
+
+#endif  // ARA_SIMD_HAVE_AVX2

@@ -1,0 +1,310 @@
+// The SIMD dispatch wall (DESIGN.md §8): the scalar kernel is the
+// bitwise-reference mode — under SimdPolicy::kScalar every engine must
+// reproduce the legacy trial_math formulation bit for bit, in both
+// precisions, monolithic and sharded. Vector kernels carry a weaker
+// contract: run-to-run deterministic (fixed lane order) and within
+// last-ulp-scale tolerance of scalar (ELT sums are reassociated).
+// Dispatch itself must fall back to scalar when capped, honour
+// kForceWidth exactly, and reject widths the build cannot provide.
+// Remainder lanes (layer/ELT counts that do not divide the vector
+// width) are swept exhaustively against the legacy formulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/simd/bound_portfolio.hpp"
+#include "core/simd/capability.hpp"
+#include "core/simd/kernels.hpp"
+#include "core/trial_math.hpp"
+#include "synth/portfolio_generator.hpp"
+#include "synth/scenarios.hpp"
+#include "synth/yet_generator.hpp"
+
+namespace ara {
+namespace {
+
+// Expected YLT computed by the legacy (pre-SoA) formulation:
+// bind_all_layers + simulate_trial_multilayer, whose per-layer operand
+// sequence is the bitwise contract the scalar kernel promises to keep.
+template <typename Real>
+Ylt legacy_ylt(const Portfolio& portfolio, const Yet& yet) {
+  const TableStore<Real> store = build_tables<Real>(portfolio);
+  const std::vector<BoundLayer<Real>> layers =
+      bind_all_layers(portfolio, store);
+  std::vector<LayerTrialState<Real>> state(layers.size());
+  Ylt ylt(portfolio.layer_count(), yet.trial_count());
+  for (TrialId t = 0; t < yet.trial_count(); ++t) {
+    simulate_trial_multilayer<Real>(yet.trial(t), layers, state);
+    for (std::size_t a = 0; a < layers.size(); ++a) {
+      ylt.annual_loss(a, t) = static_cast<double>(state[a].out.annual);
+      ylt.max_occurrence_loss(a, t) =
+          static_cast<double>(state[a].out.max_occurrence);
+    }
+  }
+  return ylt;
+}
+
+void expect_bitwise(const Ylt& got, const Ylt& expect, const std::string& what) {
+  ASSERT_EQ(got.layer_count(), expect.layer_count()) << what;
+  ASSERT_EQ(got.trial_count(), expect.trial_count()) << what;
+  for (std::size_t a = 0; a < expect.layer_count(); ++a) {
+    for (TrialId t = 0; t < expect.trial_count(); ++t) {
+      ASSERT_EQ(got.annual_loss(a, t), expect.annual_loss(a, t))
+          << what << " annual, layer " << a << " trial " << t;
+      ASSERT_EQ(got.max_occurrence_loss(a, t),
+                expect.max_occurrence_loss(a, t))
+          << what << " max occ, layer " << a << " trial " << t;
+    }
+  }
+}
+
+// Vector kernels reassociate the per-event ELT sum; everything
+// downstream (clamps, prefix sums) is order-preserving, so scalar and
+// vector agree to accumulated rounding — a relative band with an
+// absolute floor for losses clamped to zero.
+void expect_close(const Ylt& got, const Ylt& expect, double rel,
+                  const std::string& what) {
+  ASSERT_EQ(got.layer_count(), expect.layer_count()) << what;
+  ASSERT_EQ(got.trial_count(), expect.trial_count()) << what;
+  for (std::size_t a = 0; a < expect.layer_count(); ++a) {
+    for (TrialId t = 0; t < expect.trial_count(); ++t) {
+      const double e = expect.annual_loss(a, t);
+      ASSERT_NEAR(got.annual_loss(a, t), e, rel * (1.0 + std::abs(e)))
+          << what << " annual, layer " << a << " trial " << t;
+      const double eo = expect.max_occurrence_loss(a, t);
+      ASSERT_NEAR(got.max_occurrence_loss(a, t), eo, rel * (1.0 + std::abs(eo)))
+          << what << " max occ, layer " << a << " trial " << t;
+    }
+  }
+}
+
+Ylt run_with(AnalysisSession& session, const Portfolio& portfolio,
+             const Yet& yet, EngineKind kind, simd::SimdPolicy simd,
+             bool use_float, std::size_t shard_trials) {
+  ExecutionPolicy policy = ExecutionPolicy::with_engine(kind);
+  policy.simd = simd;
+  policy.shard_trials = shard_trials;
+  EngineConfig cfg = paper_config(kind);
+  cfg.use_float = use_float;
+  cfg.cores = 2;
+  cfg.threads_per_core = 2;
+  policy.config = cfg;
+
+  AnalysisRequest request;
+  request.portfolio = &portfolio;
+  request.yet = &yet;
+  request.policy = policy;
+  return session.run(request).simulation.ylt;
+}
+
+// --- kScalar is the legacy sequence, everywhere -------------------
+
+// Every engine kind, both precisions where honoured, monolithic and
+// sharded: under kScalar the YLT is bit-identical to the legacy
+// formulation. This is the regression wall that lets the SoA rewrite
+// claim "bitwise-reference mode".
+TEST(ScalarBitwise, AllEnginesAllShardsMatchLegacy) {
+  const synth::Scenario s = synth::tiny(26, 5);
+  const Ylt expect_f64 = legacy_ylt<double>(s.portfolio, s.yet);
+  const Ylt expect_f32 = legacy_ylt<float>(s.portfolio, s.yet);
+
+  AnalysisSession session;
+  const std::size_t shards[] = {0, 7, 13};  // 0 = monolithic
+  for (const EngineKind kind : all_engine_kinds()) {
+    for (const std::size_t shard : shards) {
+      const std::string what = engine_kind_name(kind) + "/f64/shard=" +
+                               std::to_string(shard);
+      expect_bitwise(run_with(session, s.portfolio, s.yet, kind,
+                              simd::SimdPolicy::kScalar, false, shard),
+                     expect_f64, what);
+    }
+  }
+  // Only the precision-reduced engines honour use_float.
+  for (const EngineKind kind :
+       {EngineKind::kGpuOptimized, EngineKind::kMultiGpu}) {
+    for (const std::size_t shard : shards) {
+      const std::string what = engine_kind_name(kind) + "/f32/shard=" +
+                               std::to_string(shard);
+      expect_bitwise(run_with(session, s.portfolio, s.yet, kind,
+                              simd::SimdPolicy::kScalar, true, shard),
+                     expect_f32, what);
+    }
+  }
+}
+
+// The default policy is scalar: a request that says nothing about SIMD
+// must keep the bitwise contract.
+TEST(ScalarBitwise, DefaultPolicyIsScalar) {
+  EXPECT_EQ(ExecutionPolicy{}.simd, simd::SimdPolicy::kScalar);
+  EXPECT_EQ(EngineConfig{}.simd, simd::SimdPolicy::kScalar);
+}
+
+// --- vector kernels: deterministic, and close to scalar -----------
+
+// Whatever kAuto dispatches to (vector on a capable host, scalar on a
+// -DARA_DISABLE_SIMD build), two runs of the same workload are bitwise
+// equal, and the sharded run is bitwise equal to the monolithic one —
+// lane order is fixed, so reassociation is reproducible.
+TEST(SimdDeterminism, AutoRunToRunAndShardedBitwiseEqual) {
+  const synth::Scenario s = synth::multi_layer_book(6, 60, 9);
+  AnalysisSession session;
+  for (const EngineKind kind :
+       {EngineKind::kSequentialFused, EngineKind::kMultiCore,
+        EngineKind::kGpuOptimized}) {
+    const std::string what = engine_kind_name(kind);
+    const Ylt first = run_with(session, s.portfolio, s.yet, kind,
+                               simd::SimdPolicy::kAuto, false, 0);
+    const Ylt second = run_with(session, s.portfolio, s.yet, kind,
+                                simd::SimdPolicy::kAuto, false, 0);
+    expect_bitwise(second, first, what + "/rerun");
+    const Ylt sharded = run_with(session, s.portfolio, s.yet, kind,
+                                 simd::SimdPolicy::kAuto, false, 17);
+    expect_bitwise(sharded, first, what + "/sharded");
+  }
+}
+
+TEST(SimdDeterminism, AutoWithinToleranceOfScalar) {
+  const synth::Scenario s = synth::multi_layer_book(6, 60, 9);
+  AnalysisSession session;
+  for (const EngineKind kind :
+       {EngineKind::kSequentialFused, EngineKind::kMultiCore,
+        EngineKind::kGpuOptimized}) {
+    const Ylt scalar = run_with(session, s.portfolio, s.yet, kind,
+                                simd::SimdPolicy::kScalar, false, 0);
+    const Ylt vec = run_with(session, s.portfolio, s.yet, kind,
+                             simd::SimdPolicy::kAuto, false, 0);
+    expect_close(vec, scalar, 1e-9, engine_kind_name(kind));
+  }
+}
+
+// --- dispatch ------------------------------------------------------
+
+TEST(SimdDispatch, ScalarPolicyAlwaysSelectsScalar) {
+  const auto k = simd::select_kernel<double>(simd::SimdPolicy::kScalar);
+  EXPECT_EQ(k.isa, simd::IsaLevel::kScalar);
+  EXPECT_EQ(k.lanes, 1u);
+}
+
+TEST(SimdDispatch, AutoFallsBackToScalarUnderCap) {
+  const auto k = simd::select_kernel_capped<double>(
+      simd::SimdPolicy::kAuto, 0, simd::IsaLevel::kScalar);
+  EXPECT_EQ(k.isa, simd::IsaLevel::kScalar);
+  EXPECT_EQ(k.lanes, 1u);
+}
+
+TEST(SimdDispatch, ForceWidthThrowsWhenOnlyScalarAvailable) {
+  EXPECT_THROW(simd::select_kernel_capped<double>(
+                   simd::SimdPolicy::kForceWidth, 0, simd::IsaLevel::kScalar),
+               std::runtime_error);
+}
+
+TEST(SimdDispatch, ForceWidthRejectsUnavailableWidth) {
+  // No kernel in any build provides 3 lanes.
+  EXPECT_THROW(
+      simd::select_kernel<double>(simd::SimdPolicy::kForceWidth, 3),
+      std::runtime_error);
+}
+
+TEST(SimdDispatch, AutoMatchesDetectedCapability) {
+  const simd::IsaLevel host = simd::detect_best_isa();
+  const auto k = simd::select_kernel<double>(simd::SimdPolicy::kAuto);
+  EXPECT_EQ(k.isa, host);
+  EXPECT_EQ(k.lanes, simd::isa_lanes(host, sizeof(double)));
+  if (!simd::simd_compiled()) {
+    EXPECT_EQ(host, simd::IsaLevel::kScalar);
+  }
+}
+
+#if defined(ARA_SIMD_HAVE_AVX2)
+TEST(SimdDispatch, ForceWidthSelectsAvx2Lanes) {
+  if (simd::detect_best_isa() != simd::IsaLevel::kAvx2) {
+    GTEST_SKIP() << "host CPU lacks AVX2 at runtime";
+  }
+  const auto d = simd::select_kernel<double>(simd::SimdPolicy::kForceWidth, 4);
+  EXPECT_EQ(d.isa, simd::IsaLevel::kAvx2);
+  EXPECT_EQ(d.lanes, 4u);
+  const auto f = simd::select_kernel<float>(simd::SimdPolicy::kForceWidth, 8);
+  EXPECT_EQ(f.isa, simd::IsaLevel::kAvx2);
+  EXPECT_EQ(f.lanes, 8u);
+  // A width from the wrong precision must fail loudly, not mis-lane.
+  EXPECT_THROW(
+      simd::select_kernel<double>(simd::SimdPolicy::kForceWidth, 8),
+      std::runtime_error);
+}
+#endif
+
+#if defined(ARA_SIMD_HAVE_NEON)
+TEST(SimdDispatch, ForceWidthSelectsNeonLanes) {
+  const auto d = simd::select_kernel<double>(simd::SimdPolicy::kForceWidth, 2);
+  EXPECT_EQ(d.isa, simd::IsaLevel::kNeon);
+  EXPECT_EQ(d.lanes, 2u);
+  const auto f = simd::select_kernel<float>(simd::SimdPolicy::kForceWidth, 4);
+  EXPECT_EQ(f.isa, simd::IsaLevel::kNeon);
+  EXPECT_EQ(f.lanes, 4u);
+}
+#endif
+
+// --- remainder lanes -----------------------------------------------
+
+// Every (layer count, ELT count) in 1..9 x 1..9 — bracketing all the
+// partial-vector remainders of both the 4/8-lane AVX2 and 2/4-lane
+// NEON kernels, plus the padded-layer tail of the phase-2 loop. The
+// scalar kernel must be bitwise-equal to the legacy formulation and
+// the auto kernel within tolerance, driven directly (no engine on
+// top), so a remainder bug cannot hide behind engine plumbing.
+TEST(SimdRemainderLanes, AllSmallShapesMatchLegacy) {
+  const synth::Catalogue catalogue = synth::Catalogue::make(200, 3, 30.0);
+  synth::YetGeneratorConfig yc;
+  yc.trials = 6;
+  yc.seed = 41;
+  const Yet yet = synth::generate_yet(catalogue, yc);
+
+  const auto scalar = simd::select_kernel<double>(simd::SimdPolicy::kScalar);
+  const auto vec = simd::select_kernel<double>(simd::SimdPolicy::kAuto);
+
+  for (std::size_t layers = 1; layers <= 9; ++layers) {
+    for (std::size_t elts = 1; elts <= 9; ++elts) {
+      synth::PortfolioGeneratorConfig pc;
+      pc.elt_count = elts;
+      pc.layer_count = layers;
+      pc.min_elts_per_layer = elts;
+      pc.max_elts_per_layer = elts;
+      pc.elt.record_count = 40;
+      pc.elt.mean_loss = 1500.0;
+      pc.seed = 100 + layers * 10 + elts;
+      const Portfolio portfolio = synth::generate_portfolio(catalogue, pc);
+      const std::string what =
+          std::to_string(layers) + "L x " + std::to_string(elts) + "E";
+
+      const Ylt expect = legacy_ylt<double>(portfolio, yet);
+      const TableStore<double> store = build_tables<double>(portfolio);
+      const simd::BoundPortfolio<double> bp =
+          simd::bind_portfolio(portfolio, store);
+      simd::PortfolioTrialState<double> state(bp);
+
+      Ylt got_scalar(layers, yet.trial_count());
+      Ylt got_vec(layers, yet.trial_count());
+      for (TrialId t = 0; t < yet.trial_count(); ++t) {
+        scalar.sweep(bp, yet.trial(t), state);
+        for (std::size_t a = 0; a < layers; ++a) {
+          got_scalar.annual_loss(a, t) = state.annual[a];
+          got_scalar.max_occurrence_loss(a, t) = state.max_occurrence[a];
+        }
+        vec.sweep(bp, yet.trial(t), state);
+        for (std::size_t a = 0; a < layers; ++a) {
+          got_vec.annual_loss(a, t) = state.annual[a];
+          got_vec.max_occurrence_loss(a, t) = state.max_occurrence[a];
+        }
+      }
+      expect_bitwise(got_scalar, expect, what + "/scalar");
+      expect_close(got_vec, expect, 1e-9, what + "/auto");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ara

@@ -10,6 +10,7 @@
 //                    [--gpus N] [--cores N] [--threads-per-core T]
 //                    [--block-threads B] [--chunk-size C]
 //                    [--shard-trials N] [--memory-budget MIB]
+//                    [--simd auto|scalar|force[:N]]
 //                    [--metrics none|layer|portfolio|all]
 //                    [--quantiles P1,P2,..] [--return-periods T1,T2,..]
 //   ara_cli run      --list-engines
@@ -24,6 +25,11 @@
 // the largest size whose resident footprint fits the budget), computed
 // across the session's shard scheduler and merged — bitwise identical
 // to the monolithic run (DESIGN.md §5).
+//
+// --simd selects the hot-path kernel mode (DESIGN.md §8): "scalar" is
+// the bitwise-reference sequence (the default), "auto" dispatches the
+// widest vector kernel the host supports, "force:N" demands an N-lane
+// kernel and fails loudly when the host cannot provide one.
 //
 // --metrics asks the session for the declarative metric report
 // (per-layer and/or portfolio scope), refined by --quantiles (VaR/TVaR
@@ -67,6 +73,7 @@ using namespace ara;
       "                   [--gpus N] [--cores N] [--threads-per-core T]\n"
       "                   [--block-threads B] [--chunk-size C]\n"
       "                   [--shard-trials N] [--memory-budget MIB]\n"
+      "                   [--simd auto|scalar|force[:N]]\n"
       "                   [--metrics none|layer|portfolio|all]\n"
       "                   [--quantiles P1,P2,..] [--return-periods T1,T2,..]\n"
       "  ara_cli run      --list-engines\n"
@@ -99,7 +106,8 @@ const std::set<std::string>& allowed_flags(const std::string& cmd) {
       "in",           "out",           "ylt-out",       "no-ylt",
       "engine",       "gpus",          "cores",         "threads-per-core",
       "block-threads", "chunk-size",   "shard-trials",  "memory-budget",
-      "metrics",      "quantiles",     "return-periods", "list-engines"};
+      "simd",         "metrics",       "quantiles",
+      "return-periods", "list-engines"};
   static const std::set<std::string> report = {"ylt", "layer", "csv"};
   static const std::set<std::string> none = {};
   if (cmd == "generate") return generate;
@@ -304,6 +312,23 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
       static_cast<std::size_t>(get_long(flags, "memory-budget", 0)) *
       (1ULL << 20);  // flag is in MiB
 
+  // --simd auto|scalar|force[:N]. The policy fields are authoritative
+  // over any engine config (engine_factory stamps them into the
+  // resolved config), so setting them here covers both the auto-mode
+  // predictions and the final run.
+  if (const std::string simd_arg = get(flags, "simd", ""); !simd_arg.empty()) {
+    std::string mode = simd_arg;
+    if (const auto colon = simd_arg.find(':'); colon != std::string::npos) {
+      mode = simd_arg.substr(0, colon);
+      const long width = std::strtol(simd_arg.c_str() + colon + 1, nullptr, 10);
+      if (mode != "force" || width <= 0) usage("bad --simd value: " + simd_arg);
+      policy.simd_width = static_cast<unsigned>(width);
+    }
+    const auto parsed = simd::simd_policy_from_name(mode);
+    if (!parsed) usage("bad --simd value: " + simd_arg);
+    policy.simd = *parsed;
+  }
+
   const Yet yet = io::load_yet(in + "/yet.bin");
   const Portfolio portfolio = io::load_portfolio(in + "/portfolio.bin");
 
@@ -388,6 +413,10 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
             << (auto_selected ? " (auto-selected)" : "") << '\n'
             << "trials    : " << yet.trial_count() << " x "
             << portfolio.layer_count() << " layer(s)\n";
+  if (!result.simd_isa.empty()) {
+    std::cout << "simd      : " << simd::simd_policy_name(resolved.simd)
+              << " (" << result.simd_isa << " kernel)\n";
+  }
   if (analysis.shard_count > 1) {
     const ShardPlan plan = session.shard_plan(portfolio, yet, resolved);
     std::cout << "shards    : " << analysis.shard_count << " x "

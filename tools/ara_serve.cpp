@@ -44,7 +44,8 @@ using namespace ara::serve;
   std::cerr <<
       "usage:\n"
       "  ara_serve --listen unix:PATH|HOST:PORT\n"
-      "            [--engine NAME] [--max-inflight N] [--quantum TRIALS]\n"
+      "            [--engine NAME] [--simd auto|scalar|force[:N]]\n"
+      "            [--max-inflight N] [--quantum TRIALS]\n"
       "            [--byte-budget BYTES] [--session-workers N]\n"
       "            [--tenant NAME:WEIGHT[:DEPTH]]...\n"
       "            [--dataset NAME=DIR]...\n";
@@ -81,6 +82,10 @@ int main(int argc, char** argv) {
   options.policy = ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
   std::vector<TenantConfig> tenants;
   std::vector<std::pair<std::string, std::string>> datasets;
+  // Applied to options.policy after the loop so --simd composes with
+  // --engine regardless of flag order (--engine rebuilds the policy).
+  ara::simd::SimdPolicy simd_policy = ara::simd::SimdPolicy::kScalar;
+  unsigned simd_width = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,6 +101,18 @@ int main(int argc, char** argv) {
       const std::optional<EngineKind> kind = engine_kind_from_name(name);
       if (!kind) usage("unknown engine: " + name);
       options.policy = ExecutionPolicy::with_engine(*kind);
+    } else if (arg == "--simd") {
+      const std::string spec = value();
+      std::string mode = spec;
+      if (const auto colon = spec.find(':'); colon != std::string::npos) {
+        mode = spec.substr(0, colon);
+        const long width = parse_long(spec.substr(colon + 1), arg);
+        if (mode != "force" || width <= 0) usage("bad --simd value: " + spec);
+        simd_width = static_cast<unsigned>(width);
+      }
+      const auto parsed = ara::simd::simd_policy_from_name(mode);
+      if (!parsed) usage("bad --simd value: " + spec);
+      simd_policy = *parsed;
     } else if (arg == "--max-inflight") {
       options.max_inflight =
           static_cast<std::size_t>(parse_long(value(), arg));
@@ -138,6 +155,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!have_listen) usage("--listen is required");
+  options.policy.simd = simd_policy;
+  options.policy.simd_width = simd_width;
 
   try {
     AnalysisService service(options);
