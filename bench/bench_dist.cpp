@@ -1,0 +1,248 @@
+// Distributed-run chaos bench: a ShardCoordinator with two real
+// ara_worker processes, run once clean and once per injected failure
+// (crash, stall, torn frame, bit flip — core/failpoint.hpp sites
+// armed in the workers via --failpoints). Emits BENCH_dist.json with
+// per-scenario wall time and recovery counters; every scenario is a
+// gate, not just a measurement:
+//
+//   identity  — the distributed YLT is bitwise identical to the
+//               monolithic single-process run, failures included;
+//   coverage  — every trial range accepted exactly once (zero lost,
+//               zero double-merged);
+//   recovery  — a chaos run finishes within a bounded multiple of the
+//               clean run plus the lease-timeout budget the failure
+//               is allowed to burn.
+//
+// --smoke shrinks the workload for ctest; failpoint scenarios are
+// recorded as skipped when failpoints are compiled out (Release
+// default), the clean scenario always runs and gates.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine_factory.hpp"
+#include "core/failpoint.hpp"
+#include "core/session.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace ara::dist::bench {
+namespace {
+
+struct Scenario {
+  std::string name;
+  const char* failpoints = nullptr;  ///< worker --failpoints spec
+  std::uint64_t lease_timeout_ms = 800;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  bool ran = false;         ///< false = skipped (failpoints compiled out)
+  bool identity = false;    ///< bitwise equal to the monolithic run
+  bool coverage = false;    ///< every range accepted exactly once
+  double wall_ms = 0.0;
+  DistCounters counters;
+};
+
+pid_t spawn_worker(const serve::Endpoint& endpoint, const std::string& id,
+                   const char* failpoints) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const std::string ep = endpoint.describe();
+    if (failpoints != nullptr) {
+      ::execl(ARA_WORKER_BIN, "ara_worker", "--connect", ep.c_str(), "--id",
+              id.c_str(), "--max-attempts", "4", "--failpoints", failpoints,
+              static_cast<char*>(nullptr));
+    } else {
+      ::execl(ARA_WORKER_BIN, "ara_worker", "--connect", ep.c_str(), "--id",
+              id.c_str(), "--max-attempts", "4",
+              static_cast<char*>(nullptr));
+    }
+    ::_exit(127);
+  }
+  return pid;
+}
+
+void reap(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+ScenarioResult run_scenario(const Scenario& scenario,
+                            const serve::SynthSpec& spec,
+                            std::uint64_t lease_trials,
+                            const SimulationResult& mono) {
+  ScenarioResult out;
+  out.scenario = scenario;
+  if (scenario.failpoints != nullptr && !fail::compiled_in()) {
+    return out;  // recorded as skipped
+  }
+  out.ran = true;
+
+  const ExecutionPolicy policy =
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
+  DistConfig config;
+  config.endpoint = serve::Endpoint::parse(
+      "unix:/tmp/ara_bench_dist_" + std::to_string(::getpid()) + "_" +
+      scenario.name + ".sock");
+  config.job.workload = JobWorkload::kSynth;
+  config.job.synth = spec;
+  config.job.engine = engine_kind_name(EngineKind::kSequentialFused);
+  config.job.simd = static_cast<std::uint8_t>(policy.simd);
+  config.job.simd_width = policy.simd_width;
+  config.job.trial_count = spec.trials;
+  config.job.layer_count = spec.layers;
+  config.job.heartbeat_ms = 50;
+  config.lease_trials = lease_trials;
+  config.lease_timeout_ms = scenario.lease_timeout_ms;
+  config.expected_workers = 2;
+
+  ShardCoordinator coordinator(config);
+  const pid_t w1 =
+      spawn_worker(coordinator.endpoint(), scenario.name + "_1",
+                   scenario.failpoints);
+  const pid_t w2 =
+      spawn_worker(coordinator.endpoint(), scenario.name + "_2",
+                   scenario.failpoints);
+
+  AnalysisRequest request;
+  request.metrics = MetricsSpec::layer_summaries();
+  const auto started = std::chrono::steady_clock::now();
+  const DistResult result = coordinator.run(request);
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  reap(w1);
+  reap(w2);
+
+  out.counters = result.counters;
+  out.identity =
+      result.analysis.simulation.ylt.annual_raw() == mono.ylt.annual_raw() &&
+      result.analysis.simulation.ylt.max_occurrence_raw() ==
+          mono.ylt.max_occurrence_raw() &&
+      result.analysis.simulation.ops == mono.ops;
+  const std::uint64_t ranges =
+      (spec.trials + lease_trials - 1) / lease_trials;
+  out.coverage = result.counters.blocks_accepted == ranges;
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<ScenarioResult>& results, bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_dist: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"dist_chaos\",\n  \"mode\": \""
+      << (smoke ? "smoke" : "full") << "\",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    const DistCounters& c = r.counters;
+    out << "    {\n"
+        << "      \"name\": \"" << r.scenario.name << "\",\n"
+        << "      \"ran\": " << (r.ran ? "true" : "false") << ",\n"
+        << "      \"identity\": " << (r.identity ? "true" : "false")
+        << ",\n"
+        << "      \"coverage\": " << (r.coverage ? "true" : "false")
+        << ",\n"
+        << "      \"wall_ms\": " << r.wall_ms << ",\n"
+        << "      \"workers_joined\": " << c.workers_joined << ",\n"
+        << "      \"workers_lost\": " << c.workers_lost << ",\n"
+        << "      \"leases_granted\": " << c.leases_granted << ",\n"
+        << "      \"leases_reassigned\": " << c.leases_reassigned << ",\n"
+        << "      \"blocks_accepted\": " << c.blocks_accepted << ",\n"
+        << "      \"duplicate_blocks\": " << c.duplicate_blocks << ",\n"
+        << "      \"corrupt_blocks\": " << c.corrupt_blocks << ",\n"
+        << "      \"torn_frames\": " << c.torn_frames << ",\n"
+        << "      \"local_shards\": " << c.local_shards << "\n"
+        << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "bench_dist: wrote " << path << "\n";
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_dist.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  serve::SynthSpec spec;
+  spec.trials = smoke ? 4000 : 20000;
+  spec.events_per_trial = smoke ? 30.0 : 50.0;
+  spec.catalogue = smoke ? 600 : 4000;
+  spec.elts = 3;
+  spec.layers = 2;
+  spec.seed = 1913;
+  const std::uint64_t lease_trials = spec.trials / 8;
+
+  const serve::ServedWorkload w = serve::materialize_synth(spec);
+  const auto engine = make_engine(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+  const SimulationResult mono = engine->run(w.portfolio, w.yet);
+
+  const std::vector<Scenario> scenarios = {
+      {"clean", nullptr, 800},
+      {"crash_mid_shard", "worker.crash_mid_shard=1", 800},
+      {"stall", "worker.stall=1:5:1200:1", 400},
+      {"torn_frame", "stream.torn_frame=1:7:0:1", 800},
+      {"bit_flip", "block.bit_flip=1:9:0:1", 800},
+  };
+
+  std::vector<ScenarioResult> results;
+  bool gate_failed = false;
+  double clean_wall_ms = 0.0;
+  for (const Scenario& scenario : scenarios) {
+    ScenarioResult r = run_scenario(scenario, spec, lease_trials, mono);
+    if (!r.ran) {
+      std::cout << "  " << scenario.name
+                << ": skipped (failpoints compiled out)\n";
+      results.push_back(std::move(r));
+      continue;
+    }
+    if (scenario.failpoints == nullptr) clean_wall_ms = r.wall_ms;
+
+    // Bounded recovery: a chaos run may burn lease timeouts and
+    // reconnect backoff, but must not degenerate — generous bound so
+    // the gate catches hangs and retry storms, not scheduler jitter.
+    const double budget_ms =
+        3.0 * clean_wall_ms + 6.0 * scenario.lease_timeout_ms + 3000.0;
+    const bool recovery_ok = r.wall_ms <= budget_ms;
+
+    std::cout << "  " << scenario.name << ": wall=" << r.wall_ms
+              << "ms identity=" << (r.identity ? "yes" : "NO")
+              << " coverage=" << (r.coverage ? "yes" : "NO")
+              << " reassigned=" << r.counters.leases_reassigned
+              << " recovery=" << (recovery_ok ? "ok" : "OVER BUDGET")
+              << "\n";
+    if (!r.identity || !r.coverage || !recovery_ok) gate_failed = true;
+    results.push_back(std::move(r));
+  }
+
+  write_json(out_path, results, smoke);
+  if (gate_failed) {
+    std::cerr << "bench_dist: GATE FAILED\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ara::dist::bench
+
+int main(int argc, char** argv) {
+  return ara::dist::bench::run(argc, argv);
+}

@@ -1,0 +1,117 @@
+#include "core/crc32c.hpp"
+
+#include <array>
+
+namespace ara {
+
+namespace {
+
+// Reflected Castagnoli polynomial (iSCSI / SSE4.2 crc32 instruction).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+// Slicing-by-4 tables, built once at first use: table[0] is the
+// classic byte table, table[k] advances a byte seen k positions
+// earlier. Fast enough to checksum multi-megabyte YLT rows without
+// dominating a spill, with no ISA-specific code to gate.
+struct Tables {
+  std::uint32_t t[4][256];
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b) c = (c >> 1) ^ ((c & 1u) ? kPoly : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int k = 1; k < 4; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+// ---- combine: GF(2) matrix trick (zlib's crc32_combine shape) ------
+//
+// Appending `len2` zero bytes to a stream transforms its CRC linearly
+// over GF(2); squaring the "advance one zero byte" matrix log2(len2)
+// times applies the transform in O(log len2). The appended stream's
+// own CRC then XORs on top.
+
+using Mat = std::array<std::uint32_t, 32>;  // column-major over GF(2)
+
+std::uint32_t gf2_times(const Mat& m, std::uint32_t v) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  while (v != 0) {
+    if (v & 1u) sum ^= m[i];
+    v >>= 1;
+    ++i;
+  }
+  return sum;
+}
+
+Mat gf2_square(const Mat& m) {
+  Mat s;
+  for (std::size_t i = 0; i < 32; ++i) s[i] = gf2_times(m, m[i]);
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len) {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  while (len >= 4) {
+    c ^= static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+    c = tb.t[3][c & 0xFFu] ^ tb.t[2][(c >> 8) & 0xFFu] ^
+        tb.t[1][(c >> 16) & 0xFFu] ^ tb.t[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c_combine(std::uint32_t crc1, std::uint32_t crc2,
+                             std::uint64_t len2) {
+  if (len2 == 0) return crc1;
+
+  // Operator for one zero *bit*, then square twice: one zero byte.
+  Mat odd;
+  odd[0] = kPoly;
+  std::uint32_t row = 1;
+  for (std::size_t i = 1; i < 32; ++i) {
+    odd[i] = row;
+    row <<= 1;
+  }
+  Mat even = gf2_square(odd);  // two zero bits
+  odd = gf2_square(even);      // four zero bits
+
+  // Apply the "advance len2 zero bytes" operator to crc1, squaring the
+  // operator per bit of len2 (ping-ponging between the two matrices).
+  do {
+    even = gf2_square(odd);
+    if (len2 & 1u) crc1 = gf2_times(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    odd = gf2_square(even);
+    if (len2 & 1u) crc1 = gf2_times(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+
+  return crc1 ^ crc2;
+}
+
+}  // namespace ara

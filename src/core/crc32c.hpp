@@ -1,0 +1,32 @@
+// CRC32C (Castagnoli) — the checksum guarding every byte stream the
+// distributed runner and the spilled-YLT trailer rely on (DESIGN.md
+// §9). One implementation shared by io (file trailers) and dist (wire
+// block checksums), so a block verified on the wire and a row verified
+// on disk cannot disagree about what "intact" means.
+//
+// The combine operation is the piece that makes out-of-order shard
+// streaming possible: YltChunkWriter appends disjoint trial blocks in
+// completion order, keeps one CRC per (row, block) piece, and at close
+// folds the pieces — sorted by trial position — into the CRC of each
+// whole row with `crc32c_combine`, producing a trailer bitwise
+// identical to the one `save_ylt` computes over the contiguous rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ara {
+
+/// Extends `crc` (0 for a fresh stream) over `len` bytes at `data`.
+/// crc32c(crc32c(0, a, na), b, nb) == crc32c(0, concat(a,b), na+nb).
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len);
+
+/// CRC of the concatenation of two streams from their individual CRCs:
+/// `crc1` covers the first stream, `crc2` the second, `len2` the
+/// second stream's byte length. O(log len2) via GF(2) matrix powers —
+/// no data bytes are touched, which is what lets disjoint block CRCs
+/// fold into whole-row CRCs after the fact.
+std::uint32_t crc32c_combine(std::uint32_t crc1, std::uint32_t crc2,
+                             std::uint64_t len2);
+
+}  // namespace ara

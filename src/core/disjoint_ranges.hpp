@@ -30,6 +30,19 @@ class DisjointRangeSet {
     return true;
   }
 
+  /// Uncovered gaps of [0, total): the complement of what has been
+  /// reserved, in order. Error reporting (which trial ranges are still
+  /// missing?) and lease reassignment both want the holes by name.
+  template <typename Fn>
+  void for_each_gap(std::size_t total, Fn&& fn) const {
+    std::size_t cursor = 0;
+    for (const auto& [begin, end] : ranges_) {
+      if (begin > cursor) fn(cursor, begin);
+      cursor = end;
+    }
+    if (cursor < total) fn(cursor, total);
+  }
+
  private:
   std::map<std::size_t, std::size_t> ranges_;  ///< begin -> end
 };

@@ -1,0 +1,151 @@
+#include "core/failpoint.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ara::fail {
+
+struct Registry::Impl {
+  struct Site {
+    double probability = 0.0;
+    double value = 0.0;
+    std::uint64_t max_fires = 0;  ///< 0 = unlimited
+    std::mt19937_64 rng;
+    SiteStats stats;
+  };
+
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+  bool env_loaded = false;
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+void Registry::arm(const std::string& site, double probability,
+                   std::uint64_t seed, double value,
+                   std::uint64_t max_fires) {
+  if (!(probability >= 0.0 && probability <= 1.0)) {
+    throw std::invalid_argument("failpoint " + site +
+                                ": probability must be in [0, 1]");
+  }
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  Impl::Site& s = i.sites[site];
+  s.probability = probability;
+  s.value = value;
+  s.max_fires = max_fires;
+  s.rng.seed(seed);
+  s.stats = SiteStats{};
+}
+
+void Registry::arm_from_spec(const std::string& spec) {
+  // SITE=PROB[:SEED[:VALUE[:MAX_FIRES]]][;...]
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint spec: expected SITE=PROB in \"" +
+                                  entry + "\"");
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    double probability = 0.0;
+    std::uint64_t seed = 1;
+    double value = 0.0;
+    std::uint64_t max_fires = 0;
+    int field = 0;
+    std::size_t rpos = 0;
+    while (rpos <= rest.size() && field < 4) {
+      std::size_t colon = rest.find(':', rpos);
+      if (colon == std::string::npos) colon = rest.size();
+      const std::string token = rest.substr(rpos, colon - rpos);
+      rpos = colon + 1;
+      if (token.empty()) {
+        throw std::invalid_argument("failpoint spec: empty field in \"" +
+                                    entry + "\"");
+      }
+      try {
+        std::size_t used = 0;
+        switch (field) {
+          case 0: probability = std::stod(token, &used); break;
+          case 1: seed = std::stoull(token, &used); break;
+          case 2: value = std::stod(token, &used); break;
+          case 3: max_fires = std::stoull(token, &used); break;
+        }
+        if (used != token.size()) throw std::invalid_argument(token);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("failpoint spec: bad number \"" + token +
+                                    "\" in \"" + entry + "\"");
+      }
+      ++field;
+      if (rpos > rest.size()) break;
+    }
+    if (rpos <= rest.size()) {
+      throw std::invalid_argument("failpoint spec: too many fields in \"" +
+                                  entry + "\"");
+    }
+    arm(site, probability, seed, value, max_fires);
+  }
+}
+
+void Registry::arm_from_env() {
+  Impl& i = impl();
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    if (i.env_loaded) return;
+    i.env_loaded = true;
+  }
+  if (const char* spec = std::getenv("ARA_FAILPOINTS");
+      spec != nullptr && spec[0] != '\0') {
+    arm_from_spec(spec);
+  }
+}
+
+void Registry::disarm_all() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.sites.clear();
+}
+
+std::optional<double> Registry::fire(const std::string& site) {
+  arm_from_env();
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.sites.find(site);
+  if (it == i.sites.end()) return std::nullopt;
+  Impl::Site& s = it->second;
+  ++s.stats.hits;
+  if (s.max_fires != 0 && s.stats.fires >= s.max_fires) return std::nullopt;
+  if (s.probability <= 0.0) return std::nullopt;
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  if (s.probability < 1.0 && dist(s.rng) >= s.probability) return std::nullopt;
+  ++s.stats.fires;
+  return s.value;
+}
+
+SiteStats Registry::stats(const std::string& site) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.sites.find(site);
+  return it == i.sites.end() ? SiteStats{} : it->second.stats;
+}
+
+}  // namespace ara::fail

@@ -1,0 +1,96 @@
+// Seeded fault-injection registry (DESIGN.md §9). A failpoint is a
+// named site in the code that can be armed — at runtime, via the
+// ARA_FAILPOINTS environment variable or programmatically — with a
+// firing probability, a deterministic per-site RNG seed, an optional
+// value (e.g. a stall duration in ms) and an optional cap on how many
+// times it fires. The chaos tests and bench_dist arm sites in worker
+// processes to prove the coordinator detects and recovers from every
+// injected failure mode.
+//
+// Sites in the tree today (all in the dist worker path):
+//   worker.crash_mid_shard — _exit after computing, before sending
+//   worker.stall           — suspend heartbeats + sleep `value` ms
+//   stream.torn_frame      — send a prefix of the frame, drop the link
+//   block.bit_flip         — flip one payload bit before framing
+//
+// Spec grammar (env var or --failpoints CLI flag):
+//   SITE=PROB[:SEED[:VALUE[:MAX_FIRES]]][;SITE=...]
+// PROB in [0,1]; MAX_FIRES 0 = unlimited.
+//
+// Sites are compiled to nothing unless the build defines
+// ARA_FAILPOINTS_ENABLED (CMake -DARA_FAILPOINTS=ON; the default for
+// non-Release build types): the macro below expands to an empty
+// statement, so release binaries carry no branch, no registry lookup
+// and no string literals at the sites. The registry itself always
+// links (it is tiny), so tests can query compiled_in() uniformly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ara::fail {
+
+/// True when this build compiles the injection sites in.
+constexpr bool compiled_in() {
+#ifdef ARA_FAILPOINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+struct SiteStats {
+  std::uint64_t hits = 0;   ///< times the site was evaluated
+  std::uint64_t fires = 0;  ///< times it actually fired
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Arms (or re-arms) one site. `max_fires` 0 = unlimited.
+  void arm(const std::string& site, double probability, std::uint64_t seed,
+           double value = 0.0, std::uint64_t max_fires = 0);
+
+  /// Parses and arms a full spec string; throws std::invalid_argument
+  /// on grammar errors (loud — a typo must not silently disarm chaos).
+  void arm_from_spec(const std::string& spec);
+
+  /// Arms from the ARA_FAILPOINTS environment variable, once per
+  /// process (subsequent calls are no-ops). Called lazily by fire().
+  void arm_from_env();
+
+  void disarm_all();
+
+  /// Evaluates the site: counts a hit, rolls the site's own seeded RNG
+  /// against its probability, and returns the armed value when it
+  /// fires (nullopt otherwise, and always when the site is unarmed).
+  std::optional<double> fire(const std::string& site);
+
+  SiteStats stats(const std::string& site) const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace ara::fail
+
+// The injection macro. `action` runs with `ara_fp` (std::optional
+// <double>, engaged) in scope when the site fires; compiled away
+// entirely otherwise.
+#ifdef ARA_FAILPOINTS_ENABLED
+#define ARA_FAILPOINT(site, action)                                       \
+  do {                                                                    \
+    if (auto ara_fp = ::ara::fail::Registry::instance().fire(site)) {     \
+      (void)ara_fp;                                                       \
+      action;                                                             \
+    }                                                                     \
+  } while (0)
+#else
+#define ARA_FAILPOINT(site, action) \
+  do {                              \
+  } while (0)
+#endif

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/failpoint.hpp"
 #include "core/gpu_engines.hpp"
 #include "core/metrics/streaming.hpp"
 #include "io/yet_chunk.hpp"
@@ -487,7 +488,23 @@ SimulationResult AnalysisSession::run_sharded(const Engine& engine,
         for (std::size_t i = shards.begin; i < shards.end; ++i) {
           EngineContext ctx = base_ctx;
           ctx.trials = plan.shard(i);
-          merger.add(engine.run(portfolio, yet, ctx));
+          try {
+            ARA_FAILPOINT("shard.worker_throw", {
+              (void)ara_fp;
+              throw std::runtime_error("injected shard worker fault");
+            });
+            merger.add(engine.run(portfolio, yet, ctx));
+          } catch (const DeadlineExceeded&) {
+            // Typed: queue-level callers (the serve scheduler) turn it
+            // into an explicit shed — wrapping would erase that.
+            throw;
+          } catch (const std::exception& e) {
+            // Name the shard: a batch caller's future should say which
+            // trial range failed, not just that "a worker" did.
+            throw std::runtime_error(
+                "shard [" + std::to_string(ctx.trials.begin) + ", " +
+                std::to_string(ctx.trials.end) + ") failed: " + e.what());
+          }
         }
       },
       parallel::Schedule::kDynamic, /*chunk=*/1);

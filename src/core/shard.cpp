@@ -41,6 +41,14 @@ ShardMerger::ShardMerger(std::size_t layer_count, std::size_t trial_count,
   if (materialize_) merged_.ylt = Ylt(layer_count, trial_count);
 }
 
+namespace {
+
+std::string range_str(std::size_t begin, std::size_t end) {
+  return "[" + std::to_string(begin) + ", " + std::to_string(end) + ")";
+}
+
+}  // namespace
+
 void ShardMerger::add(const SimulationResult& partial) {
   const std::size_t begin = partial.trial_begin;
   const std::size_t end = begin + partial.ylt.trial_count();
@@ -48,15 +56,26 @@ void ShardMerger::add(const SimulationResult& partial) {
     std::lock_guard<std::mutex> lock(mutex_);
     // Validate shape, bounds and disjointness before recording, so
     // the copy below cannot throw and overlapping shards (which would
-    // silently double-count ops) are rejected.
+    // silently double-count ops) are rejected. Rejections name the
+    // offending trial range: when the shards come from remote workers
+    // the range is the only handle the operator has on which lease
+    // went wrong.
     if (partial.ylt.layer_count() != layer_count_) {
-      throw std::invalid_argument("ShardMerger::add: layer count mismatch");
+      throw std::invalid_argument(
+          "ShardMerger::add: layer count mismatch for shard " +
+          range_str(begin, end) + ": got " +
+          std::to_string(partial.ylt.layer_count()) + ", expected " +
+          std::to_string(layer_count_));
     }
     if (end > trial_count_) {
-      throw std::invalid_argument("ShardMerger::add: range out of bounds");
+      throw std::invalid_argument(
+          "ShardMerger::add: shard " + range_str(begin, end) +
+          " out of bounds for " + std::to_string(trial_count_) + " trials");
     }
     if (!blocks_.try_reserve(begin, end)) {
-      throw std::logic_error("ShardMerger::add: overlapping shard");
+      throw std::logic_error("ShardMerger::add: shard " +
+                             range_str(begin, end) +
+                             " overlaps an already-merged shard");
     }
     merged_.ops += partial.ops;
     merged_.wall_seconds += partial.wall_seconds;
@@ -98,9 +117,23 @@ double ShardMerger::sharded_simulated_seconds() const {
 SimulationResult ShardMerger::finish() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (covered_ != trial_count_) {
+    // Name the holes: a distributed run that lost a lease needs to
+    // know *which* trials never arrived, not just how many.
+    std::string gaps;
+    std::size_t listed = 0;
+    blocks_.for_each_gap(trial_count_, [&](std::size_t begin,
+                                           std::size_t end) {
+      if (listed == 8) {
+        gaps += ", ...";
+      } else if (listed < 8) {
+        if (!gaps.empty()) gaps += ", ";
+        gaps += range_str(begin, end);
+      }
+      ++listed;
+    });
     throw std::logic_error(
         "ShardMerger::finish: shards cover " + std::to_string(covered_) +
-        " of " + std::to_string(trial_count_) + " trials");
+        " of " + std::to_string(trial_count_) + " trials; missing " + gaps);
   }
   return std::move(merged_);
 }

@@ -1,0 +1,125 @@
+// ShardCoordinator: the distributing counterpart of the session's
+// run_sharded (DESIGN.md §9). It owns a listening socket, hands
+// trial-range *leases* to remote ara_worker processes, folds their
+// checksummed result blocks through the same ShardMerger the local
+// path uses, and reconstitutes the monolithic run's accounting with a
+// cost-only replay — so a distributed run is bitwise identical to the
+// single-process run, including op counts and simulated seconds.
+//
+// Fault model (the whole point):
+//   - worker crash / disconnect  -> its open leases reassign instantly
+//   - worker stall               -> lease heartbeat deadline expires,
+//                                   the lease reassigns; a late block
+//                                   from the stalled worker is either
+//                                   a byte-identical duplicate
+//                                   (discarded, counted) or a
+//                                   conflict (loud error)
+//   - torn frame                 -> the read loop throws, the
+//                                   connection drops, leases reassign
+//   - corrupt block (CRC fail)   -> block discarded, worker dropped,
+//                                   lease reassigned
+//   - all workers lost           -> the coordinator degrades to local
+//                                   execution of whatever is uncovered
+//
+// Completion is idempotent by construction: DisjointRangeSet admits a
+// range exactly once, and a range that arrives again must match the
+// accepted block's CRC byte for byte.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "dist/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace ara::dist {
+
+struct DistConfig {
+  /// Listen address ("unix:PATH" or "HOST:PORT"; TCP port 0 = kernel
+  /// picks, see ShardCoordinator::endpoint()).
+  serve::Endpoint endpoint;
+
+  JobSpec job;
+
+  /// Trials per lease (0 = derive ~2 leases per expected worker, min 1).
+  std::uint64_t lease_trials = 0;
+
+  /// A lease with no heartbeat for this long is considered lost and
+  /// its range requeued. Must comfortably exceed job.heartbeat_ms.
+  std::uint64_t lease_timeout_ms = 1000;
+
+  /// How long run() waits for a first worker before degrading to
+  /// local execution (it also degrades immediately once every
+  /// connected worker has been lost).
+  std::uint64_t first_worker_grace_ms = 5000;
+
+  /// Expected worker count (lease sizing hint only).
+  std::size_t expected_workers = 2;
+};
+
+/// Everything that happened during one distributed run. The chaos
+/// tests and bench_dist gate on these — recovery must be *visible*,
+/// not inferred.
+struct DistCounters {
+  std::uint64_t workers_joined = 0;
+  std::uint64_t workers_lost = 0;
+  std::uint64_t leases_granted = 0;
+  std::uint64_t leases_reassigned = 0;  ///< expiry + disconnect requeues
+  std::uint64_t blocks_accepted = 0;
+  std::uint64_t duplicate_blocks = 0;  ///< byte-identical re-completions
+  std::uint64_t corrupt_blocks = 0;    ///< CRC mismatches discarded
+  std::uint64_t torn_frames = 0;       ///< framing errors on worker conns
+  std::uint64_t heartbeats = 0;
+  std::uint64_t local_shards = 0;  ///< ranges executed by the fallback
+};
+
+struct DistResult {
+  AnalysisResult analysis;
+  DistCounters counters;
+};
+
+class ShardCoordinator {
+ public:
+  /// Binds and listens immediately (throws on bind failure); workers
+  /// may connect as soon as the constructor returns.
+  explicit ShardCoordinator(DistConfig config);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// The bound endpoint (TCP port resolved) — hand this to workers.
+  const serve::Endpoint& endpoint() const noexcept { return endpoint_; }
+
+  /// Runs the distributed analysis to completion: accepts workers,
+  /// leases out every trial, merges their blocks, degrades to local
+  /// execution if the fleet dies, and finishes with the cost-only
+  /// replay. `request` supplies the metrics plan / retention the
+  /// merged result feeds (its workload fields are ignored — the job
+  /// defines the workload). Blocking; call once.
+  DistResult run(const AnalysisRequest& request);
+
+ private:
+  struct WorkerConn;
+  struct Lease;
+  struct Impl;
+
+  serve::Endpoint endpoint_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Capped exponential backoff with deterministic jitter: attempt k
+/// (0-based) sleeps base * 2^k, capped, plus up to 25% jitter drawn
+/// from `seed` and k. Shared by the worker's reconnect loop and
+/// ara_loadgen's resubmit scheduling so "backoff with jitter" means
+/// one thing in this codebase.
+std::uint64_t backoff_delay_ms(std::uint64_t base_ms, std::uint64_t cap_ms,
+                               unsigned attempt, std::uint64_t seed);
+
+}  // namespace ara::dist

@@ -1,0 +1,238 @@
+#include "dist/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/crc32c.hpp"
+#include "io/format.hpp"
+
+namespace ara::dist {
+
+namespace {
+
+namespace fmt = ara::io::format;
+
+// Decode-side sanity caps, mirroring serve/protocol.cpp: a corrupt
+// length prefix must fail the decode, not allocate gigabytes. A block
+// of kMaxBlockDoubles doubles is 32 MiB — inside the frame layer's 64
+// MiB payload cap with room for the accounting fields.
+constexpr std::uint64_t kMaxString = 1ull << 16;
+constexpr std::uint64_t kMaxBlockDoubles = 1ull << 22;
+
+void write_string(std::ostream& os, const std::string& s) {
+  fmt::write_varint(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is, const char* what) {
+  const std::uint64_t n = fmt::read_varint(is);
+  if (n > kMaxString) {
+    throw std::runtime_error(std::string("dist protocol: oversized string (") +
+                             what + ")");
+  }
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) {
+    throw std::runtime_error(std::string("dist protocol: truncated ") + what);
+  }
+  return s;
+}
+
+// Everything decoded must consume the payload exactly — trailing bytes
+// mean dialect drift, not padding.
+void expect_exhausted(std::istream& is, const char* what) {
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error(
+        std::string("dist protocol: trailing bytes after ") + what);
+  }
+}
+
+}  // namespace
+
+std::string encode_hello(const Hello& hello) {
+  std::ostringstream os;
+  write_string(os, hello.worker_id);
+  fmt::write_varint(os, hello.pid);
+  return std::move(os).str();
+}
+
+Hello decode_hello(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  Hello h;
+  h.worker_id = read_string(is, "hello.worker_id");
+  h.pid = fmt::read_varint(is);
+  expect_exhausted(is, "hello");
+  return h;
+}
+
+std::string encode_job(const JobSpec& job) {
+  std::ostringstream os;
+  fmt::write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(job.workload));
+  fmt::write_varint(os, job.synth.trials);
+  fmt::write_pod(os, job.synth.events_per_trial);
+  fmt::write_pod(os, job.synth.catalogue);
+  fmt::write_varint(os, job.synth.elts);
+  fmt::write_varint(os, job.synth.layers);
+  fmt::write_varint(os, job.synth.seed);
+  write_string(os, job.yet_path);
+  write_string(os, job.portfolio_path);
+  write_string(os, job.engine);
+  fmt::write_pod(os, job.simd);
+  fmt::write_pod(os, job.simd_width);
+  fmt::write_varint(os, job.trial_count);
+  fmt::write_varint(os, job.layer_count);
+  fmt::write_varint(os, job.heartbeat_ms);
+  return std::move(os).str();
+}
+
+JobSpec decode_job(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  JobSpec j;
+  const auto workload = fmt::read_pod<std::uint8_t>(is, "job.workload");
+  if (workload > static_cast<std::uint8_t>(JobWorkload::kFiles)) {
+    throw std::runtime_error("dist protocol: unknown job workload");
+  }
+  j.workload = static_cast<JobWorkload>(workload);
+  j.synth.trials = fmt::read_varint(is);
+  j.synth.events_per_trial =
+      fmt::read_pod<double>(is, "job.synth.events_per_trial");
+  j.synth.catalogue = fmt::read_pod<std::uint32_t>(is, "job.synth.catalogue");
+  j.synth.elts = fmt::read_varint(is);
+  j.synth.layers = fmt::read_varint(is);
+  j.synth.seed = fmt::read_varint(is);
+  j.yet_path = read_string(is, "job.yet_path");
+  j.portfolio_path = read_string(is, "job.portfolio_path");
+  j.engine = read_string(is, "job.engine");
+  j.simd = fmt::read_pod<std::uint8_t>(is, "job.simd");
+  j.simd_width = fmt::read_pod<std::uint32_t>(is, "job.simd_width");
+  j.trial_count = fmt::read_varint(is);
+  j.layer_count = fmt::read_varint(is);
+  j.heartbeat_ms = fmt::read_varint(is);
+  expect_exhausted(is, "job");
+  return j;
+}
+
+std::string encode_grant(const LeaseGrant& grant) {
+  std::ostringstream os;
+  fmt::write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(grant.kind));
+  fmt::write_varint(os, grant.lease_id);
+  fmt::write_varint(os, grant.begin);
+  fmt::write_varint(os, grant.end);
+  fmt::write_varint(os, grant.wait_ms);
+  return std::move(os).str();
+}
+
+LeaseGrant decode_grant(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  LeaseGrant g;
+  const auto kind = fmt::read_pod<std::uint8_t>(is, "grant.kind");
+  if (kind > static_cast<std::uint8_t>(GrantKind::kDone)) {
+    throw std::runtime_error("dist protocol: unknown grant kind");
+  }
+  g.kind = static_cast<GrantKind>(kind);
+  g.lease_id = fmt::read_varint(is);
+  g.begin = fmt::read_varint(is);
+  g.end = fmt::read_varint(is);
+  g.wait_ms = fmt::read_varint(is);
+  expect_exhausted(is, "grant");
+  return g;
+}
+
+std::string encode_heartbeat(const Heartbeat& hb) {
+  std::ostringstream os;
+  fmt::write_varint(os, hb.lease_id);
+  return std::move(os).str();
+}
+
+Heartbeat decode_heartbeat(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  Heartbeat hb;
+  hb.lease_id = fmt::read_varint(is);
+  expect_exhausted(is, "heartbeat");
+  return hb;
+}
+
+std::string encode_block(const Block& block) {
+  std::ostringstream os;
+  fmt::write_varint(os, block.lease_id);
+  fmt::write_varint(os, block.trial_begin);
+  fmt::write_varint(os, block.ylt.layer_count());
+  fmt::write_varint(os, block.ylt.trial_count());
+  // Rows raw: the shard's tables are contiguous layer-major spans, so
+  // both tables go out as two bulk writes, no per-double framing.
+  const auto row_bytes = static_cast<std::streamsize>(
+      block.ylt.annual_raw().size() * sizeof(double));
+  os.write(reinterpret_cast<const char*>(block.ylt.annual_raw().data()),
+           row_bytes);
+  os.write(reinterpret_cast<const char*>(block.ylt.max_occurrence_raw().data()),
+           row_bytes);
+  fmt::write_varint(os, block.ops.event_fetches);
+  fmt::write_varint(os, block.ops.elt_lookups);
+  fmt::write_varint(os, block.ops.financial_ops);
+  fmt::write_varint(os, block.ops.occurrence_ops);
+  fmt::write_varint(os, block.ops.aggregate_ops);
+  fmt::write_varint(os, block.ops.global_updates);
+  fmt::write_varint(os, block.ops.shared_accesses);
+  fmt::write_pod(os, block.wall_seconds);
+  fmt::write_pod(os, block.simulated_seconds);
+  write_string(os, block.engine_name);
+  fmt::write_pod(os, block.devices);
+  write_string(os, block.simd_isa);
+  std::string payload = std::move(os).str();
+  // Trailing CRC32C over every byte above. Appended raw (fixed 4
+  // bytes, little-endian pod) so the checksummed span is simply
+  // payload.size() - 4 on the decode side.
+  const std::uint32_t crc = crc32c(0, payload.data(), payload.size());
+  payload.append(reinterpret_cast<const char*>(&crc), sizeof crc);
+  return payload;
+}
+
+Block decode_block(std::string_view payload) {
+  if (payload.size() < sizeof(std::uint32_t)) {
+    throw std::runtime_error("dist protocol: block too short for checksum");
+  }
+  const std::size_t body_len = payload.size() - sizeof(std::uint32_t);
+  std::uint32_t expected;
+  std::memcpy(&expected, payload.data() + body_len, sizeof expected);
+  const std::uint32_t actual = crc32c(0, payload.data(), body_len);
+  if (actual != expected) {
+    throw std::runtime_error(
+        "dist protocol: block checksum mismatch (corrupt in transit)");
+  }
+  std::istringstream is{std::string(payload.substr(0, body_len))};
+  Block b;
+  b.lease_id = fmt::read_varint(is);
+  b.trial_begin = fmt::read_varint(is);
+  const std::uint64_t layers = fmt::read_varint(is);
+  const std::uint64_t trials = fmt::read_varint(is);
+  if (layers * trials > kMaxBlockDoubles) {
+    throw std::runtime_error("dist protocol: oversized block");
+  }
+  b.ylt = Ylt(static_cast<std::size_t>(layers),
+              static_cast<std::size_t>(trials));
+  const auto row_bytes =
+      static_cast<std::streamsize>(layers * trials * sizeof(double));
+  if (layers * trials > 0) {
+    is.read(reinterpret_cast<char*>(&b.ylt.annual_loss(0, 0)), row_bytes);
+    is.read(reinterpret_cast<char*>(&b.ylt.max_occurrence_loss(0, 0)),
+            row_bytes);
+    if (!is) throw std::runtime_error("dist protocol: truncated block rows");
+  }
+  b.ops.event_fetches = fmt::read_varint(is);
+  b.ops.elt_lookups = fmt::read_varint(is);
+  b.ops.financial_ops = fmt::read_varint(is);
+  b.ops.occurrence_ops = fmt::read_varint(is);
+  b.ops.aggregate_ops = fmt::read_varint(is);
+  b.ops.global_updates = fmt::read_varint(is);
+  b.ops.shared_accesses = fmt::read_varint(is);
+  b.wall_seconds = fmt::read_pod<double>(is, "block.wall_seconds");
+  b.simulated_seconds = fmt::read_pod<double>(is, "block.simulated_seconds");
+  b.engine_name = read_string(is, "block.engine_name");
+  b.devices = fmt::read_pod<std::uint32_t>(is, "block.devices");
+  b.simd_isa = read_string(is, "block.simd_isa");
+  expect_exhausted(is, "block");
+  return b;
+}
+
+}  // namespace ara::dist

@@ -1,0 +1,127 @@
+// Distributed-run wire messages (DESIGN.md §9): the lease dialect a
+// remote worker speaks to the ShardCoordinator over the serve frame
+// layer (serve/protocol.hpp — same magic, version and varint framing,
+// disjoint MessageType space kDistHello..kDistBlock).
+//
+// The conversation:
+//
+//   worker:      Hello (identity)
+//   coordinator: Job (the whole workload description, once)
+//   worker:      LeaseRequest            ┐ repeated until the grant
+//   coordinator: LeaseGrant range|wait   ┘ says done
+//   worker:      Heartbeat (per live lease, every heartbeat_ms)
+//   worker:      Block (the lease's YLT rows + accounting + CRC32C)
+//
+// The Job names the workload instead of shipping it (a SynthSpec the
+// worker regenerates bitwise via serve::materialize_synth, or paths
+// into a shared filesystem), so the only bulk bytes on the wire are
+// result rows flowing back. Every Block carries a trailing CRC32C over
+// its payload: a flipped bit in transit (or an injected one —
+// core/failpoint.hpp site `block.bit_flip`) is detected at the
+// coordinator, the block discarded, and the lease reassigned, never
+// merged silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/types.hpp"
+#include "core/ylt.hpp"
+#include "serve/protocol.hpp"
+
+namespace ara::dist {
+
+/// How the Job names its workload.
+enum class JobWorkload : std::uint8_t {
+  kSynth = 0,  ///< regenerate from the SynthSpec (bitwise deterministic)
+  kFiles = 1,  ///< load yet_path / portfolio_path (shared filesystem)
+};
+
+/// The complete work description a worker receives once, right after
+/// its Hello. Everything a worker needs to produce rows bitwise
+/// identical to the coordinator's own monolithic run: the workload,
+/// the concrete engine kind, and the SIMD mode.
+struct JobSpec {
+  JobWorkload workload = JobWorkload::kSynth;
+  serve::SynthSpec synth;      ///< kSynth
+  std::string yet_path;        ///< kFiles
+  std::string portfolio_path;  ///< kFiles
+
+  std::string engine = "sequential_fused";  ///< engine_kind_name
+  std::uint8_t simd = 1;       ///< simd::SimdPolicy (kScalar = 1)
+  std::uint32_t simd_width = 0;
+
+  std::uint64_t trial_count = 0;  ///< authoritative total
+  std::uint64_t layer_count = 0;
+
+  /// Worker heartbeat period; the coordinator expires a lease after
+  /// missing several of these (DistConfig::lease_timeout_ms).
+  std::uint64_t heartbeat_ms = 100;
+};
+
+/// Worker -> coordinator, first frame on the connection.
+struct Hello {
+  std::string worker_id;  ///< human-readable identity for diagnostics
+  std::uint64_t pid = 0;
+};
+
+enum class GrantKind : std::uint8_t {
+  kRange = 0,  ///< run [begin, end) under lease_id
+  kWait = 1,   ///< nothing free now; ask again after wait_ms
+  kDone = 2,   ///< all trials covered; disconnect cleanly
+};
+
+/// Coordinator -> worker, answer to a LeaseRequest (which has an empty
+/// payload — the connection is the worker's identity).
+struct LeaseGrant {
+  GrantKind kind = GrantKind::kDone;
+  std::uint64_t lease_id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t wait_ms = 0;  ///< kWait
+};
+
+/// Worker -> coordinator, lease liveness (payload: the lease id).
+struct Heartbeat {
+  std::uint64_t lease_id = 0;
+};
+
+/// Worker -> coordinator: one completed lease's partial result — the
+/// shard's YLT rows plus the accounting the ShardMerger folds (ops,
+/// wall clock, simulated seconds). The payload ends with a CRC32C over
+/// every preceding payload byte; decode verifies it before anything is
+/// trusted.
+struct Block {
+  std::uint64_t lease_id = 0;
+  std::uint64_t trial_begin = 0;
+  Ylt ylt;  ///< shard-local rows (trial 0 = global trial_begin)
+  OpCounts ops;
+  double wall_seconds = 0.0;
+  double simulated_seconds = 0.0;
+  std::string engine_name;
+  std::uint32_t devices = 0;
+  std::string simd_isa;
+};
+
+// ---- payload codecs (frame layer: serve::write_frame/read_frame) ----
+
+std::string encode_hello(const Hello& hello);
+Hello decode_hello(std::string_view payload);
+
+std::string encode_job(const JobSpec& job);
+JobSpec decode_job(std::string_view payload);
+
+std::string encode_grant(const LeaseGrant& grant);
+LeaseGrant decode_grant(std::string_view payload);
+
+std::string encode_heartbeat(const Heartbeat& hb);
+Heartbeat decode_heartbeat(std::string_view payload);
+
+/// The Block codec. `decode_block` throws std::runtime_error on a
+/// checksum mismatch ("dist protocol: block checksum mismatch ...") or
+/// any truncation — the caller treats either as a corrupt block.
+std::string encode_block(const Block& block);
+Block decode_block(std::string_view payload);
+
+}  // namespace ara::dist

@@ -1,0 +1,36 @@
+// The ara_worker process body (DESIGN.md §9): connects to a
+// ShardCoordinator, receives the JobSpec, and loops lease -> run ->
+// stream the block back until the coordinator says done. Transport
+// errors retry with capped exponential backoff + jitter; the
+// coordinator's lease machinery makes a crashed, stalled or lying
+// worker harmless, so this side can afford to be simple.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace ara::dist {
+
+struct WorkerConfig {
+  serve::Endpoint endpoint;
+  std::string worker_id = "worker";
+
+  /// Reconnect/backoff policy for transport errors (connection
+  /// refused, coordinator restart, torn writes): attempt k sleeps
+  /// backoff_delay_ms(base, cap, k, seed); after `max_attempts`
+  /// consecutive failures the worker gives up with a non-zero exit.
+  std::uint64_t backoff_base_ms = 50;
+  std::uint64_t backoff_cap_ms = 2000;
+  unsigned max_attempts = 8;
+  std::uint64_t seed = 1;  ///< jitter seed (derived from pid by the tool)
+};
+
+/// Runs the worker loop to completion. Returns 0 on a clean kDone
+/// finish, 1 when the coordinator stayed unreachable past the retry
+/// budget. Failpoint sites (core/failpoint.hpp): worker.crash_mid_shard,
+/// worker.stall (value = stall ms), stream.torn_frame, block.bit_flip.
+int run_worker(const WorkerConfig& config);
+
+}  // namespace ara::dist

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/crc32c.hpp"
 #include "io/format.hpp"
 
 namespace ara::io {
@@ -189,7 +190,8 @@ Portfolio read_portfolio(std::istream& is) {
 }
 
 void write_ylt(std::ostream& os, const Ylt& ylt) {
-  write_magic(os, kYltMagic);
+  os.write(kYltMagic, 8);
+  write_pod(os, format::kYltFormatVersion);
   write_pod(os, static_cast<std::uint64_t>(ylt.layer_count()));
   write_pod(os, static_cast<std::uint64_t>(ylt.trial_count()));
   // The raw vectors are already in file order (layer-major); one bulk
@@ -200,20 +202,49 @@ void write_ylt(std::ostream& os, const Ylt& ylt) {
   os.write(reinterpret_cast<const char*>(ylt.max_occurrence_raw().data()),
            static_cast<std::streamsize>(ylt.max_occurrence_raw().size() *
                                         sizeof(double)));
+  // v2 trailer: one CRC32C per (table, layer) row, annual rows first.
+  // The rows are contiguous in the raw vectors, so each CRC is one
+  // pass over trial_count doubles.
+  const std::size_t row_bytes = ylt.trial_count() * sizeof(double);
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    write_pod(os, crc32c(0, ylt.annual_raw().data() + l * ylt.trial_count(),
+                         row_bytes));
+  }
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    write_pod(os, crc32c(0,
+                         ylt.max_occurrence_raw().data() +
+                             l * ylt.trial_count(),
+                         row_bytes));
+  }
 }
 
 Ylt read_ylt(std::istream& is) {
-  check_magic(is, kYltMagic, "YLT");
+  char buf[8];
+  is.read(buf, 8);
+  if (!is || std::memcmp(buf, kYltMagic, 8) != 0) {
+    throw std::runtime_error("binary read: bad magic for YLT");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != 1 && version != format::kYltFormatVersion) {
+    throw std::runtime_error("binary read: unsupported YLT version " +
+                             std::to_string(version));
+  }
   const auto layers = read_pod<std::uint64_t>(is);
   const auto trials = read_pod<std::uint64_t>(is);
   Ylt ylt(static_cast<std::size_t>(layers), static_cast<std::size_t>(trials));
   // Buffered per-layer rows: one read call per (table, layer) instead
-  // of one per double; the on-disk layout is unchanged.
+  // of one per double; the on-disk layout is unchanged. Row CRCs are
+  // accumulated on the way through and checked against the v2 trailer
+  // after both tables, so a flipped bit anywhere in the data fails the
+  // load naming the offending row.
   std::vector<double> row(trials);
+  std::vector<std::uint32_t> row_crcs;
+  row_crcs.reserve(2 * layers);
   const auto read_row = [&](auto&& assign) {
     is.read(reinterpret_cast<char*>(row.data()),
             static_cast<std::streamsize>(trials * sizeof(double)));
     if (!is) throw std::runtime_error("binary read: truncated YLT");
+    row_crcs.push_back(crc32c(0, row.data(), trials * sizeof(double)));
     assign();
   };
   for (std::uint64_t l = 0; l < layers; ++l) {
@@ -229,6 +260,22 @@ Ylt read_ylt(std::istream& is) {
         ylt.max_occurrence_loss(l, static_cast<TrialId>(t)) = row[t];
       }
     });
+  }
+  if (version >= 2) {
+    for (std::uint64_t i = 0; i < 2 * layers; ++i) {
+      const auto expected = read_pod<std::uint32_t>(is);
+      if (!is) {
+        throw std::runtime_error("binary read: truncated YLT trailer");
+      }
+      if (expected != row_crcs[i]) {
+        const bool annual = i < layers;
+        throw std::runtime_error(
+            "binary read: YLT checksum mismatch in " +
+            std::string(annual ? "annual" : "max-occurrence") + " row of layer " +
+            std::to_string(annual ? i : i - layers) +
+            " (file corrupt or truncated mid-row)");
+      }
+    }
   }
   return ylt;
 }

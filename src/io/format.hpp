@@ -19,6 +19,19 @@ namespace ara::io::format {
 /// change it anywhere in the io layer.
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+/// YLT files carry their own version: v2 appends a CRC32C trailer —
+/// one u32 per (table, layer) row, annual rows first, then
+/// max-occurrence rows — so corruption of a spilled/streamed table
+/// fails loudly at read time instead of poisoning metrics. v1 files
+/// (no trailer) remain readable; both writers (save_ylt and
+/// YltChunkWriter) emit v2 and stay byte-identical to each other.
+inline constexpr std::uint32_t kYltFormatVersion = 2;
+
+/// Trailer size of a v2 YLT: 2 tables x layer_count rows x u32.
+inline constexpr std::uint64_t ylt_trailer_bytes(std::uint64_t layer_count) {
+  return 2 * layer_count * sizeof(std::uint32_t);
+}
+
 inline constexpr char kYetMagic[8] = {'A', 'R', 'A', 'Y', 'E', 'T', '0', '1'};
 inline constexpr char kEltMagic[8] = {'A', 'R', 'A', 'E', 'L', 'T', '0', '1'};
 inline constexpr char kPortfolioMagic[8] = {'A', 'R', 'A', 'P', 'R', 'T',

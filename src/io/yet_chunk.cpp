@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/crc32c.hpp"
 #include "core/shard.hpp"
 #include "io/format.hpp"
 
@@ -191,15 +192,67 @@ YltChunkReader::YltChunkReader(std::string path) : path_(std::move(path)) {
   if (std::memcmp(magic, format::kYltMagic, 8) != 0) {
     throw std::runtime_error("YltChunkReader: not a YLT file: " + path_);
   }
-  const auto version = read_pod<std::uint32_t>(is_, "version");
-  if (version != format::kFormatVersion) {
+  version_ = read_pod<std::uint32_t>(is_, "version");
+  if (version_ != 1 && version_ != format::kYltFormatVersion) {
     throw std::runtime_error("YltChunkReader: unsupported YLT version " +
-                             std::to_string(version));
+                             std::to_string(version_));
   }
   layer_count_ =
       static_cast<std::size_t>(read_pod<std::uint64_t>(is_, "layer count"));
   trial_count_ =
       static_cast<std::size_t>(read_pod<std::uint64_t>(is_, "trial count"));
+
+  if (version_ >= 2) {
+    // Load the row-CRC trailer up front (2 x layers u32 — tiny); each
+    // row is verified lazily the first time a block touches it.
+    const auto body = static_cast<std::streamoff>(
+        static_cast<std::uint64_t>(layer_count_) * trial_count_ * 2 *
+        sizeof(double));
+    is_.seekg(kYltHeaderBytes + body);
+    row_crcs_.resize(2 * layer_count_);
+    for (std::uint32_t& crc : row_crcs_) {
+      crc = read_pod<std::uint32_t>(is_, "row checksum trailer");
+    }
+    row_verified_.assign(2 * layer_count_, false);
+  }
+}
+
+void YltChunkReader::verify_row(std::size_t row) {
+  if (version_ < 2 || row_verified_[row]) return;
+  // Stream the whole row through the checksum in fixed-size pieces:
+  // the scratch buffer is a constant, so bounded-memory block reads
+  // stay bounded even when a row is far larger than any block.
+  const std::size_t layer = row < layer_count_ ? row : row - layer_count_;
+  const auto start =
+      kYltHeaderBytes +
+      static_cast<std::streamoff>(
+          (static_cast<std::uint64_t>(row) * trial_count_) * sizeof(double));
+  constexpr std::size_t kScratchBytes = 64 << 10;
+  std::vector<char> scratch(
+      std::min<std::size_t>(kScratchBytes,
+                            std::max<std::size_t>(1, trial_count_ *
+                                                         sizeof(double))));
+  std::uint32_t crc = 0;
+  std::size_t remaining = trial_count_ * sizeof(double);
+  is_.clear();
+  is_.seekg(start);
+  while (remaining > 0) {
+    const std::size_t n = std::min(remaining, scratch.size());
+    is_.read(scratch.data(), static_cast<std::streamsize>(n));
+    if (!is_) {
+      throw std::runtime_error("YltChunkReader: truncated loss data");
+    }
+    crc = crc32c(crc, scratch.data(), n);
+    remaining -= n;
+  }
+  if (crc != row_crcs_[row]) {
+    throw std::runtime_error(
+        "YltChunkReader: checksum mismatch in " +
+        std::string(row < layer_count_ ? "annual" : "max-occurrence") +
+        " row of layer " + std::to_string(layer) + " of " + path_ +
+        " (file corrupt)");
+  }
+  row_verified_[row] = true;
 }
 
 Ylt YltChunkReader::read_block(std::size_t begin, std::size_t end) {
@@ -213,8 +266,11 @@ Ylt YltChunkReader::read_block(std::size_t begin, std::size_t end) {
       static_cast<std::uint64_t>(layer_count_) * trial_count_ *
       sizeof(double));
   // One seek + one bulk read per (layer, table) row slice — the same
-  // save_ylt layout YltChunkWriter::append seeks into.
+  // save_ylt layout YltChunkWriter::append seeks into. On v2 files the
+  // first touch of a row checks its trailer CRC end to end.
   for (std::size_t l = 0; l < layer_count_; ++l) {
+    verify_row(l);
+    verify_row(layer_count_ + l);
     const auto row = static_cast<std::streamoff>(
         (static_cast<std::uint64_t>(l) * trial_count_ + begin) *
         sizeof(double));
@@ -243,7 +299,7 @@ YltChunkWriter::YltChunkWriter(const std::string& path,
   os_.open(path, std::ios::binary | std::ios::trunc);
   if (!os_) throw std::runtime_error("YltChunkWriter: cannot open " + path);
   os_.write(format::kYltMagic, 8);
-  format::write_pod(os_, format::kFormatVersion);
+  format::write_pod(os_, format::kYltFormatVersion);
   format::write_pod(os_, static_cast<std::uint64_t>(layer_count_));
   format::write_pod(os_, static_cast<std::uint64_t>(trial_count_));
 
@@ -289,6 +345,10 @@ void YltChunkWriter::append(const Ylt& partial, std::size_t trial_begin) {
   const auto table_bytes = static_cast<std::streamoff>(
       static_cast<std::uint64_t>(layer_count_) * trial_count_ *
       sizeof(double));
+  BlockCrcs crcs;
+  crcs.begin = trial_begin;
+  crcs.trials = n;
+  crcs.rows.reserve(2 * layer_count_);
   for (std::size_t l = 0; l < layer_count_; ++l) {
     const auto row = static_cast<std::streamoff>(
         (static_cast<std::uint64_t>(l) * trial_count_ + trial_begin) *
@@ -300,7 +360,18 @@ void YltChunkWriter::append(const Ylt& partial, std::size_t trial_begin) {
     os_.write(reinterpret_cast<const char*>(partial.layer_max_occurrence(l)),
               static_cast<std::streamsize>(n * sizeof(double)));
   }
+  // Row-slice CRCs for the close() trailer (annual rows first, the
+  // trailer's table order — not interleaved like the writes above).
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    crcs.rows.push_back(crc32c(0, partial.layer_annual(l),
+                               n * sizeof(double)));
+  }
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    crcs.rows.push_back(crc32c(0, partial.layer_max_occurrence(l),
+                               n * sizeof(double)));
+  }
   if (!os_) throw std::runtime_error("YltChunkWriter: write failed");
+  block_crcs_.push_back(std::move(crcs));
   covered_ += n;
 }
 
@@ -310,6 +381,27 @@ void YltChunkWriter::close() {
     throw std::runtime_error(
         "YltChunkWriter::close: blocks cover " + std::to_string(covered_) +
         " of " + std::to_string(trial_count_) + " trials");
+  }
+  // Fold the per-block row CRCs — sorted into trial order, whatever
+  // order the blocks arrived in — into one CRC per (table, layer) row
+  // and write the v2 trailer after the tables. crc32c_combine makes
+  // this exact: the folded value equals the CRC of the contiguous row,
+  // so the file stays byte-identical to save_ylt of the merged table.
+  std::sort(block_crcs_.begin(), block_crcs_.end(),
+            [](const BlockCrcs& a, const BlockCrcs& b) {
+              return a.begin < b.begin;
+            });
+  const auto body = static_cast<std::streamoff>(
+      static_cast<std::uint64_t>(layer_count_) * trial_count_ * 2 *
+      sizeof(double));
+  os_.seekp(kYltHeaderBytes + body);
+  for (std::size_t row = 0; row < 2 * layer_count_; ++row) {
+    std::uint32_t crc = 0;
+    for (const BlockCrcs& block : block_crcs_) {
+      crc = crc32c_combine(crc, block.rows[row],
+                           block.trials * sizeof(double));
+    }
+    format::write_pod(os_, crc);
   }
   os_.close();
   if (os_.fail()) throw std::runtime_error("YltChunkWriter: close failed");

@@ -113,11 +113,21 @@ class YltChunkReader {
   std::size_t peak_resident_bytes() const noexcept { return peak_bytes_; }
 
  private:
+  /// v2 files: checks the row's CRC32C against the trailer the first
+  /// time any slice of it is read (the whole row is streamed through
+  /// the checksum in fixed-size pieces — resident memory stays
+  /// bounded). `row` indexes annual rows 0..layers-1, then
+  /// max-occurrence rows layers..2*layers-1.
+  void verify_row(std::size_t row);
+
   std::string path_;
   std::ifstream is_;
+  std::uint32_t version_ = 0;
   std::size_t layer_count_ = 0;
   std::size_t trial_count_ = 0;
   std::size_t peak_bytes_ = 0;
+  std::vector<std::uint32_t> row_crcs_;  ///< v2 trailer (2 x layers)
+  std::vector<bool> row_verified_;
 };
 
 /// Writes a binary YLT file (the `save_ylt` format, byte for byte)
@@ -145,15 +155,28 @@ class YltChunkWriter {
   std::size_t trials_written() const noexcept { return covered_; }
 
   /// Flushes and closes; throws std::runtime_error unless all trials
-  /// were covered or on stream failure.
+  /// were covered or on stream failure. Writes the v2 CRC trailer:
+  /// per-block row CRCs recorded by `append` are folded — in trial
+  /// order, regardless of append order — into one CRC per (table,
+  /// layer) row with crc32c_combine, so the trailer is bitwise
+  /// identical to the one save_ylt computes over contiguous rows.
   void close();
 
  private:
+  /// CRC32C of each row slice of one appended block (annual rows
+  /// first), plus where the block sits in the trial dimension.
+  struct BlockCrcs {
+    std::size_t begin = 0;
+    std::size_t trials = 0;
+    std::vector<std::uint32_t> rows;  ///< 2 x layer_count
+  };
+
   std::ofstream os_;
   std::size_t layer_count_ = 0;
   std::size_t trial_count_ = 0;
   std::size_t covered_ = 0;
   DisjointRangeSet blocks_;
+  std::vector<BlockCrcs> block_crcs_;
   bool closed_ = false;
 };
 

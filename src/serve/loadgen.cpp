@@ -7,6 +7,8 @@
 #include <random>
 #include <utility>
 
+#include "dist/coordinator.hpp"  // backoff_delay_ms
+
 namespace ara::serve {
 
 LatencySummary summarize_latencies(std::vector<double> latencies_ms) {
@@ -82,6 +84,117 @@ struct TenantSink {
   }
 };
 
+/// The retry-aware submit path. Shared (and kept alive) by every
+/// in-flight callback, like TenantSink: a late reply may fire after
+/// run_load returned, at which point the scheduler is closed and the
+/// backpressure reply simply records as final.
+struct Dispatcher : std::enable_shared_from_this<Dispatcher> {
+  SubmitFn submit;
+  std::vector<std::shared_ptr<TenantSink>> sinks;
+  std::size_t max_retries = 0;
+  std::uint64_t base_ms = 25;
+  std::uint64_t cap_ms = 1000;
+  std::uint64_t seed = 0;
+
+  struct RetryItem {
+    std::chrono::steady_clock::time_point due;
+    ServeRequest request;
+    std::size_t attempt = 0;
+    std::size_t tenant = 0;
+    std::chrono::steady_clock::time_point first_sent;
+    std::uint64_t trials = 0;
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<RetryItem> queue;
+  bool closed = false;
+
+  /// Submits attempt `attempt` of `request`. A backpressure reply with
+  /// budget left schedules a resubmit after the later of the server's
+  /// retry_after_ms hint and the capped backoff curve; it counts as a
+  /// retry, not as a final reply. Everything else records.
+  void dispatch(ServeRequest request, std::size_t attempt, std::size_t tenant,
+                std::chrono::steady_clock::time_point first_sent,
+                std::uint64_t trials) {
+    auto self = shared_from_this();
+    ServeRequest copy = request;  // survives the move, for a retry
+    submit(std::move(request),
+           [self, copy = std::move(copy), attempt, tenant, first_sent,
+            trials](const ServeReply& r) mutable {
+             const std::shared_ptr<TenantSink>& sink = self->sinks[tenant];
+             if (is_backpressure(r.status) && attempt < self->max_retries) {
+               const std::uint64_t delay = std::max(
+                   r.retry_after_ms,
+                   dist::backoff_delay_ms(
+                       self->base_ms, self->cap_ms,
+                       static_cast<unsigned>(attempt),
+                       self->seed ^ copy.request_id));
+               bool scheduled = false;
+               {
+                 std::lock_guard<std::mutex> lock(self->mutex);
+                 if (!self->closed) {
+                   RetryItem item;
+                   item.due = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(delay);
+                   item.request = std::move(copy);
+                   item.attempt = attempt + 1;
+                   item.tenant = tenant;
+                   item.first_sent = first_sent;
+                   item.trials = trials;
+                   self->queue.push_back(std::move(item));
+                   scheduled = true;
+                 }
+               }
+               if (scheduled) {
+                 self->cv.notify_all();
+                 std::lock_guard<std::mutex> lock(sink->mutex);
+                 ++sink->report.retries;
+                 return;  // not final: the request is still in flight
+               }
+               // Scheduler closed (run_load gave up waiting): the
+               // reject is this request's final word after all.
+             }
+             const double latency_ms =
+                 std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - first_sent)
+                     .count();
+             sink->record(r, latency_ms, trials);
+           });
+  }
+
+  /// Sleeps out the backoff of the earliest scheduled retry and
+  /// resubmits it. Items still queued at close are dropped — their
+  /// requests stay unresolved and surface in `lost`, which is the
+  /// honest reading of "the budget did not fit the reply timeout".
+  void retry_loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      if (queue.empty()) {
+        if (closed) return;
+        cv.wait(lock);
+        continue;
+      }
+      const auto it =
+          std::min_element(queue.begin(), queue.end(),
+                           [](const RetryItem& a, const RetryItem& b) {
+                             return a.due < b.due;
+                           });
+      if (closed) return;
+      const auto now = std::chrono::steady_clock::now();
+      if (it->due > now) {
+        cv.wait_until(lock, it->due);
+        continue;
+      }
+      RetryItem item = std::move(*it);
+      queue.erase(it);
+      lock.unlock();
+      dispatch(std::move(item.request), item.attempt, item.tenant,
+               item.first_sent, item.trials);
+      lock.lock();
+    }
+  }
+};
+
 }  // namespace
 
 LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
@@ -92,6 +205,15 @@ LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
   for (std::size_t i = 0; i < config.tenants.size(); ++i) {
     sinks.push_back(std::make_shared<TenantSink>());
   }
+
+  auto dispatcher = std::make_shared<Dispatcher>();
+  dispatcher->submit = submit;
+  dispatcher->sinks = sinks;
+  dispatcher->max_retries = config.max_retries;
+  dispatcher->base_ms = config.retry_base_ms;
+  dispatcher->cap_ms = config.retry_cap_ms;
+  dispatcher->seed = config.seed;
+  std::thread retry_thread([dispatcher] { dispatcher->retry_loop(); });
 
   // One driver thread per tenant: open-loop Poisson arrivals pinned to
   // an absolute schedule (sleep_until, not sleep_for — queueing delay
@@ -130,25 +252,27 @@ LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
           std::lock_guard<std::mutex> lock(sink->mutex);
           ++sink->submitted;
         }
-        submit(std::move(request), [sink, sent, trials](const ServeReply& r) {
-          const double latency_ms =
-              std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - sent)
-                  .count();
-          sink->record(r, latency_ms, trials);
-        });
+        dispatcher->dispatch(std::move(request), /*attempt=*/0, i, sent,
+                             trials);
       }
     });
   }
   for (std::thread& driver : drivers) driver.join();
 
-  // All arrivals are in; wait (bounded) for the reply tail.
+  // All arrivals are in; wait (bounded) for the reply tail — which,
+  // with a retry budget, includes every scheduled resubmission.
   const auto deadline = std::chrono::steady_clock::now() + config.reply_timeout;
   for (auto& sink : sinks) {
     std::unique_lock<std::mutex> lock(sink->mutex);
     sink->cv.wait_until(lock, deadline,
                         [&] { return sink->replies >= sink->submitted; });
   }
+  {
+    std::lock_guard<std::mutex> lock(dispatcher->mutex);
+    dispatcher->closed = true;
+  }
+  dispatcher->cv.notify_all();
+  retry_thread.join();
 
   LoadReport out;
   out.wall_seconds = std::chrono::duration<double>(
@@ -172,6 +296,7 @@ LoadReport run_load(const LoadConfig& config, const SubmitFn& submit) {
     out.total_backpressure += report.rejected_queue_full +
                               report.rejected_bytes + report.shed_early;
     out.total_shed_deadline += report.shed_deadline;
+    out.total_retries += report.retries;
     out.total_lost += report.lost;
     out.tenants.push_back(std::move(report));
   }
@@ -205,6 +330,9 @@ void ClientTransport::submit(ServeRequest&& request,
     pending_.emplace(request.request_id, std::move(done));
   }
   try {
+    // Frame writes must not interleave: the tenant driver and the
+    // retry scheduler can both submit on this connection.
+    std::lock_guard<std::mutex> send_lock(send_mutex_);
     client_.send(request);
   } catch (const std::exception& e) {
     std::function<void(const ServeReply&)> cb;

@@ -47,6 +47,19 @@ struct LoadConfig {
   /// Extra patience for the tail after the last arrival, before
   /// missing replies are declared lost.
   std::chrono::milliseconds reply_timeout{30000};
+
+  /// Backpressure retry budget per request (0 = report rejects as
+  /// final, the historical behaviour). With budget left, a
+  /// rejected_*/shed_early reply is resubmitted after the later of the
+  /// server's retry_after_ms hint and the capped exponential backoff
+  /// curve (dist::backoff_delay_ms — base * 2^attempt, capped, plus
+  /// jitter). Intermediate backpressure replies are counted in
+  /// `retries`, not in the reject columns; only each request's final
+  /// reply lands in the status counters, so `lost` keeps meaning
+  /// "submitted minus resolved".
+  std::size_t max_retries = 0;
+  std::uint64_t retry_base_ms = 25;
+  std::uint64_t retry_cap_ms = 1000;
 };
 
 /// Latency summary in milliseconds (nearest-rank percentiles over the
@@ -71,8 +84,13 @@ struct TenantLoadReport {
   std::size_t shed_deadline = 0;
   std::size_t shutdown = 0;
   std::size_t errors = 0;
-  /// submitted minus replies received — the invariant the smoke gate
-  /// asserts is exactly zero.
+  /// Resubmissions after backpressure replies (each one consumed a
+  /// unit of the retry budget). Reported separately: a retried request
+  /// appears once in `submitted` and once in whichever column its
+  /// final reply lands in.
+  std::size_t retries = 0;
+  /// submitted minus requests resolved with a final reply — the
+  /// invariant the smoke gate asserts is exactly zero.
   std::size_t lost = 0;
   std::uint64_t ok_trials = 0;  ///< trial-cost of the kOk replies
   double throughput_rps = 0.0;  ///< kOk replies per wall second
@@ -84,8 +102,9 @@ struct LoadReport {
   std::vector<TenantLoadReport> tenants;
   std::size_t total_submitted = 0;
   std::size_t total_ok = 0;
-  std::size_t total_backpressure = 0;  ///< rejects + early sheds
+  std::size_t total_backpressure = 0;  ///< rejects + early sheds (final)
   std::size_t total_shed_deadline = 0;
+  std::size_t total_retries = 0;
   std::size_t total_lost = 0;
 };
 
@@ -103,8 +122,10 @@ LoadReport run_load(const LoadConfig& config, const SubmitFn& submit);
 LatencySummary summarize_latencies(std::vector<double> latencies_ms);
 
 /// Socket adapter giving one connection the SubmitFn shape: a writer
-/// path (caller thread) plus one receiver thread correlating replies
-/// by request_id. Submit-side request_ids must be unique per adapter.
+/// path (caller threads — submit is safe to call concurrently, frames
+/// serialise behind a send lock) plus one receiver thread correlating
+/// replies by request_id. Submit-side request_ids must be unique per
+/// adapter among in-flight requests.
 class ClientTransport {
  public:
   explicit ClientTransport(const Endpoint& endpoint);
@@ -125,6 +146,7 @@ class ClientTransport {
   void receive_loop();
 
   ServeClient client_;
+  std::mutex send_mutex_;  ///< serialises frame writes across threads
   std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::uint64_t, std::function<void(const ServeReply&)>> pending_;

@@ -406,8 +406,8 @@ std::optional<Frame> read_frame(int fd) {
                              std::to_string(kProtocolVersion) + ")");
   }
   const auto type = static_cast<std::uint8_t>(header[sizeof version]);
-  if (type != static_cast<std::uint8_t>(MessageType::kRequest) &&
-      type != static_cast<std::uint8_t>(MessageType::kReply)) {
+  if (type < static_cast<std::uint8_t>(MessageType::kRequest) ||
+      type > static_cast<std::uint8_t>(MessageType::kDistBlock)) {
     throw std::runtime_error("serve protocol: unknown message type");
   }
   const std::uint64_t len = read_varint_fd(fd);

@@ -43,6 +43,17 @@ inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
 enum class MessageType : std::uint8_t {
   kRequest = 1,
   kReply = 2,
+
+  // Distributed-run dialect (src/dist/, DESIGN.md §9). Same frame
+  // layer, disjoint type space: a worker that dials a serve endpoint
+  // (or vice versa) fails loudly on the first frame's type, not by
+  // misparsing a payload.
+  kDistHello = 3,         ///< worker -> coordinator: identity
+  kDistJob = 4,           ///< coordinator -> worker: the workload
+  kDistLeaseRequest = 5,  ///< worker -> coordinator: give me trials
+  kDistLeaseGrant = 6,    ///< coordinator -> worker: range | wait | done
+  kDistHeartbeat = 7,     ///< worker -> coordinator: lease liveness
+  kDistBlock = 8,         ///< worker -> coordinator: shard result rows
 };
 
 /// Inline synthetic workload description (the server materialises it

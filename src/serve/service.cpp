@@ -353,18 +353,7 @@ ServeReply AnalysisService::execute(Pending& pending) {
   return reply;
 }
 
-std::shared_ptr<const ServedWorkload> AnalysisService::workload_for_synth(
-    const SynthSpec& spec) {
-  const std::string key = spec.cache_key();
-  {
-    std::lock_guard<std::mutex> lock(synth_mutex_);
-    const auto it = synth_cache_.find(key);
-    if (it != synth_cache_.end()) return it->second;
-  }
-  // Materialise outside the lock: concurrent requests against
-  // *different* specs must not serialise behind one generation. A
-  // same-spec race builds twice; the first insert wins and the loser's
-  // copy is dropped (generation is deterministic, so both are equal).
+ServedWorkload materialize_synth(const SynthSpec& spec) {
   synth::Catalogue catalogue =
       synth::Catalogue::make(spec.catalogue, 6, 1000.0);
   synth::YetGeneratorConfig yet_cfg;
@@ -372,8 +361,8 @@ std::shared_ptr<const ServedWorkload> AnalysisService::workload_for_synth(
   yet_cfg.target_events_per_trial = spec.events_per_trial;
   yet_cfg.seed = spec.seed;
 
-  auto workload = std::make_shared<ServedWorkload>();
-  workload->yet = synth::generate_yet(catalogue, yet_cfg);
+  ServedWorkload workload;
+  workload.yet = synth::generate_yet(catalogue, yet_cfg);
 
   synth::PortfolioGeneratorConfig portfolio_cfg;
   portfolio_cfg.elt_count = std::max<std::size_t>(spec.elts, 2);
@@ -389,7 +378,23 @@ std::shared_ptr<const ServedWorkload> AnalysisService::workload_for_synth(
   portfolio_cfg.elt.terms.limit = 5.0e8;
   portfolio_cfg.elt.terms.share = 0.8;
   portfolio_cfg.seed = spec.seed + 1;
-  workload->portfolio = synth::generate_portfolio(catalogue, portfolio_cfg);
+  workload.portfolio = synth::generate_portfolio(catalogue, portfolio_cfg);
+  return workload;
+}
+
+std::shared_ptr<const ServedWorkload> AnalysisService::workload_for_synth(
+    const SynthSpec& spec) {
+  const std::string key = spec.cache_key();
+  {
+    std::lock_guard<std::mutex> lock(synth_mutex_);
+    const auto it = synth_cache_.find(key);
+    if (it != synth_cache_.end()) return it->second;
+  }
+  // Materialise outside the lock: concurrent requests against
+  // *different* specs must not serialise behind one generation. A
+  // same-spec race builds twice; the first insert wins and the loser's
+  // copy is dropped (generation is deterministic, so both are equal).
+  auto workload = std::make_shared<ServedWorkload>(materialize_synth(spec));
 
   std::lock_guard<std::mutex> lock(synth_mutex_);
   const auto [it, inserted] = synth_cache_.emplace(key, workload);

@@ -54,6 +54,13 @@ struct ServedWorkload {
   Portfolio portfolio;
 };
 
+/// Materialises a SynthSpec into a workload — the single definition of
+/// the synth recipe (catalogue depth, ELT terms, seed derivation).
+/// Shared by the service's cache and by distributed workers, which
+/// must regenerate bitwise the same YET/portfolio the coordinator's
+/// monolithic reference run uses. Deterministic in the spec.
+ServedWorkload materialize_synth(const SynthSpec& spec);
+
 /// Post-dispatch outcome counters (the queueing-side counters live in
 /// serve::TenantCounters).
 struct DispatchCounters {

@@ -1,0 +1,89 @@
+#include "core/crc32c.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ara {
+namespace {
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 / Castagnoli check value for "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32c(0, digits, 9), 0xE3069283u);
+  // Empty input leaves the running CRC unchanged.
+  EXPECT_EQ(crc32c(0, digits, 0), 0u);
+  EXPECT_EQ(crc32c(0x12345678u, digits, 0), 0x12345678u);
+  // 32 zero bytes (iSCSI test vector).
+  const std::vector<unsigned char> zeros(32, 0);
+  EXPECT_EQ(crc32c(0, zeros.data(), zeros.size()), 0x8A9136AAu);
+  // 32 0xFF bytes (iSCSI test vector).
+  const std::vector<unsigned char> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(0, ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalEqualsOneShot) {
+  std::mt19937_64 rng(2013);
+  std::vector<unsigned char> data(4096 + 17);
+  for (auto& b : data) b = static_cast<unsigned char>(rng());
+  const std::uint32_t whole = crc32c(0, data.data(), data.size());
+  // Any split point folds to the same CRC when fed incrementally.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                std::size_t{7}, std::size_t{4096},
+                                data.size()}) {
+    const std::uint32_t head = crc32c(0, data.data(), cut);
+    EXPECT_EQ(crc32c(head, data.data() + cut, data.size() - cut), whole)
+        << "split at " << cut;
+  }
+}
+
+TEST(Crc32c, CombineMatchesConcatenation) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t na = static_cast<std::size_t>(rng() % 2000);
+    const std::size_t nb = static_cast<std::size_t>(rng() % 2000);
+    std::vector<unsigned char> a(na), b(nb);
+    for (auto& x : a) x = static_cast<unsigned char>(rng());
+    for (auto& x : b) x = static_cast<unsigned char>(rng());
+    std::vector<unsigned char> ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    const std::uint32_t crc_a = crc32c(0, a.data(), na);
+    const std::uint32_t crc_b = crc32c(0, b.data(), nb);
+    EXPECT_EQ(crc32c_combine(crc_a, crc_b, nb),
+              crc32c(0, ab.data(), ab.size()))
+        << "na=" << na << " nb=" << nb;
+  }
+}
+
+TEST(Crc32c, CombineIsAssociative) {
+  const std::string a = "aggregate ";
+  const std::string b = "risk ";
+  const std::string c = "analysis";
+  const std::uint32_t ca = crc32c(0, a.data(), a.size());
+  const std::uint32_t cb = crc32c(0, b.data(), b.size());
+  const std::uint32_t cc = crc32c(0, c.data(), c.size());
+  const std::uint32_t left =
+      crc32c_combine(crc32c_combine(ca, cb, b.size()), cc, c.size());
+  const std::uint32_t right =
+      crc32c_combine(ca, crc32c_combine(cb, cc, c.size()), b.size() + c.size());
+  const std::string abc = a + b + c;
+  EXPECT_EQ(left, crc32c(0, abc.data(), abc.size()));
+  EXPECT_EQ(right, left);
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<unsigned char> data(257, 0x5A);
+  const std::uint32_t clean = crc32c(0, data.data(), data.size());
+  for (const std::size_t bit : {std::size_t{0}, std::size_t{77},
+                                data.size() * 8 - 1}) {
+    data[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_NE(crc32c(0, data.data(), data.size()), clean) << "bit " << bit;
+    data[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+}
+
+}  // namespace
+}  // namespace ara

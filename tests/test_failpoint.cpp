@@ -1,0 +1,126 @@
+#include "core/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ara::fail {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().disarm_all(); }
+  void TearDown() override { Registry::instance().disarm_all(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires) {
+  auto& reg = Registry::instance();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(reg.fire("test.unarmed").has_value());
+  }
+  EXPECT_EQ(reg.stats("test.unarmed").fires, 0u);
+}
+
+TEST_F(FailpointTest, ProbabilityOneAlwaysFiresWithValue) {
+  auto& reg = Registry::instance();
+  reg.arm("test.always", 1.0, /*seed=*/3, /*value=*/42.5);
+  for (int i = 0; i < 10; ++i) {
+    const auto fired = reg.fire("test.always");
+    ASSERT_TRUE(fired.has_value());
+    EXPECT_EQ(*fired, 42.5);
+  }
+  EXPECT_EQ(reg.stats("test.always").hits, 10u);
+  EXPECT_EQ(reg.stats("test.always").fires, 10u);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFiresButCountsHits) {
+  auto& reg = Registry::instance();
+  reg.arm("test.never", 0.0, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(reg.fire("test.never").has_value());
+  }
+  EXPECT_EQ(reg.stats("test.never").hits, 50u);
+  EXPECT_EQ(reg.stats("test.never").fires, 0u);
+}
+
+TEST_F(FailpointTest, SeededFiringIsDeterministic) {
+  auto& reg = Registry::instance();
+  std::vector<bool> first;
+  reg.arm("test.coin", 0.5, /*seed=*/99);
+  for (int i = 0; i < 64; ++i) first.push_back(reg.fire("test.coin").has_value());
+  // Re-arming with the same seed replays the identical firing sequence.
+  reg.arm("test.coin", 0.5, /*seed=*/99);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(reg.fire("test.coin").has_value(), first[i]) << "roll " << i;
+  }
+  // Some of each — p=0.5 over 64 rolls with both outcomes absent would
+  // mean the RNG is broken, not unlucky.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FailpointTest, MaxFiresCapsTheSite) {
+  auto& reg = Registry::instance();
+  reg.arm("test.capped", 1.0, 3, 0.0, /*max_fires=*/2);
+  EXPECT_TRUE(reg.fire("test.capped").has_value());
+  EXPECT_TRUE(reg.fire("test.capped").has_value());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(reg.fire("test.capped").has_value());
+  }
+  EXPECT_EQ(reg.stats("test.capped").fires, 2u);
+}
+
+TEST_F(FailpointTest, SpecGrammarArmsMultipleSites) {
+  auto& reg = Registry::instance();
+  reg.arm_from_spec("a.one=1;b.two=1:7:123.5:1;c.three=0");
+  ASSERT_TRUE(reg.fire("a.one").has_value());
+  const auto two = reg.fire("b.two");
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(*two, 123.5);
+  EXPECT_FALSE(reg.fire("b.two").has_value());  // max_fires=1
+  EXPECT_FALSE(reg.fire("c.three").has_value());
+}
+
+TEST_F(FailpointTest, BadSpecsThrowLoudly) {
+  auto& reg = Registry::instance();
+  EXPECT_THROW(reg.arm_from_spec("no_equals_sign"), std::invalid_argument);
+  EXPECT_THROW(reg.arm_from_spec("site="), std::invalid_argument);
+  EXPECT_THROW(reg.arm_from_spec("site=notanumber"), std::invalid_argument);
+  EXPECT_THROW(reg.arm_from_spec("site=2.0"), std::invalid_argument);
+  EXPECT_THROW(reg.arm_from_spec("site=-0.5"), std::invalid_argument);
+  EXPECT_THROW(reg.arm_from_spec("=0.5"), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, DisarmAllSilencesArmedSites) {
+  auto& reg = Registry::instance();
+  reg.arm("test.loud", 1.0, 1);
+  ASSERT_TRUE(reg.fire("test.loud").has_value());
+  reg.disarm_all();
+  EXPECT_FALSE(reg.fire("test.loud").has_value());
+}
+
+TEST_F(FailpointTest, MacroRunsActionOnlyWhenCompiledIn) {
+  auto& reg = Registry::instance();
+  reg.arm("test.macro", 1.0, 1, 7.0);
+  int ran = 0;
+  double value = 0.0;
+  ARA_FAILPOINT("test.macro", {
+    ++ran;
+    value = *ara_fp;
+  });
+  if (compiled_in()) {
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(value, 7.0);
+    // The macro evaluated the site.
+    EXPECT_EQ(reg.stats("test.macro").fires, 1u);
+  } else {
+    // Sites compiled out: no action, no registry traffic.
+    EXPECT_EQ(ran, 0);
+    EXPECT_EQ(reg.stats("test.macro").fires, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ara::fail

@@ -107,6 +107,79 @@ TEST(BinaryIo, FileHelpersRoundTrip) {
                std::runtime_error);
 }
 
+TEST(BinaryIo, YltTrailerDetectsBitFlips) {
+  const synth::Scenario s = synth::tiny(16, 2);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+  std::stringstream buf;
+  write_ylt(buf, ylt);
+  std::string bytes = buf.str();
+  // A flip anywhere in either table must fail the load with a message
+  // naming the corrupted row. Header: 8 magic + 4 version + 2 x u64.
+  const std::size_t header = 8 + 4 + 8 + 8;
+  const std::size_t table_bytes =
+      ylt.layer_count() * ylt.trial_count() * sizeof(double);
+  for (const std::size_t offset :
+       {header, header + table_bytes / 2, header + 2 * table_bytes - 1}) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x10);
+    std::stringstream in(corrupt);
+    try {
+      read_ylt(in);
+      FAIL() << "flip at byte " << offset << " loaded silently";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // A flip inside the trailer itself must also refuse the load.
+  std::string corrupt = bytes;
+  corrupt.back() = static_cast<char>(corrupt.back() ^ 0x01);
+  std::stringstream in(corrupt);
+  EXPECT_THROW(read_ylt(in), std::runtime_error);
+  // The unflipped bytes still load, and bitwise match.
+  std::stringstream ok(bytes);
+  EXPECT_EQ(read_ylt(ok).annual_raw(), ylt.annual_raw());
+}
+
+TEST(BinaryIo, YltTruncatedTrailerFailsLoudly) {
+  const synth::Scenario s = synth::tiny(8, 1);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+  std::stringstream buf;
+  write_ylt(buf, ylt);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 2);  // half a trailer CRC missing
+  std::stringstream in(bytes);
+  EXPECT_THROW(read_ylt(in), std::runtime_error);
+}
+
+TEST(BinaryIo, YltVersionOneFilesStillLoad) {
+  // Files written before the CRC trailer (version 1: header + the two
+  // tables, nothing after) must keep loading byte for byte.
+  const synth::Scenario s = synth::tiny(12, 3);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+  std::stringstream v1;
+  v1.write("ARAYLT01", 8);
+  const std::uint32_t version = 1;
+  v1.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t layers = ylt.layer_count();
+  const std::uint64_t trials = ylt.trial_count();
+  v1.write(reinterpret_cast<const char*>(&layers), sizeof(layers));
+  v1.write(reinterpret_cast<const char*>(&trials), sizeof(trials));
+  v1.write(reinterpret_cast<const char*>(ylt.annual_raw().data()),
+           static_cast<std::streamsize>(ylt.annual_raw().size() *
+                                        sizeof(double)));
+  v1.write(reinterpret_cast<const char*>(ylt.max_occurrence_raw().data()),
+           static_cast<std::streamsize>(ylt.max_occurrence_raw().size() *
+                                        sizeof(double)));
+  const Ylt loaded = read_ylt(v1);
+  EXPECT_EQ(loaded.annual_raw(), ylt.annual_raw());
+  EXPECT_EQ(loaded.max_occurrence_raw(), ylt.max_occurrence_raw());
+}
+
 TEST(BinaryIo, AnalysisReproducibleFromSavedInputs) {
   // Save -> load -> run must equal run on the originals (bitwise).
   const synth::Scenario s = synth::tiny(16, 6);

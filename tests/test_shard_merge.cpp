@@ -186,5 +186,43 @@ TEST(ShardMergeAlgebra, RejectsGapsOverlapsAndDoubleCoverage) {
   EXPECT_THROW(bounds.add(partials[1]), std::invalid_argument);
 }
 
+TEST(ShardMergeAlgebra, ErrorsNameTheOffendingTrialRanges) {
+  const synth::Scenario s = synth::tiny(20, 43);
+  const std::vector<SimulationResult> partials = make_partials(s, 10);
+  ASSERT_EQ(partials.size(), 2u);
+
+  // Overlap names the range that was added twice.
+  ShardMerger overlap(s.portfolio.layer_count(), s.yet.trial_count());
+  overlap.add(partials[0]);
+  try {
+    overlap.add(partials[0]);
+    FAIL() << "overlapping add did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[0, 10)"), std::string::npos) << what;
+  }
+
+  // A gap at finish names the uncovered range.
+  ShardMerger gap(s.portfolio.layer_count(), s.yet.trial_count());
+  gap.add(partials[0]);
+  try {
+    gap.finish();
+    FAIL() << "finish over a gap did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[10, 20)"), std::string::npos) << what;
+  }
+
+  // Out-of-bounds names the shard's range too.
+  ShardMerger bounds(s.portfolio.layer_count(), 5);
+  try {
+    bounds.add(partials[1]);
+    FAIL() << "out-of-bounds add did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[10, 20)"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace ara

@@ -10,8 +10,11 @@
 // the contract.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/session.hpp"
 #include "synth/scenarios.hpp"
 
@@ -245,6 +248,46 @@ TEST(ShardedExecution, EnginePartialRunsMatchMonolithicRows) {
       }
     }
   }
+}
+
+// A worker that dies mid-shard must surface through the caller's
+// future as an error naming the trial range it was running, not as an
+// anonymous pool failure (the batch caller needs to know WHICH slice
+// of the workload is missing). Forced via the shard.worker_throw
+// failpoint; skipped when failpoints are compiled out (Release).
+TEST(ShardedExecution, WorkerFailureNamesTheShardRange) {
+  if (!fail::compiled_in()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const synth::Scenario s = synth::tiny(kTrials, 11);
+  AnalysisSession session;
+  AnalysisRequest request = request_for(s.portfolio, s.yet);
+  request.policy = sharded_policy(EngineKind::kSequentialFused, 7);
+
+  fail::Registry::instance().arm("shard.worker_throw", 1.0, /*seed=*/1,
+                                 /*value=*/0.0, /*max_fires=*/1);
+  try {
+    std::vector<AnalysisRequest> batch{request};
+    auto futures = session.run_batch_async(batch);
+    futures[0].get();
+    FAIL() << "injected worker fault did not surface";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard ["), std::string::npos) << what;
+    EXPECT_NE(what.find(") failed: injected shard worker fault"),
+              std::string::npos)
+        << what;
+  }
+  fail::Registry::instance().disarm_all();
+
+  // The session is not poisoned: the same request succeeds afterwards
+  // and still matches the monolithic run bitwise.
+  const AnalysisResult sharded = session.run(request);
+  AnalysisRequest mono = request_for(s.portfolio, s.yet);
+  mono.policy = ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
+  const AnalysisResult reference = session.run(mono);
+  EXPECT_EQ(sharded.simulation.ylt.annual_raw(),
+            reference.simulation.ylt.annual_raw());
 }
 
 }  // namespace

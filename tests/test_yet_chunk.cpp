@@ -241,6 +241,45 @@ TEST(YltChunkWriter, ChunkedFileIsByteIdenticalToSaveYlt) {
   EXPECT_EQ(loaded.annual_raw(), ylt.annual_raw());
 }
 
+TEST(YltChunkWriter, TrailerCatchesBitFlipOnBothReadPaths) {
+  const synth::Scenario s = synth::tiny(18, 4);
+  ReferenceEngine engine;
+  const Ylt ylt = engine.run(s.portfolio, s.yet).ylt;
+  const std::string path = scratch_path("ylt_flip.bin");
+  YltChunkWriter writer(path, ylt.layer_count(), ylt.trial_count());
+  writer.append(ylt, 0);
+  writer.close();
+
+  // Flip one bit in the middle of the data region.
+  std::string bytes = file_bytes(path);
+  const std::size_t header = 8 + 4 + 8 + 8;
+  const std::size_t offset = header + (bytes.size() - header) / 3;
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x04);
+  const std::string corrupt_path = scratch_path("ylt_flip_corrupt.bin");
+  write_bytes(corrupt_path, bytes);
+
+  // The whole-file loader refuses it...
+  EXPECT_THROW(load_ylt(corrupt_path), std::runtime_error);
+  // ...and so does the streaming reader, even for a block that only
+  // touches a slice of the corrupted row (rows verify on first touch).
+  YltChunkReader reader(corrupt_path);
+  EXPECT_THROW(
+      {
+        for (std::size_t begin = 0; begin < reader.trial_count(); begin += 5) {
+          reader.read_block(begin,
+                            std::min(begin + 5, reader.trial_count()));
+        }
+      },
+      std::runtime_error);
+
+  // The pristine file passes both paths.
+  const Ylt whole = load_ylt(path);
+  EXPECT_EQ(whole.annual_raw(), ylt.annual_raw());
+  YltChunkReader ok(path);
+  const Ylt block = ok.read_block(0, ok.trial_count());
+  EXPECT_EQ(block.annual_raw(), ylt.annual_raw());
+}
+
 TEST(YltChunkWriter, RejectsOverlapGapsAndShapeMismatch) {
   const std::string path = scratch_path("ylt_writer_errors.bin");
   YltChunkWriter writer(path, 2, 10);

@@ -13,6 +13,7 @@
 //                    [--simd auto|scalar|force[:N]]
 //                    [--metrics none|layer|portfolio|all]
 //                    [--quantiles P1,P2,..] [--return-periods T1,T2,..]
+//                    [--workers N [--lease-timeout-ms T] [--failpoints SPEC]]
 //   ara_cli run      --list-engines
 //   ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]
 //
@@ -31,6 +32,13 @@
 // widest vector kernel the host supports, "force:N" demands an N-lane
 // kernel and fails loudly when the host cannot provide one.
 //
+// --workers N runs the analysis distributed (DESIGN.md §9): an
+// embedded ShardCoordinator leases trial ranges to N spawned
+// ara_worker processes and merges their CRC-checksummed result blocks
+// into the same bitwise-identical YLT the monolithic run produces —
+// surviving crashed, stalled, or corrupting workers along the way.
+// --failpoints forwards a fault-injection spec to every worker.
+//
 // --metrics asks the session for the declarative metric report
 // (per-layer and/or portfolio scope), refined by --quantiles (VaR/TVaR
 // probability levels) and --return-periods (PML/OEP years). The YLT
@@ -40,6 +48,9 @@
 // --memory-budget) the non-keep modes stream shard blocks through the
 // reducers and chunk writer and never build the layers x trials table;
 // without one the run is monolithic and builds it once (DESIGN.md §6).
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -50,6 +61,7 @@
 #include <vector>
 
 #include "core/engine_factory.hpp"
+#include "dist/coordinator.hpp"
 #include "core/metrics/convergence.hpp"
 #include "core/metrics/risk_measures.hpp"
 #include "core/session.hpp"
@@ -76,8 +88,16 @@ using namespace ara;
       "                   [--simd auto|scalar|force[:N]]\n"
       "                   [--metrics none|layer|portfolio|all]\n"
       "                   [--quantiles P1,P2,..] [--return-periods T1,T2,..]\n"
+      "                   [--workers N [--lease-timeout-ms T]\n"
+      "                   [--failpoints SPEC]]\n"
       "  ara_cli run      --list-engines\n"
       "  ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]\n"
+      "\n"
+      "--workers N runs distributed: a ShardCoordinator leases trial\n"
+      "ranges to N spawned ara_worker processes and merges their\n"
+      "checksummed blocks — bitwise identical to the monolithic run,\n"
+      "surviving worker crashes and stalls (DESIGN.md s9). --failpoints\n"
+      "arms fault-injection sites in the workers for chaos drills.\n"
       "\n"
       "YLT retention: --out keeps the table in memory and saves it;\n"
       "--ylt-out writes it to disk instead of returning it; --no-ylt\n"
@@ -107,7 +127,8 @@ const std::set<std::string>& allowed_flags(const std::string& cmd) {
       "engine",       "gpus",          "cores",         "threads-per-core",
       "block-threads", "chunk-size",   "shard-trials",  "memory-budget",
       "simd",         "metrics",       "quantiles",
-      "return-periods", "list-engines"};
+      "return-periods", "list-engines", "workers",
+      "lease-timeout-ms", "failpoints"};
   static const std::set<std::string> report = {"ylt", "layer", "csv"};
   static const std::set<std::string> none = {};
   if (cmd == "generate") return generate;
@@ -255,6 +276,98 @@ int cmd_list_engines() {
   std::cout << "\n\"auto\" prices every engine with the cost models for the\n"
                "concrete workload and runs the cheapest feasible one.\n";
   return 0;
+}
+
+// Resolves a binary that lives next to this one (the spawned workers
+// must come from the same build as the coordinator).
+std::string sibling_binary(const std::string& name) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return name;  // fall back to PATH lookup
+  buf[n] = '\0';
+  const std::string self(buf);
+  const auto slash = self.find_last_of('/');
+  if (slash == std::string::npos) return name;
+  return self.substr(0, slash + 1) + name;
+}
+
+// Distributed execution (--workers N): embed a ShardCoordinator on a
+// unix socket, spawn N ara_worker children against it, run the job to
+// completion, reap the fleet, and report the recovery counters. The
+// merged result is bitwise identical to the monolithic run.
+AnalysisResult run_distributed(const std::map<std::string, std::string>& flags,
+                               const std::string& in,
+                               const Portfolio& portfolio, const Yet& yet,
+                               const ExecutionPolicy& resolved,
+                               const AnalysisRequest& request,
+                               std::size_t workers) {
+  dist::JobSpec job;
+  job.workload = dist::JobWorkload::kFiles;
+  job.yet_path = in + "/yet.bin";
+  job.portfolio_path = in + "/portfolio.bin";
+  job.engine = engine_kind_name(*resolved.engine);
+  job.simd = static_cast<std::uint8_t>(resolved.simd);
+  job.simd_width = resolved.simd_width;
+  job.trial_count = yet.trial_count();
+  job.layer_count = portfolio.layer_count();
+
+  dist::DistConfig config;
+  config.endpoint = serve::Endpoint::parse(
+      "unix:/tmp/ara_dist_" + std::to_string(::getpid()) + ".sock");
+  config.job = job;
+  config.expected_workers = workers;
+  config.lease_trials =
+      static_cast<std::uint64_t>(get_long(flags, "shard-trials", 0));
+  config.lease_timeout_ms =
+      static_cast<std::uint64_t>(get_long(flags, "lease-timeout-ms", 1000));
+
+  dist::ShardCoordinator coordinator(config);
+  const std::string worker_bin = sibling_binary("ara_worker");
+  const std::string endpoint_arg = "unix:" + coordinator.endpoint().path;
+  const std::string failpoints = get(flags, "failpoints", "");
+
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < workers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error("fork failed while spawning workers");
+    }
+    if (pid == 0) {
+      const std::string id = "worker-" + std::to_string(i);
+      if (failpoints.empty()) {
+        ::execl(worker_bin.c_str(), "ara_worker", "--connect",
+                endpoint_arg.c_str(), "--id", id.c_str(), nullptr);
+      } else {
+        ::execl(worker_bin.c_str(), "ara_worker", "--connect",
+                endpoint_arg.c_str(), "--id", id.c_str(), "--failpoints",
+                failpoints.c_str(), nullptr);
+      }
+      std::cerr << "error: exec " << worker_bin << " failed\n";
+      ::_exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  dist::DistResult result = coordinator.run(request);
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+
+  const dist::DistCounters& c = result.counters;
+  perf::Table table({"distributed", "count"});
+  table.add_row({"workers joined", std::to_string(c.workers_joined)});
+  table.add_row({"workers lost", std::to_string(c.workers_lost)});
+  table.add_row({"leases granted", std::to_string(c.leases_granted)});
+  table.add_row({"leases reassigned", std::to_string(c.leases_reassigned)});
+  table.add_row({"blocks accepted", std::to_string(c.blocks_accepted)});
+  table.add_row({"duplicate blocks", std::to_string(c.duplicate_blocks)});
+  table.add_row({"corrupt blocks", std::to_string(c.corrupt_blocks)});
+  table.add_row({"torn frames", std::to_string(c.torn_frames)});
+  table.add_row({"local shards", std::to_string(c.local_shards)});
+  table.print(std::cout);
+  std::cout << '\n';
+  return std::move(result.analysis);
 }
 
 int cmd_run(const std::map<std::string, std::string>& flags) {
@@ -405,7 +518,33 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   resolved.config = cfg;
   request.policy = resolved;
 
-  const AnalysisResult analysis = session.run(request);
+  const auto workers = static_cast<std::size_t>(get_long(flags, "workers", 0));
+  if (workers == 0 &&
+      (flags.count("failpoints") || flags.count("lease-timeout-ms"))) {
+    usage("--failpoints / --lease-timeout-ms need --workers N");
+  }
+  if (workers > 0) {
+    if (auto_selected) {
+      usage("--workers needs a concrete --engine (auto-selection prices "
+            "local execution, not the fleet)");
+    }
+    // The tuning knobs are not forwarded to workers (they run the
+    // paper config for the chosen engine); refuse them rather than
+    // silently ignoring them.
+    for (const char* knob : {"gpus", "cores", "threads-per-core",
+                             "block-threads", "chunk-size",
+                             "memory-budget"}) {
+      if (flags.count(knob)) {
+        usage(std::string("--") + knob + " does not combine with --workers "
+              "(workers run the engine's paper configuration)");
+      }
+    }
+  }
+
+  const AnalysisResult analysis =
+      workers > 0 ? run_distributed(flags, in, portfolio, yet, resolved,
+                                    request, workers)
+                  : session.run(request);
   const SimulationResult& result = analysis.simulation;
   if (!out.empty()) io::save_ylt(out, result.ylt);
 
@@ -417,7 +556,10 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     std::cout << "simd      : " << simd::simd_policy_name(resolved.simd)
               << " (" << result.simd_isa << " kernel)\n";
   }
-  if (analysis.shard_count > 1) {
+  if (workers > 0) {
+    std::cout << "leases    : " << analysis.shard_count
+              << " (distributed across " << workers << " worker(s))\n";
+  } else if (analysis.shard_count > 1) {
     const ShardPlan plan = session.shard_plan(portfolio, yet, resolved);
     std::cout << "shards    : " << analysis.shard_count << " x "
               << plan.shard_trials << " trials (streaming merge)\n";

@@ -9,10 +9,18 @@
 //               --tenant NAME:WEIGHT:RATE_HZ:REQUESTS[:DEADLINE_MS]...
 //               [--trials N] [--events-per-trial E] [--catalogue C]
 //               [--dataset NAME] [--seed S] [--json FILE]
+//               [--retries N] [--retry-base-ms B] [--retry-cap-ms C]
 //
 // The synth spec flags describe the workload every request names
 // (identical across tenants, so the server shares one cached
 // workload); --dataset switches to a server-registered dataset.
+//
+// Backpressure replies (rejected_queue_full, rejected_bytes,
+// shed_early) are retried up to --retries times (default 3; 0 restores
+// report-rejects-as-final): each resubmit waits out the later of the
+// server's retry_after_ms hint and a capped exponential backoff with
+// jitter. Retries are reported in their own column/JSON field; the
+// status counters only ever see each request's final reply.
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -36,7 +44,12 @@ using namespace ara::serve;
       "  ara_loadgen --connect unix:PATH|HOST:PORT\n"
       "              --tenant NAME:WEIGHT:RATE_HZ:REQUESTS[:DEADLINE_MS]...\n"
       "              [--trials N] [--events-per-trial E] [--catalogue C]\n"
-      "              [--dataset NAME] [--seed S] [--json FILE]\n";
+      "              [--dataset NAME] [--seed S] [--json FILE]\n"
+      "              [--retries N] [--retry-base-ms B] [--retry-cap-ms C]\n"
+      "\n"
+      "Backpressure replies retry up to N times (default 3, 0 = off),\n"
+      "honouring the server's retry_after_ms hint under a capped\n"
+      "exponential backoff with jitter.\n";
   std::exit(2);
 }
 
@@ -85,6 +98,7 @@ void write_json(const std::string& path, const LoadReport& report) {
   out << "  \"total_ok\": " << report.total_ok << ",\n";
   out << "  \"total_backpressure\": " << report.total_backpressure << ",\n";
   out << "  \"total_shed_deadline\": " << report.total_shed_deadline << ",\n";
+  out << "  \"total_retries\": " << report.total_retries << ",\n";
   out << "  \"total_lost\": " << report.total_lost << ",\n";
   out << "  \"tenants\": [\n";
   for (std::size_t i = 0; i < report.tenants.size(); ++i) {
@@ -96,6 +110,7 @@ void write_json(const std::string& path, const LoadReport& report) {
         << ", \"shed_early\": " << t.shed_early
         << ", \"shed_deadline\": " << t.shed_deadline
         << ", \"shutdown\": " << t.shutdown << ", \"errors\": " << t.errors
+        << ", \"retries\": " << t.retries
         << ", \"lost\": " << t.lost << ", \"ok_trials\": " << t.ok_trials
         << ", \"throughput_rps\": " << t.throughput_rps
         << ", \"p50_ms\": " << t.latency.p50
@@ -114,6 +129,7 @@ int main(int argc, char** argv) {
   Endpoint endpoint;
   bool have_connect = false;
   LoadConfig config;
+  config.max_retries = 3;  // --retries 0 restores rejects-as-final
   SynthSpec synth;
   std::string dataset;
   std::string json_path;
@@ -154,6 +170,14 @@ int main(int argc, char** argv) {
       config.seed = static_cast<std::uint64_t>(parse_long(value(), arg));
     } else if (arg == "--json") {
       json_path = value();
+    } else if (arg == "--retries") {
+      config.max_retries = static_cast<std::size_t>(parse_long(value(), arg));
+    } else if (arg == "--retry-base-ms") {
+      config.retry_base_ms =
+          static_cast<std::uint64_t>(parse_long(value(), arg));
+    } else if (arg == "--retry-cap-ms") {
+      config.retry_cap_ms =
+          static_cast<std::uint64_t>(parse_long(value(), arg));
     } else {
       usage("unknown flag: " + arg);
     }
@@ -188,13 +212,14 @@ int main(int argc, char** argv) {
     }
 
     perf::Table table({"tenant", "w", "sent", "ok", "rej", "shed", "ddl",
-                       "lost", "rps", "p50 ms", "p95 ms", "p99 ms"});
+                       "rtry", "lost", "rps", "p50 ms", "p95 ms", "p99 ms"});
     for (const TenantLoadReport& t : report.tenants) {
       table.add_row({t.name, std::to_string(t.weight),
                      std::to_string(t.submitted), std::to_string(t.ok),
                      std::to_string(t.rejected_queue_full + t.rejected_bytes),
                      std::to_string(t.shed_early),
-                     std::to_string(t.shed_deadline), std::to_string(t.lost),
+                     std::to_string(t.shed_deadline),
+                     std::to_string(t.retries), std::to_string(t.lost),
                      perf::format_fixed(t.throughput_rps, 1),
                      perf::format_fixed(t.latency.p50, 2),
                      perf::format_fixed(t.latency.p95, 2),
@@ -203,6 +228,7 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "total: " << report.total_ok << "/" << report.total_submitted
               << " ok, " << report.total_backpressure << " backpressure, "
+              << report.total_retries << " retries, "
               << report.total_shed_deadline << " deadline-shed, "
               << report.total_lost << " lost, wall "
               << perf::format_fixed(report.wall_seconds, 2) << " s\n";
