@@ -1,0 +1,308 @@
+// Adaptive-stopping bench: the tentpole gate for DESIGN.md §10. Two
+// scenarios, each a gate, not just a measurement:
+//
+//   adaptive_aal — an adaptive run targeting the portfolio AAL at a
+//                  tolerance derived from the workload's measured
+//                  coefficient of variation, sized so the stopping
+//                  rule should fire well before the full budget. Gates:
+//                  >= 30% of the trials saved, the adaptive estimate
+//                  within the declared tolerance of the fixed full-run
+//                  estimate, and bitwise reproducibility of a rerun.
+//
+//   race_bai     — three candidate portfolios with separated expected
+//                  losses raced under successive elimination. Gates:
+//                  the BAI winner matches the arm the fixed full runs
+//                  rank best, and pruning spends fewer total trials
+//                  than pricing every arm at full budget.
+//
+// --smoke shrinks the workload for ctest; the gates are identical in
+// both modes because every quantity involved is deterministic for a
+// fixed seed (DESIGN.md §10's reproducibility contract).
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine_factory.hpp"
+#include "core/metrics/stopping.hpp"
+#include "core/session.hpp"
+#include "serve/service.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara::bench_adaptive {
+namespace {
+
+struct AdaptiveOutcome {
+  std::size_t trials_total = 0;
+  std::size_t trials_executed = 0;
+  double saved_pct = 0.0;
+  double rel_tol = 0.0;
+  double estimate_fixed = 0.0;
+  double estimate_adaptive = 0.0;
+  bool within_tolerance = false;
+  bool reproducible = false;
+  double wall_ms = 0.0;
+  bool pass = false;
+};
+
+struct RaceOutcome {
+  std::size_t arms = 0;
+  std::size_t total_trials = 0;
+  std::size_t full_trials = 0;
+  double saved_pct = 0.0;
+  std::size_t winner = 0;
+  std::size_t winner_expected = 0;
+  bool separated = false;
+  double wall_ms = 0.0;
+  bool pass = false;
+};
+
+// The portfolio's per-trial loss (layers summed), from a fixed run's
+// YLT — the same association order the streaming reducers use.
+std::vector<double> portfolio_losses(const Ylt& ylt) {
+  std::vector<double> sums(ylt.trial_count(), 0.0);
+  for (std::size_t layer = 0; layer < ylt.layer_count(); ++layer) {
+    const auto annual = ylt.layer_annual_vector(layer);
+    for (std::size_t t = 0; t < annual.size(); ++t) sums[t] += annual[t];
+  }
+  return sums;
+}
+
+AdaptiveOutcome run_adaptive_scenario(bool smoke) {
+  AdaptiveOutcome out;
+
+  serve::SynthSpec spec;
+  spec.trials = smoke ? 6000 : 40000;
+  spec.events_per_trial = smoke ? 30.0 : 50.0;
+  spec.catalogue = smoke ? 600 : 4000;
+  spec.elts = 3;
+  spec.layers = 2;
+  spec.seed = 1913;
+  const serve::ServedWorkload w = serve::materialize_synth(spec);
+  out.trials_total = w.yet.trial_count();
+
+  // Fixed full-budget baseline: the exact estimate the adaptive run is
+  // judged against, and the cv that sizes the tolerance.
+  const ExecutionPolicy policy =
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
+  const auto engine = make_engine(policy);
+  const SimulationResult mono = engine->run(w.portfolio, w.yet);
+  const std::vector<double> losses = portfolio_losses(mono.ylt);
+  double mean = 0.0;
+  for (const double x : losses) mean += x;
+  mean /= static_cast<double>(losses.size());
+  double var = 0.0;
+  for (const double x : losses) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(losses.size() - 1);
+  const double cv = std::sqrt(var) / mean;
+  out.estimate_fixed = mean;
+
+  // Size the tolerance so the CLT trial requirement lands at ~30% of
+  // the budget: n_req = (z * cv / tol)^2 = 0.3 * total. The geometric
+  // wave schedule overshoots the requirement by at most one growth
+  // step, so the stop lands well under 70% of the budget.
+  const double z = metrics::z_for_confidence(0.95);
+  out.rel_tol = z * cv / std::sqrt(0.3 * static_cast<double>(out.trials_total));
+
+  metrics::StoppingSpec sspec;
+  sspec.relative_tolerance = out.rel_tol;
+  sspec.confidence = 0.95;
+  sspec.min_trials = out.trials_total / 20;
+
+  AnalysisRequest request;
+  request.portfolio = &w.portfolio;
+  request.yet = &w.yet;
+  request.metrics = MetricsSpec::portfolio_rollup();
+  request.ylt_retention = YltRetention::kDiscard;
+  request.stopping = sspec;
+  ExecutionPolicy adaptive_policy = policy;
+  adaptive_policy.shard_trials = out.trials_total / 20;
+  request.policy = adaptive_policy;
+
+  AnalysisSession session;
+  const auto started = std::chrono::steady_clock::now();
+  const AnalysisResult first = session.run(request);
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  const AnalysisResult second = session.run(request);
+
+  out.trials_executed = first.trials_executed;
+  out.saved_pct = 100.0 * (1.0 - static_cast<double>(out.trials_executed) /
+                                     static_cast<double>(out.trials_total));
+  out.estimate_adaptive =
+      first.half_widths.empty() ? 0.0 : first.half_widths[0].estimate;
+  out.within_tolerance =
+      std::abs(out.estimate_adaptive - out.estimate_fixed) <=
+      out.rel_tol * std::abs(out.estimate_fixed);
+  out.reproducible =
+      second.trials_executed == first.trials_executed &&
+      !second.half_widths.empty() &&
+      second.half_widths[0].estimate == out.estimate_adaptive &&
+      second.half_widths[0].half_width == first.half_widths[0].half_width;
+  out.pass = first.stopped_early && out.saved_pct >= 30.0 &&
+             out.within_tolerance && out.reproducible;
+  return out;
+}
+
+RaceOutcome run_race_scenario(bool smoke) {
+  RaceOutcome out;
+
+  const std::size_t trials = smoke ? 6000 : 40000;
+  synth::Catalogue cat = synth::Catalogue::make(smoke ? 600 : 4000, 6, 1000.0);
+  synth::YetGeneratorConfig yc;
+  yc.trials = trials;
+  yc.target_events_per_trial = smoke ? 30.0 : 50.0;
+  yc.seed = 1913;
+  const Yet yet = synth::generate_yet(cat, yc);
+
+  // Three candidate structures with separated expected losses: the
+  // same layer shape, ELT severities scaled apart, so the fixed runs
+  // rank them unambiguously and elimination has something to prune.
+  const double scales[] = {1.0, 1.3, 1.6};
+  std::vector<Portfolio> portfolios;
+  for (std::size_t i = 0; i < 3; ++i) {
+    synth::PortfolioGeneratorConfig pc;
+    pc.elt_count = 3;
+    pc.layer_count = 2;
+    pc.min_elts_per_layer = 3;
+    pc.max_elts_per_layer = 3;
+    pc.elt.record_count = smoke ? 60 : 400;
+    pc.elt.mean_loss = 2.0e6 * scales[i];
+    pc.elt.terms.retention = 1.0e5;
+    pc.elt.terms.limit = 5.0e8;
+    pc.elt.terms.share = 0.8;
+    pc.seed = 1914;
+    portfolios.push_back(synth::generate_portfolio(cat, pc));
+  }
+  out.arms = portfolios.size();
+  out.full_trials = trials * portfolios.size();
+
+  // The ranking the race must reproduce: fixed full-budget AAL per arm.
+  const ExecutionPolicy policy =
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
+  const auto engine = make_engine(policy);
+  double best = 0.0;
+  for (std::size_t i = 0; i < portfolios.size(); ++i) {
+    const SimulationResult r = engine->run(portfolios[i], yet);
+    const std::vector<double> losses = portfolio_losses(r.ylt);
+    double mean = 0.0;
+    for (const double x : losses) mean += x;
+    mean /= static_cast<double>(losses.size());
+    if (i == 0 || mean < best) {
+      best = mean;
+      out.winner_expected = i;
+    }
+  }
+
+  std::vector<RaceEntry> entries;
+  for (std::size_t i = 0; i < portfolios.size(); ++i) {
+    entries.push_back({"arm" + std::to_string(i), &portfolios[i]});
+  }
+  RaceSpec spec;
+  spec.objective = {metrics::StopMetric::kAal, 0.0};
+  spec.minimize = true;
+  spec.confidence = 0.95;
+  spec.min_trials = trials / 20;
+  ExecutionPolicy race_policy = policy;
+  race_policy.shard_trials = trials / 20;
+  spec.policy = race_policy;
+
+  AnalysisSession session;
+  const auto started = std::chrono::steady_clock::now();
+  const RaceResult result = session.race(entries, yet, spec);
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+
+  out.total_trials = result.total_trials;
+  out.saved_pct = 100.0 * (1.0 - static_cast<double>(out.total_trials) /
+                                     static_cast<double>(out.full_trials));
+  out.winner = result.winner;
+  out.separated = result.separated;
+  out.pass = out.winner == out.winner_expected && out.saved_pct >= 10.0;
+  return out;
+}
+
+void write_json(const std::string& path, const AdaptiveOutcome& a,
+                const RaceOutcome& r, bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_adaptive: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"adaptive\",\n  \"mode\": \""
+      << (smoke ? "smoke" : "full") << "\",\n  \"scenarios\": [\n"
+      << "    {\n"
+      << "      \"name\": \"adaptive_aal\",\n"
+      << "      \"trials_total\": " << a.trials_total << ",\n"
+      << "      \"trials_executed\": " << a.trials_executed << ",\n"
+      << "      \"trials_saved_pct\": " << a.saved_pct << ",\n"
+      << "      \"rel_tol\": " << a.rel_tol << ",\n"
+      << "      \"estimate_fixed\": " << a.estimate_fixed << ",\n"
+      << "      \"estimate_adaptive\": " << a.estimate_adaptive << ",\n"
+      << "      \"within_tolerance\": "
+      << (a.within_tolerance ? "true" : "false") << ",\n"
+      << "      \"reproducible\": " << (a.reproducible ? "true" : "false")
+      << ",\n"
+      << "      \"wall_ms\": " << a.wall_ms << ",\n"
+      << "      \"pass\": " << (a.pass ? "true" : "false") << "\n"
+      << "    },\n"
+      << "    {\n"
+      << "      \"name\": \"race_bai\",\n"
+      << "      \"arms\": " << r.arms << ",\n"
+      << "      \"total_trials\": " << r.total_trials << ",\n"
+      << "      \"full_trials\": " << r.full_trials << ",\n"
+      << "      \"trials_saved_pct\": " << r.saved_pct << ",\n"
+      << "      \"winner\": " << r.winner << ",\n"
+      << "      \"winner_expected\": " << r.winner_expected << ",\n"
+      << "      \"separated\": " << (r.separated ? "true" : "false") << ",\n"
+      << "      \"wall_ms\": " << r.wall_ms << ",\n"
+      << "      \"pass\": " << (r.pass ? "true" : "false") << "\n"
+      << "    }\n"
+      << "  ]\n}\n";
+  std::cout << "bench_adaptive: wrote " << path << "\n";
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_adaptive.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  const AdaptiveOutcome a = run_adaptive_scenario(smoke);
+  std::cout << "  adaptive_aal: " << a.trials_executed << "/"
+            << a.trials_total << " trials (saved " << a.saved_pct
+            << "%) estimate "
+            << (a.within_tolerance ? "within" : "OUTSIDE") << " tolerance, "
+            << (a.reproducible ? "reproducible" : "NOT REPRODUCIBLE")
+            << " -> " << (a.pass ? "pass" : "FAIL") << "\n";
+
+  const RaceOutcome r = run_race_scenario(smoke);
+  std::cout << "  race_bai: winner arm" << r.winner << " (expected arm"
+            << r.winner_expected << "), " << r.total_trials << "/"
+            << r.full_trials << " trials (saved " << r.saved_pct << "%), "
+            << (r.separated ? "separated" : "budget-bound") << " -> "
+            << (r.pass ? "pass" : "FAIL") << "\n";
+
+  write_json(out_path, a, r, smoke);
+  if (!a.pass || !r.pass) {
+    std::cerr << "bench_adaptive: GATE FAILED\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ara::bench_adaptive
+
+int main(int argc, char** argv) {
+  return ara::bench_adaptive::run(argc, argv);
+}

@@ -21,6 +21,7 @@
 #include "core/engine_factory.hpp"
 #include "core/layer.hpp"
 #include "core/metrics/metrics_spec.hpp"
+#include "core/metrics/stopping.hpp"
 #include "core/yet.hpp"
 #include "extensions/reinstatements.hpp"
 #include "extensions/secondary_uncertainty.hpp"
@@ -103,6 +104,19 @@ struct AnalysisRequest {
   /// layer), the session additionally prices the layers as XL treaties
   /// with reinstatements and fills AnalysisResult::reinstatements.
   std::vector<ext::ReinstatementTerms> reinstatement_terms;
+
+  /// Adaptive execution (opt-in): when set, the session runs shard
+  /// waves incrementally and stops granting trial ranges once every
+  /// targeted confidence interval is inside tolerance (or the budget
+  /// runs out) — AnalysisResult::trials_executed / stopped_early /
+  /// half_widths report the outcome. Absent (the default), execution
+  /// is the classic fixed-trial run, bitwise identical to before this
+  /// field existed. Adaptive runs are reproducible for a given seed
+  /// and shard size, but not comparable bitwise to fixed runs unless
+  /// they happen to execute the full workload. Incompatible with
+  /// kSpillToFile retention and with reinstatement pricing (both
+  /// assume the full fixed trial count up front).
+  std::optional<metrics::StoppingSpec> stopping;
 
   /// Secondary-uncertainty extension: when set, the analysis draws a
   /// damage multiplier per occurrence instead of taking ELT losses as

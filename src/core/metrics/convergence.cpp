@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/metrics/stats.hpp"
+#include "core/metrics/stopping.hpp"
 #include "synth/rng.hpp"
 
 namespace ara::metrics {
@@ -24,44 +26,6 @@ void validate_sizes(std::span<const double> losses,
     }
     prev = n;
   }
-}
-
-// Inverse normal CDF for the central confidence levels we use
-// (Beasley-Springer-Moro rational approximation; adequate far from the
-// extreme tails).
-double z_for_confidence(double confidence) {
-  if (!(confidence > 0.5 && confidence < 1.0)) {
-    throw std::invalid_argument(
-        "convergence: confidence must be in (0.5, 1)");
-  }
-  const double p = 0.5 + confidence / 2.0;  // two-sided
-  // Moro's algorithm, central region |p-0.5| <= 0.42 covers conf<=0.84;
-  // use the tail branch otherwise.
-  const double a[4] = {2.50662823884, -18.61500062529, 41.39119773534,
-                       -25.44106049637};
-  const double b[4] = {-8.47351093090, 23.08336743743, -21.06224101826,
-                       3.13082909833};
-  const double c[9] = {0.3374754822726147, 0.9761690190917186,
-                       0.1607979714918209, 0.0276438810333863,
-                       0.0038405729373609, 0.0003951896511919,
-                       0.0000321767881768, 0.0000002888167364,
-                       0.0000003960315187};
-  const double x = p - 0.5;
-  if (std::abs(x) <= 0.42) {
-    const double r = x * x;
-    return x * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
-           ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
-  }
-  double r = p;
-  if (x > 0.0) r = 1.0 - p;
-  r = std::log(-std::log(r));
-  double out = c[0];
-  double rk = 1.0;
-  for (int k = 1; k < 9; ++k) {
-    rk *= r;
-    out += c[k] * rk;
-  }
-  return x > 0.0 ? out : -out;
 }
 }  // namespace
 
@@ -124,9 +88,9 @@ std::vector<ConvergencePoint> quantile_convergence(
 std::size_t required_trials_for_aal(std::span<const double> losses,
                                     double relative_error,
                                     double confidence) {
-  if (!(relative_error > 0.0)) {
+  if (!(relative_error > 0.0) || !std::isfinite(relative_error)) {
     throw std::invalid_argument(
-        "required_trials_for_aal: relative_error must be > 0");
+        "required_trials_for_aal: relative_error must be finite and > 0");
   }
   const double m = mean(losses);
   if (!(m > 0.0)) {
@@ -135,8 +99,13 @@ std::size_t required_trials_for_aal(std::span<const double> losses,
   }
   const double z = z_for_confidence(confidence);
   const double cv = stddev(losses) / m;
-  const double n = (z * cv / relative_error) * (z * cv / relative_error);
-  return static_cast<std::size_t>(std::ceil(n));
+  const double n =
+      std::ceil((z * cv / relative_error) * (z * cv / relative_error));
+  // Saturate: a double >= 2^64 (or one in [2^63, 2^64) on platforms
+  // that route the conversion through signed) would make the cast UB.
+  constexpr auto kMax = std::numeric_limits<std::size_t>::max();
+  if (n >= static_cast<double>(kMax)) return kMax;
+  return static_cast<std::size_t>(n);
 }
 
 }  // namespace ara::metrics

@@ -296,10 +296,10 @@ void StreamingMetricsReducer::consume_block(const Ylt& block,
 
 LayerMetrics StreamingMetricsReducer::finalize_sample(
     const SampleAccumulator& acc, const std::vector<double>& desc,
-    std::string label) const {
+    std::string label, std::size_t n) const {
   LayerMetrics m;
   m.label = std::move(label);
-  m.trials = trial_count_;
+  m.trials = n;
 
   // Mean family: combine the per-block stats in trial order (Chan's
   // merge). A single block is the monolithic two-pass result bitwise.
@@ -327,7 +327,6 @@ LayerMetrics StreamingMetricsReducer::finalize_sample(
 
   if (!desc.empty()) m.max_annual = desc.front();
 
-  const std::size_t n = trial_count_;
   m.quantiles.reserve(spec_.quantiles.size());
   for (const double p : spec_.quantiles) {
     QuantileMetric q;
@@ -349,14 +348,34 @@ LayerMetrics StreamingMetricsReducer::finalize_sample(
 }
 
 MetricsReport StreamingMetricsReducer::finish() {
+  return finish(trial_count_);
+}
+
+MetricsReport StreamingMetricsReducer::finish(std::size_t covered_trials) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (finished_) {
     throw std::logic_error("StreamingMetricsReducer: finish called twice");
   }
-  if (covered_ != trial_count_) {
+  if (covered_trials == 0 || covered_trials > trial_count_) {
+    throw std::logic_error(
+        "StreamingMetricsReducer: cannot finalize " +
+        std::to_string(covered_trials) + " of " +
+        std::to_string(trial_count_) + " trials");
+  }
+  if (covered_ != covered_trials) {
     throw std::logic_error(
         "StreamingMetricsReducer: blocks cover " + std::to_string(covered_) +
-        " of " + std::to_string(trial_count_) + " trials");
+        " of " + std::to_string(covered_trials) + " trials");
+  }
+  // covered_ matching the prefix length is not enough: a block beyond
+  // the prefix paired with a hole inside it would pass the count.
+  bool gap = false;
+  ranges_.for_each_gap(covered_trials,
+                       [&](std::size_t, std::size_t) { gap = true; });
+  if (gap) {
+    throw std::logic_error(
+        "StreamingMetricsReducer: consumed blocks do not tile the first " +
+        std::to_string(covered_trials) + " trials");
   }
   finished_ = true;
 
@@ -364,7 +383,7 @@ MetricsReport StreamingMetricsReducer::finish() {
   report.blocks_consumed = blocks_consumed_;
   report.max_block_trials = max_block_trials_;
 
-  const std::size_t n = trial_count_;
+  const std::size_t n = covered_trials;
   // Each reservoir is sorted exactly once; the descending tails are
   // shared by every consumer below.
   std::vector<std::vector<double>> annual_desc(layer_annual_.size());
@@ -376,7 +395,7 @@ MetricsReport StreamingMetricsReducer::finish() {
     report.layers.reserve(labels_.size());
     for (std::size_t l = 0; l < labels_.size(); ++l) {
       LayerMetrics m =
-          finalize_sample(layer_annual_[l], annual_desc[l], labels_[l]);
+          finalize_sample(layer_annual_[l], annual_desc[l], labels_[l], n);
       const std::vector<double> odesc =
           layer_occurrence_[l].tail.sorted_descending();
       m.oep.reserve(spec_.return_periods.size());
@@ -396,7 +415,7 @@ MetricsReport StreamingMetricsReducer::finish() {
     PortfolioMetrics pm;
     const std::vector<double> pdesc =
         portfolio_[0].tail.sorted_descending();
-    pm.totals = finalize_sample(portfolio_[0], pdesc, "portfolio");
+    pm.totals = finalize_sample(portfolio_[0], pdesc, "portfolio", n);
     if (spec_.capital_allocation) {
       pm.capital_allocation = true;
       pm.capital_p = spec_.capital_p;

@@ -101,6 +101,14 @@ class StreamingMetricsReducer : public YltBlockSink {
   /// blocks covered exactly trial_count trials, or when called twice.
   MetricsReport finish();
 
+  /// Prefix finalization for adaptive runs: finalizes over exactly the
+  /// first `covered_trials` trials, which the consumed blocks must tile
+  /// gaplessly. Reservoirs sized for the full workload are exact for
+  /// any prefix — every depth formula is monotone non-decreasing in the
+  /// sample size — so an early-stopped run pays nothing for the unused
+  /// budget. finish() is finish(trial_count).
+  MetricsReport finish(std::size_t covered_trials);
+
  private:
   /// Mean-family accumulation of one block: left-to-right sum, then
   /// left-to-right two-pass M2 about the block mean — the exact
@@ -134,10 +142,12 @@ class StreamingMetricsReducer : public YltBlockSink {
 
   /// `desc` is acc's tail already sorted descending — sorted once by
   /// finish() because several consumers share it (per-layer metrics,
-  /// standalone TVaRs for the diversification benefit).
+  /// standalone TVaRs for the diversification benefit). `n` is the
+  /// finalized sample size: the full trial count normally, the covered
+  /// prefix for an adaptive run.
   LayerMetrics finalize_sample(const SampleAccumulator& acc,
                                const std::vector<double>& desc,
-                               std::string label) const;
+                               std::string label, std::size_t n) const;
 
   MetricsSpec spec_;
   std::vector<std::string> labels_;

@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -594,6 +595,17 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
   const bool sharded_run = policy.sharded() && plan.shard_count() > 1;
   const bool will_simulate =
       request.core_simulation || request.secondary_uncertainty.has_value();
+
+  if (request.stopping) {
+    if (!will_simulate) {
+      throw std::invalid_argument(
+          "AnalysisSession: adaptive stopping needs the core simulation "
+          "(or secondary uncertainty) — an extension-only request has no "
+          "trial loop to stop");
+    }
+    return run_adaptive(request, policy, plan);
+  }
+
   if (request.ylt_retention == YltRetention::kSpillToFile && !will_simulate) {
     // An extension-only run produces no YLT; silently writing nothing
     // would surface as a confusing open-failure at the caller's reload.
@@ -687,6 +699,7 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
     result.engine = kind;
     execute(engine_for(kind, policy), kind, resolved_config(policy, kind));
   }
+  if (will_simulate) result.trials_executed = yet.trial_count();
 
   if (metrics_feasible) {
     result.metrics =
@@ -752,6 +765,391 @@ AnalysisResult AnalysisSession::run_resolved(const AnalysisRequest& request,
       result.reinstatements = engine.run(yet, tables);
     }
   }
+  return result;
+}
+
+AnalysisResult AnalysisSession::run_adaptive(const AnalysisRequest& request,
+                                             const ExecutionPolicy& policy,
+                                             const ShardPlan& plan) {
+  const Portfolio& portfolio = *request.portfolio;
+  const Yet& yet = *request.yet;
+  const metrics::StoppingSpec& spec = *request.stopping;
+  spec.validate();
+
+  if (request.ylt_retention == YltRetention::kSpillToFile) {
+    // The chunk writer pre-extends the file to the full fixed trial
+    // count under a valid header; an early stop would leave the unrun
+    // suffix reloading as silently-zero losses.
+    throw std::invalid_argument(
+        "AnalysisSession: adaptive stopping cannot spill the YLT — the "
+        "spill format is sized for the fixed trial count");
+  }
+  if (!request.reinstatement_terms.empty()) {
+    throw std::invalid_argument(
+        "AnalysisSession: adaptive stopping does not compose with "
+        "reinstatement pricing (the extension prices the fixed workload)");
+  }
+  if (portfolio.layer_count() == 0) {
+    throw std::invalid_argument(
+        "AnalysisSession: adaptive stopping needs at least one layer — "
+        "the stopping rule watches the per-trial portfolio loss");
+  }
+
+  AnalysisResult result;
+  result.label = request.label;
+
+  const std::size_t total = yet.trial_count();
+  const std::size_t budget =
+      spec.max_trials != 0 ? std::min(spec.max_trials, total) : total;
+  // Wave granularity: the policy's shard size when it shards, else a
+  // sixteenth of the budget so the schedule has room to stop early.
+  const std::size_t wave =
+      plan.shard_trials != 0 && plan.shard_trials < total
+          ? plan.shard_trials
+          : std::max<std::size_t>(1, (budget + 15) / 16);
+  metrics::AdaptiveController controller(spec, total, wave);
+
+  const bool keep = request.ylt_retention == YltRetention::kKeep;
+  const bool metrics_feasible = request.metrics.any();
+  // The reducer is sized for the whole budget; its reservoirs are
+  // exact for any stopped prefix (streaming.hpp), so finish(executed)
+  // below finalizes whatever the oracle settled on.
+  std::optional<metrics::StreamingMetricsReducer> reducer;
+  if (!keep && metrics_feasible) {
+    reducer.emplace(layer_labels(portfolio), budget, request.metrics);
+  }
+
+  // Engine resolution mirrors the fixed path.
+  std::optional<ext::SecondaryUncertaintyEngine> su_engine;
+  const Engine* engine = nullptr;
+  EngineKind ctx_kind = EngineKind::kSequentialFused;
+  if (request.secondary_uncertainty) {
+    su_engine.emplace(*request.secondary_uncertainty);
+    engine = &*su_engine;
+  } else {
+    if (policy.engine) {
+      ctx_kind = *policy.engine;
+    } else {
+      const EnginePrediction best = choose(portfolio, yet, policy);
+      ctx_kind = best.kind;
+      result.auto_selected = true;
+      result.predicted_seconds = best.seconds;
+    }
+    result.engine = ctx_kind;
+    engine = &engine_for(ctx_kind, policy);
+  }
+  const EngineConfig cfg = resolved_config(policy, ctx_kind);
+
+  perf::Stopwatch wall;
+  TablePins pins;
+  const EngineContext base_ctx = context_for(portfolio, ctx_kind, cfg, pins);
+
+  const std::size_t layers = portfolio.layer_count();
+  std::vector<SimulationResult> partials;  // kKeep only
+  std::size_t executed = 0;
+  std::size_t shards_run = 0;
+
+  // The wave loop: simulate up to the frontier, feed the oracle, let
+  // it stop or extend. Shards within a wave run concurrently on the
+  // shard pool; waves are sequential by construction (each one exists
+  // only because the previous one failed to satisfy the rule).
+  while (!controller.stopped()) {
+    const std::size_t target = controller.frontier();
+    const std::vector<TrialRange> ranges =
+        shard_ranges(executed, target, wave);
+    std::vector<SimulationResult> wave_results(ranges.size());
+    parallel::parallel_for(
+        shard_pool(), ranges.size(),
+        [&](parallel::Range shards) {
+          for (std::size_t i = shards.begin; i < shards.end; ++i) {
+            EngineContext ctx = base_ctx;
+            ctx.trials = ranges[i];
+            try {
+              wave_results[i] = engine->run(portfolio, yet, ctx);
+            } catch (const DeadlineExceeded&) {
+              throw;
+            } catch (const std::exception& e) {
+              throw std::runtime_error(
+                  "shard [" + std::to_string(ctx.trials.begin) + ", " +
+                  std::to_string(ctx.trials.end) + ") failed: " + e.what());
+            }
+          }
+        },
+        parallel::Schedule::kDynamic, /*chunk=*/1);
+
+    for (SimulationResult& partial : wave_results) {
+      const std::size_t bt = partial.ylt.trial_count();
+      // Per-trial portfolio loss, layers outer — the association the
+      // streaming reducer uses, so the oracle sees bitwise the same
+      // sample a monolithic portfolio reduction would.
+      std::vector<double> sums(bt, 0.0);
+      for (std::size_t l = 0; l < layers; ++l) {
+        const double* row = partial.ylt.layer_annual(l);
+        for (std::size_t t = 0; t < bt; ++t) sums[t] += row[t];
+      }
+      controller.observe(partial.trial_begin, sums);
+      if (reducer) reducer->consume(partial.ylt, partial.trial_begin);
+      if (keep) partials.push_back(std::move(partial));
+    }
+    shards_run += ranges.size();
+    executed = target;
+    controller.advance();
+  }
+
+  SimulationResult merged;
+  if (keep) {
+    ShardMerger merger(layers, executed, nullptr, /*materialize=*/true);
+    for (const SimulationResult& partial : partials) merger.add(partial);
+    merged = merger.finish();
+  }
+  const double elapsed = wall.seconds();
+
+  // Monolithic accounting of what actually ran: cost-only replay over
+  // the executed prefix (engines honor ctx.trials in cost-only mode),
+  // exactly as the fixed sharded path replays the full range.
+  EngineContext cost_ctx;
+  cost_ctx.cost_only = true;
+  cost_ctx.trials = TrialRange{0, executed};
+  const SimulationResult mono = engine->run(portfolio, yet, cost_ctx);
+  merged.ops = mono.ops;
+  merged.simulated_phases = mono.simulated_phases;
+  merged.simulated_seconds = mono.simulated_seconds;
+  merged.engine_name = mono.engine_name;
+  merged.devices = mono.devices;
+  merged.simd_isa = mono.simd_isa;
+  merged.wall_seconds = elapsed;
+
+  result.simulation = std::move(merged);
+  result.shard_count = shards_run;
+  result.trials_executed = executed;
+  result.stopped_early = executed < total;
+  result.half_widths = controller.statuses();
+
+  if (metrics_feasible) {
+    result.metrics =
+        keep ? metrics::compute_metrics(result.simulation.ylt,
+                                        layer_labels(portfolio),
+                                        request.metrics)
+             : reducer->finish(executed);
+  }
+  return result;
+}
+
+RaceResult AnalysisSession::race(std::span<const RaceEntry> entries,
+                                 const Yet& yet, const RaceSpec& spec) {
+  if (entries.size() < 2) {
+    throw std::invalid_argument(
+        "AnalysisSession::race: need at least two candidates");
+  }
+  for (const RaceEntry& entry : entries) {
+    if (entry.portfolio == nullptr || entry.portfolio->layer_count() == 0) {
+      throw std::invalid_argument(
+          "AnalysisSession::race: every entry needs a portfolio with at "
+          "least one layer");
+    }
+  }
+  // Reuse the StoppingSpec validation for the shared knobs (the race
+  // has no tolerance — elimination is pairwise — so a placeholder 1.0
+  // satisfies the range check).
+  metrics::StoppingSpec shape;
+  shape.targets = {spec.objective};
+  shape.relative_tolerance = 1.0;
+  shape.confidence = spec.confidence;
+  shape.min_trials = spec.min_trials;
+  shape.max_trials = spec.max_trials;
+  shape.wave_growth = spec.wave_growth;
+  shape.bootstrap_reps = spec.bootstrap_reps;
+  shape.seed = spec.seed;
+  shape.validate();
+
+  const std::size_t total = yet.trial_count();
+  if (total == 0) {
+    throw std::invalid_argument("AnalysisSession::race: workload has no trials");
+  }
+  const std::size_t budget =
+      spec.max_trials != 0 ? std::min(spec.max_trials, total) : total;
+  const ExecutionPolicy& pol = spec.policy ? *spec.policy : default_policy_;
+  const std::size_t wave =
+      pol.shard_trials != 0 && pol.shard_trials < total
+          ? pol.shard_trials
+          : std::max<std::size_t>(1, (budget + 15) / 16);
+  const auto clamp_to_wave = [&](std::size_t t) {
+    if (t >= budget) return budget;
+    const std::size_t waves = (t + wave - 1) / wave;
+    if (waves > budget / wave) return budget;
+    return std::min(budget, waves * wave);
+  };
+
+  // Family-wise confidence by union bound: each arm's interval runs at
+  // 1 - (1 - c) / K, so the probability any of the K intervals misses
+  // is at most 1 - c.
+  const double per_arm_confidence =
+      1.0 - (1.0 - spec.confidence) / static_cast<double>(entries.size());
+  const double z = metrics::z_for_confidence(per_arm_confidence);
+
+  struct ArmState {
+    const Portfolio* portfolio = nullptr;
+    const Engine* engine = nullptr;
+    TablePins pins;
+    EngineContext base_ctx;
+    std::vector<double> losses;
+    metrics::TargetStatus status;
+    std::size_t executed = 0;
+    bool active = true;
+    std::size_t eliminated_at = 0;
+  };
+  std::vector<ArmState> arms(entries.size());
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    ArmState& arm = arms[k];
+    arm.portfolio = entries[k].portfolio;
+    const EngineKind kind =
+        pol.engine ? *pol.engine : choose_engine(*arm.portfolio, yet, pol);
+    arm.engine = &engine_for(kind, pol);
+    arm.base_ctx = context_for(*arm.portfolio, kind,
+                               resolved_config(pol, kind), arm.pins);
+  }
+
+  struct ArmTask {
+    std::size_t arm = 0;
+    TrialRange range;
+  };
+
+  std::size_t frontier =
+      clamp_to_wave(std::max<std::size_t>(spec.min_trials, 1));
+  bool separated = false;
+  for (;;) {
+    // Extend every surviving arm to the shared frontier (common random
+    // numbers: all arms price the same simulated years), flattened so
+    // shards of different arms interleave freely on the pool.
+    std::vector<ArmTask> tasks;
+    for (std::size_t k = 0; k < arms.size(); ++k) {
+      if (!arms[k].active) continue;
+      arms[k].losses.resize(frontier);
+      for (const TrialRange& r :
+           shard_ranges(arms[k].executed, frontier, wave)) {
+        tasks.push_back({k, r});
+      }
+    }
+    parallel::parallel_for(
+        shard_pool(), tasks.size(),
+        [&](parallel::Range slots) {
+          for (std::size_t i = slots.begin; i < slots.end; ++i) {
+            ArmState& arm = arms[tasks[i].arm];
+            EngineContext ctx = arm.base_ctx;
+            ctx.trials = tasks[i].range;
+            try {
+              const SimulationResult partial =
+                  arm.engine->run(*arm.portfolio, yet, ctx);
+              const std::size_t bt = partial.ylt.trial_count();
+              // Disjoint slices per task: lock-free writes.
+              double* out = arm.losses.data() + partial.trial_begin;
+              for (std::size_t t = 0; t < bt; ++t) out[t] = 0.0;
+              for (std::size_t l = 0; l < partial.ylt.layer_count(); ++l) {
+                const double* row = partial.ylt.layer_annual(l);
+                for (std::size_t t = 0; t < bt; ++t) out[t] += row[t];
+              }
+            } catch (const std::exception& e) {
+              throw std::runtime_error(
+                  "race arm " + std::to_string(tasks[i].arm) + " shard [" +
+                  std::to_string(ctx.trials.begin) + ", " +
+                  std::to_string(ctx.trials.end) + ") failed: " + e.what());
+            }
+          }
+        },
+        parallel::Schedule::kDynamic, /*chunk=*/1);
+
+    std::size_t active = 0;
+    for (std::size_t k = 0; k < arms.size(); ++k) {
+      ArmState& arm = arms[k];
+      if (!arm.active) continue;
+      arm.executed = frontier;
+      // Per-arm bootstrap substream: decorrelated across arms so a
+      // re-ordering of the entries never changes another arm's SE.
+      arm.status = metrics::evaluate_target(
+          spec.objective, {arm.losses.data(), frontier}, z,
+          /*relative_tolerance=*/1.0, spec.bootstrap_reps,
+          spec.seed + (k + 1) * 0x9e3779b97f4a7c15ULL);
+      ++active;
+    }
+
+    // Successive elimination. For minimization: the best possible arm
+    // is the one with the smallest upper bound; any arm whose *lower*
+    // bound clears it cannot be the winner at this confidence. The arm
+    // attaining the best bound can never eliminate itself (its lower
+    // bound is below its own upper bound), so one arm always survives.
+    // A one-trial frontier has no spread estimate, so elimination
+    // waits for n >= 2.
+    if (frontier >= 2) {
+      double best_bound = spec.minimize
+                              ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity();
+      for (const ArmState& arm : arms) {
+        if (!arm.active) continue;
+        if (spec.minimize) {
+          best_bound =
+              std::min(best_bound, arm.status.estimate + arm.status.half_width);
+        } else {
+          best_bound =
+              std::max(best_bound, arm.status.estimate - arm.status.half_width);
+        }
+      }
+      for (ArmState& arm : arms) {
+        if (!arm.active) continue;
+        const bool out =
+            spec.minimize
+                ? arm.status.estimate - arm.status.half_width > best_bound
+                : arm.status.estimate + arm.status.half_width < best_bound;
+        if (out) {
+          arm.active = false;
+          arm.eliminated_at = frontier;
+          --active;
+        }
+      }
+    }
+
+    if (active <= 1) {
+      separated = true;
+      break;
+    }
+    if (frontier >= budget) break;
+    const double grown =
+        std::ceil(static_cast<double>(frontier) * spec.wave_growth);
+    std::size_t next =
+        grown >= static_cast<double>(budget)
+            ? budget
+            : std::max(frontier + 1, static_cast<std::size_t>(grown));
+    next = clamp_to_wave(next);
+    if (next <= frontier) next = clamp_to_wave(frontier + 1);
+    frontier = next;
+  }
+
+  RaceResult result;
+  result.separated = separated;
+  result.arms.reserve(arms.size());
+  const ArmState* best = nullptr;
+  std::size_t best_index = 0;
+  for (std::size_t k = 0; k < arms.size(); ++k) {
+    const ArmState& arm = arms[k];
+    RaceArm out;
+    out.label = entries[k].label;
+    out.estimate = arm.status.estimate;
+    out.half_width = arm.status.half_width;
+    out.trials_executed = arm.executed;
+    out.eliminated = !arm.active;
+    out.eliminated_at_trials = arm.eliminated_at;
+    result.arms.push_back(std::move(out));
+    result.total_trials += arm.executed;
+    if (!arm.active) continue;
+    const bool better =
+        best == nullptr ||
+        (spec.minimize ? arm.status.estimate < best->status.estimate
+                       : arm.status.estimate > best->status.estimate);
+    if (better) {
+      best = &arm;
+      best_index = k;
+    }
+  }
+  result.winner = best_index;
   return result;
 }
 

@@ -76,6 +76,17 @@ struct AnalysisResult {
   /// Filled when the request carried reinstatement terms.
   std::optional<ext::ReinstatementResult> reinstatements;
 
+  /// Trials actually simulated: the full workload for fixed runs (0
+  /// when no core simulation ran), the stopped frontier for adaptive
+  /// ones.
+  std::size_t trials_executed = 0;
+  /// True when an adaptive run stopped before the workload's full
+  /// trial count (always false for fixed runs).
+  bool stopped_early = false;
+  /// The adaptive stopping rule's final per-target confidence
+  /// intervals (empty for fixed runs).
+  std::vector<metrics::TargetStatus> half_widths;
+
   /// Metrics of the layer named `label`, or nullptr when per-layer
   /// metrics were not requested / no such layer exists — so batch
   /// consumers look results up by name instead of indexing parallel
@@ -83,6 +94,63 @@ struct AnalysisResult {
   const metrics::LayerMetrics* metrics_for(std::string_view label) const {
     return metrics.layer(label);
   }
+};
+
+/// One candidate layer structure entered into a race: a label plus the
+/// portfolio variant to price. All entries race against the same YET
+/// (common random numbers — every arm sees the same simulated years,
+/// so arm differences are structural, not sampling noise).
+struct RaceEntry {
+  std::string label;
+  const Portfolio* portfolio = nullptr;
+};
+
+/// Best-arm-identification contract for AnalysisSession::race():
+/// which metric to optimize, in which direction, and the elimination
+/// confidence / budget.
+struct RaceSpec {
+  /// The objective metric, evaluated on each arm's per-trial portfolio
+  /// loss.
+  metrics::StoppingTarget objective{};
+  /// true = the best arm has the *lowest* objective (e.g. cheapest
+  /// expected loss); false = the highest.
+  bool minimize = true;
+  /// Family-wise confidence of the elimination decisions. Split over
+  /// the arms by union bound: each per-arm interval runs at
+  /// 1 - (1 - confidence) / K.
+  double confidence = 0.95;
+  std::size_t min_trials = 1000;  ///< trials before the first elimination
+  std::size_t max_trials = 0;     ///< per-arm budget; 0 = whole workload
+  double wave_growth = 1.5;       ///< geometric wave schedule (shared)
+  unsigned bootstrap_reps = 200;  ///< for var/tvar objectives
+  std::uint64_t seed = 12345;     ///< bootstrap determinism
+  /// Execution override for the arms' simulations (engine, shard size,
+  /// ...); the session default applies when absent.
+  std::optional<ExecutionPolicy> policy;
+};
+
+/// One arm's final standing.
+struct RaceArm {
+  std::string label;
+  double estimate = 0.0;    ///< objective estimate at its last evaluation
+  double half_width = 0.0;  ///< union-bound-adjusted CI half-width
+  std::size_t trials_executed = 0;
+  bool eliminated = false;
+  /// The frontier at which the arm was eliminated (0 for survivors).
+  std::size_t eliminated_at_trials = 0;
+};
+
+/// The race's outcome. `winner` indexes the input entries (and
+/// `arms`); `separated` tells whether the field was narrowed to one
+/// arm by confidence bounds, or the budget ran out first (the winner
+/// is then the best point estimate among the survivors).
+struct RaceResult {
+  std::size_t winner = 0;
+  bool separated = false;
+  /// Total trials simulated across every arm — the quantity BAI
+  /// pruning saves versus pricing all arms at full budget.
+  std::size_t total_trials = 0;
+  std::vector<RaceArm> arms;
 };
 
 /// Cost-model prediction for one engine kind on one workload.
@@ -127,6 +195,18 @@ class AnalysisSession {
   /// point at must stay alive until the futures resolve.
   std::vector<std::future<AnalysisResult>> run_batch_async(
       std::span<const AnalysisRequest> requests);
+
+  /// Prices N candidate layer structures concurrently against one YET
+  /// and prunes losers by successive elimination: at every shared wave
+  /// barrier, an arm whose confidence lower bound (for minimization)
+  /// sits above the best arm's upper bound is eliminated and its
+  /// remaining trial budget reallocated to the survivors. Stops when
+  /// one arm remains or the per-arm budget is exhausted. Deterministic
+  /// for a given spec and YET; all arms share the wave schedule and the
+  /// simulated years (common random numbers). Requires >= 2 entries,
+  /// each with a portfolio of >= 1 layer. Thread-safe.
+  RaceResult race(std::span<const RaceEntry> entries, const Yet& yet,
+                  const RaceSpec& spec);
 
   /// The shard plan `policy` yields for this workload: an explicit
   /// shard size wins, else one is derived from the memory budget, else
@@ -214,6 +294,13 @@ class AnalysisSession {
   const Engine& engine_for(EngineKind kind, const ExecutionPolicy& policy);
   AnalysisResult run_resolved(const AnalysisRequest& request,
                               const ExecutionPolicy& policy);
+
+  /// Adaptive wave execution of one core-simulation request: shards
+  /// granted wave by wave under request.stopping's oracle instead of
+  /// the fixed up-front plan (DESIGN.md §10).
+  AnalysisResult run_adaptive(const AnalysisRequest& request,
+                              const ExecutionPolicy& policy,
+                              const ShardPlan& plan);
   parallel::ThreadPool& batch_pool();
   parallel::ThreadPool& compute_pool();
   parallel::ThreadPool& shard_pool();

@@ -30,6 +30,18 @@ ShardPlan plan_shards(std::size_t total_trials, std::size_t shard_trials,
   return plan;
 }
 
+std::vector<TrialRange> shard_ranges(std::size_t begin, std::size_t end,
+                                     std::size_t shard_trials) {
+  std::vector<TrialRange> ranges;
+  if (end <= begin) return ranges;
+  const std::size_t size = shard_trials == 0 ? end - begin : shard_trials;
+  ranges.reserve((end - begin + size - 1) / size);
+  for (std::size_t b = begin; b < end; b += size) {
+    ranges.push_back({b, std::min(b + size, end)});
+  }
+  return ranges;
+}
+
 ShardMerger::ShardMerger(std::size_t layer_count, std::size_t trial_count,
                          YltBlockSink* sink, bool materialize)
     : layer_count_(layer_count),

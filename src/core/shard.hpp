@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <mutex>
+#include <vector>
 
 #include "core/disjoint_ranges.hpp"
 #include "core/engine.hpp"
@@ -44,6 +45,15 @@ struct ShardPlan {
     return r;
   }
 };
+
+/// Incremental plan extension: the contiguous shards tiling
+/// [begin, end) at `shard_trials` trials each (the last may be short;
+/// `shard_trials == 0` means one shard for the whole range). Empty for
+/// an empty range. Adaptive waves use this to extend an in-flight plan
+/// from the previous frontier to the next without re-planning the
+/// already-executed prefix.
+std::vector<TrialRange> shard_ranges(std::size_t begin, std::size_t end,
+                                     std::size_t shard_trials);
 
 /// Resident bytes one trial of a workload costs while its shard is in
 /// flight: the YET slice (occurrence records + one offset) plus the

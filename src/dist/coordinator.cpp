@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "core/crc32c.hpp"
+#include "core/metrics/stopping.hpp"
 #include "core/metrics/streaming.hpp"
 #include "core/shard.hpp"
 #include "io/yet_chunk.hpp"
@@ -53,6 +54,19 @@ std::uint32_t block_identity(const Ylt& ylt) {
                              ylt.annual_raw().size() * sizeof(double));
   return crc32c(crc, ylt.max_occurrence_raw().data(),
                 ylt.max_occurrence_raw().size() * sizeof(double));
+}
+
+/// Per-trial portfolio loss of one block, layers outer — the same
+/// association the session's adaptive loop feeds its oracle, so a
+/// distributed adaptive run observes bitwise the same sample.
+std::vector<double> portfolio_trial_sums(const Ylt& ylt) {
+  const std::size_t bt = ylt.trial_count();
+  std::vector<double> sums(bt, 0.0);
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    const double* row = ylt.layer_annual(l);
+    for (std::size_t t = 0; t < bt; ++t) sums[t] += row[t];
+  }
+  return sums;
 }
 
 ExecutionPolicy policy_for_job(const JobSpec& job) {
@@ -132,8 +146,18 @@ struct ShardCoordinator::Impl {
   bool had_worker = false;
   std::string fatal;  ///< non-empty = unrecoverable (conflicting bits)
 
-  ShardMerger* merger = nullptr;  ///< live during run() only
+  ShardMerger* merger = nullptr;  ///< live during run() only (fixed mode)
   std::string job_payload;       ///< encoded once
+
+  /// Adaptive mode (request.stopping): the same stopping oracle the
+  /// session's wave loop consults, driving lease granting here — the
+  /// pending queue only ever extends to the oracle's frontier, and
+  /// completed blocks feed it under the mutex. Null for fixed runs.
+  metrics::AdaptiveController* controller = nullptr;
+  std::uint64_t lease_quantum = 0;  ///< lease sizing, for extensions
+  /// Adaptive blocks buffer here (the merged trial count is unknown
+  /// until the oracle stops); merged after the drain.
+  std::vector<SimulationResult> partials;
 
   std::thread accept_thread;
   std::thread monitor_thread;
@@ -145,6 +169,9 @@ struct ShardCoordinator::Impl {
   std::vector<std::weak_ptr<WorkerConn>> conns;
 
   bool complete_locked() const {
+    if (controller != nullptr) {
+      return controller->stopped() && covered == controller->frontier();
+    }
     return covered == config.job.trial_count;
   }
 
@@ -164,6 +191,10 @@ struct ShardCoordinator::Impl {
     const std::uint64_t begin = partial.trial_begin;
     const std::uint64_t end = begin + partial.ylt.trial_count();
     const std::uint32_t identity = block_identity(partial.ylt);
+    // Adaptive: the oracle's sample, reduced outside the lock (it is
+    // discarded unused when the block turns out to be a duplicate).
+    std::vector<double> sums;
+    if (controller != nullptr) sums = portfolio_trial_sums(partial.ylt);
     {
       std::lock_guard<std::mutex> lock(mutex);
       if (!fatal.empty()) return;
@@ -200,6 +231,28 @@ struct ShardCoordinator::Impl {
         }
       }
       std::erase_if(pending, [&](const auto& r) { return r.first == begin; });
+
+      if (controller != nullptr) {
+        // Feed the oracle; at a wave barrier it either stops the run
+        // (complete_locked flips once covered reaches the frontier) or
+        // extends it — in lease quanta, so the grants stay uniform.
+        controller->observe(begin, sums);
+        if (controller->at_barrier()) {
+          const std::uint64_t old_frontier = controller->frontier();
+          controller->advance();
+          for (std::uint64_t b = old_frontier; b < controller->frontier();
+               b += lease_quantum) {
+            pending.emplace_back(
+                b, std::min<std::uint64_t>(b + lease_quantum,
+                                           controller->frontier()));
+          }
+        }
+        // Buffered under the lock: the merged trial count is unknown
+        // until the oracle stops, so the merge happens after the run.
+        partials.push_back(std::move(partial));
+        cv.notify_all();
+        return;
+      }
     }
     // Merge outside the lock (row copy is O(layers x trials)); the
     // merger serialises internally and the `done` reservation above
@@ -545,15 +598,50 @@ DistResult ShardCoordinator::run(const AnalysisRequest& request) {
         1, (job.trial_count + target_leases - 1) / target_leases);
   }
 
-  ShardMerger merger(job.layer_count, job.trial_count, nullptr,
-                     /*materialize=*/true);
+  // Adaptive (request.stopping): the stopping oracle drives lease
+  // granting — the pending queue is filled only to the oracle's
+  // frontier and extended at wave barriers from accept_block. Wave
+  // granularity is the lease quantum, so "a wave" and "the grants that
+  // cover it" coincide. Fixed runs keep the classic up-front fill.
+  std::optional<metrics::AdaptiveController> controller;
+  if (request.stopping) {
+    request.stopping->validate();
+    if (request.ylt_retention == YltRetention::kSpillToFile) {
+      throw std::invalid_argument(
+          "ShardCoordinator: adaptive stopping cannot spill the YLT — "
+          "the spill format is sized for the fixed trial count");
+    }
+    if (job.layer_count == 0) {
+      throw std::invalid_argument(
+          "ShardCoordinator: adaptive stopping needs at least one layer");
+    }
+    controller.emplace(*request.stopping, job.trial_count,
+                       static_cast<std::size_t>(lease_trials));
+  }
+
+  std::optional<ShardMerger> merger;
+  if (!controller) {
+    merger.emplace(job.layer_count, job.trial_count, nullptr,
+                   /*materialize=*/true);
+  }
   {
     std::lock_guard<std::mutex> lock(impl.mutex);
-    impl.merger = &merger;
-    for (std::uint64_t begin = 0; begin < job.trial_count;
-         begin += lease_trials) {
-      impl.pending.emplace_back(
-          begin, std::min(begin + lease_trials, job.trial_count));
+    impl.lease_quantum = lease_trials;
+    if (controller) {
+      impl.controller = &*controller;
+      for (std::uint64_t begin = 0; begin < controller->frontier();
+           begin += lease_trials) {
+        impl.pending.emplace_back(
+            begin, std::min<std::uint64_t>(begin + lease_trials,
+                                           controller->frontier()));
+      }
+    } else {
+      impl.merger = &*merger;
+      for (std::uint64_t begin = 0; begin < job.trial_count;
+           begin += lease_trials) {
+        impl.pending.emplace_back(
+            begin, std::min(begin + lease_trials, job.trial_count));
+      }
     }
     impl.job_payload = encode_job(job);
   }
@@ -633,16 +721,33 @@ DistResult ShardCoordinator::run(const AnalysisRequest& request) {
     std::lock_guard<std::mutex> lock(impl.mutex);
     if (!impl.fatal.empty()) throw std::runtime_error(impl.fatal);
     impl.merger = nullptr;
+    impl.controller = nullptr;
   }
 
-  SimulationResult merged = merger.finish();
+  // Reader threads are joined: the buffered adaptive blocks (and the
+  // oracle) are exclusively ours from here.
+  std::size_t executed = job.trial_count;
+  SimulationResult merged;
+  if (controller) {
+    executed = controller->frontier();
+    ShardMerger late(job.layer_count, executed, nullptr,
+                     /*materialize=*/true);
+    for (const SimulationResult& partial : impl.partials) late.add(partial);
+    impl.partials.clear();
+    merged = late.finish();
+  } else {
+    merged = merger->finish();
+  }
 
   // Reconstitute the monolithic accounting bitwise, exactly as the
   // session's sharded path does (core/session.cpp run_sharded): ops
   // and the simulated timeline are pure functions of the workload, so
   // a cost-only replay reports what the single-process run would have.
+  // An adaptive run replays only the executed prefix — the monolithic
+  // accounting of the run that actually happened.
   EngineContext cost_ctx;
   cost_ctx.cost_only = true;
+  if (controller) cost_ctx.trials = TrialRange{0, executed};
   const SimulationResult mono = engine->run(portfolio, yet, cost_ctx);
   merged.ops = mono.ops;
   merged.simulated_phases = mono.simulated_phases;
@@ -661,6 +766,11 @@ DistResult ShardCoordinator::run(const AnalysisRequest& request) {
     result.counters = impl.counters;
   }
   result.analysis.simulation = std::move(merged);
+  result.analysis.trials_executed = executed;
+  if (controller) {
+    result.analysis.stopped_early = executed < job.trial_count;
+    result.analysis.half_widths = controller->statuses();
+  }
 
   request.metrics.validate();
   if (request.metrics.any() && job.layer_count > 0) {

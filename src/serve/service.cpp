@@ -95,12 +95,16 @@ ServeReply AnalysisService::immediate_reply(const ServeRequest& request,
 
 std::uint64_t AnalysisService::retry_after_ms_locked() const {
   // Backoff hint grows with occupancy: a nearly-full service asks
-  // clients to stay away longer. Coarse by design — it is a hint.
+  // clients to stay away longer. Coarse by design — it is a hint, but
+  // it must be a *positive* hint: ara_loadgen's retry dispatcher
+  // treats 0 as "no hint" and gives up instead of backing off, so a
+  // base_retry_after_ms of 0 must still yield >= 1.
   const double occupancy = dwrr_.occupancy();
-  return options_.base_retry_after_ms +
-         static_cast<std::uint64_t>(
-             static_cast<double>(options_.base_retry_after_ms) * 4.0 *
-             occupancy);
+  return std::max<std::uint64_t>(
+      1, options_.base_retry_after_ms +
+             static_cast<std::uint64_t>(
+                 static_cast<double>(options_.base_retry_after_ms) * 4.0 *
+                 occupancy));
 }
 
 void AnalysisService::submit(ServeRequest request, ReplyFn done,
@@ -157,10 +161,10 @@ void AnalysisService::submit(ServeRequest request, ReplyFn done,
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (draining_ || stop_) {
+    const std::uint64_t retry = retry_after_ms_locked();
     lock.unlock();
     pending->done(immediate_reply(request, Status::kShutdown,
-                                  "service is draining",
-                                  options_.base_retry_after_ms));
+                                  "service is draining", retry));
     return;
   }
   const std::uint64_t token = next_token_++;
@@ -248,13 +252,14 @@ void AnalysisService::scheduler_loop() {
     if (it == pending_.end()) continue;
     std::shared_ptr<Pending> pending = std::move(it->second);
     pending_.erase(it);
+    const std::uint64_t retry = retry_after_ms_locked();
     lock.unlock();
     pending->done(immediate_reply(
         pending->request,
         next->expired ? Status::kShedDeadline : Status::kShutdown,
         next->expired ? "deadline expired while queued"
                       : "service stopped before dispatch",
-        0));
+        retry));
     lock.lock();
   }
   drain_cv_.notify_all();

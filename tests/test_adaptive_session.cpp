@@ -1,0 +1,248 @@
+// Adaptive execution through the AnalysisSession façade (DESIGN.md
+// §10): confidence-driven early stopping must save trials without
+// perturbing anything it does not own — the fixed-trial path stays
+// bitwise identical, an adaptive run's kept YLT is exactly the
+// monolithic prefix, and reruns reproduce the stopping point bit for
+// bit. Plus the BAI race: successive elimination must pick the arm
+// the full-budget runs rank best, for less total work.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/session.hpp"
+#include "synth/scenarios.hpp"
+
+namespace ara {
+namespace {
+
+ExecutionPolicy fused_policy(std::size_t shard_trials) {
+  ExecutionPolicy policy =
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused);
+  policy.shard_trials = shard_trials;
+  return policy;
+}
+
+AnalysisRequest adaptive_request(const synth::Scenario& s,
+                                 const metrics::StoppingSpec& spec) {
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  request.metrics = MetricsSpec::portfolio_rollup();
+  request.ylt_retention = YltRetention::kDiscard;
+  request.stopping = spec;
+  return request;
+}
+
+TEST(AdaptiveSession, LooseToleranceStopsEarly) {
+  const synth::Scenario s = synth::multi_layer_book(2, 4000, 31);
+  metrics::StoppingSpec spec;
+  spec.relative_tolerance = 0.5;  // trivially loose: first barrier wins
+  spec.min_trials = 200;
+
+  AnalysisSession session(fused_policy(200));
+  const AnalysisResult result = session.run(adaptive_request(s, spec));
+
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_EQ(result.trials_executed, 200u);
+  ASSERT_EQ(result.half_widths.size(), 1u);
+  EXPECT_TRUE(result.half_widths[0].satisfied);
+  EXPECT_EQ(result.half_widths[0].trials, 200u);
+  // The metric report covers exactly the executed prefix.
+  ASSERT_TRUE(result.metrics.portfolio.has_value());
+  EXPECT_EQ(result.metrics.portfolio->totals.trials, 200u);
+}
+
+TEST(AdaptiveSession, UnreachableToleranceRunsToTheBudget) {
+  const synth::Scenario s = synth::multi_layer_book(2, 2000, 32);
+  metrics::StoppingSpec spec;
+  spec.relative_tolerance = 1.0e-9;
+  spec.min_trials = 200;
+  spec.max_trials = 800;
+
+  AnalysisSession session(fused_policy(200));
+  const AnalysisResult result = session.run(adaptive_request(s, spec));
+
+  EXPECT_EQ(result.trials_executed, 800u);
+  EXPECT_TRUE(result.stopped_early);  // 800 of 2000
+  ASSERT_EQ(result.half_widths.size(), 1u);
+  EXPECT_FALSE(result.half_widths[0].satisfied);
+}
+
+TEST(AdaptiveSession, ReproducibleForSeedAndShardSize) {
+  const synth::Scenario s = synth::multi_layer_book(3, 6000, 33);
+  metrics::StoppingSpec spec;
+  spec.relative_tolerance = 0.05;
+  spec.min_trials = 300;
+  spec.targets = {{metrics::StopMetric::kAal, 0.0},
+                  {metrics::StopMetric::kTvar, 0.90}};
+
+  AnalysisSession session(fused_policy(300));
+  const AnalysisResult a = session.run(adaptive_request(s, spec));
+  const AnalysisResult b = session.run(adaptive_request(s, spec));
+
+  EXPECT_EQ(a.trials_executed, b.trials_executed);
+  ASSERT_EQ(a.half_widths.size(), b.half_widths.size());
+  for (std::size_t i = 0; i < a.half_widths.size(); ++i) {
+    EXPECT_EQ(a.half_widths[i].estimate, b.half_widths[i].estimate);
+    EXPECT_EQ(a.half_widths[i].std_error, b.half_widths[i].std_error);
+  }
+  ASSERT_TRUE(a.metrics.portfolio && b.metrics.portfolio);
+  EXPECT_EQ(a.metrics.portfolio->totals.aal, b.metrics.portfolio->totals.aal);
+}
+
+TEST(AdaptiveSession, KeptYltIsTheMonolithicPrefix) {
+  const synth::Scenario s = synth::multi_layer_book(2, 3000, 34);
+  const auto engine = make_engine(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+  const SimulationResult mono = engine->run(s.portfolio, s.yet);
+
+  metrics::StoppingSpec spec;
+  spec.relative_tolerance = 0.5;
+  spec.min_trials = 250;
+  AnalysisSession session(fused_policy(250));
+  AnalysisRequest request = adaptive_request(s, spec);
+  request.ylt_retention = YltRetention::kKeep;
+  request.metrics = MetricsSpec();
+  const AnalysisResult result = session.run(request);
+
+  const Ylt& ylt = result.simulation.ylt;
+  ASSERT_EQ(ylt.trial_count(), result.trials_executed);
+  ASSERT_LT(ylt.trial_count(), mono.ylt.trial_count());
+  for (std::size_t l = 0; l < ylt.layer_count(); ++l) {
+    for (TrialId t = 0; t < ylt.trial_count(); ++t) {
+      ASSERT_EQ(ylt.annual_loss(l, t), mono.ylt.annual_loss(l, t))
+          << "layer " << l << " trial " << t;
+      ASSERT_EQ(ylt.max_occurrence_loss(l, t),
+                mono.ylt.max_occurrence_loss(l, t))
+          << "layer " << l << " trial " << t;
+    }
+  }
+}
+
+TEST(AdaptiveSession, FixedPathReportsFullTrialCount) {
+  const synth::Scenario s = synth::multi_layer_book(2, 500, 35);
+  AnalysisSession session;
+  AnalysisRequest request;
+  request.portfolio = &s.portfolio;
+  request.yet = &s.yet;
+  const AnalysisResult result = session.run(request);
+  EXPECT_EQ(result.trials_executed, s.yet.trial_count());
+  EXPECT_FALSE(result.stopped_early);
+  EXPECT_TRUE(result.half_widths.empty());
+}
+
+TEST(AdaptiveSession, RejectsIncompatibleRequests) {
+  const synth::Scenario s = synth::multi_layer_book(2, 500, 36);
+  metrics::StoppingSpec spec;
+  AnalysisSession session;
+
+  AnalysisRequest spill = adaptive_request(s, spec);
+  spill.ylt_retention = YltRetention::kSpillToFile;
+  spill.ylt_path = "/tmp/ara_adaptive_reject.ylt";
+  EXPECT_THROW(session.run(spill), std::invalid_argument);
+
+  AnalysisRequest reinst = adaptive_request(s, spec);
+  reinst.reinstatement_terms.assign(s.portfolio.layer_count(),
+                                    ext::ReinstatementTerms{});
+  EXPECT_THROW(session.run(reinst), std::invalid_argument);
+
+  AnalysisRequest invalid = adaptive_request(s, spec);
+  invalid.stopping->relative_tolerance = -1.0;
+  EXPECT_THROW(session.run(invalid), std::invalid_argument);
+}
+
+// ---- race ------------------------------------------------------------
+
+TEST(RaceSession, PicksTheArmFullRunsRankBest) {
+  // Three single-layer books carved from one portfolio: distinct
+  // expected losses, one shared YET (common random numbers).
+  const synth::Scenario s = synth::multi_layer_book(3, 4000, 37);
+  std::vector<Portfolio> books;
+  for (std::size_t l = 0; l < 3; ++l) {
+    books.emplace_back(s.portfolio.elts(),
+                       std::vector<Layer>{s.portfolio.layers()[l]});
+  }
+
+  const auto engine = make_engine(
+      ExecutionPolicy::with_engine(EngineKind::kSequentialFused));
+  std::size_t expected = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < books.size(); ++i) {
+    const SimulationResult r = engine->run(books[i], s.yet);
+    const auto losses = r.ylt.layer_annual_vector(0);
+    double mean = 0.0;
+    for (const double x : losses) mean += x;
+    mean /= static_cast<double>(losses.size());
+    if (i == 0 || mean < best) {
+      best = mean;
+      expected = i;
+    }
+  }
+
+  std::vector<RaceEntry> entries;
+  for (std::size_t i = 0; i < books.size(); ++i) {
+    entries.push_back({"book_" + std::to_string(i), &books[i]});
+  }
+  RaceSpec spec;
+  spec.min_trials = 250;
+  spec.policy = fused_policy(250);
+
+  AnalysisSession session;
+  const RaceResult result = session.race(entries, s.yet, spec);
+
+  ASSERT_EQ(result.arms.size(), 3u);
+  EXPECT_EQ(result.winner, expected);
+  EXPECT_FALSE(result.arms[result.winner].eliminated);
+  // Pruning must beat pricing every arm at full budget.
+  EXPECT_LT(result.total_trials, 3 * s.yet.trial_count());
+  std::size_t summed = 0;
+  for (const RaceArm& arm : result.arms) {
+    summed += arm.trials_executed;
+    if (arm.eliminated) {
+      EXPECT_GT(arm.eliminated_at_trials, 0u);
+      EXPECT_LT(arm.trials_executed, s.yet.trial_count());
+    }
+  }
+  EXPECT_EQ(summed, result.total_trials);
+}
+
+TEST(RaceSession, DeterministicAcrossRuns) {
+  const synth::Scenario s = synth::multi_layer_book(3, 3000, 38);
+  std::vector<Portfolio> books;
+  for (std::size_t l = 0; l < 3; ++l) {
+    books.emplace_back(s.portfolio.elts(),
+                       std::vector<Layer>{s.portfolio.layers()[l]});
+  }
+  std::vector<RaceEntry> entries;
+  for (std::size_t i = 0; i < books.size(); ++i) {
+    entries.push_back({"book_" + std::to_string(i), &books[i]});
+  }
+  RaceSpec spec;
+  spec.min_trials = 300;
+  spec.policy = fused_policy(300);
+
+  AnalysisSession session;
+  const RaceResult a = session.race(entries, s.yet, spec);
+  const RaceResult b = session.race(entries, s.yet, spec);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.total_trials, b.total_trials);
+  ASSERT_EQ(a.arms.size(), b.arms.size());
+  for (std::size_t i = 0; i < a.arms.size(); ++i) {
+    EXPECT_EQ(a.arms[i].estimate, b.arms[i].estimate);
+    EXPECT_EQ(a.arms[i].half_width, b.arms[i].half_width);
+    EXPECT_EQ(a.arms[i].trials_executed, b.arms[i].trials_executed);
+    EXPECT_EQ(a.arms[i].eliminated, b.arms[i].eliminated);
+  }
+}
+
+TEST(RaceSession, ValidatesEntries) {
+  const synth::Scenario s = synth::multi_layer_book(2, 500, 39);
+  AnalysisSession session;
+  RaceSpec spec;
+  const std::vector<RaceEntry> one = {{"solo", &s.portfolio}};
+  EXPECT_THROW(session.race(one, s.yet, spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ara

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "synth/distributions.hpp"
@@ -97,6 +99,75 @@ TEST(RequiredTrials, Validates) {
                std::invalid_argument);
   const std::vector<double> zeros(10, 0.0);
   EXPECT_THROW(required_trials_for_aal(zeros, 0.01), std::invalid_argument);
+}
+
+TEST(AalConvergence, ConstantLossHasZeroStandardError) {
+  const std::vector<double> losses(500, 42.0);
+  const auto curve = aal_convergence(losses, {10, 500});
+  for (const ConvergencePoint& p : curve) {
+    EXPECT_DOUBLE_EQ(p.estimate, 42.0);
+    EXPECT_DOUBLE_EQ(p.std_error, 0.0);
+  }
+}
+
+TEST(AalConvergence, SingleTrialHasZeroStandardError) {
+  // n == 1 has no dispersion information; the SE must be 0, not NaN
+  // from a 1/(n-1) division.
+  const std::vector<double> losses = {7.0, 9.0};
+  const auto curve = aal_convergence(losses, {1});
+  EXPECT_DOUBLE_EQ(curve[0].estimate, 7.0);
+  EXPECT_DOUBLE_EQ(curve[0].std_error, 0.0);
+}
+
+TEST(QuantileConvergence, ConstantLossHasZeroStandardError) {
+  const std::vector<double> losses(400, 13.5);
+  const auto curve = quantile_convergence(losses, 0.99, {400}, 64);
+  EXPECT_DOUBLE_EQ(curve[0].estimate, 13.5);
+  EXPECT_DOUBLE_EQ(curve[0].std_error, 0.0);
+}
+
+TEST(AalConvergence, SizesValidationMessages) {
+  const auto losses = lognormal_sample(100, 11);
+  const auto message_of = [&losses](const std::vector<std::size_t>& sizes) {
+    try {
+      aal_convergence(losses, sizes);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_EQ(message_of({}), "convergence: no sizes given");
+  EXPECT_EQ(message_of({0}),
+            "convergence: sizes must be non-decreasing, positive, and "
+            "within the sample");
+  EXPECT_EQ(message_of({200}),
+            "convergence: sizes must be non-decreasing, positive, and "
+            "within the sample");
+  EXPECT_EQ(message_of({50, 20}),
+            "convergence: sizes must be non-decreasing, positive, and "
+            "within the sample");
+}
+
+TEST(RequiredTrials, RejectsNonPositiveAndNonFiniteRelativeError) {
+  const auto losses = lognormal_sample(100, 12);
+  EXPECT_THROW(required_trials_for_aal(losses, -0.01),
+               std::invalid_argument);
+  EXPECT_THROW(
+      required_trials_for_aal(losses,
+                              std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      required_trials_for_aal(losses,
+                              std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+}
+
+TEST(RequiredTrials, SaturatesInsteadOfOverflowing) {
+  // A vanishing relative error demands more trials than size_t can
+  // hold; the cast must saturate, not wrap to a small number.
+  const auto losses = lognormal_sample(1000, 13);
+  EXPECT_EQ(required_trials_for_aal(losses, 1.0e-12),
+            std::numeric_limits<std::size_t>::max());
 }
 
 TEST(RequiredTrials, PaperScaleSanity) {

@@ -324,6 +324,32 @@ TEST(ServeService, QueueDepthCapRejectsWithRetryAfter) {
   EXPECT_EQ(log.count_status(Status::kOk), 3u);  // plug + the two queued
 }
 
+TEST(ServeService, ZeroBaseRetryStillHintsARetryDelay) {
+  // base_retry_after_ms = 0 must not surface as retry_after_ms = 0 on
+  // a backpressure reply: loadgen (and any well-behaved client) treats
+  // 0 as "no hint" and retries immediately, defeating the shed.
+  AnalysisService::Options options = serial_options();
+  options.base_retry_after_ms = 0;
+  options.default_tenant.max_queue_depth = 1;
+  AnalysisService service(options);
+  ReplyLog log;
+  service.submit(synth_request("plug", 1, plug_spec()), log.sink("plug"),
+                 100);
+  wait_for_inflight(service, 1);
+  for (std::uint64_t id = 2; id <= 4; ++id) {
+    service.submit(synth_request("t", id, fast_spec()), log.sink("t"), 100);
+  }
+  EXPECT_EQ(log.count_status(Status::kRejectedQueueFull), 2u);
+  {
+    std::lock_guard<std::mutex> lock(log.mutex);
+    for (const ServeReply& r : log.replies) {
+      if (r.status != Status::kRejectedQueueFull) continue;
+      EXPECT_GT(r.retry_after_ms, 0u);
+    }
+  }
+  ASSERT_TRUE(log.wait_for_replies(4, std::chrono::seconds(60)));
+}
+
 TEST(ServeService, StopFlushesQueueWithShutdownReplies) {
   AnalysisService service(serial_options());
   ReplyLog log;

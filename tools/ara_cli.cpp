@@ -14,7 +14,13 @@
 //                    [--metrics none|layer|portfolio|all]
 //                    [--quantiles P1,P2,..] [--return-periods T1,T2,..]
 //                    [--workers N [--lease-timeout-ms T] [--failpoints SPEC]]
+//                    [--target-rel-err E [--confidence C] [--min-trials N]
+//                    [--max-trials N] [--stop-metric M1,M2,..]]
 //   ara_cli run      --list-engines
+//   ara_cli race     --in DIR --portfolios F1,F2,..
+//                    [--objective aal|var:P|tvar:P] [--maximize]
+//                    [--confidence C] [--min-trials N] [--max-trials N]
+//                    [--shard-trials N] [--engine NAME] [--seed S]
 //   ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]
 //
 // Engine names: sequential_reference, sequential_fused, multicore_cpu,
@@ -38,6 +44,19 @@
 // into the same bitwise-identical YLT the monolithic run produces —
 // surviving crashed, stalled, or corrupting workers along the way.
 // --failpoints forwards a fault-injection spec to every worker.
+//
+// --target-rel-err E turns on adaptive execution (DESIGN.md §10): the
+// session runs geometrically growing trial waves and stops once every
+// targeted confidence interval (--stop-metric, default the portfolio
+// AAL) has relative half-width <= E at the requested --confidence —
+// or the budget (--max-trials, default the whole YET) runs out. The
+// stopping decision is a pure function of the observed loss prefix,
+// so adaptive runs are reproducible for a given seed and shard size.
+//
+// `race` prices N candidate portfolios against one YET concurrently
+// and prunes losers by successive elimination: an arm whose
+// union-bound confidence interval is strictly dominated by the best
+// arm's is dropped and its remaining trial budget reallocated.
 //
 // --metrics asks the session for the declarative metric report
 // (per-layer and/or portfolio scope), refined by --quantiles (VaR/TVaR
@@ -90,8 +109,23 @@ using namespace ara;
       "                   [--quantiles P1,P2,..] [--return-periods T1,T2,..]\n"
       "                   [--workers N [--lease-timeout-ms T]\n"
       "                   [--failpoints SPEC]]\n"
+      "                   [--target-rel-err E [--confidence C]\n"
+      "                   [--min-trials N] [--max-trials N]\n"
+      "                   [--stop-metric M1,M2,..]]\n"
       "  ara_cli run      --list-engines\n"
+      "  ara_cli race     --in DIR --portfolios F1,F2,..\n"
+      "                   [--objective aal|var:P|tvar:P] [--maximize]\n"
+      "                   [--confidence C] [--min-trials N]\n"
+      "                   [--max-trials N] [--shard-trials N]\n"
+      "                   [--engine NAME] [--seed S]\n"
       "  ara_cli report   --ylt YLT.bin [--layer I] [--csv PREFIX]\n"
+      "\n"
+      "--target-rel-err E runs adaptively (DESIGN.md s10): trial waves\n"
+      "grow geometrically and the run stops once every --stop-metric\n"
+      "target (aal, var:P, tvar:P — default aal) has confidence-interval\n"
+      "relative half-width <= E, or --max-trials is exhausted. race\n"
+      "prices several candidate portfolios at once and eliminates arms\n"
+      "whose confidence interval is dominated by the best arm's.\n"
       "\n"
       "--workers N runs distributed: a ShardCoordinator leases trial\n"
       "ranges to N spawned ara_worker processes and merges their\n"
@@ -111,7 +145,7 @@ using namespace ara;
 
 // Flags that take no value.
 bool is_switch(const std::string& name) {
-  return name == "list-engines" || name == "no-ylt";
+  return name == "list-engines" || name == "no-ylt" || name == "maximize";
 }
 
 // Per-subcommand flag allowlists. A flag outside its subcommand's set
@@ -128,11 +162,18 @@ const std::set<std::string>& allowed_flags(const std::string& cmd) {
       "block-threads", "chunk-size",   "shard-trials",  "memory-budget",
       "simd",         "metrics",       "quantiles",
       "return-periods", "list-engines", "workers",
-      "lease-timeout-ms", "failpoints"};
+      "lease-timeout-ms", "failpoints",
+      "target-rel-err", "confidence",  "min-trials",
+      "max-trials",   "stop-metric"};
+  static const std::set<std::string> race = {
+      "in",         "portfolios", "objective",  "maximize",
+      "confidence", "min-trials", "max-trials", "shard-trials",
+      "engine",     "seed"};
   static const std::set<std::string> report = {"ylt", "layer", "csv"};
   static const std::set<std::string> none = {};
   if (cmd == "generate") return generate;
   if (cmd == "run") return run;
+  if (cmd == "race") return race;
   if (cmd == "report") return report;
   return none;
 }
@@ -174,6 +215,58 @@ long get_long(const std::map<std::string, std::string>& flags,
   } catch (const std::exception&) {
     usage("bad integer for --" + key + ": " + it->second);
   }
+}
+
+double get_double(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    usage("bad number for --" + key + ": " + it->second);
+  }
+}
+
+// One stopping/objective target: "aal", "var:P", or "tvar:P" (P a
+// probability level; ":P" optional, defaulting to 0.99).
+metrics::StoppingTarget parse_target(const std::string& token,
+                                     const std::string& flag) {
+  metrics::StoppingTarget target;
+  std::string name = token;
+  if (const auto colon = token.find(':'); colon != std::string::npos) {
+    name = token.substr(0, colon);
+    const std::string level = token.substr(colon + 1);
+    try {
+      std::size_t consumed = 0;
+      target.p = std::stod(level, &consumed);
+      if (consumed != level.size()) throw std::invalid_argument(level);
+    } catch (const std::exception&) {
+      usage("bad quantile level in --" + flag + ": " + token);
+    }
+  }
+  if (name == "aal") {
+    target.metric = metrics::StopMetric::kAal;
+  } else if (name == "var") {
+    target.metric = metrics::StopMetric::kVar;
+  } else if (name == "tvar") {
+    target.metric = metrics::StopMetric::kTvar;
+  } else {
+    usage("bad --" + flag + " entry: " + token +
+          " (want aal, var:P, or tvar:P)");
+  }
+  return target;
+}
+
+std::string target_label(const metrics::StoppingTarget& target) {
+  std::string label = metrics::stop_metric_name(target.metric);
+  if (target.metric != metrics::StopMetric::kAal) {
+    label += " " + perf::format_percent(target.p);
+  }
+  return label;
 }
 
 std::vector<double> parse_doubles(const std::string& csv,
@@ -417,6 +510,40 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     usage("--no-ylt without --metrics would compute nothing");
   }
 
+  // Adaptive execution: --target-rel-err is the opt-in; the companion
+  // flags refine it and are meaningless without it.
+  std::optional<metrics::StoppingSpec> stopping;
+  if (flags.count("target-rel-err")) {
+    metrics::StoppingSpec sspec;
+    sspec.relative_tolerance = get_double(flags, "target-rel-err", 0.05);
+    sspec.confidence = get_double(flags, "confidence", sspec.confidence);
+    sspec.min_trials = static_cast<std::size_t>(
+        get_long(flags, "min-trials", static_cast<long>(sspec.min_trials)));
+    sspec.max_trials =
+        static_cast<std::size_t>(get_long(flags, "max-trials", 0));
+    if (flags.count("stop-metric")) {
+      sspec.targets.clear();
+      std::stringstream ss(flags.at("stop-metric"));
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        if (token.empty()) continue;
+        sspec.targets.push_back(parse_target(token, "stop-metric"));
+      }
+      if (sspec.targets.empty()) {
+        usage("--stop-metric needs a comma-separated list of targets");
+      }
+    }
+    if (!ylt_out.empty()) {
+      usage("--target-rel-err cannot combine with --ylt-out (the spill "
+            "format is sized for the fixed trial count)");
+    }
+    stopping = std::move(sspec);
+  } else if (flags.count("confidence") || flags.count("min-trials") ||
+             flags.count("max-trials") || flags.count("stop-metric")) {
+    usage("--confidence / --min-trials / --max-trials / --stop-metric "
+          "need --target-rel-err (they refine the adaptive run)");
+  }
+
   ExecutionPolicy policy;
   policy.gpu_count = static_cast<std::size_t>(get_long(flags, "gpus", 4));
   policy.shard_trials =
@@ -517,6 +644,7 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   resolved.engine = kind;
   resolved.config = cfg;
   request.policy = resolved;
+  request.stopping = stopping;
 
   const auto workers = static_cast<std::size_t>(get_long(flags, "workers", 0));
   if (workers == 0 &&
@@ -563,6 +691,19 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     const ShardPlan plan = session.shard_plan(portfolio, yet, resolved);
     std::cout << "shards    : " << analysis.shard_count << " x "
               << plan.shard_trials << " trials (streaming merge)\n";
+  }
+  if (request.stopping) {
+    std::cout << "adaptive  : " << analysis.trials_executed << " of "
+              << yet.trial_count() << " trials "
+              << (analysis.stopped_early ? "(stopped early)\n"
+                                         : "(ran to the budget)\n");
+    for (const metrics::TargetStatus& t : analysis.half_widths) {
+      std::cout << "  " << target_label(t.target) << " : "
+                << perf::format_fixed(t.estimate, 2) << " +/- "
+                << perf::format_fixed(t.half_width, 2) << " (rel "
+                << perf::format_percent(t.relative_half_width) << ", "
+                << (t.satisfied ? "within" : "outside") << " tolerance)\n";
+    }
   }
   std::cout
             << "lookups   : " << result.ops.elt_lookups << '\n'
@@ -641,6 +782,102 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// race: price N candidate portfolios against one YET with BAI-style
+// successive elimination (DESIGN.md §10). All arms share the trial
+// schedule (common random numbers), so elimination compares like with
+// like; a dropped arm's remaining budget goes to the survivors.
+int cmd_race(const std::map<std::string, std::string>& flags) {
+  const std::string in = get(flags, "in", "");
+  if (in.empty()) usage("race requires --in DIR (the yet.bin to price)");
+  const std::string list = get(flags, "portfolios", "");
+  if (list.empty()) {
+    usage("race requires --portfolios F1,F2,.. (at least 2 files)");
+  }
+  std::vector<std::string> paths;
+  {
+    std::stringstream ss(list);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      if (!token.empty()) paths.push_back(token);
+    }
+  }
+  if (paths.size() < 2) usage("race needs at least 2 portfolios");
+
+  const Yet yet = io::load_yet(in + "/yet.bin");
+  std::vector<Portfolio> portfolios;
+  portfolios.reserve(paths.size());
+  for (const std::string& path : paths) {
+    portfolios.push_back(io::load_portfolio(path));
+  }
+  std::vector<RaceEntry> entries;
+  entries.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto slash = paths[i].find_last_of('/');
+    entries.push_back({slash == std::string::npos
+                           ? paths[i]
+                           : paths[i].substr(slash + 1),
+                       &portfolios[i]});
+  }
+
+  RaceSpec spec;
+  spec.objective = parse_target(get(flags, "objective", "aal"), "objective");
+  spec.minimize = flags.count("maximize") == 0;
+  spec.confidence = get_double(flags, "confidence", spec.confidence);
+  spec.min_trials = static_cast<std::size_t>(
+      get_long(flags, "min-trials", static_cast<long>(spec.min_trials)));
+  spec.max_trials = static_cast<std::size_t>(get_long(flags, "max-trials", 0));
+  spec.seed = static_cast<std::uint64_t>(
+      get_long(flags, "seed", static_cast<long>(spec.seed)));
+
+  ExecutionPolicy policy;
+  policy.shard_trials =
+      static_cast<std::size_t>(get_long(flags, "shard-trials", 0));
+  if (const std::string engine_name = get(flags, "engine", "");
+      !engine_name.empty()) {
+    const std::optional<EngineKind> named = engine_kind_from_name(engine_name);
+    if (!named) usage("unknown engine: " + engine_name);
+    policy.engine = *named;
+  }
+  spec.policy = policy;
+
+  AnalysisSession session;
+  const RaceResult result = session.race(entries, yet, spec);
+
+  perf::Table table({"arm", target_label(spec.objective), "+/-", "trials",
+                     "standing"});
+  for (std::size_t i = 0; i < result.arms.size(); ++i) {
+    const RaceArm& arm = result.arms[i];
+    std::string standing;
+    if (i == result.winner) {
+      standing = "<- winner";
+    } else if (arm.eliminated) {
+      standing = "eliminated at " +
+                 std::to_string(arm.eliminated_at_trials) + " trials";
+    } else {
+      standing = "survived";
+    }
+    table.add_row({arm.label, perf::format_fixed(arm.estimate, 2),
+                   perf::format_fixed(arm.half_width, 2),
+                   std::to_string(arm.trials_executed), standing});
+  }
+  table.print(std::cout);
+  const std::size_t per_arm_budget =
+      spec.max_trials == 0 ? yet.trial_count()
+                           : std::min(spec.max_trials, yet.trial_count());
+  std::cout << '\n'
+            << "objective : " << (spec.minimize ? "minimize " : "maximize ")
+            << target_label(spec.objective) << " at "
+            << perf::format_percent(spec.confidence) << " confidence\n"
+            << "winner    : " << result.arms[result.winner].label
+            << (result.separated ? " (field separated by confidence bounds)"
+                                 : " (budget exhausted; best point estimate)")
+            << '\n'
+            << "trials    : " << result.total_trials << " total vs "
+            << per_arm_budget * entries.size()
+            << " for pricing every arm at full budget\n";
+  return 0;
+}
+
 int cmd_report(const std::map<std::string, std::string>& flags) {
   const std::string ylt_path = get(flags, "ylt", "");
   if (ylt_path.empty()) usage("report requires --ylt FILE");
@@ -690,13 +927,14 @@ int cmd_report(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  if (cmd != "generate" && cmd != "run" && cmd != "report") {
+  if (cmd != "generate" && cmd != "run" && cmd != "race" && cmd != "report") {
     usage("unknown command: " + cmd);
   }
   try {
     const auto flags = parse_flags(argc, argv, 2, allowed_flags(cmd));
     if (cmd == "generate") return cmd_generate(flags);
     if (cmd == "run") return cmd_run(flags);
+    if (cmd == "race") return cmd_race(flags);
     return cmd_report(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
